@@ -1,0 +1,22 @@
+"""ABL2 — chain replication reads are tail-bound.
+
+Paper (related work on [28]): "the reads (also called queries) are
+always directed to the same single server and are therefore not
+scalable."  The chain's tail NIC caps total read throughput at one
+server's worth regardless of n; the ring's reads scale linearly.
+"""
+
+from conftest import column, run_experiment
+
+from repro.bench.experiments import run_ablation_chain
+
+
+def test_ablation_chain_reads_flat(benchmark):
+    _headers, rows = run_experiment(benchmark, run_ablation_chain, servers=(2, 4, 8))
+    ring_reads = column(rows, 1)
+    chain_reads = column(rows, 2)
+
+    assert ring_reads[-1] / ring_reads[0] > 3.5, ring_reads
+    # Chain reads pinned at ~one NIC of goodput for every cluster size.
+    assert max(chain_reads) / min(chain_reads) < 1.05, chain_reads
+    assert all(v < 100.0 for v in chain_reads), chain_reads

@@ -1,0 +1,31 @@
+"""ABL5 — broadcast write-all collapses under ethernet collisions.
+
+Paper, Section 1: "if write messages are simply broadcast to all
+servers, the throughput would suffer even more drastically under high
+load ... when receiving several messages at the same time, collisions
+occur at the network layer.  A retransmission is thus necessary, in turn
+causing even more collisions, ultimately harming the throughput of
+write operations."  The ring never multicasts, so its write throughput
+is immune to the collapse.
+"""
+
+from conftest import column, run_experiment
+
+from repro.bench.experiments import run_ablation_collisions
+
+
+def test_ablation_multicast_collapse(benchmark):
+    _headers, rows = run_experiment(benchmark, run_ablation_collisions, servers=(2, 4, 8))
+    ns = column(rows, 0)
+    ring = column(rows, 1)
+    multicast = column(rows, 3)
+
+    # Ring write throughput flat across n.
+    assert max(ring) / min(ring) < 1.08, ring
+    # Multicast write-all collapses under saturated concurrent writers:
+    # overlapping frames destroy each other and the exponential backoff
+    # cannot separate back-to-back 4 KiB frames.
+    assert all(mc < 0.5 * r for mc, r in zip(multicast, ring)), (
+        f"collision collapse expected: multicast={multicast} ring={ring}"
+    )
+    assert min(multicast) < 20.0, multicast

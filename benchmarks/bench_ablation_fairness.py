@@ -1,0 +1,31 @@
+"""ABL4 — the fairness mechanism and commit piggybacking.
+
+Design claims from the paper this ablation quantifies:
+
+* commit ("write-phase") piggybacking — "write messages are piggybacked
+  on pending write messages without the need for explicit
+  acknowledgements" — is what keeps write throughput near the NIC rate;
+  sending every commit standalone costs ring slots;
+* the nb_msg fairness rule guarantees every origin its share; without
+  it, servers prefer their own clients and the latency spread across
+  clients widens.
+"""
+
+from conftest import run_experiment
+
+from repro.bench.experiments import run_ablation_fairness
+
+
+def test_ablation_fairness_and_piggyback(benchmark):
+    _headers, rows = run_experiment(benchmark, run_ablation_fairness, num_servers=4)
+    by_label = {row[0]: row for row in rows}
+
+    default = by_label["default"]
+    no_piggyback = by_label["no piggyback"]
+    # Standalone commits consume ring slots: measurable throughput loss.
+    assert no_piggyback[1] < default[1] * 0.98, (
+        f"piggybacking should win: {default[1]:.1f} vs {no_piggyback[1]:.1f}"
+    )
+    # All configurations still make progress (liveness).
+    for label, mbps, _spread in rows:
+        assert mbps > 20.0, f"{label} collapsed: {mbps}"

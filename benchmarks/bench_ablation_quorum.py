@@ -1,0 +1,31 @@
+"""ABL1 — ring vs ABD majority quorum (the paper's central comparison).
+
+Claims under test: quorum read throughput cannot scale with servers
+([25], Figure 1), while the ring's reads scale linearly; ring write
+throughput is constant; and the ring does all this while tolerating
+n-1 crashes versus the quorum's minority.
+"""
+
+from conftest import column, run_experiment
+
+from repro.bench.experiments import run_ablation_quorum
+
+
+def test_ablation_ring_vs_quorum(benchmark):
+    _headers, rows = run_experiment(benchmark, run_ablation_quorum, servers=(2, 4, 8))
+    ns = column(rows, 0)
+    ring_reads = column(rows, 1)
+    abd_reads = column(rows, 2)
+    ring_writes = column(rows, 3)
+
+    # Ring reads scale ~4x from n=2 to n=8; ABD reads do not scale at all.
+    assert ring_reads[-1] / ring_reads[0] > 3.5, ring_reads
+    assert abd_reads[-1] <= abd_reads[0] * 1.1, (
+        f"quorum reads must not scale: {abd_reads}"
+    )
+    # Crossover: by n=4 the ring reads dominate ABD decisively.
+    by_n = dict(zip(ns, zip(ring_reads, abd_reads)))
+    assert by_n[4][0] > 2.5 * by_n[4][1]
+    assert by_n[8][0] > 5.0 * by_n[8][1]
+    # Ring writes stay flat.
+    assert max(ring_writes) / min(ring_writes) < 1.08, ring_writes

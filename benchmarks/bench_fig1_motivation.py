@@ -1,0 +1,27 @@
+"""FIG1 — Figure 1: quorum (A) vs local-read (B) in the round model.
+
+Paper claim: with 3 servers both algorithms have the same (4-round)
+latency, but B completes 3 reads/round versus A's 1/round; adding
+servers helps B linearly and A not at all.
+"""
+
+from conftest import column, run_experiment
+
+from repro.bench.experiments import run_fig1
+
+
+def test_fig1_quorum_vs_local_reads(benchmark):
+    _headers, rows = run_experiment(benchmark, run_fig1, servers=(3, 5, 8))
+
+    by_n = {row[0]: row for row in rows}
+    n3 = by_n[3]
+    # Paper's exact Figure 1 numbers at n = 3.
+    assert abs(n3[1] - 1.0) < 0.1, "algorithm A should complete ~1 read/round"
+    assert abs(n3[2] - 3.0) < 0.1, "algorithm B should complete ~3 reads/round"
+    assert n3[3] == n3[4] == 4, "both algorithms have 4-round latency"
+
+    # Scaling: B grows ~linearly with n; A stays ~flat.
+    a_tputs = column(rows, 1)
+    b_tputs = column(rows, 2)
+    assert max(a_tputs) < 1.6, f"quorum throughput should stay flat, got {a_tputs}"
+    assert b_tputs[-1] > 7.5, f"local reads should reach ~8/round at n=8, got {b_tputs}"

@@ -1,0 +1,28 @@
+"""FIG3a — read throughput without contention (Figure 3, chart 1).
+
+Paper claim: "the total read throughput increases linearly and is equal
+to 90 MBit/s per server" on 100 Mbit/s NICs (2..8 servers).
+"""
+
+from conftest import column, run_experiment
+
+from repro.analysis.stats import linear_fit, r_squared
+from repro.bench.experiments import run_fig3a
+
+
+def test_fig3a_read_scaling_is_linear(benchmark, servers_small):
+    _headers, rows = run_experiment(
+        benchmark, run_fig3a, servers=servers_small, quick=True
+    )
+    ns = column(rows, 0)
+    totals = column(rows, 1)
+    per_server = column(rows, 2)
+
+    # Linearity: slope ~ per-server rate, excellent fit.
+    slope, intercept = linear_fit(ns, totals)
+    assert r_squared(ns, totals) > 0.999, f"read scaling must be linear: {totals}"
+    assert 80.0 <= slope <= 100.0, f"per-server slope ~90 Mbit/s (paper), got {slope:.1f}"
+
+    # Per-server rate is flat and in the paper's 90 Mbit/s regime.
+    assert max(per_server) - min(per_server) < 3.0, per_server
+    assert all(85.0 <= v <= 96.0 for v in per_server), per_server

@@ -1,0 +1,41 @@
+"""FIG3d — read & write under contention, one shared network (chart 4).
+
+Paper claim: "read and write throughput suffer, but the write throughput
+remains constant at around 45 Mbit/s whereas the read throughput scales
+linearly at about 31 Mbit/s per additional server.  This means that each
+server uses about 76 Mbit/s of its incoming and outgoing network
+bandwidth despite concurrency."
+
+Our reproduction: the shared NIC round-robins ring forwarding against
+client replies, giving writes a roughly constant ~50-60 Mbit/s and reads
+~30-45 Mbit/s per server, with each server's transmit side ~93 Mbit/s
+utilised.  The split between reads and writes differs from the paper's
+(45/31 summing to 76 — their NIC was only ~76% utilised, pointing to CPU
+overheads our simulator does not model); the shape and the saturation
+statement hold.
+"""
+
+from conftest import column, run_experiment
+
+from repro.analysis.stats import linear_fit
+from repro.bench.experiments import run_fig3d
+
+
+def test_fig3d_contention_shared_network(benchmark, servers_small):
+    _headers, rows = run_experiment(
+        benchmark, run_fig3d, servers=servers_small, quick=True
+    )
+    ns = column(rows, 0)
+    reads = column(rows, 1)
+    writes = column(rows, 3)
+    per_nic = column(rows, 4)
+
+    # Both are well below the dual-network results (the suffering).
+    assert all(w < 70.0 for w in writes), writes
+    # Writes stay in a band (roughly constant), never collapsing.
+    assert max(writes) / min(writes) < 1.35, f"writes should be roughly flat: {writes}"
+    # Reads grow with servers (linear trend, positive slope).
+    slope, _ = linear_fit(ns, reads)
+    assert slope > 20.0, f"reads must scale with servers: {reads}"
+    # Saturation: each server's shared NIC is nearly fully used.
+    assert all(v > 85.0 for v in per_nic), per_nic

@@ -1,0 +1,30 @@
+"""FIG4 — unloaded operation latency vs number of servers.
+
+Paper claim: "Because of the ring topology, the write latency grows
+linearly with the number of servers.  The read latency stays constant
+since it involves only a single round-trip between the client and a
+server."
+"""
+
+from conftest import column, run_experiment
+
+from repro.analysis.stats import linear_fit, r_squared
+from repro.bench.experiments import run_fig4
+
+
+def test_fig4_latency_shapes(benchmark):
+    _headers, rows = run_experiment(benchmark, run_fig4, servers=(2, 3, 4, 5, 6, 7, 8))
+    ns = column(rows, 0)
+    read_ms = column(rows, 1)
+    write_ms = column(rows, 2)
+
+    # Reads: constant (one client-server round trip).
+    assert max(read_ms) - min(read_ms) < 0.05, read_ms
+
+    # Writes: linear in n (two ring traversals), strong fit.
+    slope, intercept = linear_fit(ns, write_ms)
+    assert slope > 0.5, f"write latency must grow with n: {write_ms}"
+    assert r_squared(ns, write_ms) > 0.999, write_ms
+
+    # Write latency exceeds read latency everywhere (2N+2 vs 2 rounds).
+    assert all(w > r for w, r in zip(write_ms, read_ms))

@@ -1,0 +1,26 @@
+"""SEC4 — the Section 4 analytical claims, executed in the round model.
+
+Paper claims: read latency = 2 rounds; write latency = 2N + 2 rounds;
+saturated write throughput = 1 op/round for any N; saturated read
+throughput = N ops/round, also under write contention.
+"""
+
+from conftest import run_experiment
+
+from repro.bench.experiments import run_sec4
+
+
+def test_sec4_latency_and_throughput(benchmark):
+    _headers, rows = run_experiment(benchmark, run_sec4, servers=(2, 3, 5, 8))
+
+    for n, read_lat, write_lat, formula, wtput, rtput, rtput_c in rows:
+        assert read_lat == 2, f"read latency must be 2 rounds, got {read_lat}"
+        assert write_lat == formula == 2 * n + 2, (
+            f"write latency must be 2N+2={2*n+2}, got {write_lat}"
+        )
+        assert abs(wtput - 1.0) < 0.05, f"write throughput must be ~1/round, got {wtput}"
+        assert abs(rtput - n) < 0.05 * n, f"read throughput must be ~n/round, got {rtput}"
+        # Under contention the reply slot is shared with ~1 ack/round.
+        assert rtput_c > n - 1.05, (
+            f"contended read throughput should stay near n, got {rtput_c}"
+        )

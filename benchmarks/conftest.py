@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one paper artifact (figure/analysis) via
+:mod:`repro.bench.experiments`, times it with pytest-benchmark
+(``rounds=1`` — each run is a full experiment sweep, not a microbench),
+prints the paper-style table, and asserts the claimed *shape* (who wins,
+what is constant, what scales linearly).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.report import render_table
+
+
+def run_experiment(benchmark, experiment, **kwargs):
+    """Time one experiment function and print its table."""
+    result = benchmark.pedantic(
+        lambda: experiment(**kwargs), rounds=1, iterations=1, warmup_rounds=0
+    )
+    headers, rows = result
+    print()
+    print(render_table(headers, rows))
+    return headers, rows
+
+
+def column(rows, index):
+    return [row[index] for row in rows]
+
+
+@pytest.fixture
+def servers_small():
+    """Cluster sizes used by the quick benchmark sweeps (paper: 2..8)."""
+    return (2, 4, 6, 8)

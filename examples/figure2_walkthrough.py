@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Figure 2, narrated: how the pre-write phase prevents read inversion.
+
+Replays the paper's illustration run on five servers, printing what each
+reader observes at each stage of a write's two-phase journey:
+
+1. while the pre-write circulates, a server that has forwarded it makes
+   readers *wait*, while an untouched server still answers the old value
+   (safe: the new value is not committed anywhere yet);
+2. as the commit passes each server, its readers switch to the new
+   value — and crucially, once anyone has seen v2, nobody can see v1
+   again.
+
+Run:  python examples/figure2_walkthrough.py
+"""
+
+from repro.core.config import ProtocolConfig
+from repro.core.ring import RingView
+from repro.core.server import ServerProtocol
+from repro.core.messages import ClientRead, ClientWrite, OpId
+
+
+def main() -> None:
+    n = 5
+    ring = RingView.initial(n)
+    servers = [ServerProtocol(i, ring, ProtocolConfig()) for i in range(n)]
+    in_flight: list[tuple[int, object]] = []
+    replies: list = []
+
+    def pump(label: str) -> None:
+        nonlocal in_flight
+        for server in servers:
+            message = server.next_ring_message()
+            if message is not None:
+                in_flight.append((server.successor, message))
+        deliveries, in_flight = in_flight, []
+        for dst, message in deliveries:
+            replies.extend(servers[dst].on_ring_message(message))
+        print(f"  -- {label}")
+
+    def read_at(server_id: int, who: str) -> None:
+        op = OpId(hash(who) % 1000, read_at.seq)
+        read_at.seq += 1
+        before = len(replies)
+        replies.extend(servers[server_id].on_client_message(op.client, ClientRead(op)))
+        if len(replies) > before:
+            print(f"  reader at s{server_id} ({who}): -> {replies[-1].message.value!r}")
+        else:
+            print(f"  reader at s{server_id} ({who}): ... waits (pre-write pending)")
+
+    read_at.seq = 0
+
+    # Pre-populate v1.
+    servers[0].on_client_message(1, ClientWrite(OpId(1, 0), b"v1"))
+    for _ in range(12):
+        pump("(pre-populating v1)")
+        if all(s.value == b"v1" and not s.has_ring_work for s in servers):
+            break
+    print(f"\nall servers hold v1; W(v2) now arrives at s0\n")
+
+    servers[0].on_client_message(2, ClientWrite(OpId(2, 0), b"v2"))
+    pump("s0 sends pre_write(v2) to s1")
+    pump("s1 forwards pre_write(v2) to s2")
+    pump("s2 forwards pre_write(v2) to s3")
+    print("\nphase 1 in progress: s1, s2, s3 hold the pre-write pending")
+    read_at(2, "reader R1")   # waits: s2 forwarded the pre-write
+    read_at(4, "reader R2")   # immediate v1: s4 has not seen it
+
+    pump("s3 forwards pre_write(v2) to s4")
+    pump("s4 forwards pre_write(v2) back to s0 (circle complete)")
+    pump("s0 installs v2 and sends the commit (the 'write' message)")
+    print("\nphase 2: the commit is circulating")
+    read_at(1, "reader R3")   # s1 may have committed already or waits
+
+    for label in ("commit passes s2", "commit passes s3", "commit passes s4",
+                  "commit returns to s0: client acked"):
+        pump(label)
+    read_at(2, "reader R4")
+    read_at(4, "reader R5")
+
+    print("\nfinal state:")
+    for server in servers:
+        print(f"  s{server.server_id}: value={server.value!r} tag={server.tag}")
+
+
+if __name__ == "__main__":
+    main()

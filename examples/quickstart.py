@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Quickstart: a replicated atomic register in five lines.
+
+Builds a five-server simulated cluster (the paper's ring algorithm over
+100 Mbit/s NICs), writes and reads through the public API, and shows
+that a second client — bound to a different server — observes the same
+linearizable register.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import AtomicStorage, SimCluster
+
+
+def main() -> None:
+    cluster = SimCluster.build(num_servers=5, seed=7)
+    storage = AtomicStorage.over(cluster)
+
+    storage.write(b"hello, ring")
+    print(f"written and acknowledged at t={cluster.now * 1e3:.3f} ms (simulated)")
+    print(f"read back: {storage.read()!r}")
+
+    # A second client on a different server sees the same register.
+    other = AtomicStorage.over(cluster, home_server=3)
+    print(f"read via server 3: {other.read()!r}")
+
+    other.write(b"updated elsewhere")
+    print(f"first client now reads: {storage.read()!r}")
+
+    # Peek at the protocol internals the paper describes.
+    server = cluster.servers[0].proto
+    print(
+        f"\nserver 0 state: tag={server.tag}, "
+        f"{server.stats_writes_initiated} writes initiated, "
+        f"{server.stats_forwards} pre-writes forwarded, "
+        f"{server.stats_commits_processed} commits processed"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Reproduce the shape of Figure 3 at your terminal (small-scale).
+
+Sweeps 2..8 servers for the paper's two headline experiments — read-only
+load (linear scaling, ~90 Mbit/s per server) and write-only load
+(constant throughput) — and renders the series as tables plus an ASCII
+chart.  This is the same harness the benchmark suite uses, with short
+measurement windows so it finishes in under a minute.
+
+Run:  python examples/throughput_scaling.py
+"""
+
+from repro.bench.experiments import run_fig3a, run_fig3b
+from repro.bench.report import render_chart, render_table
+
+
+def main() -> None:
+    servers = (2, 3, 4, 5, 6, 7, 8)
+
+    print("Figure 3 chart 1 — read throughput, no contention")
+    headers, rows = run_fig3a(servers=servers, quick=True)
+    print(render_table(headers, rows))
+    reads = [row[1] for row in rows]
+
+    print("\nFigure 3 chart 2 — write throughput, no contention")
+    headers, rows = run_fig3b(servers=servers, quick=True)
+    print(render_table(headers, rows))
+    writes = [row[1] for row in rows]
+
+    print("\nTotal throughput vs number of servers (Mbit/s):")
+    print(
+        render_chart(
+            list(servers),
+            {"reads": reads, "writes": writes},
+            y_label="Mbit/s",
+        )
+    )
+    print(
+        "\nPaper's claims: reads scale linearly (~90 Mbit/s per server); "
+        "writes stay constant regardless of cluster size."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+All metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e . --no-use-pep517`` works on environments without the
+``wheel`` package (PEP 660 editable builds require it).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,58 @@
+"""Reproduction of *A High Throughput Atomic Storage Algorithm* (ICDCS 2007).
+
+This package implements the ring-based atomic storage algorithm of
+Guerraoui, Kostic, Levy and Quema, together with every substrate the paper
+depends on:
+
+``repro.sim``
+    A deterministic discrete-event cluster simulator with rate-limited
+    full-duplex NICs.  It stands in for the paper's 24-node cluster with
+    100 Mbit/s fast-ethernet interfaces.
+
+``repro.rounds``
+    The synchronous round-based model of the paper's Section 2 (compute,
+    send/broadcast, receive at most one message per round), used for the
+    analytical evaluation (Figure 1 and Section 4).
+
+``repro.core``
+    The paper's contribution: a multi-writer multi-reader atomic register
+    with local reads, a two-phase (pre-write / write) ring dissemination
+    for writes, a fairness scheduler, and crash handling driven by a
+    perfect failure detector.
+
+``repro.baselines``
+    The comparison points discussed by the paper: an ABD-style
+    majority-quorum register, chain replication, a total-order-broadcast
+    based register, and a naive write-all register that exhibits the
+    read-inversion anomaly.
+
+``repro.analysis``
+    History recording, linearizability checking and throughput/latency
+    statistics.
+
+``repro.workload`` / ``repro.bench``
+    Client emulation and the experiment harness that regenerates every
+    figure of the paper's evaluation.
+
+The top level re-exports the most commonly used entry points so that a
+downstream user can write::
+
+    from repro import SimCluster, AtomicStorage
+
+    cluster = SimCluster.build(num_servers=5, seed=7)
+    storage = AtomicStorage.over(cluster)
+"""
+
+from repro._version import __version__
+from repro.core.config import ProtocolConfig
+from repro.core.storage import AtomicStorage
+from repro.core.tags import Tag
+from repro.runtime.sim_net import SimCluster
+
+__all__ = [
+    "__version__",
+    "AtomicStorage",
+    "ProtocolConfig",
+    "SimCluster",
+    "Tag",
+]

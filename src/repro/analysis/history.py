@@ -1,0 +1,99 @@
+"""Operation histories for linearizability checking.
+
+A :class:`History` collects invocation and response events from a live
+run (simulated or real).  Each completed operation becomes an
+:class:`Operation` with its real-time interval; operations that never
+completed (client crashed, run ended) remain *open* and are treated by
+the checker as "may or may not have taken effect", which is the standard
+treatment for crashed writers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.errors import HistoryError
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One completed (or open) operation.
+
+    ``value`` is the written value for writes and the returned value for
+    reads.  ``end`` is ``None`` for operations that never completed.
+    ``tag`` is the protocol tag observed by the operation when the
+    runtime recorded one (used by the fast tag-based checker).
+    """
+
+    client: int
+    kind: str  # "read" | "write"
+    value: Optional[bytes]
+    start: float
+    end: Optional[float]
+    tag: Optional[object] = None
+
+    @property
+    def complete(self) -> bool:
+        return self.end is not None
+
+    def overlaps(self, other: "Operation") -> bool:
+        """Whether the two operations' real-time intervals overlap."""
+        if self.end is not None and self.end < other.start:
+            return False
+        if other.end is not None and other.end < self.start:
+            return False
+        return True
+
+
+class History:
+    """Collects invocation/response pairs keyed by (client, op)."""
+
+    def __init__(self) -> None:
+        self._open: dict[tuple, tuple[float, str, Optional[bytes], int]] = {}
+        self.operations: list[Operation] = []
+
+    def invoke(self, time: float, client: int, op, kind: str, value) -> None:
+        """Record an invocation.  ``op`` must be unique per client."""
+        key = (client, op)
+        if key in self._open:
+            raise HistoryError(f"duplicate invocation for {key}")
+        self._open[key] = (time, kind, value, client)
+
+    def respond(self, time: float, client: int, op, value, tag=None) -> None:
+        """Record the matching response.
+
+        For writes the recorded value is the one captured at invocation;
+        for reads it is the value returned by the storage.
+        """
+        key = (client, op)
+        if key not in self._open:
+            raise HistoryError(f"response without invocation for {key}")
+        start, kind, written, _client = self._open.pop(key)
+        recorded = written if kind == "write" else value
+        self.operations.append(Operation(client, kind, recorded, start, time, tag))
+
+    def close(self) -> None:
+        """Convert still-open invocations into open operations."""
+        for (client, _op), (start, kind, value, _c) in self._open.items():
+            self.operations.append(Operation(client, kind, value, start, None))
+        self._open.clear()
+
+    def completed(self) -> list[Operation]:
+        return [op for op in self.operations if op.complete]
+
+    def writes(self) -> list[Operation]:
+        return [op for op in self.operations if op.kind == "write"]
+
+    def reads(self) -> list[Operation]:
+        return [op for op in self.operations if op.kind == "read"]
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+    @staticmethod
+    def of(operations: Iterable[Operation]) -> "History":
+        """Build a history directly from operations (tests)."""
+        history = History()
+        history.operations = list(operations)
+        return history

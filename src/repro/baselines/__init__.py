@@ -1,0 +1,39 @@
+"""Baseline storage algorithms the paper compares against.
+
+Each baseline runs on the same simulated cluster, NIC model and client
+emulation as the core algorithm, so throughput comparisons isolate the
+*algorithmic* communication pattern:
+
+* :mod:`repro.baselines.abd` — a server-mediated multi-writer ABD
+  majority-quorum register [Attiya, Bar-Noy, Dolev; Lynch & Shvartsman].
+  Reads and writes both touch a majority, so read throughput cannot
+  scale with servers (the paper's Figure 1 / [25] argument).
+* :mod:`repro.baselines.chain` — chain replication [van Renesse &
+  Schneider].  High write throughput, but all reads are served by the
+  tail, so read throughput is flat.
+* :mod:`repro.baselines.tob` — a ring total-order-broadcast register:
+  reads and writes are both totally ordered (the modular approach the
+  paper rejects), so total throughput is ~1 op/slot.
+* :mod:`repro.baselines.naive` — read-one/write-all *without* the
+  pre-write phase: exhibits the read-inversion atomicity violation, and
+  its broadcast variant exercises the ethernet collision model.
+"""
+
+from repro.baselines.abd import AbdServer, build_abd_cluster
+from repro.baselines.chain import ChainServer, build_chain_cluster
+from repro.baselines.naive import NaiveServer, build_naive_cluster
+from repro.baselines.runtime import BaselineServerHost, PeerSend
+from repro.baselines.tob import TobServer, build_tob_cluster
+
+__all__ = [
+    "AbdServer",
+    "BaselineServerHost",
+    "ChainServer",
+    "NaiveServer",
+    "PeerSend",
+    "TobServer",
+    "build_abd_cluster",
+    "build_chain_cluster",
+    "build_naive_cluster",
+    "build_tob_cluster",
+]

@@ -1,0 +1,210 @@
+"""Server-mediated multi-writer ABD majority-quorum register.
+
+The classical quorum register [4, 24 in the paper]: every operation
+touches a majority of servers.
+
+* **write(v)**: phase 1 — the coordinator queries a majority for the
+  highest tag; phase 2 — it stores ``(max_ts + 1, id)`` with the value at
+  a majority.
+* **read()**: phase 1 — query a majority for (tag, value); phase 2 —
+  write back the highest pair to a majority (required for atomicity),
+  then return it.
+
+The client contacts one server which acts as coordinator (as in the
+paper's Figure 1 algorithm A), so the comparison with the ring algorithm
+isolates the communication pattern.  Because every read moves the value
+over ``~n/2`` server-network links and every coordinator must also
+receive ``~n`` quorum messages per operation, read throughput stays flat
+as servers are added — the behaviour the paper's introduction argues
+makes quorum systems unsuitable for throughput (see also [25]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.messages import (
+    BASE_WIRE_BYTES,
+    OP_ID_WIRE_BYTES,
+    TAG_WIRE_BYTES,
+    ClientRead,
+    ClientWrite,
+    OpId,
+    ReadAck,
+    WriteAck,
+)
+from repro.core.tags import Tag
+from repro.baselines.runtime import PeerSend, build_baseline_cluster
+from repro.runtime.interface import Reply
+
+
+@dataclass(frozen=True)
+class QueryTag:
+    """Phase-1 request: what is your highest tag (and value)?"""
+
+    key: tuple[int, int]  # (coordinator, sequence)
+    want_value: bool
+
+    def payload_bytes(self) -> int:
+        return BASE_WIRE_BYTES + OP_ID_WIRE_BYTES + 1
+
+
+@dataclass(frozen=True)
+class TagReply:
+    key: tuple[int, int]
+    tag: Tag
+    value: Optional[bytes]
+
+    def payload_bytes(self) -> int:
+        size = BASE_WIRE_BYTES + OP_ID_WIRE_BYTES + TAG_WIRE_BYTES
+        if self.value is not None:
+            size += len(self.value)
+        return size
+
+
+@dataclass(frozen=True)
+class Store:
+    """Phase-2 request: adopt (tag, value) if newer."""
+
+    key: tuple[int, int]
+    tag: Tag
+    value: bytes
+
+    def payload_bytes(self) -> int:
+        return BASE_WIRE_BYTES + OP_ID_WIRE_BYTES + TAG_WIRE_BYTES + len(self.value)
+
+
+@dataclass(frozen=True)
+class StoreAck:
+    key: tuple[int, int]
+
+    def payload_bytes(self) -> int:
+        return BASE_WIRE_BYTES + OP_ID_WIRE_BYTES
+
+
+@dataclass
+class _OpState:
+    kind: str  # "read" | "write"
+    client: int
+    op: OpId
+    phase: int
+    replies: int = 0
+    best_tag: Tag = Tag.ZERO
+    best_value: bytes = b""
+    write_value: bytes = b""
+
+
+class AbdServer:
+    """One ABD replica + coordinator (sans-I/O)."""
+
+    def __init__(self, server_id: int, num_servers: int, initial_value: bytes = b""):
+        self.server_id = server_id
+        self.num_servers = num_servers
+        self.majority = num_servers // 2 + 1
+        self.tag = Tag.ZERO
+        self.value = initial_value
+        self._seq = 0
+        self._ops: dict[tuple[int, int], _OpState] = {}
+
+    # ------------------------------------------------------------------
+    # Client side (coordinator role)
+    # ------------------------------------------------------------------
+
+    def on_client_message(self, client: int, message) -> list:
+        self._seq += 1
+        key = (self.server_id, self._seq)
+        if isinstance(message, ClientWrite):
+            state = _OpState("write", client, message.op, phase=1)
+            state.write_value = message.value
+            want_value = False
+        elif isinstance(message, ClientRead):
+            state = _OpState("read", client, message.op, phase=1)
+            want_value = True
+        else:
+            raise TypeError(f"unexpected client message {message!r}")
+        self._ops[key] = state
+        # Count ourselves as the first phase-1 reply.
+        state.replies = 1
+        state.best_tag = self.tag
+        state.best_value = self.value
+        effects = [
+            PeerSend(other, QueryTag(key, want_value))
+            for other in range(self.num_servers)
+            if other != self.server_id
+        ]
+        return effects + self._maybe_advance(key)
+
+    # ------------------------------------------------------------------
+    # Replica side
+    # ------------------------------------------------------------------
+
+    def on_server_message(self, src: int, message) -> list:
+        if isinstance(message, QueryTag):
+            value = self.value if message.want_value else None
+            return [PeerSend(src, TagReply(message.key, self.tag, value))]
+        if isinstance(message, Store):
+            self._install(message.tag, message.value)
+            return [PeerSend(src, StoreAck(message.key))]
+        if isinstance(message, TagReply):
+            state = self._ops.get(message.key)
+            if state is None or state.phase != 1:
+                return []
+            state.replies += 1
+            if message.tag > state.best_tag:
+                state.best_tag = message.tag
+                if message.value is not None:
+                    state.best_value = message.value
+            return self._maybe_advance(message.key)
+        if isinstance(message, StoreAck):
+            state = self._ops.get(message.key)
+            if state is None or state.phase != 2:
+                return []
+            state.replies += 1
+            return self._maybe_advance(message.key)
+        raise TypeError(f"unexpected server message {message!r}")
+
+    def on_server_crash(self, crashed: int) -> list:
+        return []  # failure-free comparison baseline
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _maybe_advance(self, key: tuple[int, int]) -> list:
+        state = self._ops.get(key)
+        if state is None or state.replies < self.majority:
+            return []
+        if state.phase == 1:
+            state.phase = 2
+            if state.kind == "write":
+                tag = Tag(state.best_tag.ts + 1, self.server_id)
+                value = state.write_value
+            else:
+                tag = state.best_tag
+                value = state.best_value
+            state.best_tag, state.best_value = tag, value
+            self._install(tag, value)
+            state.replies = 1  # our own phase-2 store
+            return [
+                PeerSend(other, Store(key, tag, value))
+                for other in range(self.num_servers)
+                if other != self.server_id
+            ]
+        # Phase 2 complete.
+        del self._ops[key]
+        if state.kind == "write":
+            return [Reply(state.client, WriteAck(state.op, state.best_tag))]
+        return [
+            Reply(state.client, ReadAck(state.op, state.best_value, state.best_tag))
+        ]
+
+    def _install(self, tag: Tag, value: bytes) -> None:
+        if tag > self.tag:
+            self.tag = tag
+            self.value = value
+
+
+def build_abd_cluster(num_servers: int, **kwargs):
+    """A simulated cluster whose servers run the ABD baseline."""
+    return build_baseline_cluster(AbdServer, num_servers, **kwargs)

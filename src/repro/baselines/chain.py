@@ -1,0 +1,144 @@
+"""Chain replication [28: van Renesse & Schneider, OSDI 2004].
+
+Servers form a chain ``s0 (head) -> s1 -> ... -> s_{n-1} (tail)``:
+
+* **writes** enter at the head, which orders them, and propagate down
+  the chain; the tail acknowledges the client;
+* **reads** ("queries") are served *only by the tail*.
+
+Clients contact their bound server, which forwards the request to the
+right end of the chain; replies go straight from the responsible server
+to the client.  Write throughput is high (pipelined chain, like the
+ring), but — as the paper notes in its related-work discussion — "the
+reads ... are always directed to the same single server and are
+therefore not scalable": the tail's NIC caps total read throughput at
+one server's worth regardless of ``n``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.messages import (
+    BASE_WIRE_BYTES,
+    OP_ID_WIRE_BYTES,
+    TAG_WIRE_BYTES,
+    ClientRead,
+    ClientWrite,
+    OpId,
+    ReadAck,
+    WriteAck,
+)
+from repro.core.tags import Tag
+from repro.baselines.runtime import PeerSend, build_baseline_cluster
+from repro.runtime.interface import Reply
+
+
+@dataclass(frozen=True)
+class FwdWrite:
+    """A client write forwarded to the head."""
+
+    client: int
+    op: OpId
+    value: bytes
+
+    def payload_bytes(self) -> int:
+        return BASE_WIRE_BYTES + 2 * OP_ID_WIRE_BYTES + len(self.value)
+
+
+@dataclass(frozen=True)
+class FwdRead:
+    """A client read forwarded to the tail."""
+
+    client: int
+    op: OpId
+
+    def payload_bytes(self) -> int:
+        return BASE_WIRE_BYTES + 2 * OP_ID_WIRE_BYTES
+
+
+@dataclass(frozen=True)
+class Down:
+    """An ordered update propagating down the chain."""
+
+    seq: int
+    client: int
+    op: OpId
+    value: bytes
+
+    def payload_bytes(self) -> int:
+        return (
+            BASE_WIRE_BYTES + TAG_WIRE_BYTES + 2 * OP_ID_WIRE_BYTES + len(self.value)
+        )
+
+
+class ChainServer:
+    """One chain-replication server (sans-I/O)."""
+
+    def __init__(self, server_id: int, num_servers: int, initial_value: bytes = b""):
+        self.server_id = server_id
+        self.num_servers = num_servers
+        self.value = initial_value
+        self.seq = 0
+        self._head_seq = 0
+
+    @property
+    def is_head(self) -> bool:
+        return self.server_id == 0
+
+    @property
+    def is_tail(self) -> bool:
+        return self.server_id == self.num_servers - 1
+
+    @property
+    def tail(self) -> int:
+        return self.num_servers - 1
+
+    def on_client_message(self, client: int, message) -> list:
+        if isinstance(message, ClientWrite):
+            if self.is_head:
+                return self._accept_write(client, message.op, message.value)
+            return [PeerSend(0, FwdWrite(client, message.op, message.value))]
+        if isinstance(message, ClientRead):
+            if self.is_tail:
+                return self._serve_read(client, message.op)
+            return [PeerSend(self.tail, FwdRead(client, message.op))]
+        raise TypeError(f"unexpected client message {message!r}")
+
+    def on_server_message(self, src: int, message) -> list:
+        if isinstance(message, FwdWrite):
+            return self._accept_write(message.client, message.op, message.value)
+        if isinstance(message, FwdRead):
+            return self._serve_read(message.client, message.op)
+        if isinstance(message, Down):
+            self._apply(message.seq, message.value)
+            if self.is_tail:
+                return [
+                    Reply(message.client, WriteAck(message.op, Tag(message.seq, 0)))
+                ]
+            return [PeerSend(self.server_id + 1, message)]
+        raise TypeError(f"unexpected server message {message!r}")
+
+    def on_server_crash(self, crashed: int) -> list:
+        return []  # failure-free comparison baseline
+
+    def _accept_write(self, client: int, op: OpId, value: bytes) -> list:
+        self._head_seq += 1
+        seq = self._head_seq
+        self._apply(seq, value)
+        if self.num_servers == 1:
+            return [Reply(client, WriteAck(op, Tag(seq, 0)))]
+        return [PeerSend(self.server_id + 1, Down(seq, client, op, value))]
+
+    def _serve_read(self, client: int, op: OpId) -> list:
+        return [Reply(client, ReadAck(op, self.value, Tag(self.seq, 0)))]
+
+    def _apply(self, seq: int, value: bytes) -> None:
+        if seq > self.seq:
+            self.seq = seq
+            self.value = value
+
+
+def build_chain_cluster(num_servers: int, **kwargs):
+    """A simulated cluster whose servers run chain replication."""
+    return build_baseline_cluster(ChainServer, num_servers, **kwargs)

@@ -1,0 +1,144 @@
+"""Naive read-one / write-all register — what the paper warns against.
+
+Two deliberate flaws, each demonstrating one of the paper's design
+arguments:
+
+1. **No pre-write phase.**  A write installs locally and pushes the
+   value to every other server; reads answer from the local copy
+   immediately.  This suffers the *read-inversion* anomaly of the
+   paper's Section 3: while a write is propagating, a reader at an
+   updated server returns the new value, after which a reader at a
+   not-yet-updated server returns the old one — a linearizability
+   violation that the test-suite demonstrates with the checkers.
+
+2. **Optional ethernet multicast dissemination.**  With
+   ``use_multicast=True``, writes are broadcast in one frame.  Under
+   concurrent writers, frames collide and back off exponentially
+   (Section 1: "if write messages are simply broadcast to all servers
+   ... collisions occur at the network layer; a retransmission is thus
+   necessary, in turn causing even more collisions"), collapsing write
+   throughput — the ablation benchmark measures it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.messages import (
+    BASE_WIRE_BYTES,
+    OP_ID_WIRE_BYTES,
+    TAG_WIRE_BYTES,
+    ClientRead,
+    ClientWrite,
+    OpId,
+    ReadAck,
+    WriteAck,
+)
+from repro.core.tags import Tag
+from repro.baselines.runtime import MulticastPeers, PeerSend, build_baseline_cluster
+from repro.runtime.interface import Reply
+
+
+@dataclass(frozen=True)
+class Push:
+    """Value propagation: adopt (tag, value) if newer, then ack."""
+
+    key: tuple[int, int]
+    tag: Tag
+    value: bytes
+
+    def payload_bytes(self) -> int:
+        return BASE_WIRE_BYTES + OP_ID_WIRE_BYTES + TAG_WIRE_BYTES + len(self.value)
+
+
+@dataclass(frozen=True)
+class PushAck:
+    key: tuple[int, int]
+    src: int
+
+    def payload_bytes(self) -> int:
+        return BASE_WIRE_BYTES + OP_ID_WIRE_BYTES + 4
+
+
+@dataclass
+class _WriteState:
+    client: int
+    op: OpId
+    tag: Tag
+    acks_needed: int
+
+
+class NaiveServer:
+    """Read-one/write-all without the pre-write phase (sans-I/O)."""
+
+    def __init__(
+        self,
+        server_id: int,
+        num_servers: int,
+        initial_value: bytes = b"",
+        use_multicast: bool = False,
+    ):
+        self.server_id = server_id
+        self.num_servers = num_servers
+        self.use_multicast = use_multicast
+        self.tag = Tag.ZERO
+        self.value = initial_value
+        self._seq = 0
+        self._writes: dict[tuple[int, int], _WriteState] = {}
+
+    def on_client_message(self, client: int, message) -> list:
+        if isinstance(message, ClientRead):
+            # Read-one: immediate local read (this is the flaw).
+            return [Reply(client, ReadAck(message.op, self.value, self.tag))]
+        if not isinstance(message, ClientWrite):
+            raise TypeError(f"unexpected client message {message!r}")
+        self._seq += 1
+        key = (self.server_id, self._seq)
+        tag = Tag(max(self.tag.ts, self._seq) + 1, self.server_id)
+        self._seq = tag.ts
+        self._install(tag, message.value)
+        if self.num_servers == 1:
+            return [Reply(client, WriteAck(message.op, tag))]
+        self._writes[key] = _WriteState(
+            client, message.op, tag, acks_needed=self.num_servers - 1
+        )
+        push = Push(key, tag, message.value)
+        if self.use_multicast:
+            return [MulticastPeers(push)]
+        return [
+            PeerSend(other, push)
+            for other in range(self.num_servers)
+            if other != self.server_id
+        ]
+
+    def on_server_message(self, src: int, message) -> list:
+        if isinstance(message, Push):
+            self._install(message.tag, message.value)
+            return [PeerSend(src, PushAck(message.key, self.server_id))]
+        if isinstance(message, PushAck):
+            state = self._writes.get(message.key)
+            if state is None:
+                return []
+            state.acks_needed -= 1
+            if state.acks_needed == 0:
+                del self._writes[message.key]
+                return [Reply(state.client, WriteAck(state.op, state.tag))]
+            return []
+        raise TypeError(f"unexpected server message {message!r}")
+
+    def on_server_crash(self, crashed: int) -> list:
+        return []  # failure-free demonstration baseline
+
+    def _install(self, tag: Tag, value: bytes) -> None:
+        if tag > self.tag:
+            self.tag = tag
+            self.value = value
+
+
+def build_naive_cluster(num_servers: int, use_multicast: bool = False, **kwargs):
+    """A simulated cluster whose servers run the naive register."""
+
+    def factory(server_id: int, total: int, initial_value: bytes) -> NaiveServer:
+        return NaiveServer(server_id, total, initial_value, use_multicast=use_multicast)
+
+    return build_baseline_cluster(factory, num_servers, **kwargs)

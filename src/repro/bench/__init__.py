@@ -1,0 +1,14 @@
+"""Benchmark harness: regenerates every figure of the paper's evaluation.
+
+* :mod:`repro.bench.harness` — builds a cluster, applies a workload,
+  measures throughput/latency over a warm-started window;
+* :mod:`repro.bench.experiments` — one entry per paper artifact
+  (fig1, sec4, fig3a-fig3d, fig4) plus the ablations, each returning the
+  same rows/series the paper plots;
+* :mod:`repro.bench.report` — renders paper-style tables and ASCII
+  charts.
+"""
+
+from repro.bench.harness import ThroughputPoint, run_latency_point, run_throughput_point
+
+__all__ = ["ThroughputPoint", "run_latency_point", "run_throughput_point"]

@@ -1,0 +1,31 @@
+"""Regenerate every paper figure from the command line.
+
+Usage::
+
+    python -m repro.bench            # all experiments
+    python -m repro.bench fig3a fig4 # a subset
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.experiments import EXPERIMENTS
+from repro.bench.report import render_table
+
+
+def main(argv: list[str]) -> int:
+    names = argv or list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}; available: {list(EXPERIMENTS)}")
+        return 2
+    for name in names:
+        headers, rows = EXPERIMENTS[name]()
+        print(f"\n=== {name} ===")
+        print(render_table(headers, rows))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

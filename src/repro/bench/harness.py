@@ -1,0 +1,199 @@
+"""Experiment runner: one measured point per call.
+
+``run_throughput_point`` reproduces the paper's measurement methodology:
+build the cluster, start the closed-loop load, let it warm up, measure
+over a window, and report total read/write throughput in Mbit/s (the
+paper's unit: payload bits delivered to/accepted from clients per
+second).  ``run_latency_point`` measures isolated (unloaded) operation
+latency for Figure 4.
+
+The paper averages over at least three runs; ``repeat_throughput_point``
+does the same with distinct seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.analysis.stats import LatencyStats, mbit_per_s
+from repro.core.config import ProtocolConfig
+from repro.runtime.sim_net import SimCluster
+from repro.workload.generator import LoadDriver, WorkloadSpec
+
+
+@dataclass(frozen=True)
+class ThroughputPoint:
+    """One measured (num_servers, workload) data point."""
+
+    num_servers: int
+    topology: str
+    read_ops: int
+    write_ops: int
+    read_mbps: float
+    write_mbps: float
+    read_latency: LatencyStats
+    write_latency: LatencyStats
+    window: float
+
+    @property
+    def total_mbps(self) -> float:
+        return self.read_mbps + self.write_mbps
+
+    @property
+    def read_mbps_per_server(self) -> float:
+        return self.read_mbps / self.num_servers
+
+
+def run_throughput_point(
+    num_servers: int,
+    spec: WorkloadSpec,
+    topology: str = "dual",
+    seed: int = 0,
+    warmup: float = 0.25,
+    window: float = 1.0,
+    protocol: Optional[ProtocolConfig] = None,
+) -> ThroughputPoint:
+    """Measure saturated throughput for one cluster size.
+
+    The register starts pre-populated with a value of the workload's
+    size, so read replies carry full payloads from the first request.
+    """
+    cluster = SimCluster.build(
+        num_servers=num_servers,
+        topology=topology,
+        seed=seed,
+        protocol=protocol,
+        initial_value=b"\xa5" * spec.value_size,
+    )
+    return measure_cluster(cluster, spec, warmup=warmup, window=window)
+
+
+def run_baseline_throughput_point(
+    build_cluster,
+    num_servers: int,
+    spec: WorkloadSpec,
+    topology: str = "dual",
+    seed: int = 0,
+    warmup: float = 0.25,
+    window: float = 1.0,
+    **cluster_kwargs,
+) -> ThroughputPoint:
+    """Like :func:`run_throughput_point` but for a baseline cluster
+    factory (e.g. :func:`repro.baselines.build_abd_cluster`)."""
+    cluster = build_cluster(
+        num_servers,
+        topology=topology,
+        seed=seed,
+        initial_value=b"\xa5" * spec.value_size,
+        **cluster_kwargs,
+    )
+    return measure_cluster(cluster, spec, warmup=warmup, window=window)
+
+
+def measure_cluster(
+    cluster, spec: WorkloadSpec, warmup: float, window: float
+) -> ThroughputPoint:
+    """Apply the closed-loop workload to ``cluster`` and measure one
+    warm-started window."""
+    driver = LoadDriver(cluster, spec)
+    driver.start()
+    cluster.run(until=cluster.now + warmup)
+    driver.begin_measurement()
+    cluster.run(until=cluster.now + window)
+    driver.end_measurement()
+    driver.stop()
+
+    reads = driver.stats["read"]
+    writes = driver.stats["write"]
+    return ThroughputPoint(
+        num_servers=cluster.config.num_servers,
+        topology=cluster.config.topology,
+        read_ops=reads.operations,
+        write_ops=writes.operations,
+        read_mbps=mbit_per_s(reads.payload_bytes, window),
+        write_mbps=mbit_per_s(writes.payload_bytes, window),
+        read_latency=LatencyStats.from_samples(reads.latencies),
+        write_latency=LatencyStats.from_samples(writes.latencies),
+        window=window,
+    )
+
+
+def repeat_throughput_point(
+    num_servers: int,
+    spec: WorkloadSpec,
+    runs: int = 3,
+    **kwargs,
+) -> ThroughputPoint:
+    """Average ``runs`` measurements with distinct seeds (paper: "every
+    measurement has been performed at least 3 times and the average ...
+    recorded")."""
+    points = [
+        run_throughput_point(num_servers, spec, seed=run, **kwargs)
+        for run in range(runs)
+    ]
+    first = points[0]
+    read_lat = LatencyStats.from_samples(
+        [p.read_latency.mean for p in points if p.read_ops]
+    )
+    write_lat = LatencyStats.from_samples(
+        [p.write_latency.mean for p in points if p.write_ops]
+    )
+    return ThroughputPoint(
+        num_servers=num_servers,
+        topology=first.topology,
+        read_ops=sum(p.read_ops for p in points) // runs,
+        write_ops=sum(p.write_ops for p in points) // runs,
+        read_mbps=sum(p.read_mbps for p in points) / runs,
+        write_mbps=sum(p.write_mbps for p in points) / runs,
+        read_latency=read_lat,
+        write_latency=write_lat,
+        window=first.window,
+    )
+
+
+@dataclass(frozen=True)
+class LatencyPoint:
+    """Isolated-operation latency for one cluster size (Figure 4)."""
+
+    num_servers: int
+    read_ms: float
+    write_ms: float
+
+
+def run_latency_point(
+    num_servers: int,
+    value_size: int = 4096,
+    samples: int = 20,
+    topology: str = "dual",
+    seed: int = 0,
+    protocol: Optional[ProtocolConfig] = None,
+) -> LatencyPoint:
+    """Measure unloaded read/write latency (one client, one op at a time)."""
+    cluster = SimCluster.build(
+        num_servers=num_servers, topology=topology, seed=seed, protocol=protocol
+    )
+    host = cluster.add_client(home_server=0)
+    read_samples: list[float] = []
+    write_samples: list[float] = []
+
+    def run_one(kind: str, sink: list[float], seq: int) -> None:
+        done: list = []
+        started = cluster.now
+        if kind == "read":
+            host.read(done.append)
+        else:
+            value = seq.to_bytes(8, "big") + b"\x00" * (value_size - 8)
+            host.write(value, done.append)
+        cluster.run_until(lambda: bool(done))
+        sink.append(cluster.now - started)
+
+    for i in range(samples):
+        run_one("write", write_samples, i)
+        run_one("read", read_samples, i)
+
+    return LatencyPoint(
+        num_servers=num_servers,
+        read_ms=1e3 * sum(read_samples) / len(read_samples),
+        write_ms=1e3 * sum(write_samples) / len(write_samples),
+    )

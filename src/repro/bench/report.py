@@ -1,0 +1,67 @@
+"""Paper-style rendering of experiment results.
+
+Renders the series behind each figure as aligned text tables plus a
+crude ASCII chart, so ``python -m repro.bench`` output can be compared
+to the paper's plots at a glance.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Align ``rows`` under ``headers`` (numbers formatted to 1 decimal)."""
+    formatted = [
+        [f"{cell:.1f}" if isinstance(cell, float) else str(cell) for cell in row]
+        for row in rows
+    ]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in formatted)) if formatted else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.rjust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in formatted:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_chart(
+    xs: Sequence[float],
+    series: dict[str, Sequence[float]],
+    width: int = 50,
+    height: int = 12,
+    y_label: str = "",
+) -> str:
+    """A minimal ASCII scatter of one or more series against ``xs``."""
+    all_values = [v for values in series.values() for v in values]
+    if not all_values:
+        return "(no data)"
+    y_max = max(all_values) * 1.05 or 1.0
+    x_min, x_max = min(xs), max(xs)
+    span = (x_max - x_min) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    markers = "o*x+#@"
+    for index, (name, values) in enumerate(sorted(series.items())):
+        marker = markers[index % len(markers)]
+        for x, y in zip(xs, values):
+            col = int((x - x_min) / span * (width - 1))
+            row = height - 1 - int(y / y_max * (height - 1))
+            grid[max(0, min(height - 1, row))][col] = marker
+    lines = [f"{y_max:8.1f} |" + "".join(grid[0])]
+    for row in grid[1:]:
+        lines.append(" " * 8 + " |" + "".join(row))
+    lines.append(" " * 8 + " +" + "-" * width)
+    lines.append(
+        " " * 10 + f"{x_min:<10g}{'servers':^{max(0, width - 20)}}{x_max:>10g}"
+    )
+    legend = "   ".join(
+        f"{markers[i % len(markers)]}={name}" for i, name in enumerate(sorted(series))
+    )
+    if y_label:
+        lines.insert(0, f"  {y_label}")
+    lines.append("  " + legend)
+    return "\n".join(lines)

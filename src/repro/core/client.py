@@ -1,0 +1,157 @@
+"""The client state machine (sans-I/O).
+
+Per the paper: "Clients send Read and Write requests to any server in S.
+If the server contacted by the client crashes, the client re-issues the
+request to another server.  Clients do not directly detect the failure of
+a server, but when their request times out, they simply re-send it to
+another server."
+
+A :class:`ClientProtocol` performs one operation at a time (registers are
+sequential objects); the workload layer runs many client instances to
+generate load.  Retries reuse the same :class:`~repro.core.messages.OpId`
+so that servers can deduplicate a write whose ack was lost in a crash.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import ProtocolConfig
+from repro.core.messages import ClientRead, ClientWrite, OpId, ReadAck, WriteAck
+from repro.errors import ProtocolError
+from repro.runtime.interface import (
+    CancelTimer,
+    Complete,
+    Effect,
+    Fail,
+    SendTo,
+    SetTimer,
+)
+
+
+class ClientProtocol:
+    """One logical storage client.
+
+    Parameters
+    ----------
+    client_id:
+        Globally unique client identifier.
+    servers:
+        Server ids the client may contact, in preference order; the first
+        is its "home" server (the paper binds client machines to servers),
+        and retries walk the list round-robin.
+    config:
+        Protocol tunables (timeout, retry budget).
+    """
+
+    def __init__(
+        self,
+        client_id: int,
+        servers: list[int],
+        config: Optional[ProtocolConfig] = None,
+    ):
+        if not servers:
+            raise ProtocolError("a client needs at least one server")
+        self.client_id = client_id
+        self.servers = list(servers)
+        self.config = (config or ProtocolConfig()).validate()
+
+        self._seq = 0
+        self._server_index = 0
+        self._outstanding: Optional[OpId] = None
+        self._kind: Optional[str] = None
+        self._message = None
+        self._retries = 0
+
+        # Statistics.
+        self.stats_ops_completed = 0
+        self.stats_retries = 0
+
+    @property
+    def busy(self) -> bool:
+        """Whether an operation is in flight."""
+        return self._outstanding is not None
+
+    @property
+    def current_server(self) -> int:
+        return self.servers[self._server_index % len(self.servers)]
+
+    # ------------------------------------------------------------------
+    # Invocations
+    # ------------------------------------------------------------------
+
+    def start_write(self, value: bytes) -> tuple[OpId, list[Effect]]:
+        """Begin a write; returns the op id and the effects to execute."""
+        op = self._begin("write")
+        self._message = ClientWrite(op, value)
+        return op, self._issue()
+
+    def start_read(self) -> tuple[OpId, list[Effect]]:
+        """Begin a read; returns the op id and the effects to execute."""
+        op = self._begin("read")
+        self._message = ClientRead(op)
+        return op, self._issue()
+
+    # ------------------------------------------------------------------
+    # Inputs
+    # ------------------------------------------------------------------
+
+    def on_reply(self, message) -> list[Effect]:
+        """Handle a server reply (ack for the outstanding operation)."""
+        if self._outstanding is None or message.op != self._outstanding:
+            return []  # stale reply from a retried server; ignore
+        op = self._outstanding
+        kind = self._kind
+        self._outstanding = None
+        self._kind = None
+        self._message = None
+        self._retries = 0
+        self.stats_ops_completed += 1
+        if isinstance(message, WriteAck):
+            return [CancelTimer(op.seq), Complete(op, kind="write", tag=message.tag)]
+        if isinstance(message, ReadAck):
+            return [
+                CancelTimer(op.seq),
+                Complete(op, kind="read", value=message.value, tag=message.tag),
+            ]
+        raise ProtocolError(f"unexpected reply: {message!r}")
+
+    def on_timeout(self, timer_id: int) -> list[Effect]:
+        """Retry the outstanding operation at the next server."""
+        if self._outstanding is None or timer_id != self._outstanding.seq:
+            return []  # stale timer
+        if self._retries >= self.config.client_max_retries:
+            op = self._outstanding
+            self._outstanding = None
+            self._message = None
+            return [Fail(op, reason="retries exhausted")]
+        self._retries += 1
+        self.stats_retries += 1
+        self._server_index += 1
+        return self._issue()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _begin(self, kind: str) -> OpId:
+        if self._outstanding is not None:
+            raise ProtocolError(
+                f"client {self.client_id} already has {self._outstanding} in flight"
+            )
+        op = OpId(self.client_id, self._seq)
+        self._seq += 1
+        self._outstanding = op
+        self._kind = kind
+        self._retries = 0
+        return op
+
+    def _issue(self) -> list[Effect]:
+        assert self._outstanding is not None
+        return [
+            SendTo(self.current_server, self._message),
+            SetTimer(self._outstanding.seq, self.config.client_timeout),
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ClientProtocol {self.client_id} outstanding={self._outstanding}>"

@@ -1,0 +1,63 @@
+"""Protocol configuration.
+
+All tunables of the core algorithm live here, including the switches the
+ablation benchmarks flip:
+
+* ``piggyback_commits`` — Section 4.2's optimisation: commit tags ride on
+  the next outgoing ring message instead of consuming their own wire
+  slot.  Turning it off roughly halves write throughput (ABL4).
+* ``fair_forwarding`` — the nb_msg fairness scheduler.  Turning it off
+  makes each server prioritise its own clients' writes, which starves
+  forwarding under load and lets write latencies diverge (ABL4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ProtocolConfig:
+    """Tunables for :class:`~repro.core.server.ServerProtocol` and
+    :class:`~repro.core.client.ClientProtocol`.
+
+    Attributes
+    ----------
+    piggyback_commits:
+        Attach queued commit tags to outgoing ring messages (paper
+        Section 4.2).  When ``False`` every commit is a standalone
+        message, doubling per-write ring traffic.
+    max_piggybacked_commits:
+        Cap on commit tags per carrier message (bounds message growth
+        under bursts).
+    fair_forwarding:
+        Use the nb_msg fairness rule (pseudocode lines 53–75).  When
+        ``False`` a server always prefers its own write queue, the
+        behaviour the paper warns would prevent ring progress.
+    client_timeout:
+        Seconds a client waits for a reply before retrying its request at
+        another server.  Must exceed the worst-case write latency in the
+        deployment; the paper's synchronous-cluster assumption makes such
+        a bound known.
+    client_max_retries:
+        Retries before the client raises
+        :class:`~repro.errors.StorageUnavailableError`.
+    """
+
+    piggyback_commits: bool = True
+    max_piggybacked_commits: int = 64
+    fair_forwarding: bool = True
+    client_timeout: float = 5.0
+    client_max_retries: int = 16
+
+    def validate(self) -> "ProtocolConfig":
+        """Raise :class:`ConfigurationError` on nonsensical settings."""
+        if self.max_piggybacked_commits < 1:
+            raise ConfigurationError("max_piggybacked_commits must be >= 1")
+        if self.client_timeout <= 0:
+            raise ConfigurationError("client_timeout must be > 0")
+        if self.client_max_retries < 0:
+            raise ConfigurationError("client_max_retries must be >= 0")
+        return self

@@ -1,0 +1,248 @@
+"""Protocol messages and their wire-size accounting.
+
+Two message families exist:
+
+* **client messages** — ``ClientWrite``/``ClientRead`` requests and their
+  ``WriteAck``/``ReadAck`` replies, exchanged between clients and the one
+  server they contact;
+* **ring messages** — ``PreWrite`` (the value-carrying first phase),
+  ``Commit`` (the second phase; carries only tags because every server
+  already stored the value during the pre-write, which is the
+  "piggybacked write messages" optimisation of Section 4.2),
+  ``StateSync`` (predecessor-to-new-successor state push after a crash,
+  pseudocode line 88) and the ``ReconfigToken``/``ReconfigCommit`` pair
+  that merges server state after a membership change.
+
+Every ring message carries a ``commits`` tuple: commit tags piggybacked on
+whatever message happens to be leaving next (Section 4.2's key throughput
+optimisation — commits almost never consume their own wire slot).
+
+``payload_size`` returns the number of application bytes each message
+occupies; the simulator charges NICs with these sizes, and the asyncio
+codec produces encodings of exactly these sizes (checked by tests), so the
+simulator and the real transport agree on cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.core.tags import Tag
+
+#: Bytes charged per tag on the wire (8-byte ts + 4-byte server id).
+TAG_WIRE_BYTES = 12
+
+#: Fixed header charged per client-op identification (client id + seq).
+OP_ID_WIRE_BYTES = 12
+
+#: Small fixed cost for message type/bookkeeping fields.
+BASE_WIRE_BYTES = 8
+
+
+@dataclass(frozen=True)
+class OpId:
+    """Globally unique client operation identifier (client id, sequence)."""
+
+    client: int
+    seq: int
+
+    def __repr__(self) -> str:
+        return f"Op({self.client}.{self.seq})"
+
+
+# ----------------------------------------------------------------------
+# Client <-> server messages
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ClientWrite:
+    """``<write, v>`` from a client to any server (pseudocode line 2)."""
+
+    op: OpId
+    value: bytes
+
+
+@dataclass(frozen=True)
+class WriteAck:
+    """``<write_ack>`` completing a write (pseudocode line 50).
+
+    ``tag`` is the tag the write committed under; it is ``None`` only on
+    the deduplicated-retry path where the original tag is no longer
+    known.  Carrying it lets the analysis layer run the fast tag-based
+    atomicity check on benchmark-sized histories.
+    """
+
+    op: OpId
+    tag: Optional[Tag] = None
+
+
+@dataclass(frozen=True)
+class ClientRead:
+    """``<read>`` from a client to any server (pseudocode line 7)."""
+
+    op: OpId
+
+
+@dataclass(frozen=True)
+class ReadAck:
+    """``<read_ack, v>`` completing a read (pseudocode line 78/82)."""
+
+    op: OpId
+    value: bytes
+    tag: Tag
+
+
+# ----------------------------------------------------------------------
+# Ring messages (server -> successor only)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PreWrite:
+    """First phase of a write: disseminates (tag, value) around the ring.
+
+    ``origin`` is the initiating server's id (== ``tag.server_id`` for
+    normal writes).  ``op`` identifies the client operation so that every
+    server can deduplicate retried client writes.
+    """
+
+    tag: Tag
+    value: bytes
+    op: OpId
+    commits: tuple[Tag, ...] = ()
+
+    @property
+    def origin(self) -> int:
+        return self.tag.server_id
+
+
+@dataclass(frozen=True)
+class Commit:
+    """Second phase: commit notifications, by tag only.
+
+    A standalone ``Commit`` is sent when commit tags are queued but no
+    other ring message is about to leave; otherwise the tags ride in the
+    ``commits`` field of another message.
+    """
+
+    commits: tuple[Tag, ...]
+
+
+@dataclass(frozen=True)
+class StateSync:
+    """Predecessor pushes its full register state to a new successor
+    after splicing the ring around a crashed server (pseudocode line 88).
+    """
+
+    tag: Tag
+    value: bytes
+    commits: tuple[Tag, ...] = ()
+
+
+@dataclass(frozen=True)
+class PendingEntry:
+    """One pending (uncommitted) write carried by reconfiguration messages."""
+
+    tag: Tag
+    value: bytes
+    op: OpId
+
+
+@dataclass(frozen=True)
+class ReconfigToken:
+    """State-merge token circulated once around the new ring after a crash.
+
+    The coordinator (the crashed server's alive predecessor) initiates the
+    token; every server merges its own state into it and forwards it.
+    ``nonce`` uniquely identifies one reconfiguration attempt so that a
+    token orphaned by its coordinator's own crash dies after one circle
+    instead of circulating forever.
+    """
+
+    nonce: int
+    epoch: int
+    coordinator: int
+    dead: tuple[int, ...]
+    tag: Tag
+    value: bytes
+    pending: tuple[PendingEntry, ...]
+    completed_ops: tuple[tuple[int, int], ...]  # (client, max completed seq)
+
+
+@dataclass(frozen=True)
+class ReconfigCommit:
+    """Second ring traversal: install the merged state and resume."""
+
+    nonce: int
+    epoch: int
+    coordinator: int
+    dead: tuple[int, ...]
+    tag: Tag
+    value: bytes
+    pending: tuple[PendingEntry, ...]
+    completed_ops: tuple[tuple[int, int], ...]
+
+
+RingMessage = Union[PreWrite, Commit, StateSync, ReconfigToken, ReconfigCommit]
+ClientMessage = Union[ClientWrite, ClientRead]
+ServerReply = Union[WriteAck, ReadAck]
+Message = Union[RingMessage, ClientMessage, ServerReply]
+
+
+def payload_size(message: Message) -> int:
+    """Application-level payload bytes of ``message``.
+
+    The simulator charges NICs with this size (plus the wire model's
+    framing); the binary codec produces encodings of this exact size, so
+    simulated and real transports agree.
+    """
+    if isinstance(message, ClientWrite):
+        return BASE_WIRE_BYTES + OP_ID_WIRE_BYTES + len(message.value)
+    if isinstance(message, WriteAck):
+        return BASE_WIRE_BYTES + OP_ID_WIRE_BYTES + TAG_WIRE_BYTES
+    if isinstance(message, ClientRead):
+        return BASE_WIRE_BYTES + OP_ID_WIRE_BYTES
+    if isinstance(message, ReadAck):
+        return BASE_WIRE_BYTES + OP_ID_WIRE_BYTES + TAG_WIRE_BYTES + len(message.value)
+    if isinstance(message, PreWrite):
+        return (
+            BASE_WIRE_BYTES
+            + TAG_WIRE_BYTES
+            + OP_ID_WIRE_BYTES
+            + 4  # piggybacked-commit count
+            + len(message.value)
+            + TAG_WIRE_BYTES * len(message.commits)
+        )
+    if isinstance(message, Commit):
+        return BASE_WIRE_BYTES + TAG_WIRE_BYTES * len(message.commits)
+    if isinstance(message, StateSync):
+        return (
+            BASE_WIRE_BYTES
+            + TAG_WIRE_BYTES
+            + 4  # piggybacked-commit count
+            + len(message.value)
+            + TAG_WIRE_BYTES * len(message.commits)
+        )
+    if isinstance(message, (ReconfigToken, ReconfigCommit)):
+        pending_bytes = sum(
+            TAG_WIRE_BYTES + OP_ID_WIRE_BYTES + 4 + len(entry.value)
+            for entry in message.pending
+        )
+        return (
+            BASE_WIRE_BYTES
+            + 8  # nonce
+            + 8  # epoch
+            + 4  # coordinator
+            + 4  # dead count
+            + 4 * len(message.dead)
+            + TAG_WIRE_BYTES
+            + 4  # value length
+            + len(message.value)
+            + 4  # pending count
+            + pending_bytes
+            + 4  # completed-ops count
+            + OP_ID_WIRE_BYTES * len(message.completed_ops)
+        )
+    raise TypeError(f"unknown message type: {type(message).__name__}")

@@ -1,0 +1,98 @@
+"""Ring membership views.
+
+A :class:`RingView` is an immutable snapshot of the ring: the initial
+member order plus the set of members known to have crashed.  Successor and
+predecessor walk the *initial* order, skipping dead members — exactly the
+paper's splice rule (``pnext = pj+1`` on the crash of ``pj``, line 87).
+
+The view also defines the **adopter** of a dead server: its closest alive
+predecessor.  The adopter terminates ring messages originated by the dead
+server and answers for its orphaned in-flight writes during
+reconfiguration.  Because "closest alive predecessor" is computed from the
+monotonically growing dead set, adoptership can only transfer *towards*
+the crash detector and two alive servers never simultaneously consider
+themselves adopters of the same dead server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RingView:
+    """Immutable ring membership snapshot."""
+
+    members: tuple[int, ...]
+    dead: frozenset[int] = field(default_factory=frozenset)
+
+    @staticmethod
+    def initial(num_servers: int) -> "RingView":
+        """The starting view: servers ``0 .. num_servers-1``, none dead."""
+        if num_servers < 1:
+            raise ConfigurationError("a ring needs at least one server")
+        return RingView(tuple(range(num_servers)))
+
+    def __post_init__(self) -> None:
+        if len(set(self.members)) != len(self.members):
+            raise ConfigurationError(f"duplicate ring members: {self.members}")
+        unknown = self.dead - set(self.members)
+        if unknown:
+            raise ConfigurationError(f"dead ids not in ring: {sorted(unknown)}")
+        if not self.alive():
+            raise ConfigurationError("a ring view must contain at least one alive server")
+
+    def alive(self) -> list[int]:
+        """Alive members in initial ring order."""
+        return [m for m in self.members if m not in self.dead]
+
+    @property
+    def num_alive(self) -> int:
+        return len(self.members) - len(self.dead)
+
+    @property
+    def epoch(self) -> int:
+        """Views are totally ordered by the number of known crashes."""
+        return len(self.dead)
+
+    def is_alive(self, server_id: int) -> bool:
+        return server_id in set(self.members) and server_id not in self.dead
+
+    def successor(self, of: int) -> int:
+        """Next alive server after ``of`` in ring order (may be ``of``
+        itself when it is the only survivor)."""
+        return self._walk(of, +1)
+
+    def predecessor(self, of: int) -> int:
+        """Previous alive server before ``of`` in ring order."""
+        return self._walk(of, -1)
+
+    def adopter(self, dead_id: int) -> int:
+        """The alive server responsible for a dead server's orphaned
+        messages: its closest alive predecessor."""
+        if dead_id not in self.dead:
+            raise ConfigurationError(f"server {dead_id} is not dead in this view")
+        return self._walk(dead_id, -1)
+
+    def without(self, dead_id: int) -> "RingView":
+        """A new view with ``dead_id`` marked crashed."""
+        if dead_id not in set(self.members):
+            raise ConfigurationError(f"unknown server {dead_id}")
+        return RingView(self.members, self.dead | {dead_id})
+
+    def with_dead(self, dead_ids) -> "RingView":
+        """A new view with every id in ``dead_ids`` marked crashed."""
+        return RingView(self.members, self.dead | frozenset(dead_ids))
+
+    def _walk(self, start: int, step: int) -> int:
+        if start not in set(self.members):
+            raise ConfigurationError(f"unknown server {start}")
+        index = self.members.index(start)
+        n = len(self.members)
+        for offset in range(1, n + 1):
+            candidate = self.members[(index + step * offset) % n]
+            if candidate not in self.dead:
+                return candidate
+        raise ConfigurationError("no alive server in view")  # pragma: no cover

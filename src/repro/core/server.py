@@ -1,0 +1,678 @@
+"""The server state machine of the atomic storage algorithm.
+
+This module implements the paper's pseudocode lines 11–93 as a sans-I/O
+state machine, plus the crash-reconfiguration protocol the paper defers to
+its full version.  The mapping to the pseudocode:
+
+====================================  =======================================
+Pseudocode                            Here
+====================================  =======================================
+lines 11–17 (initialisation)          :meth:`ServerProtocol.__init__`
+lines 18–20 (receive <write> req)     :meth:`_on_client_write`
+lines 21–28 (procedure write)         :meth:`_initiate_write`
+lines 29–40 (receive <pre_write>)     :meth:`_on_pre_write`
+lines 41–52 (receive <write>)         :meth:`_process_commit`
+lines 53–75 (task queue handler)      :meth:`next_ring_message` +
+                                      :class:`~repro.core.fairness.FairScheduler`
+lines 76–84 (receive <read>)          :meth:`_on_client_read`
+lines 85–93 (upon pj crashed)         :meth:`on_server_crash` + reconfig
+====================================  =======================================
+
+Differences from the published pseudocode (deliberate fixes or stated
+optimisations; see DESIGN.md section 5):
+
+* **Commit messages carry tags only, and piggyback.**  Every server
+  stores a pending write's *value* when it forwards the pre-write, so the
+  second-phase ("write") message does not need to repeat the value;
+  commit tags ride on the next outgoing ring message (Section 4.2's
+  "write messages are piggybacked ... without the need for explicit
+  acknowledgements").
+* **Staleness-terminated commits.**  A commit tag circulates until it
+  reaches the first server that already processed it (tracked by a
+  per-origin committed-timestamp watermark).  In the failure-free case
+  that is one full circle plus one hop; the origin acks its client when
+  the tag comes back around.  Unlike terminate-at-origin, this rule stays
+  correct when a commit is re-issued by a *different* server during crash
+  recovery.
+* **Duplicate filtering.**  The pseudocode re-adds ``msg.tag`` to the
+  pending set whenever a message is forwarded (line 71), which would
+  wedge reads if a crash-retransmitted duplicate were forwarded after its
+  commit.  The watermark plus the pending/queued tag sets drop every
+  duplicate.
+* **Epoch reconfiguration instead of bare retransmission.**  On a crash,
+  the detector (the crashed server's alive predecessor) pushes its state
+  to the new successor (pseudocode line 88), then circulates a
+  state-merge token around the new ring followed by a commit of the
+  merged state, and finally re-commits every surviving pending write.
+  This subsumes the pseudocode's retransmission (lines 89–91) and
+  additionally resolves writes whose origin crashed — otherwise a read
+  could block forever on an orphaned pre-write — and redistributes values
+  for pre-writes that died mid-ring.
+* **Client-operation deduplication.**  Pre-writes carry the client
+  operation id; servers remember the highest completed sequence number
+  per client (merged during reconfiguration), so a client retrying a
+  write whose ack was lost gets an ack instead of a second write.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.core.config import ProtocolConfig
+from repro.core.fairness import INITIATE_OWN, FairScheduler
+from repro.core.messages import (
+    ClientMessage,
+    ClientRead,
+    ClientWrite,
+    Commit,
+    OpId,
+    PendingEntry,
+    PreWrite,
+    ReadAck,
+    ReconfigCommit,
+    ReconfigToken,
+    RingMessage,
+    StateSync,
+    WriteAck,
+)
+from repro.core.ring import RingView
+from repro.core.tags import Tag, max_tag
+from repro.errors import ProtocolError
+from repro.runtime.interface import Reply
+
+
+class ServerProtocol:
+    """A single server of the atomic storage ring (sans-I/O).
+
+    Runtime contract:
+
+    * deliver inbound traffic via :meth:`on_client_message`,
+      :meth:`on_ring_message` and :meth:`on_server_crash`; each returns
+      the :class:`~repro.runtime.interface.Reply` effects to send to
+      clients;
+    * whenever the outgoing ring link is free and :attr:`has_ring_work`
+      is true, pull one message with :meth:`next_ring_message` and send
+      it to :attr:`successor`; afterwards collect replies produced as a
+      side effect with :meth:`drain_replies`.
+    """
+
+    def __init__(
+        self,
+        server_id: int,
+        ring: RingView,
+        config: Optional[ProtocolConfig] = None,
+        initial_value: bytes = b"",
+    ):
+        if server_id not in set(ring.members):
+            raise ProtocolError(f"server {server_id} not a ring member")
+        self.server_id = server_id
+        self.ring = ring
+        self.config = (config or ProtocolConfig()).validate()
+
+        # Register state (pseudocode line 12): current value and its tag.
+        self.value: bytes = initial_value
+        self.tag: Tag = Tag.ZERO
+
+        # pending_write_set (line 13): tag -> PendingEntry.  The value is
+        # kept so commits can be tag-only and reconfiguration can
+        # redistribute values.
+        self.pending: dict[Tag, PendingEntry] = {}
+
+        # write_queue (line 15): client writes not yet initiated.
+        self.write_queue: deque[tuple[OpId, bytes, int]] = deque()
+
+        # forward_queue + nb_msg (lines 14, 16): the fairness scheduler.
+        self.fair: FairScheduler[PreWrite] = FairScheduler(
+            server_id, fair=self.config.fair_forwarding
+        )
+        #: Tags currently sitting in the forward queue (duplicate filter).
+        self.queued_tags: set[Tag] = set()
+
+        # Commit tags awaiting transmission to the successor.
+        self.commit_queue: deque[Tag] = deque()
+
+        # Highest committed timestamp per origin: the duplicate filter
+        # and the termination rule for circulating commits.
+        self.watermark: dict[int, int] = {}
+
+        # Client-op bookkeeping.
+        self.completed_ops: dict[int, int] = {}  # client -> max committed seq
+        self.op_index: dict[OpId, Tag] = {}  # in-flight client write -> tag
+        self.ack_waiters: dict[Tag, list[tuple[int, OpId]]] = {}
+
+        # Read waiters (line 81): (threshold tag, client, op).
+        self.read_waiters: list[tuple[Tag, int, OpId]] = []
+
+        # Reconfiguration state.
+        self.paused = False
+        self.control_queue: deque[RingMessage] = deque()
+        self.deferred_reads: deque[tuple[int, ClientRead]] = deque()
+        self._reconfig_counter = 0
+        self._seen_reconfigs: set[tuple[int, int]] = set()  # (coordinator, nonce)
+
+        self._replies: list[Reply] = []
+
+        # Statistics (read by the benchmark harness and tests).
+        self.stats_reads_served = 0
+        self.stats_reads_waited = 0
+        self.stats_writes_initiated = 0
+        self.stats_forwards = 0
+        self.stats_commits_processed = 0
+        self.stats_duplicates_dropped = 0
+        self.stats_reconfigs = 0
+        self.stats_commit_unknown_tag = 0
+
+    # ------------------------------------------------------------------
+    # Public protocol surface
+    # ------------------------------------------------------------------
+
+    @property
+    def successor(self) -> int:
+        """Current ring successor (pseudocode ``pnext``)."""
+        return self.ring.successor(self.server_id)
+
+    @property
+    def alone(self) -> bool:
+        """True when this server is the only survivor."""
+        return self.ring.num_alive == 1
+
+    def on_client_message(self, client: int, message: ClientMessage) -> list[Reply]:
+        """Handle a client request (pseudocode lines 18–20 and 76–84)."""
+        if isinstance(message, ClientWrite):
+            self._on_client_write(client, message)
+        elif isinstance(message, ClientRead):
+            self._on_client_read(client, message)
+        else:
+            raise ProtocolError(f"unexpected client message: {message!r}")
+        return self.drain_replies()
+
+    def on_ring_message(self, message: RingMessage) -> list[Reply]:
+        """Handle a message from the ring predecessor."""
+        if isinstance(message, PreWrite):
+            self._process_commits(message.commits)
+            self._on_pre_write(message)
+        elif isinstance(message, Commit):
+            self._process_commits(message.commits)
+        elif isinstance(message, StateSync):
+            self._process_commits(message.commits)
+            self._on_state_sync(message)
+        elif isinstance(message, ReconfigToken):
+            self._on_reconfig_token(message)
+        elif isinstance(message, ReconfigCommit):
+            self._on_reconfig_commit(message)
+        else:
+            raise ProtocolError(f"unexpected ring message: {message!r}")
+        return self.drain_replies()
+
+    def on_server_crash(self, crashed: int) -> list[Reply]:
+        """Perfect-failure-detector notification (pseudocode lines 85–93)."""
+        if crashed == self.server_id:
+            raise ProtocolError("a server cannot be notified of its own crash")
+        if crashed in self.ring.dead or crashed not in set(self.ring.members):
+            return self.drain_replies()
+
+        was_successor = self.successor == crashed
+        self.ring = self.ring.without(crashed)
+        self.stats_reconfigs += 1
+
+        if self.alone:
+            self._resolve_alone()
+            return self.drain_replies()
+
+        if was_successor:
+            # We are the detector: splice the ring (line 87), push our
+            # committed state to the new successor (line 88), then run
+            # the state-merge reconfiguration, which subsumes the
+            # pending-pre-write retransmission of lines 89-91.
+            self.control_queue.append(StateSync(self.tag, self.value))
+            self._start_reconfig()
+        else:
+            # Await the coordinator's token; suspend normal ring traffic.
+            self.paused = True
+        return self.drain_replies()
+
+    @property
+    def has_ring_work(self) -> bool:
+        """Whether :meth:`next_ring_message` would return a message."""
+        if self.control_queue:
+            return True
+        if self.paused or self.alone:
+            return False
+        return bool(self.commit_queue or self.write_queue or not self.fair.empty)
+
+    def next_ring_message(self) -> Optional[RingMessage]:
+        """Pull the next message for the successor (the ``queue handler``
+        task, lines 53–75, plus commit piggybacking)."""
+        if self.control_queue:
+            return self._attach_commits(self.control_queue.popleft())
+        if self.paused or self.alone:
+            return None
+
+        choice = self.fair.choose(want_initiate=bool(self.write_queue))
+        if choice == INITIATE_OWN:
+            message = self._initiate_write()
+            if message is not None:
+                return self._attach_commits(message)
+            if self.write_queue or not self.fair.empty:
+                # The popped write was absorbed (duplicate); keep going.
+                return self.next_ring_message()
+        elif choice is not None:
+            _origin, prewrite = choice
+            self.queued_tags.discard(prewrite.tag)
+            if self._is_stale(prewrite.tag):
+                # Committed while queued (possible around reconfigs).
+                self.stats_duplicates_dropped += 1
+                return self.next_ring_message()
+            # Line 71: entering pending at *forward* time keeps reads
+            # immediate for as long as possible; by the time any commit
+            # for this tag can exist, we have forwarded the pre-write.
+            self.pending[prewrite.tag] = PendingEntry(
+                prewrite.tag, prewrite.value, prewrite.op
+            )
+            self.op_index[prewrite.op] = prewrite.tag
+            self.stats_forwards += 1
+            return self._attach_commits(
+                PreWrite(prewrite.tag, prewrite.value, prewrite.op)
+            )
+
+        if self.commit_queue:
+            return self._attach_commits(Commit(()))
+        return None
+
+    def drain_replies(self) -> list[Reply]:
+        """Replies produced since the last drain."""
+        replies, self._replies = self._replies, []
+        return replies
+
+    # ------------------------------------------------------------------
+    # Client requests
+    # ------------------------------------------------------------------
+
+    def _on_client_write(self, client: int, message: ClientWrite) -> None:
+        op = message.op
+        # Duplicate of a committed write (retry after a lost ack).
+        if self.completed_ops.get(op.client, -1) >= op.seq:
+            self._reply(client, WriteAck(op))
+            return
+        # Duplicate of an in-flight write: join its ack waiters.
+        tag = self.op_index.get(op)
+        if tag is not None:
+            self.ack_waiters.setdefault(tag, []).append((client, op))
+            return
+        if self.alone and not self.paused:
+            self._commit_locally(op, message.value, client)
+            return
+        self.write_queue.append((op, message.value, client))
+
+    def _on_client_read(self, client: int, message: ClientRead) -> None:
+        if self.paused:
+            # During reconfiguration the pending set is in flux; defer.
+            self.deferred_reads.append((client, message))
+            return
+        if not self.pending:
+            # Lines 77-78: reads are local and immediate when there is no
+            # write in progress.
+            self.stats_reads_served += 1
+            self._reply(client, ReadAck(message.op, self.value, self.tag))
+            return
+        # Lines 80-82: wait until the highest currently-pending write has
+        # committed, then answer with the (current) committed value.
+        threshold = max_tag(self.pending.keys())
+        self.stats_reads_waited += 1
+        self.read_waiters.append((threshold, client, message.op))
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+
+    def _initiate_write(self) -> Optional[PreWrite]:
+        """Pseudocode lines 21–28."""
+        if not self.write_queue:
+            return None
+        op, value, client = self.write_queue.popleft()
+        # A queued duplicate may have completed meanwhile.
+        if self.completed_ops.get(op.client, -1) >= op.seq:
+            self._reply(client, WriteAck(op))
+            return None
+        if op in self.op_index:
+            self.ack_waiters.setdefault(self.op_index[op], []).append((client, op))
+            return None
+        if self.alone:
+            self._commit_locally(op, value, client)
+            return None
+
+        highest = max_tag(self.pending.keys())
+        new_tag = Tag(max(highest.ts, self.tag.ts) + 1, self.server_id)
+        self.pending[new_tag] = PendingEntry(new_tag, value, op)
+        self.op_index[op] = new_tag
+        self.ack_waiters.setdefault(new_tag, []).append((client, op))
+        self.fair.note_initiated()
+        self.stats_writes_initiated += 1
+        return PreWrite(new_tag, value, op)
+
+    def _commit_locally(self, op: OpId, value: bytes, client: int) -> None:
+        """Single-survivor fast path: the write is trivially everywhere."""
+        new_tag = Tag(max(max_tag(self.pending.keys()).ts, self.tag.ts) + 1, self.server_id)
+        self.watermark[self.server_id] = max(
+            self.watermark.get(self.server_id, 0), new_tag.ts
+        )
+        self._install(new_tag, value)
+        self._record_completed(op)
+        self.stats_writes_initiated += 1
+        self._reply(client, WriteAck(op, new_tag))
+        self._wake_readers()
+
+    def _on_pre_write(self, message: PreWrite) -> None:
+        tag = message.tag
+        origin = tag.server_id
+        if origin == self.server_id:
+            # Lines 32-38: our own pre-write completed the circle; every
+            # server now stores the value, so install it and start the
+            # commit phase.  The client is acked when the commit returns.
+            if tag not in self.pending:
+                self.stats_duplicates_dropped += 1
+                return
+            entry = self.pending.pop(tag)
+            self._install(tag, entry.value)
+            self._record_completed(entry.op)
+            self.op_index.pop(entry.op, None)
+            self.commit_queue.append(tag)
+            self._wake_readers()
+            return
+        if origin in self.ring.dead and self.ring.adopter(origin) == self.server_id:
+            # The origin died and we are its adopter: act as the origin.
+            # The pre-write reaching us means every surviving server on
+            # the path stored the value; the commit distributes the
+            # decision (and dies by staleness after one circle).
+            if self._is_stale(tag):
+                self.stats_duplicates_dropped += 1
+                return
+            self.pending.pop(tag, None)
+            self._install(tag, message.value)
+            self._record_completed(message.op)
+            self.op_index.pop(message.op, None)
+            self.commit_queue.append(tag)
+            self._wake_readers()
+            return
+        # Lines 30-31: enqueue for (fair) forwarding.
+        if self._is_stale(tag) or tag in self.pending or tag in self.queued_tags:
+            self.stats_duplicates_dropped += 1
+            return
+        self.queued_tags.add(tag)
+        self.op_index[message.op] = tag
+        self.fair.enqueue(origin, PreWrite(tag, message.value, message.op))
+
+    def _process_commits(self, tags: tuple[Tag, ...]) -> None:
+        for tag in tags:
+            self._process_commit(tag)
+
+    def _process_commit(self, tag: Tag) -> None:
+        """Pseudocode lines 41–52, on a tag-only commit.
+
+        Termination: the tag is re-enqueued for the successor unless this
+        server had already processed it (staleness).  A commit therefore
+        travels one full circle — every server processes it exactly
+        once — plus one extra hop back to the first processor.
+        """
+        origin = tag.server_id
+        if self._is_stale(tag):
+            self.stats_duplicates_dropped += 1
+            return
+        self.watermark[origin] = max(self.watermark.get(origin, 0), tag.ts)
+        self.stats_commits_processed += 1
+
+        entry = self.pending.pop(tag, None)
+        if entry is not None:
+            self._install(tag, entry.value)
+            self._record_completed(entry.op)
+            self.op_index.pop(entry.op, None)
+        elif tag > self.tag:
+            # We never saw this write's value and are asked to commit
+            # above our installed state: only possible for flows already
+            # covered by reconfiguration; counted for test visibility.
+            self.stats_commit_unknown_tag += 1
+
+        # Ack every client waiting on this tag at *this* server (the
+        # origin's own client, plus any retries that attached here).
+        for client, op in self.ack_waiters.pop(tag, ()):
+            self._reply(client, WriteAck(op, tag))
+
+        self._wake_readers()
+
+        if not self.alone:
+            self.commit_queue.append(tag)
+
+    def _on_state_sync(self, message: StateSync) -> None:
+        """Predecessor's committed state after a splice (line 88)."""
+        if message.tag > self.tag:
+            self._install(message.tag, message.value)
+            self._wake_readers()
+
+    # ------------------------------------------------------------------
+    # Reconfiguration
+    # ------------------------------------------------------------------
+
+    def _start_reconfig(self) -> None:
+        """Coordinator side: circulate the state-merge token."""
+        self.paused = True
+        self._reconfig_counter += 1
+        token = ReconfigToken(
+            nonce=self._reconfig_counter,
+            epoch=self.ring.epoch,
+            coordinator=self.server_id,
+            dead=tuple(sorted(self.ring.dead)),
+            tag=self.tag,
+            value=self.value,
+            pending=self._pending_snapshot(),
+            completed_ops=tuple(sorted(self.completed_ops.items())),
+        )
+        self.control_queue.append(token)
+
+    def _pending_snapshot(self) -> tuple[PendingEntry, ...]:
+        """Every uncommitted write this server knows about: the pending
+        set plus pre-writes still sitting in the forward queue (which is
+        drained — the merge supersedes it)."""
+        entries = dict(self.pending)
+        for _origin, prewrite in self.fair.drain():
+            entries.setdefault(
+                prewrite.tag, PendingEntry(prewrite.tag, prewrite.value, prewrite.op)
+            )
+        self.queued_tags.clear()
+        return tuple(entries[tag] for tag in sorted(entries))
+
+    def _merge_into_token(self, token: ReconfigToken) -> ReconfigToken:
+        merged_tag, merged_value = (
+            (token.tag, token.value) if token.tag >= self.tag else (self.tag, self.value)
+        )
+        entries = {entry.tag: entry for entry in token.pending}
+        for entry in self._pending_snapshot():
+            entries.setdefault(entry.tag, entry)
+        completed: dict[int, int] = dict(token.completed_ops)
+        for client, seq in self.completed_ops.items():
+            completed[client] = max(completed.get(client, -1), seq)
+        dead = frozenset(token.dead) | self.ring.dead
+        return ReconfigToken(
+            nonce=token.nonce,
+            epoch=len(dead),
+            coordinator=token.coordinator,
+            dead=tuple(sorted(dead)),
+            tag=merged_tag,
+            value=merged_value,
+            pending=tuple(entries[tag] for tag in sorted(entries)),
+            completed_ops=tuple(sorted(completed.items())),
+        )
+
+    def _on_reconfig_token(self, token: ReconfigToken) -> None:
+        self.ring = self.ring.with_dead(token.dead)
+        if token.coordinator == self.server_id:
+            # Token is back with every survivor's state merged in.
+            final = self._merge_into_token(token)
+            commit = ReconfigCommit(
+                nonce=final.nonce,
+                epoch=final.epoch,
+                coordinator=final.coordinator,
+                dead=final.dead,
+                tag=final.tag,
+                value=final.value,
+                pending=final.pending,
+                completed_ops=final.completed_ops,
+            )
+            self.control_queue.append(commit)
+            self._apply_merged_state(commit)
+            # Re-commit every surviving pending write so no read blocks
+            # forever and every origin can ack its client.  The commits
+            # flow behind the ReconfigCommit (FIFO), so every server has
+            # the merged values before a commit reaches it.
+            for pending_entry in commit.pending:
+                if not self._is_stale(pending_entry.tag):
+                    self.commit_queue.append(pending_entry.tag)
+            self._resume()
+        else:
+            key = (token.coordinator, token.nonce)
+            if key in self._seen_reconfigs:
+                # A token orphaned by its coordinator's crash; drop it
+                # (the coordinator's own crash triggers a fresh merge).
+                return
+            self._seen_reconfigs.add(key)
+            self.paused = True
+            self.control_queue.append(self._merge_into_token(token))
+
+    def _on_reconfig_commit(self, commit: ReconfigCommit) -> None:
+        self.ring = self.ring.with_dead(commit.dead)
+        if commit.coordinator == self.server_id:
+            return  # full circle; applied when created
+        key = (commit.coordinator, -commit.nonce)
+        if key in self._seen_reconfigs:
+            return  # orphaned duplicate of a commit we already applied
+        self._seen_reconfigs.add(key)
+        self._apply_merged_state(commit)
+        self.control_queue.append(commit)
+        if frozenset(commit.dead) >= self.ring.dead:
+            self._resume()
+        # else: we know of a crash this commit predates; stay paused
+        # until the follow-up reconfiguration's commit arrives.
+
+    def _apply_merged_state(self, commit: ReconfigCommit) -> None:
+        if commit.tag > self.tag:
+            self._install(commit.tag, commit.value)
+        for client, seq in commit.completed_ops:
+            if self.completed_ops.get(client, -1) < seq:
+                self.completed_ops[client] = seq
+        # The merged pending set replaces local pending and every queued
+        # pre-write (their tags are all in the merged set by construction).
+        self.fair.drain()
+        self.queued_tags.clear()
+        self.fair.reset_counters()
+        merged: dict[Tag, PendingEntry] = {}
+        for entry in commit.pending:
+            if not self._is_stale(entry.tag):
+                merged[entry.tag] = entry
+        self.pending = merged
+        self.op_index = {entry.op: entry.tag for entry in merged.values()}
+        self._wake_readers()
+
+    def _resume(self) -> None:
+        self.paused = False
+        deferred, self.deferred_reads = self.deferred_reads, deque()
+        for client, message in deferred:
+            self._on_client_read(client, message)
+
+    def _resolve_alone(self) -> None:
+        """Down to a single survivor: every known pending write commits
+        locally, in tag order, and every waiter is answered."""
+        self.paused = False
+        for _origin, prewrite in self.fair.drain():
+            self.pending.setdefault(
+                prewrite.tag, PendingEntry(prewrite.tag, prewrite.value, prewrite.op)
+            )
+        self.queued_tags.clear()
+        for tag in sorted(self.pending):
+            entry = self.pending.pop(tag)
+            self.watermark[tag.server_id] = max(
+                self.watermark.get(tag.server_id, 0), tag.ts
+            )
+            self._install(tag, entry.value)
+            self._record_completed(entry.op)
+            self.op_index.pop(entry.op, None)
+            for client, op in self.ack_waiters.pop(tag, ()):
+                self._reply(client, WriteAck(op, tag))
+        # Acks for tags we initiated whose commit was still circulating.
+        for tag in sorted(self.ack_waiters):
+            for client, op in self.ack_waiters.pop(tag, ()):
+                self._reply(client, WriteAck(op, tag))
+        self.commit_queue.clear()
+        self.control_queue.clear()
+        self._wake_readers()
+        self._resume()
+        # Absorb queued client writes through the fast path.
+        queued, self.write_queue = self.write_queue, deque()
+        for op, value, client in queued:
+            if self.completed_ops.get(op.client, -1) >= op.seq:
+                self._reply(client, WriteAck(op))
+            else:
+                self._commit_locally(op, value, client)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _attach_commits(self, message: RingMessage) -> RingMessage:
+        """Piggyback queued commit tags onto an outgoing message."""
+        if not self.commit_queue:
+            return message
+        if isinstance(message, (ReconfigToken, ReconfigCommit)):
+            return message  # keep reconfiguration messages canonical
+        if not self.config.piggyback_commits and not isinstance(message, Commit):
+            return message
+        budget = self.config.max_piggybacked_commits
+        tags: list[Tag] = []
+        while self.commit_queue and len(tags) < budget:
+            tags.append(self.commit_queue.popleft())
+        if isinstance(message, PreWrite):
+            return PreWrite(message.tag, message.value, message.op, tuple(tags))
+        if isinstance(message, StateSync):
+            return StateSync(message.tag, message.value, tuple(tags))
+        return Commit(tuple(tags))
+
+    def _install(self, tag: Tag, value: bytes) -> None:
+        """Monotone register update (lines 33-35 / 43-45)."""
+        if tag > self.tag:
+            self.tag = tag
+            self.value = value
+
+    def _is_stale(self, tag: Tag) -> bool:
+        """True when ``tag`` is already committed here (duplicate filter)."""
+        return tag.ts <= self.watermark.get(tag.server_id, 0)
+
+    def _record_completed(self, op: OpId) -> None:
+        if self.completed_ops.get(op.client, -1) < op.seq:
+            self.completed_ops[op.client] = op.seq
+
+    def _wake_readers(self) -> None:
+        """Answer read waiters whose threshold is now installed.
+
+        The installed tag only ever reflects *committed* values (installs
+        happen at pre-write return, commit processing, state sync and
+        merged-state application), so ``self.tag >= threshold`` is the
+        paper's line-81 condition "received a write message with tag >=
+        threshold".
+        """
+        if not self.read_waiters:
+            return
+        still_waiting = []
+        for threshold, client, op in self.read_waiters:
+            if self.tag >= threshold:
+                self._reply(client, ReadAck(op, self.value, self.tag))
+            else:
+                still_waiting.append((threshold, client, op))
+        self.read_waiters = still_waiting
+
+    def _reply(self, client: int, message) -> None:
+        self._replies.append(Reply(client, message))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ServerProtocol id={self.server_id} tag={self.tag} "
+            f"pending={len(self.pending)} paused={self.paused}>"
+        )

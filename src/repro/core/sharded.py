@@ -1,0 +1,211 @@
+"""Block store: many independent registers over one cluster.
+
+The paper's introduction: "Distributed storage systems combine multiple
+of these read/write objects, each storing its share of data, as building
+blocks for a single large storage system."  :class:`BlockStore` is that
+layer — ``num_blocks`` independent atomic registers, one
+:class:`~repro.core.server.ServerProtocol` instance per block per server,
+multiplexed over the same simulated machines and NICs.
+
+Every ring and client-request message is wrapped in a
+:class:`ShardEnvelope` carrying the block index; each server's ring link
+round-robins across the blocks' protocol instances, so blocks share the
+wire fairly.  Because blocks are independent registers, per-block
+operations retain the single-register atomicity guarantees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.core.messages import payload_size
+from repro.core.server import ServerProtocol
+from repro.errors import ConfigurationError, StorageUnavailableError
+from repro.runtime.sim_net import ClientHost, HostBase, OutLoop, SimCluster
+
+
+@dataclass(frozen=True)
+class ShardEnvelope:
+    """Wraps a protocol message with its block index."""
+
+    reg: int
+    inner: Any
+
+    def payload_bytes(self) -> int:
+        return 4 + payload_size(self.inner)
+
+
+class ShardedServerHost(HostBase):
+    """One machine hosting a register protocol instance per block."""
+
+    def __init__(self, cluster: SimCluster, server_id: int, num_blocks: int):
+        super().__init__(cluster, f"s{server_id}")
+        self.server_id = server_id
+        self.protos: dict[int, ServerProtocol] = {
+            reg: ServerProtocol(
+                server_id,
+                cluster.ring,
+                cluster.config.protocol,
+                initial_value=cluster.config.initial_value,
+            )
+            for reg in range(num_blocks)
+        }
+        self._ring_rr = 0
+        from collections import deque
+
+        self._reply_queue = deque()
+        nics = cluster.topo.nics[self.name]
+        if cluster.config.topology == "dual":
+            self.nic_ring = nics["srv"]
+            self.nic_client = nics["cli"]
+            self._loops.append(OutLoop(self, self.nic_ring, [self._ring_source]))
+            self._loops.append(OutLoop(self, self.nic_client, [self._reply_source]))
+        else:
+            nic = nics["lan"]
+            self.nic_ring = nic
+            self.nic_client = nic
+            self._loops.append(OutLoop(self, nic, [self._ring_source, self._reply_source]))
+
+    # -- inbound ------------------------------------------------------
+
+    def receive_ring(self, envelope: ShardEnvelope) -> None:
+        if not self.alive:
+            return
+        proto = self.protos[envelope.reg]
+        self._post(proto.on_ring_message(envelope.inner))
+
+    def receive_client(self, client_id: int, envelope: ShardEnvelope) -> None:
+        if not self.alive:
+            return
+        proto = self.protos[envelope.reg]
+        self._post(proto.on_client_message(client_id, envelope.inner))
+
+    def notify_crash(self, crashed_id: int) -> None:
+        if not self.alive:
+            return
+        for proto in self.protos.values():
+            self._post(proto.on_server_crash(crashed_id))
+
+    # -- outbound -------------------------------------------------------
+
+    def _ring_source(self):
+        """Round-robin the ring link across blocks with pending work."""
+        num_blocks = len(self.protos)
+        for offset in range(num_blocks):
+            reg = (self._ring_rr + offset) % num_blocks
+            proto = self.protos[reg]
+            message = proto.next_ring_message()
+            if message is not None:
+                self._ring_rr = (reg + 1) % num_blocks
+                return (f"s{proto.successor}", ShardEnvelope(reg, message), "ring")
+        return None
+
+    def _reply_source(self):
+        if not self._reply_queue:
+            return None
+        reply = self._reply_queue.popleft()
+        machine = self.cluster.client_name(reply.client)
+        if machine is None:
+            return self._reply_source()
+        return (machine, reply.message, "reply")
+
+    def _post(self, replies) -> None:
+        self._reply_queue.extend(replies)
+        self.kick()
+
+
+class ShardClientHost(ClientHost):
+    """A client machine that targets a specific block per operation."""
+
+    def __init__(self, cluster, client_id, servers, config):
+        super().__init__(cluster, client_id, servers, config)
+        self._current_reg = 0
+
+    def write_block(
+        self, reg: int, value: bytes, callback: Callable, client_id: Optional[int] = None
+    ):
+        self._current_reg = reg
+        return self.write(value, callback, client_id=client_id)
+
+    def read_block(self, reg: int, callback: Callable, client_id: Optional[int] = None):
+        self._current_reg = reg
+        return self.read(callback, client_id=client_id)
+
+    def _wrap_request(self, message):
+        return ShardEnvelope(self._current_reg, message)
+
+
+class BlockStore:
+    """Synchronous facade over a sharded cluster.
+
+    Example::
+
+        store = BlockStore.build(num_servers=4, num_blocks=16)
+        store.write_block(3, b"block three")
+        assert store.read_block(3) == b"block three"
+    """
+
+    def __init__(self, cluster: SimCluster, num_blocks: int):
+        self.cluster = cluster
+        self.num_blocks = num_blocks
+        self._client = self._make_client()
+
+    @classmethod
+    def build(
+        cls, num_servers: int, num_blocks: int, seed: int = 0, **kwargs
+    ) -> "BlockStore":
+        if num_blocks < 1:
+            raise ConfigurationError("num_blocks must be >= 1")
+
+        def factory(cluster: SimCluster, server_id: int) -> ShardedServerHost:
+            return ShardedServerHost(cluster, server_id, num_blocks)
+
+        cluster = SimCluster.build(
+            num_servers=num_servers, seed=seed, host_factory=factory, **kwargs
+        )
+        return cls(cluster, num_blocks)
+
+    def _make_client(self) -> ShardClientHost:
+        cluster = self.cluster
+        client_id = cluster._next_client_id
+        cluster._next_client_id += 1
+        name = f"c{client_id}"
+        nets = ["cli"] if cluster.config.topology == "dual" else ["lan"]
+        cluster.topo.add_process(name, nets, cluster.config.bandwidth_bps)
+        host = ShardClientHost(
+            cluster, client_id, sorted(cluster.servers), cluster.config.protocol
+        )
+        cluster.clients[client_id] = host
+        cluster._host_by_client_id[client_id] = host
+        return host
+
+    def _check_block(self, index: int) -> None:
+        if not 0 <= index < self.num_blocks:
+            raise ConfigurationError(
+                f"block {index} out of range [0, {self.num_blocks})"
+            )
+
+    def write_block(self, index: int, data: bytes) -> None:
+        """Write one block; linearizable per block."""
+        self._check_block(index)
+        result = self._run(lambda cb: self._client.write_block(index, data, cb))
+        if not result.ok:
+            raise StorageUnavailableError(f"write_block({index}): {result.error}")
+
+    def read_block(self, index: int) -> bytes:
+        """Read one block; linearizable per block."""
+        self._check_block(index)
+        result = self._run(lambda cb: self._client.read_block(index, cb))
+        if not result.ok:
+            raise StorageUnavailableError(f"read_block({index}): {result.error}")
+        return result.value
+
+    def _run(self, start):
+        done: list = []
+        start(done.append)
+        scheduler = self.cluster.env.scheduler
+        while not done:
+            if not scheduler.step():
+                raise StorageUnavailableError("simulation idle before completion")
+        return done[0]

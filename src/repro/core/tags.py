@@ -1,0 +1,62 @@
+"""Logical timestamps ("tags") for ordering written values.
+
+The paper orders values by a pair ``[ts, id]`` compared lexicographically:
+first by the integer timestamp, then by the writing server's identifier to
+break ties.  Because a write contacts *all* servers, a server initiating a
+write needs no communication to pick a fresh tag: it increments the
+largest timestamp it has seen locally (pseudocode line 23), which keeps
+timestamps monotonic across the whole execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import total_ordering
+
+
+@total_ordering
+@dataclass(frozen=True)
+class Tag:
+    """A lexicographically ordered (timestamp, server id) pair.
+
+    ``server_id`` is the *index* of the originating server in the initial
+    ring, which doubles as the tie-breaker.  ``Tag.ZERO`` (ts=0, id=-1) is
+    smaller than every tag any server can generate.
+    """
+
+    ts: int
+    server_id: int
+
+    ZERO: "Tag" = None  # type: ignore[assignment]  # set below
+
+    def __lt__(self, other: "Tag") -> bool:
+        if not isinstance(other, Tag):
+            return NotImplemented
+        return (self.ts, self.server_id) < (other.ts, other.server_id)
+
+    def next_for(self, server_id: int) -> "Tag":
+        """The tag a write initiated by ``server_id`` after seeing ``self``
+        would carry (pseudocode line 23: ``[max(...) + 1, i]``)."""
+        return Tag(self.ts + 1, server_id)
+
+    def __repr__(self) -> str:
+        return f"Tag({self.ts},{self.server_id})"
+
+
+# A sentinel smaller than any generated tag (generated tags have ts >= 1
+# and server_id >= 0).
+Tag.ZERO = Tag(0, -1)
+
+
+def max_tag(tags) -> Tag:
+    """Largest tag in ``tags``; ``Tag.ZERO`` when empty.
+
+    Mirrors the pseudocode's ``maxlex(pending_write_set)`` which is used
+    both when initiating a write (line 22) and when a read must wait
+    (line 80).
+    """
+    best = Tag.ZERO
+    for tag in tags:
+        if tag > best:
+            best = tag
+    return best

@@ -1,0 +1,20 @@
+"""Failure detection.
+
+The paper assumes a *perfect* failure detector (P, Chandra–Toueg): in a
+homogeneous cluster with fine-tuned TCP, a broken ring connection means
+the peer crashed ("it is reasonable to assume that when a TCP connection
+fails, the server on the other side of the connection failed").
+
+* :mod:`repro.fd.base` — the detector interface;
+* :mod:`repro.fd.perfect` — an oracle-backed perfect detector used by
+  the simulator (crash events are known to the simulation);
+* :mod:`repro.fd.heartbeat` — a heartbeat timeout detector for the
+  asyncio runtime, perfect under the synchrony assumption (no false
+  suspicions when the timeout exceeds the worst heartbeat delay).
+"""
+
+from repro.fd.base import FailureDetector
+from repro.fd.heartbeat import HeartbeatTracker
+from repro.fd.perfect import PerfectFailureDetector
+
+__all__ = ["FailureDetector", "HeartbeatTracker", "PerfectFailureDetector"]

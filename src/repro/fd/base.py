@@ -1,0 +1,24 @@
+"""Failure-detector interface."""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+
+class FailureDetector(Protocol):
+    """Minimal contract every detector implements.
+
+    A detector monitors a fixed set of processes and invokes registered
+    listeners exactly once per detected crash.  Perfect detectors
+    additionally guarantee *strong accuracy* (no process is suspected
+    before it crashes) and *strong completeness* (every crash is
+    eventually detected by every correct process).
+    """
+
+    def subscribe(self, listener: Callable[[int], None]) -> None:
+        """Register ``listener(crashed_id)``; called once per crash."""
+        ...
+
+    def suspected(self) -> frozenset[int]:
+        """The set of processes currently suspected (crashed)."""
+        ...

@@ -1,0 +1,50 @@
+"""Heartbeat bookkeeping for timeout-based failure detection.
+
+The asyncio runtime detects ring-neighbour crashes through TCP connection
+breaks (the paper's primary mechanism); :class:`HeartbeatTracker`
+complements it for peers we hold no connection to.  It is sans-I/O — the
+caller feeds heartbeats and clock readings, the tracker reports suspects
+— so the same logic is testable without a loop and usable from asyncio.
+
+Under the paper's synchrony assumption (bounded message delay ``d`` and
+heartbeat period ``p``), a timeout of ``p + d`` yields a *perfect*
+detector: no false suspicion, every crash detected within one timeout.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+class HeartbeatTracker:
+    """Tracks last-heard times and derives suspicions."""
+
+    def __init__(self, peers: Iterable[int], timeout: float, now: float = 0.0):
+        if timeout <= 0:
+            raise ValueError(f"timeout must be > 0, got {timeout}")
+        self.timeout = timeout
+        self._last_heard: dict[int, float] = {peer: now for peer in peers}
+        self._suspected: set[int] = set()
+
+    def heard_from(self, peer: int, now: float) -> None:
+        """Record a heartbeat (or any message) from ``peer``."""
+        if peer in self._suspected:
+            return  # perfect detectors never un-suspect
+        if peer in self._last_heard:
+            self._last_heard[peer] = max(self._last_heard[peer], now)
+
+    def check(self, now: float) -> list[int]:
+        """Return peers newly suspected as of ``now``."""
+        newly = []
+        for peer, last in self._last_heard.items():
+            if peer not in self._suspected and now - last > self.timeout:
+                self._suspected.add(peer)
+                newly.append(peer)
+        return newly
+
+    def suspected(self) -> frozenset[int]:
+        return frozenset(self._suspected)
+
+    @property
+    def peers(self) -> frozenset[int]:
+        return frozenset(self._last_heard)

@@ -1,0 +1,41 @@
+"""Oracle-backed perfect failure detector for the simulator.
+
+Crash events are simulation facts, so the detector simply relays them
+after a configurable detection delay — the time a real cluster needs to
+observe the TCP connection reset.  Strong accuracy and completeness are
+trivially satisfied, matching the model assumed by the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.sim.env import SimEnv
+
+
+class PerfectFailureDetector:
+    """Relays known crash events to listeners after ``detection_delay``."""
+
+    def __init__(self, env: SimEnv, detection_delay: float):
+        self.env = env
+        self.detection_delay = detection_delay
+        self._listeners: list[Callable[[int], None]] = []
+        self._suspected: set[int] = set()
+
+    def subscribe(self, listener: Callable[[int], None]) -> None:
+        self._listeners.append(listener)
+
+    def suspected(self) -> frozenset[int]:
+        return frozenset(self._suspected)
+
+    def report_crash(self, crashed_id: int) -> None:
+        """Called by the simulation when a process actually crashes."""
+        if crashed_id in self._suspected:
+            return
+        self._suspected.add(crashed_id)
+        self.env.scheduler.schedule(self.detection_delay, self._notify, crashed_id)
+
+    def _notify(self, crashed_id: int) -> None:
+        self.env.trace.count("fd.detections")
+        for listener in list(self._listeners):
+            listener(crashed_id)

@@ -1,0 +1,25 @@
+"""The paper's synchronous round-based performance model (Section 2).
+
+In each round ``k`` every process (1) computes, (2) sends one message
+per network interface (possibly a multicast), and (3) receives at most
+one message per interface.  Receiving two messages on one interface in
+the same round is a *collision* — the model's abstraction of ethernet
+collisions — and loses the messages.
+
+This model is what the paper uses for Figure 1 (the quorum-vs-local-read
+motivation) and the Section 4 analytical claims (read latency 2, write
+latency 2N+2, write throughput 1/round, read throughput n/round); the
+modules here reproduce all of them executably.
+"""
+
+from repro.rounds.figure1 import Figure1Result, run_figure1
+from repro.rounds.model import RoundModel, RoundNode
+from repro.rounds.adapter import RoundStorage
+
+__all__ = [
+    "Figure1Result",
+    "RoundModel",
+    "RoundNode",
+    "RoundStorage",
+    "run_figure1",
+]

@@ -1,0 +1,191 @@
+"""The real server protocol in the synchronous round model (Section 4).
+
+``RoundStorage`` drives unmodified :class:`~repro.core.server.ServerProtocol`
+instances in lockstep rounds: every round each server (1) processes the
+ring message that arrived at the end of the previous round, (2) processes
+newly arrived client requests, (3) sends at most one ring message to its
+successor (the paper's one-send-per-round rule), and (4) sends at most
+one client reply (the client network's send slot).
+
+Per the paper, Section 4.2's throughput analysis "only considers messages
+exchanged between servers" (client traffic rides a dedicated network), so
+client-request arrivals are not capacity-limited; the server-side
+constraints — one ring send per round, one reply per round — are.
+
+This executable model reproduces the analytical results exactly:
+
+* read latency = 2 rounds (Section 4.1);
+* write latency = 2N + 2 rounds (Section 4.1);
+* saturated write throughput = 1 op/round regardless of N (Section 4.2);
+* saturated read throughput = N ops/round (Section 4.2), also under
+  write contention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.config import ProtocolConfig
+from repro.core.messages import ClientRead, ClientWrite, OpId, ReadAck, WriteAck
+from repro.core.ring import RingView
+from repro.core.server import ServerProtocol
+
+
+@dataclass
+class _PendingOp:
+    op: OpId
+    kind: str
+    issued_round: int
+
+
+class RoundStorage:
+    """A ring of real server protocols in lockstep rounds."""
+
+    def __init__(self, num_servers: int, config: Optional[ProtocolConfig] = None):
+        self.num_servers = num_servers
+        ring = RingView.initial(num_servers)
+        self.servers = [
+            ServerProtocol(i, ring, config or ProtocolConfig()) for i in range(num_servers)
+        ]
+        self.round_no = 0
+        # Ring messages in flight: arriving[i] is processed by server i
+        # at the start of the next round.
+        self._arriving: list = [None] * num_servers
+        # Client requests: staged when issued (sent during the next
+        # round), then in transit for one round, then processed.
+        self._client_staging: list[list] = [[] for _ in range(num_servers)]
+        self._client_arriving: list[list] = [[] for _ in range(num_servers)]
+        # Per-server queue of replies awaiting the reply send slot.
+        self._reply_queues: list[list] = [[] for _ in range(num_servers)]
+        self._ops: dict[OpId, _PendingOp] = {}
+        self.completions: list[tuple[OpId, str, int, int]] = []  # op, kind, issued, done
+        self._next_client = 0
+        self._next_seq = 0
+
+    # ------------------------------------------------------------------
+    # Round execution
+    # ------------------------------------------------------------------
+
+    def step(self) -> None:
+        """Run one synchronous round."""
+        self.round_no += 1
+        # (1) + (2): process arrivals from the end of the previous round.
+        for i, server in enumerate(self.servers):
+            message = self._arriving[i]
+            self._arriving[i] = None
+            if message is not None:
+                self._reply_queues[i].extend(server.on_ring_message(message))
+            for client, request in self._client_arriving[i]:
+                self._reply_queues[i].extend(server.on_client_message(client, request))
+        # Requests issued before this round start their one-round transit
+        # now and are processed at the start of the next round.
+        self._client_arriving = self._client_staging
+        self._client_staging = [[] for _ in range(self.num_servers)]
+
+        # (3): one ring send per server; arrives at round end.
+        next_arriving: list = [None] * self.num_servers
+        for i, server in enumerate(self.servers):
+            message = server.next_ring_message()
+            if message is not None:
+                next_arriving[server.successor] = message
+        # (4): one client reply per server; completes at round end.
+        for i in range(self.num_servers):
+            if self._reply_queues[i]:
+                reply = self._reply_queues[i].pop(0)
+                self._complete(reply.message)
+        self._arriving = next_arriving
+
+    def run(self, rounds: int) -> None:
+        for _ in range(rounds):
+            self.step()
+
+    # ------------------------------------------------------------------
+    # Client operations (issued "during" the current round; the server
+    # sees them at the start of the next round)
+    # ------------------------------------------------------------------
+
+    def issue_write(self, server_id: int, value: bytes) -> OpId:
+        op = self._new_op("write")
+        self._client_staging[server_id].append((op.client, ClientWrite(op, value)))
+        return op
+
+    def issue_read(self, server_id: int) -> OpId:
+        op = self._new_op("read")
+        self._client_staging[server_id].append((op.client, ClientRead(op)))
+        return op
+
+    def _new_op(self, kind: str) -> OpId:
+        op = OpId(self._next_client, self._next_seq)
+        self._next_client += 1
+        self._next_seq += 1
+        self._ops[op] = _PendingOp(op, kind, self.round_no + 1)
+        return op
+
+    def _complete(self, message) -> None:
+        if isinstance(message, (WriteAck, ReadAck)):
+            pending = self._ops.pop(message.op, None)
+            if pending is not None:
+                self.completions.append(
+                    (pending.op, pending.kind, pending.issued_round, self.round_no)
+                )
+
+    def latency_of(self, op: OpId) -> Optional[int]:
+        """Rounds from issue to completion (inclusive), if completed."""
+        for done_op, _kind, issued, done in self.completions:
+            if done_op == op:
+                return done - issued + 1
+        return None
+
+    # ------------------------------------------------------------------
+    # Section 4 measurements
+    # ------------------------------------------------------------------
+
+    def isolated_write_latency(self) -> int:
+        """Section 4.1: expected 2N + 2 rounds."""
+        op = self.issue_write(0, b"w")
+        self.run(4 * self.num_servers + 8)
+        latency = self.latency_of(op)
+        assert latency is not None, "isolated write did not complete"
+        return latency
+
+    def isolated_read_latency(self) -> int:
+        """Section 4.1: expected 2 rounds."""
+        op = self.issue_read(0)
+        self.run(8)
+        latency = self.latency_of(op)
+        assert latency is not None, "isolated read did not complete"
+        return latency
+
+    def saturated_write_throughput(self, rounds: int = 200) -> float:
+        """Section 4.2: expected 1 op/round regardless of N."""
+        warmup = 4 * self.num_servers
+        completed_at_cutoff = 0
+        for r in range(rounds + warmup):
+            for server_id in range(self.num_servers):
+                if len(self.servers[server_id].write_queue) < 4:
+                    self.issue_write(server_id, b"w")
+            self.step()
+            if r == warmup - 1:
+                completed_at_cutoff = len(
+                    [c for c in self.completions if c[1] == "write"]
+                )
+        total = len([c for c in self.completions if c[1] == "write"])
+        return (total - completed_at_cutoff) / rounds
+
+    def saturated_read_throughput(self, rounds: int = 200, with_writes: bool = False) -> float:
+        """Section 4.2: expected N ops/round, with or without contention."""
+        warmup = 6 * self.num_servers
+        completed_at_cutoff = 0
+        for r in range(rounds + warmup):
+            for server_id in range(self.num_servers):
+                self.issue_read(server_id)
+                if with_writes and len(self.servers[server_id].write_queue) < 4:
+                    self.issue_write(server_id, b"w")
+            self.step()
+            if r == warmup - 1:
+                completed_at_cutoff = len(
+                    [c for c in self.completions if c[1] == "read"]
+                )
+        total = len([c for c in self.completions if c[1] == "read"])
+        return (total - completed_at_cutoff) / rounds

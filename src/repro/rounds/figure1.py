@@ -1,0 +1,188 @@
+"""Figure 1: why quorum algorithms cannot have high read throughput.
+
+The paper's motivating example compares, on three servers in the round
+model with a single interface per server (one send and one receive per
+round):
+
+* **Algorithm A** (majority-based): a read at server ``s_i`` requires a
+  round trip to ``s_{i+1}`` before replying, so each read consumes three
+  of the system's receive slots (request, probe, probe-ack);
+* **Algorithm B** (local reads): the contacted server answers alone, so
+  each read consumes one receive slot.
+
+Both have the same 4-round client latency, but under full load A
+completes 1 read per round (3 servers × 1 receive/round ÷ 3 receives per
+read) while B completes 3 (one per server per round) — and adding
+servers helps B linearly while leaving A flat.
+
+Saturation is modelled as an infinite per-server request backlog: a
+server whose receive slot is free in a round consumes one queued client
+request with it (the paper's "under full load").  Client latency counts
+the request round, every message round, and the reply round, matching
+the figure's 4-round latency for both algorithms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.rounds.model import RoundModel, RoundNode, RoundSend
+
+#: The single shared interface of the motivating example.
+NET = "net"
+
+
+@dataclass
+class _Ledger:
+    """Issue/completion bookkeeping shared by all servers of one run."""
+
+    issued: dict[int, int] = field(default_factory=dict)
+    completed: list[tuple[int, int, int]] = field(default_factory=list)
+    next_op: int = 0
+
+    def issue(self, round_no: int) -> int:
+        op = self.next_op
+        self.next_op += 1
+        # The request was sent by the client in the previous round and
+        # arrived on the server's (otherwise free) receive slot.
+        self.issued[op] = round_no - 1
+        return op
+
+    def complete(self, op: int, round_no: int) -> None:
+        # The reply transits during ``round_no`` and reaches the client
+        # at its end.
+        self.completed.append((op, self.issued.pop(op), round_no))
+
+
+@dataclass(frozen=True)
+class _Probe:
+    home: str
+    op: int
+
+
+@dataclass(frozen=True)
+class _ProbeAck:
+    op: int
+
+
+class _ServerA(RoundNode):
+    """Majority-based read server (Figure 1, algorithm A).
+
+    A read at this server is complete once a majority has seen it: the
+    server itself plus ``len(targets)`` probed peers.  With three servers
+    (the paper's figure) one peer is probed; for larger rings the probe
+    fan-out grows with the majority size, which is exactly why quorum
+    read throughput stays flat as servers are added.
+    """
+
+    def __init__(self, name: str, targets: list[str], ledger: _Ledger):
+        self.name = name
+        self.targets = targets
+        self.ledger = ledger
+        self.outbox: list = []
+        self.acks_pending: dict[int, int] = {}
+
+    def on_round(self, round_no: int, inbox: dict) -> list[RoundSend]:
+        message = inbox.get(NET)
+        if isinstance(message, _Probe):
+            self.outbox.append(RoundSend(message.home, NET, _ProbeAck(message.op)))
+        elif isinstance(message, _ProbeAck):
+            self.acks_pending[message.op] -= 1
+            if self.acks_pending[message.op] == 0:
+                del self.acks_pending[message.op]
+                self.outbox.append(("reply", message.op))
+        else:
+            # Receive slot free: consume one backlogged client request.
+            op = self.ledger.issue(round_no)
+            self.acks_pending[op] = len(self.targets)
+            for target in self.targets:
+                self.outbox.append(RoundSend(target, NET, _Probe(self.name, op)))
+
+        if not self.outbox:
+            return []
+        item = self.outbox.pop(0)
+        if isinstance(item, RoundSend):
+            return [item]
+        _kind, op = item
+        self.ledger.complete(op, round_no)  # reply transits this round
+        return []
+
+
+class _ServerB(RoundNode):
+    """Local-read server (Figure 1, algorithm B).
+
+    ``processing_rounds`` pads the reply so B's client latency equals
+    A's 4 rounds, exactly as drawn in the figure; it changes latency
+    only, not throughput (the pipeline is ``processing_rounds`` deep).
+    """
+
+    def __init__(self, name: str, ledger: _Ledger, processing_rounds: int = 2):
+        self.name = name
+        self.ledger = ledger
+        self.processing_rounds = processing_rounds
+        self.queue: list[tuple[int, int]] = []  # (reply_round, op)
+
+    def on_round(self, round_no: int, inbox: dict) -> list[RoundSend]:
+        # Receive slot is always free of server messages in B.
+        op = self.ledger.issue(round_no)
+        self.queue.append((round_no + self.processing_rounds, op))
+        while self.queue and self.queue[0][0] <= round_no:
+            _ready, ready_op = self.queue.pop(0)
+            self.ledger.complete(ready_op, round_no)
+            break  # one reply per send slot per round
+        return []
+
+
+@dataclass(frozen=True)
+class Figure1Result:
+    """Measured steady-state behaviour of one algorithm."""
+
+    algorithm: str
+    num_servers: int
+    rounds: int
+    completed_reads: int
+    throughput_per_round: float
+    first_latency: int
+    steady_latency: float
+
+
+def run_figure1(
+    algorithm: str,
+    num_servers: int = 3,
+    rounds: int = 60,
+    processing_rounds: int = 2,
+) -> Figure1Result:
+    """Run Algorithm A or B under full load and measure read throughput."""
+    model = RoundModel(collision_policy="queue")
+    ledger = _Ledger()
+    server_names = [f"s{i}" for i in range(num_servers)]
+    if algorithm == "A":
+        majority = num_servers // 2 + 1
+        for i, name in enumerate(server_names):
+            targets = [
+                server_names[(i + k) % num_servers] for k in range(1, majority)
+            ]
+            model.add(_ServerA(name, targets, ledger))
+    elif algorithm == "B":
+        for name in server_names:
+            model.add(_ServerB(name, ledger, processing_rounds))
+    else:
+        raise ValueError(f"unknown algorithm {algorithm!r}")
+
+    model.run(rounds)
+
+    cutoff = rounds // 3
+    steady = [c for c in ledger.completed if c[2] > cutoff]
+    window = rounds - cutoff
+    latencies = [finish - issue + 1 for _op, issue, finish in steady]
+    first = min(finish - issue + 1 for _op, issue, finish in ledger.completed)
+    return Figure1Result(
+        algorithm=algorithm,
+        num_servers=num_servers,
+        rounds=rounds,
+        completed_reads=len(steady),
+        throughput_per_round=len(steady) / window,
+        first_latency=first,
+        steady_latency=sum(latencies) / len(latencies) if latencies else float("nan"),
+    )

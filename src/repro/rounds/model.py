@@ -1,0 +1,103 @@
+"""Executable synchronous round model.
+
+Processes implement :class:`RoundNode`; the :class:`RoundModel` engine
+runs rounds: it collects each node's sends, applies the at-most-one
+receive rule per (process, interface), counts collisions, and delivers.
+
+Interfaces model the paper's dual-NIC testbed: inter-server traffic and
+client traffic use separate interfaces ("client messages do indeed
+transit on their own dedicated network"), so a server may send one ring
+message *and* one client reply in the same round.  Figure 1's
+motivation example instead uses a single shared interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class RoundSend:
+    """One outgoing message: ``dst`` process, ``iface`` name, payload."""
+
+    dst: str
+    iface: str
+    message: Any
+
+
+class RoundNode:
+    """Base class for round-model processes.
+
+    Subclasses override :meth:`on_round` — called once per round with
+    the messages delivered at the end of the *previous* round (one per
+    interface at most) — and return the sends for this round.
+    """
+
+    name: str = "?"
+
+    def on_round(
+        self, round_no: int, inbox: dict[str, Any]
+    ) -> list[RoundSend]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+@dataclass
+class RoundModel:
+    """Runs a set of :class:`RoundNode` processes in lockstep rounds."""
+
+    nodes: dict[str, RoundNode] = field(default_factory=dict)
+    round_no: int = 0
+    collisions: int = 0
+    delivered: int = 0
+    #: What happens when two same-round messages hit one (process,
+    #: interface): ``"destroy"`` — both are lost (ethernet collision);
+    #: ``"queue"`` — extras are delivered in later rounds, one per round
+    #: (an ideal collision-free schedule that still respects the
+    #: one-receive-per-round capacity).
+    collision_policy: str = "destroy"
+
+    def __post_init__(self) -> None:
+        if self.collision_policy not in ("destroy", "queue"):
+            raise SimulationError(f"unknown collision policy {self.collision_policy!r}")
+        self._inboxes: dict[str, dict[str, Any]] = {}
+        self._backlog: dict[tuple[str, str], list[tuple[str, Any]]] = {}
+
+    def add(self, node: RoundNode) -> None:
+        if node.name in self.nodes:
+            raise SimulationError(f"duplicate node {node.name!r}")
+        self.nodes[node.name] = node
+
+    def run_round(self) -> None:
+        """Execute one synchronous round for every process."""
+        self.round_no += 1
+        pending = self._inboxes
+        sends: list[tuple[str, RoundSend]] = []
+        for name in sorted(self.nodes):
+            inbox = pending.get(name, {})
+            for send in self.nodes[name].on_round(self.round_no, inbox):
+                if send.dst not in self.nodes:
+                    raise SimulationError(f"send to unknown node {send.dst!r}")
+                sends.append((name, send))
+
+        # End of round: apply the at-most-one-receive-per-interface rule.
+        arrivals: dict[tuple[str, str], list[tuple[str, Any]]] = dict(self._backlog)
+        self._backlog = {}
+        for src, send in sends:
+            arrivals.setdefault((send.dst, send.iface), []).append((src, send.message))
+        inboxes: dict[str, dict[str, Any]] = {}
+        for (dst, iface), messages in arrivals.items():
+            if len(messages) > 1:
+                self.collisions += len(messages) - 1
+                if self.collision_policy == "destroy":
+                    continue
+                self._backlog[(dst, iface)] = messages[1:]
+            self.delivered += 1
+            inboxes.setdefault(dst, {})[iface] = messages[0][1]
+        self._inboxes = inboxes
+
+    def run(self, rounds: int) -> None:
+        for _ in range(rounds):
+            self.run_round()

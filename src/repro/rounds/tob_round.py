@@ -1,0 +1,88 @@
+"""The TOB-based register in the round model (the paper's "throughput 1").
+
+Section 4.2: "Algorithms based on underlying total order broadcast
+primitives have the same throughput as the underlying atomic broadcast
+algorithm for both read and write operations.  The highest throughput we
+know of for such algorithms is 1 [15]."
+
+In the round model every ring slot carries one message per round
+regardless of size, so totally ordering the *reads* as well as the
+writes caps the combined throughput at 1 operation per round: each
+operation's token occupies every one of the ``n`` ring links for one
+round, and the ring moves ``n`` messages per round in total.
+
+Contrast with the paper's algorithm in the same model
+(:class:`repro.rounds.adapter.RoundStorage`): writes are 1/round *and*
+reads are n/round on top.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class _Token:
+    origin: int
+    op: int
+    kind: str
+
+
+class RoundTobStorage:
+    """A minimal totally-ordered register in lockstep rounds.
+
+    Every server keeps a queue of operation tokens (its clients' plus
+    forwarded ones) and sends exactly one per round to its successor; a
+    token returning to its origin is delivered and its client answered.
+    """
+
+    def __init__(self, num_servers: int):
+        self.num_servers = num_servers
+        self.round_no = 0
+        self._queues: list[deque[_Token]] = [deque() for _ in range(num_servers)]
+        self._arriving: list = [None] * num_servers
+        self._next_op = 0
+        self.issued: dict[int, int] = {}
+        self.completions: list[tuple[int, str, int, int]] = []
+
+    def issue(self, server_id: int, kind: str) -> int:
+        op = self._next_op
+        self._next_op += 1
+        self.issued[op] = self.round_no + 1
+        self._queues[server_id].append(_Token(server_id, op, kind))
+        return op
+
+    def step(self) -> None:
+        self.round_no += 1
+        for i in range(self.num_servers):
+            token = self._arriving[i]
+            self._arriving[i] = None
+            if token is None:
+                continue
+            if token.origin == i:
+                self.completions.append(
+                    (token.op, token.kind, self.issued.pop(token.op), self.round_no)
+                )
+            else:
+                self._queues[i].append(token)
+        next_arriving: list = [None] * self.num_servers
+        for i in range(self.num_servers):
+            if self._queues[i]:
+                next_arriving[(i + 1) % self.num_servers] = self._queues[i].popleft()
+        self._arriving = next_arriving
+
+    def saturated_throughput(self, rounds: int = 300, read_fraction: float = 0.8) -> float:
+        """Total (read + write) operations delivered per round when every
+        server always has client operations queued."""
+        warmup = 4 * self.num_servers
+        at_cutoff = 0
+        for r in range(rounds + warmup):
+            for server_id in range(self.num_servers):
+                if len(self._queues[server_id]) < 2:
+                    kind = "read" if (r + server_id) % 10 < read_fraction * 10 else "write"
+                    self.issue(server_id, kind)
+            self.step()
+            if r == warmup - 1:
+                at_cutoff = len(self.completions)
+        return (len(self.completions) - at_cutoff) / rounds

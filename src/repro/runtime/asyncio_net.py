@@ -1,0 +1,376 @@
+"""Real asyncio TCP runtime: the deployable implementation.
+
+The same sans-I/O state machines that run in the simulator and the round
+model run here over real sockets, exactly as the paper's C implementation
+ran over a cluster:
+
+* each server listens on a TCP port; connections identify themselves
+  with a one-frame handshake (ring predecessor or client);
+* a writer task pulls ring messages one at a time
+  (:meth:`ServerProtocol.next_ring_message`) and sends them to the
+  current successor — natural backpressure gives the paper's
+  one-message-at-a-time ring slotting;
+* a broken outgoing ring connection *is* the perfect failure detector
+  (the paper: "when a TCP connection fails, the server on the other side
+  of the connection failed"); the detecting predecessor coordinates the
+  reconfiguration, and other servers learn of the crash from the
+  reconfiguration token's dead set;
+* clients connect to any server, retry at the next one on timeout.
+
+Everything runs on one event loop; protocol calls are serialized by the
+loop, so the state machines need no locks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+from typing import Optional
+
+from repro.core.client import ClientProtocol
+from repro.core.config import ProtocolConfig
+from repro.core.messages import OpId, ReadAck, WriteAck
+from repro.core.ring import RingView
+from repro.core.server import ServerProtocol
+from repro.errors import StorageUnavailableError
+from repro.runtime.interface import (
+    CancelTimer,
+    Complete,
+    Fail,
+    SendTo,
+    SetTimer,
+)
+from repro.transport.codec import decode_message, encode_message
+from repro.transport.framing import FrameDecoder, frame
+
+_HELLO = struct.Struct(">Bq")  # kind (0 = ring, 1 = client), peer id
+_KIND_RING = 0
+_KIND_CLIENT = 1
+
+
+async def _read_frames(reader: asyncio.StreamReader, decoder: FrameDecoder):
+    """Yield complete frames from ``reader`` until EOF."""
+    while True:
+        chunk = await reader.read(64 * 1024)
+        if not chunk:
+            return
+        for payload in decoder.feed(chunk):
+            yield payload
+
+
+class AsyncServerNode:
+    """One storage server on asyncio TCP."""
+
+    def __init__(
+        self,
+        server_id: int,
+        ring: RingView,
+        addresses: dict[int, tuple[str, int]],
+        config: Optional[ProtocolConfig] = None,
+    ):
+        self.server_id = server_id
+        # Shared mapping (the cluster may still be filling it in).
+        self.addresses = addresses
+        self.proto = ServerProtocol(server_id, ring, config)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._client_writers: dict[int, asyncio.StreamWriter] = {}
+        self._inbound_writers: list[asyncio.StreamWriter] = []
+        self._ring_writer: Optional[asyncio.StreamWriter] = None
+        self._ring_peer: Optional[int] = None
+        self._ring_wake = asyncio.Event()
+        self._tasks: list[asyncio.Task] = []
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        host, port = self.addresses[self.server_id]
+        self._server = await asyncio.start_server(self._on_connection, host, port)
+        self._tasks.append(asyncio.create_task(self._ring_sender()))
+
+    async def stop(self) -> None:
+        """Crash the server: abort every connection immediately."""
+        self._stopped = True
+        if self._server is not None:
+            self._server.close()
+        for task in self._tasks:
+            task.cancel()
+        writers = [self._ring_writer, *self._client_writers.values(), *self._inbound_writers]
+        for writer in writers:
+            if writer is not None:
+                writer.transport.abort()
+        await asyncio.sleep(0)
+
+    # ------------------------------------------------------------------
+    # Inbound connections
+    # ------------------------------------------------------------------
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        decoder = FrameDecoder()
+        self._inbound_writers.append(writer)
+        try:
+            hello = await reader.readexactly(_HELLO.size)
+        except (asyncio.IncompleteReadError, ConnectionError):
+            writer.close()
+            return
+        kind, peer_id = _HELLO.unpack(hello)
+        if kind == _KIND_CLIENT:
+            self._client_writers[peer_id] = writer
+        try:
+            async for payload in _read_frames(reader, decoder):
+                if self._stopped:
+                    break
+                message = decode_message(payload)
+                if kind == _KIND_RING:
+                    replies = self.proto.on_ring_message(message)
+                else:
+                    replies = self.proto.on_client_message(peer_id, message)
+                await self._dispatch_replies(replies)
+                self._ring_wake.set()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            if kind == _KIND_CLIENT:
+                self._client_writers.pop(peer_id, None)
+            writer.close()
+
+    async def _dispatch_replies(self, replies) -> None:
+        for reply in replies:
+            writer = self._client_writers.get(reply.client)
+            if writer is None:
+                continue
+            try:
+                writer.write(frame(encode_message(reply.message)))
+                await writer.drain()
+            except ConnectionError:
+                self._client_writers.pop(reply.client, None)
+
+    # ------------------------------------------------------------------
+    # Outgoing ring connection + perfect failure detection
+    # ------------------------------------------------------------------
+
+    async def _ring_sender(self) -> None:
+        while not self._stopped:
+            message = self.proto.next_ring_message()
+            if message is None:
+                self._ring_wake.clear()
+                if self.proto.has_ring_work:
+                    continue
+                await self._ring_wake.wait()
+                continue
+            successor = self.proto.successor
+            try:
+                writer = await self._successor_writer(successor)
+                writer.write(frame(encode_message(message)))
+                await writer.drain()
+            except (ConnectionError, OSError):
+                # The paper's failure detector: a broken ring connection
+                # means the successor crashed.  Splice and reconfigure.
+                self._drop_ring_writer()
+                if self.proto.ring.is_alive(successor) and self.proto.ring.num_alive > 1:
+                    replies = self.proto.on_server_crash(successor)
+                    await self._dispatch_replies(replies)
+                # The undelivered message's state is covered by the
+                # reconfiguration merge; do not retransmit it verbatim.
+                continue
+
+    async def _successor_writer(self, successor: int) -> asyncio.StreamWriter:
+        if (
+            self._ring_writer is not None
+            and self._ring_peer == successor
+            and not self._ring_writer.is_closing()
+        ):
+            return self._ring_writer
+        self._drop_ring_writer()
+        host, port = self.addresses[successor]
+        reader, writer = await asyncio.open_connection(host, port)
+        writer.write(_HELLO.pack(_KIND_RING, self.server_id))
+        await writer.drain()
+        self._ring_writer = writer
+        self._ring_peer = successor
+        # Watch the read side: EOF or a reset on this connection is the
+        # paper's failure-detector signal for the successor's crash.
+        self._tasks.append(asyncio.create_task(self._watch_successor(reader, successor)))
+        return writer
+
+    async def _watch_successor(self, reader: asyncio.StreamReader, peer: int) -> None:
+        try:
+            while True:
+                chunk = await reader.read(4096)
+                if not chunk:
+                    break
+        except (ConnectionError, OSError, asyncio.CancelledError):
+            pass
+        if self._stopped or self._ring_peer != peer:
+            return
+        self._drop_ring_writer()
+        if self.proto.ring.is_alive(peer) and self.proto.ring.num_alive > 1:
+            replies = self.proto.on_server_crash(peer)
+            await self._dispatch_replies(replies)
+        self._ring_wake.set()
+
+    def _drop_ring_writer(self) -> None:
+        if self._ring_writer is not None:
+            self._ring_writer.close()
+        self._ring_writer = None
+        self._ring_peer = None
+
+
+class AsyncClient:
+    """One logical client over asyncio TCP (one operation at a time)."""
+
+    def __init__(
+        self,
+        client_id: int,
+        servers: list[int],
+        addresses: dict[int, tuple[str, int]],
+        config: Optional[ProtocolConfig] = None,
+    ):
+        self.proto = ClientProtocol(client_id, servers, config)
+        self.client_id = client_id
+        self.addresses = dict(addresses)
+        self._connections: dict[int, tuple[asyncio.StreamReader, asyncio.StreamWriter]] = {}
+        self._futures: dict[OpId, asyncio.Future] = {}
+        self._timers: dict[int, asyncio.TimerHandle] = {}
+        self._reader_tasks: dict[int, asyncio.Task] = {}
+
+    async def write(self, value: bytes) -> None:
+        op, effects = self.proto.start_write(value)
+        await self._run_op(op, effects)
+
+    async def read(self) -> bytes:
+        op, effects = self.proto.start_read()
+        result = await self._run_op(op, effects)
+        return result
+
+    async def close(self) -> None:
+        for timer in self._timers.values():
+            timer.cancel()
+        for task in self._reader_tasks.values():
+            task.cancel()
+        for _reader, writer in self._connections.values():
+            writer.close()
+        self._connections.clear()
+
+    # ------------------------------------------------------------------
+
+    async def _run_op(self, op: OpId, effects) -> Optional[bytes]:
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._futures[op] = future
+        await self._execute(effects)
+        return await future
+
+    async def _execute(self, effects) -> None:
+        loop = asyncio.get_running_loop()
+        for effect in effects:
+            if isinstance(effect, SendTo):
+                await self._send(effect.server, effect.message)
+            elif isinstance(effect, SetTimer):
+                self._cancel(effect.timer_id)
+                self._timers[effect.timer_id] = loop.call_later(
+                    effect.delay, self._timeout, effect.timer_id
+                )
+            elif isinstance(effect, CancelTimer):
+                self._cancel(effect.timer_id)
+            elif isinstance(effect, Complete):
+                future = self._futures.pop(effect.op, None)
+                if future is not None and not future.done():
+                    future.set_result(effect.value)
+            elif isinstance(effect, Fail):
+                future = self._futures.pop(effect.op, None)
+                if future is not None and not future.done():
+                    future.set_exception(
+                        StorageUnavailableError(f"{effect.op}: {effect.reason}")
+                    )
+
+    async def _send(self, server: int, message) -> None:
+        try:
+            writer = await self._connection(server)
+            writer.write(frame(encode_message(message)))
+            await writer.drain()
+        except (ConnectionError, OSError):
+            self._drop(server)
+            # The retry timer will move us to another server.
+
+    async def _connection(self, server: int) -> asyncio.StreamWriter:
+        if server in self._connections:
+            return self._connections[server][1]
+        host, port = self.addresses[server]
+        reader, writer = await asyncio.open_connection(host, port)
+        writer.write(_HELLO.pack(_KIND_CLIENT, self.client_id))
+        await writer.drain()
+        self._connections[server] = (reader, writer)
+        self._reader_tasks[server] = asyncio.create_task(self._reader(server, reader))
+        return writer
+
+    async def _reader(self, server: int, reader: asyncio.StreamReader) -> None:
+        decoder = FrameDecoder()
+        try:
+            async for payload in _read_frames(reader, decoder):
+                message = decode_message(payload)
+                if isinstance(message, (ReadAck, WriteAck)):
+                    await self._execute(self.proto.on_reply(message))
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            self._drop(server)
+
+    def _timeout(self, timer_id: int) -> None:
+        self._timers.pop(timer_id, None)
+        asyncio.ensure_future(self._execute(self.proto.on_timeout(timer_id)))
+
+    def _cancel(self, timer_id: int) -> None:
+        timer = self._timers.pop(timer_id, None)
+        if timer is not None:
+            timer.cancel()
+
+    def _drop(self, server: int) -> None:
+        conn = self._connections.pop(server, None)
+        if conn is not None:
+            conn[1].close()
+        task = self._reader_tasks.pop(server, None)
+        if task is not None:
+            task.cancel()
+
+
+class AsyncCluster:
+    """Convenience: an n-server cluster on localhost ephemeral ports."""
+
+    def __init__(self, num_servers: int, config: Optional[ProtocolConfig] = None):
+        self.num_servers = num_servers
+        self.config = config or ProtocolConfig()
+        self.nodes: dict[int, AsyncServerNode] = {}
+        self.addresses: dict[int, tuple[str, int]] = {}
+        self._next_client = 0
+
+    async def start(self, base_port: int = 0) -> None:
+        ring = RingView.initial(self.num_servers)
+        # Bind listeners first so successor connections find them.
+        for server_id in range(self.num_servers):
+            node = AsyncServerNode(server_id, ring, self.addresses, self.config)
+            host, port = "127.0.0.1", 0
+            node._server = await asyncio.start_server(node._on_connection, host, port)
+            actual = node._server.sockets[0].getsockname()
+            self.addresses[server_id] = (actual[0], actual[1])
+            self.nodes[server_id] = node
+        for node in self.nodes.values():
+            node._tasks.append(asyncio.create_task(node._ring_sender()))
+
+    async def stop(self) -> None:
+        for node in self.nodes.values():
+            await node.stop()
+
+    async def crash_server(self, server_id: int) -> None:
+        await self.nodes[server_id].stop()
+
+    def client(self, home_server: int = 0) -> AsyncClient:
+        self._next_client += 1
+        order = sorted(self.nodes)
+        index = order.index(home_server)
+        order = order[index:] + order[:index]
+        return AsyncClient(10_000 + self._next_client, order, self.addresses, self.config)

@@ -1,0 +1,79 @@
+"""Effect vocabulary shared by every runtime.
+
+Protocol state machines (:mod:`repro.core.server`,
+:mod:`repro.core.client`, and every baseline) are *sans-I/O*: they never
+touch sockets, clocks or event loops.  Inputs arrive through ``on_*``
+methods; outputs are returned as lists of the effect values defined here,
+which the runtime then executes.
+
+Ring data messages are deliberately **not** an effect: a server's ring
+link transmits one message at a time, so the runtime *pulls* the next ring
+message (``ServerProtocol.next_ring_message``) whenever the link is free.
+This pull contract is what the paper's ``queue handler`` task becomes in
+an event-driven implementation, and it maps one-to-one onto "send at most
+one message per round" in the round model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.core.messages import ClientMessage, OpId, ServerReply
+
+
+@dataclass(frozen=True)
+class Reply:
+    """Server-side effect: send ``message`` to ``client``."""
+
+    client: int
+    message: ServerReply
+
+
+@dataclass(frozen=True)
+class SendTo:
+    """Client-side effect: send ``message`` to ``server``."""
+
+    server: int
+    message: ClientMessage
+
+
+@dataclass(frozen=True)
+class SetTimer:
+    """Client-side effect: arm timer ``timer_id`` to fire in ``delay`` s."""
+
+    timer_id: int
+    delay: float
+
+
+@dataclass(frozen=True)
+class CancelTimer:
+    """Client-side effect: disarm timer ``timer_id`` (no-op if unarmed)."""
+
+    timer_id: int
+
+
+@dataclass(frozen=True)
+class Complete:
+    """Client-side effect: operation ``op`` finished.
+
+    ``value`` is the read result (``None`` for writes); ``tag`` is the
+    value's tag when the runtime records histories for linearizability
+    checking.
+    """
+
+    op: OpId
+    kind: str  # "read" | "write"
+    value: Optional[bytes] = None
+    tag: Optional[object] = None
+
+
+@dataclass(frozen=True)
+class Fail:
+    """Client-side effect: operation ``op`` exhausted its retries."""
+
+    op: OpId
+    reason: str
+
+
+Effect = Union[Reply, SendTo, SetTimer, CancelTimer, Complete, Fail]

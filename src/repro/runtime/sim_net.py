@@ -1,0 +1,616 @@
+"""Cluster runtime: protocol state machines over the discrete-event simulator.
+
+A :class:`SimCluster` hosts the ring servers and any number of clients on
+a simulated network (dual-network or shared, per the paper's testbed), and
+wires up:
+
+* one *out-loop* per NIC, which pulls at most one message at a time —
+  ring messages via :meth:`ServerProtocol.next_ring_message` (the paper's
+  ``queue handler``) and client replies from a reply queue — so the NIC's
+  transmit port is the only scheduler of outgoing traffic, exactly as in
+  the paper's performance model;
+* the perfect failure detector: a server crash is delivered to every
+  surviving server after a fixed detection delay (the simulator's stand-in
+  for a broken TCP connection in a synchronous cluster);
+* crash fidelity: a crashing server's queued-but-untransmitted messages
+  die with it, while messages already on the wire are delivered (TCP
+  semantics).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.core.client import ClientProtocol
+from repro.core.config import ProtocolConfig
+from repro.core.messages import ClientMessage, OpId, payload_size
+from repro.core.ring import RingView
+from repro.core.server import ServerProtocol
+from repro.core.tags import Tag
+from repro.errors import ConfigurationError, SimulationError
+from repro.fd.perfect import PerfectFailureDetector
+from repro.runtime.interface import (
+    CancelTimer,
+    Complete,
+    Fail,
+    Reply,
+    SendTo,
+    SetTimer,
+)
+from repro.sim.env import SimEnv
+from repro.sim.network import DEFAULT_PROPAGATION_DELAY
+from repro.sim.nic import FAST_ETHERNET_BPS, Nic
+from repro.sim.process import SimProcess
+from repro.sim.topology import build_dual_network, build_shared_network
+from repro.sim.wire import WireModel
+
+#: Time between a server crash and the failure detector notifying the
+#: survivors.  Chosen larger than any in-flight message delivery so that
+#: wire-borne messages from the dead server land before reconfiguration
+#: starts (the synchrony assumption behind the paper's perfect detector).
+DEFAULT_DETECTION_DELAY = 0.005
+
+
+@dataclass(frozen=True)
+class OpResult:
+    """Outcome handed to client completion callbacks."""
+
+    op: OpId
+    kind: str  # "read" | "write"
+    ok: bool
+    value: Optional[bytes] = None
+    tag: Optional[Tag] = None
+    error: Optional[str] = None
+
+
+@dataclass
+class ClusterConfig:
+    """Everything needed to build a simulated cluster."""
+
+    num_servers: int
+    topology: str = "dual"  # "dual" (paper testbed) or "shared"
+    seed: int = 0
+    protocol: ProtocolConfig = field(default_factory=ProtocolConfig)
+    bandwidth_bps: float = FAST_ETHERNET_BPS
+    wire: WireModel = field(default_factory=WireModel)
+    propagation_delay: float = DEFAULT_PROPAGATION_DELAY
+    detection_delay: float = DEFAULT_DETECTION_DELAY
+    #: Pre-populated register contents.  Throughput experiments read
+    #: value-sized payloads, so the register must start full (the paper's
+    #: read experiment necessarily measures value-carrying replies).
+    initial_value: bytes = b""
+
+    def validate(self) -> "ClusterConfig":
+        if self.num_servers < 1:
+            raise ConfigurationError("num_servers must be >= 1")
+        if self.topology not in ("dual", "shared"):
+            raise ConfigurationError(f"unknown topology {self.topology!r}")
+        if self.detection_delay <= 0:
+            raise ConfigurationError("detection_delay must be > 0")
+        self.protocol.validate()
+        return self
+
+
+class _OutLoop:
+    """Round-robin message pump for one NIC transmit port.
+
+    Sources are callables returning ``(dst_name, message, deliver_kind)``
+    or ``None``.  At most one message is in the transmit port at a time;
+    the port's idle callback re-pumps, so backpressure is exact.
+    """
+
+    def __init__(self, host: "_HostBase", nic: Nic, sources: list[Callable]):
+        self.host = host
+        self.nic = nic
+        self.sources = sources
+        self._next_index = 0
+        nic.tx.on_idle(self.pump)
+
+    def pump(self) -> None:
+        if not self.host.alive or self.nic.tx.busy:
+            return
+        for attempt in range(len(self.sources)):
+            source = self.sources[(self._next_index + attempt) % len(self.sources)]
+            item = source()
+            if item is None:
+                continue
+            self._next_index = (self._next_index + attempt + 1) % len(self.sources)
+            dst_name, message, kind = item
+            self.host.cluster.transmit(self.host, self.nic, dst_name, message, kind)
+            return
+
+
+class _HostBase(SimProcess):
+    """Common machinery for server and client hosts."""
+
+    def __init__(self, cluster: "SimCluster", name: str):
+        super().__init__(cluster.env, name)
+        self.cluster = cluster
+        self._loops: list[_OutLoop] = []
+        for nic in cluster.topo.nics.get(name, {}).values():
+            nic.owner = self
+        self.on_crash(self._purge_on_crash)
+
+    def kick(self) -> None:
+        """Re-run every out-loop (new work may be available)."""
+        for loop in self._loops:
+            loop.pump()
+
+    def _purge_on_crash(self, _process) -> None:
+        for nic in self.cluster.topo.nics.get(self.name, {}).values():
+            nic.tx.purge()
+            nic.rx.purge()
+
+
+class ServerHost(_HostBase):
+    """Hosts one :class:`ServerProtocol` on the simulated network.
+
+    Replies are queued per destination client *machine* and served
+    round-robin, modelling per-TCP-connection fairness in a real kernel:
+    a writer machine's (tiny) acks are not starved behind another
+    machine's (bulk) read replies.
+    """
+
+    def __init__(self, cluster: "SimCluster", server_id: int, proto: ServerProtocol):
+        super().__init__(cluster, f"s{server_id}")
+        self.server_id = server_id
+        self.proto = proto
+        self._reply_queues: dict[str, deque[Reply]] = {}
+        self._reply_rr: deque[str] = deque()
+
+        nics = cluster.topo.nics[self.name]
+        if cluster.config.topology == "dual":
+            self.nic_ring = nics["srv"]
+            self.nic_client = nics["cli"]
+            self._loops.append(_OutLoop(self, self.nic_ring, [self._ring_source]))
+            self._loops.append(_OutLoop(self, self.nic_client, [self._reply_source]))
+        else:
+            nic = nics["lan"]
+            self.nic_ring = nic
+            self.nic_client = nic
+            # One NIC carries both kinds of traffic; round-robin between
+            # forwarding the ring and answering clients (figure 3d).
+            self._loops.append(
+                _OutLoop(self, nic, [self._ring_source, self._reply_source])
+            )
+
+    # -- inbound ------------------------------------------------------
+
+    def receive_ring(self, message) -> None:
+        if not self.alive:
+            return
+        self._post(self.proto.on_ring_message(message))
+
+    def receive_client(self, client_id: int, message: ClientMessage) -> None:
+        if not self.alive:
+            return
+        self._post(self.proto.on_client_message(client_id, message))
+
+    def notify_crash(self, crashed_id: int) -> None:
+        if not self.alive:
+            return
+        self._post(self.proto.on_server_crash(crashed_id))
+
+    # -- outbound sources ----------------------------------------------
+
+    def _ring_source(self):
+        message = self.proto.next_ring_message()
+        if message is None:
+            return None
+        return (f"s{self.proto.successor}", message, "ring")
+
+    def _reply_source(self):
+        while self._reply_rr:
+            machine = self._reply_rr[0]
+            queue = self._reply_queues.get(machine)
+            if not queue:
+                self._reply_rr.popleft()
+                continue
+            reply = queue.popleft()
+            if queue:
+                self._reply_rr.rotate(-1)  # next machine's turn
+            else:
+                self._reply_rr.popleft()
+            return (machine, reply.message, "reply")
+        return None
+
+    def _post(self, replies: list[Reply]) -> None:
+        for reply in replies:
+            machine = self.cluster.client_name(reply.client)
+            if machine is None:
+                continue  # client unknown/gone; drop
+            queue = self._reply_queues.setdefault(machine, deque())
+            if not queue and machine not in self._reply_rr:
+                self._reply_rr.append(machine)
+            queue.append(reply)
+        self.kick()
+
+
+class ClientHost(_HostBase):
+    """One client *machine*: a NIC plus any number of logical clients.
+
+    The paper's methodology: "the client application can emulate multiple
+    clients, i.e. it can send multiple read and write requests in
+    parallel.  Thus, a single writing node can saturate the storage."
+    Each logical client is one :class:`ClientProtocol` (one operation in
+    flight); they all share the machine's NIC.
+    """
+
+    def __init__(
+        self,
+        cluster: "SimCluster",
+        client_id: int,
+        servers: list[int],
+        config: ProtocolConfig,
+    ):
+        super().__init__(cluster, f"c{client_id}")
+        self.client_id = client_id
+        self.servers = list(servers)
+        self.config = config
+        self.protos: dict[int, ClientProtocol] = {
+            client_id: ClientProtocol(client_id, servers, config)
+        }
+        self.out_queue: deque[tuple[str, ClientMessage]] = deque()
+        self._timers: dict[tuple[int, int], object] = {}
+        self._callbacks: dict[OpId, Callable[[OpResult], None]] = {}
+        nic = cluster.topo.nics[self.name][
+            "cli" if cluster.config.topology == "dual" else "lan"
+        ]
+        self.nic = nic
+        self._loops.append(_OutLoop(self, nic, [self._request_source]))
+
+    def add_virtual_client(self) -> int:
+        """Create another logical client on this machine; returns its id."""
+        virtual_id = self.cluster.register_virtual_client(self)
+        self.protos[virtual_id] = ClientProtocol(virtual_id, self.servers, self.config)
+        return virtual_id
+
+    # -- public operation API -------------------------------------------
+
+    def write(
+        self,
+        value: bytes,
+        callback: Callable[[OpResult], None],
+        client_id: Optional[int] = None,
+    ) -> OpId:
+        self.check_alive()
+        proto = self._proto(client_id)
+        op, effects = proto.start_write(value)
+        self._callbacks[op] = callback
+        self.cluster.record_invoke(proto.client_id, op, "write", value)
+        self._execute(proto, effects)
+        return op
+
+    def read(
+        self,
+        callback: Callable[[OpResult], None],
+        client_id: Optional[int] = None,
+    ) -> OpId:
+        self.check_alive()
+        proto = self._proto(client_id)
+        op, effects = proto.start_read()
+        self._callbacks[op] = callback
+        self.cluster.record_invoke(proto.client_id, op, "read", None)
+        self._execute(proto, effects)
+        return op
+
+    # -- inbound ---------------------------------------------------------
+
+    def on_reply_delivered(self, message) -> None:
+        if not self.alive:
+            return
+        proto = self.protos.get(message.op.client)
+        if proto is not None:
+            self._execute(proto, proto.on_reply(message))
+
+    # -- internals ---------------------------------------------------------
+
+    def _proto(self, client_id: Optional[int]) -> ClientProtocol:
+        if client_id is None:
+            client_id = self.client_id
+        return self.protos[client_id]
+
+    def _request_source(self):
+        if not self.out_queue:
+            return None
+        server_name, message = self.out_queue.popleft()
+        return (server_name, message, "request")
+
+    def _on_timeout(self, client_id: int, timer_id: int) -> None:
+        if not self.alive:
+            return
+        self._timers.pop((client_id, timer_id), None)
+        proto = self.protos[client_id]
+        self._execute(proto, proto.on_timeout(timer_id))
+
+    def _execute(self, proto: ClientProtocol, effects) -> None:
+        client_id = proto.client_id
+        for effect in effects:
+            if isinstance(effect, SendTo):
+                self.out_queue.append(
+                    (f"s{effect.server}", self._wrap_request(effect.message))
+                )
+            elif isinstance(effect, SetTimer):
+                self._cancel_timer(client_id, effect.timer_id)
+                self._timers[(client_id, effect.timer_id)] = self.env.scheduler.schedule(
+                    effect.delay, self._on_timeout, client_id, effect.timer_id
+                )
+            elif isinstance(effect, CancelTimer):
+                self._cancel_timer(client_id, effect.timer_id)
+            elif isinstance(effect, Complete):
+                result = OpResult(
+                    effect.op, effect.kind, ok=True, value=effect.value, tag=effect.tag
+                )
+                self.cluster.record_response(client_id, effect.op, result)
+                callback = self._callbacks.pop(effect.op, None)
+                if callback is not None:
+                    callback(result)
+            elif isinstance(effect, Fail):
+                result = OpResult(effect.op, "unknown", ok=False, error=effect.reason)
+                callback = self._callbacks.pop(effect.op, None)
+                if callback is not None:
+                    callback(result)
+            else:  # pragma: no cover - defensive
+                raise SimulationError(f"unknown effect {effect!r}")
+        self.kick()
+
+    def _wrap_request(self, message: ClientMessage) -> ClientMessage:
+        """Hook for subclasses that envelope requests (sharded store)."""
+        return message
+
+    def _cancel_timer(self, client_id: int, timer_id: int) -> None:
+        handle = self._timers.pop((client_id, timer_id), None)
+        if handle is not None:
+            handle.cancel()
+
+
+class SimCluster:
+    """A simulated storage cluster: ring servers plus dynamic clients.
+
+    Example::
+
+        cluster = SimCluster.build(num_servers=5, seed=7)
+        storage = AtomicStorage.over(cluster)
+        storage.write(b"hello")
+        assert storage.read() == b"hello"
+    """
+
+    def __init__(self, config: ClusterConfig, host_factory=None):
+        """``host_factory(cluster, server_id)`` builds each server host;
+        by default the ring :class:`ServerHost`.  Baseline protocols
+        (:mod:`repro.baselines`) supply their own factories and reuse the
+        topology, clients, failure detector and history plumbing."""
+        self.config = config.validate()
+        self.env = SimEnv(seed=config.seed)
+        server_names = [f"s{i}" for i in range(config.num_servers)]
+        builder = build_dual_network if config.topology == "dual" else build_shared_network
+        self.topo = builder(
+            self.env,
+            server_names,
+            [],
+            bandwidth_bps=config.bandwidth_bps,
+            wire=config.wire,
+            propagation_delay=config.propagation_delay,
+        )
+        self.ring = RingView.initial(config.num_servers)
+        self.fd = PerfectFailureDetector(self.env, config.detection_delay)
+        self.fd.subscribe(self._fd_notify)
+        self.clients: dict[int, ClientHost] = {}
+        self._host_by_client_id: dict[int, ClientHost] = {}
+        self._next_client_id = 0
+        #: Optional history recorder (see repro.analysis.history).
+        self.history = None
+        if host_factory is None:
+            host_factory = self._default_host_factory
+        self.servers: dict[int, _HostBase] = {}
+        for server_id in range(config.num_servers):
+            host = host_factory(self, server_id)
+            host.on_crash(self._server_crashed)
+            self.servers[server_id] = host
+
+    @staticmethod
+    def _default_host_factory(cluster: "SimCluster", server_id: int) -> "ServerHost":
+        proto = ServerProtocol(
+            server_id,
+            cluster.ring,
+            cluster.config.protocol,
+            initial_value=cluster.config.initial_value,
+        )
+        return ServerHost(cluster, server_id, proto)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        num_servers: int,
+        topology: str = "dual",
+        seed: int = 0,
+        protocol: Optional[ProtocolConfig] = None,
+        host_factory=None,
+        **kwargs,
+    ) -> "SimCluster":
+        """Build a cluster with sensible defaults (see :class:`ClusterConfig`)."""
+        return cls(
+            ClusterConfig(
+                num_servers=num_servers,
+                topology=topology,
+                seed=seed,
+                protocol=protocol or ProtocolConfig(),
+                **kwargs,
+            ),
+            host_factory=host_factory,
+        )
+
+    def add_client(self, home_server: Optional[int] = None) -> ClientHost:
+        """Attach a new client machine to the client network.
+
+        ``home_server`` binds the client to a server (the paper dedicates
+        client machines per server); retries walk the ring from there.
+        """
+        client_id = self._next_client_id
+        self._next_client_id += 1
+        name = f"c{client_id}"
+        nets = ["cli"] if self.config.topology == "dual" else ["lan"]
+        self.topo.add_process(name, nets, self.config.bandwidth_bps)
+        order = sorted(self.servers)
+        if home_server is not None:
+            if home_server not in self.servers:
+                raise ConfigurationError(f"unknown home server {home_server}")
+            index = order.index(home_server)
+            order = order[index:] + order[:index]
+        host = ClientHost(self, client_id, order, self.config.protocol)
+        self.clients[client_id] = host
+        self._host_by_client_id[client_id] = host
+        return host
+
+    def register_virtual_client(self, host: "ClientHost") -> int:
+        """Allocate a fresh logical-client id bound to ``host``."""
+        client_id = self._next_client_id
+        self._next_client_id += 1
+        self._host_by_client_id[client_id] = host
+        return client_id
+
+    # ------------------------------------------------------------------
+    # Routing and delivery
+    # ------------------------------------------------------------------
+
+    def client_name(self, client_id: int) -> Optional[str]:
+        host = self._host_by_client_id.get(client_id)
+        return host.name if host is not None else None
+
+    def transmit(self, host, src_nic: Nic, dst_name: str, message, kind: str) -> None:
+        """Send one message from ``host`` through ``src_nic``."""
+        route_src, dst_nic, network = self.topo.nic_for(host.name, dst_name)
+        if route_src is not src_nic:  # pragma: no cover - defensive
+            raise SimulationError(
+                f"route from {host.name} to {dst_name} uses {route_src.name}, "
+                f"but the out-loop pumped {src_nic.name}"
+            )
+        deliver = self._make_deliver(dst_name, kind, host.name)
+        network.unicast(src_nic, dst_nic, _payload_of(message), message, deliver)
+
+    def multicast_servers(self, host, message) -> None:
+        """Ethernet multicast to every other alive server (naive
+        broadcast baseline).  Subject to the network's collision model."""
+        src_nic = host.nic_ring
+        dsts = [
+            other.nic_ring
+            for sid, other in self.servers.items()
+            if sid != host.server_id and other.alive
+        ]
+        if not dsts:
+            return
+
+        def deliver(dst_nic, msg) -> None:
+            server = self._server_by_name(dst_nic.name.split("@")[0])
+            if server is not None:
+                server.receive_server(host.server_id, msg)
+
+        network = src_nic.network
+        network.multicast(src_nic, dsts, _payload_of(message), message, deliver)
+
+    def _make_deliver(self, dst_name: str, kind: str, src_name: str):
+        def deliver(message) -> None:
+            if kind == "ring":
+                server = self._server_by_name(dst_name)
+                if server is not None:
+                    server.receive_ring(message)
+            elif kind == "srv":
+                # Generic server-to-server delivery (baseline protocols).
+                server = self._server_by_name(dst_name)
+                if server is not None:
+                    server.receive_server(int(src_name[1:]), message)
+            elif kind == "request":
+                server = self._server_by_name(dst_name)
+                client_id = int(src_name[1:])
+                if server is not None:
+                    server.receive_client(client_id, message)
+            elif kind == "reply":
+                host = self.clients.get(int(dst_name[1:]))
+                if host is not None:
+                    host.on_reply_delivered(message)
+            else:  # pragma: no cover - defensive
+                raise SimulationError(f"unknown delivery kind {kind!r}")
+
+        return deliver
+
+    def _server_by_name(self, name: str) -> Optional[ServerHost]:
+        return self.servers.get(int(name[1:]))
+
+    # ------------------------------------------------------------------
+    # Failure detector
+    # ------------------------------------------------------------------
+
+    def _server_crashed(self, process) -> None:
+        crashed_id = int(process.name[1:])
+        if self.ring.is_alive(crashed_id) and self.ring.num_alive > 1:
+            # Track the surviving membership (RingView requires at least
+            # one alive member, so the very last crash is not recorded).
+            self.ring = self.ring.without(crashed_id)
+        self.fd.report_crash(crashed_id)
+
+    def _fd_notify(self, crashed_id: int) -> None:
+        for server_id, host in self.servers.items():
+            if server_id != crashed_id and host.alive:
+                host.notify_crash(crashed_id)
+
+    def crash_server(self, server_id: int) -> None:
+        """Crash a server now (tests and fault plans)."""
+        self.servers[server_id].crash()
+
+    def alive_servers(self) -> list[int]:
+        return [sid for sid, host in self.servers.items() if host.alive]
+
+    # ------------------------------------------------------------------
+    # History hooks (filled in by the workload/bench layers)
+    # ------------------------------------------------------------------
+
+    def record_invoke(self, client_id: int, op: OpId, kind: str, value) -> None:
+        if self.history is not None:
+            self.history.invoke(self.env.now, client_id, op, kind, value)
+
+    def record_response(self, client_id: int, op: OpId, result: OpResult) -> None:
+        if self.history is not None:
+            self.history.respond(self.env.now, client_id, op, result.value, result.tag)
+
+    # ------------------------------------------------------------------
+    # Clock helpers
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.env.now
+
+    def run(self, until: Optional[float] = None) -> None:
+        self.env.run(until=until)
+
+    def run_until(self, predicate: Callable[[], bool], max_events: int = 10_000_000) -> None:
+        """Advance the simulation until ``predicate()`` holds."""
+        fired = 0
+        while not predicate():
+            if not self.env.scheduler.step():
+                raise SimulationError("simulation went idle before the condition held")
+            fired += 1
+            if fired > max_events:
+                raise SimulationError("condition not reached within event budget")
+
+
+def _payload_of(message) -> int:
+    """Payload bytes of a message: baseline messages size themselves via
+    a ``payload_bytes()`` method; core messages use
+    :func:`repro.core.messages.payload_size`."""
+    sizer = getattr(message, "payload_bytes", None)
+    if callable(sizer):
+        return sizer()
+    return payload_size(message)
+
+
+# Public aliases for the baseline runtimes (repro.baselines), which build
+# their own server hosts on the same machinery.
+HostBase = _HostBase
+OutLoop = _OutLoop

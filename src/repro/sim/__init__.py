@@ -1,0 +1,41 @@
+"""Deterministic discrete-event cluster simulator.
+
+The simulator stands in for the paper's hardware testbed (24 homogeneous
+nodes with dual 100 Mbit/s fast-ethernet NICs).  It models exactly the
+resources the paper's evaluation saturates:
+
+* full-duplex NICs whose transmit and receive ports serialise messages at
+  a finite bandwidth (:mod:`repro.sim.nic`);
+* per-message wire cost including MSS segmentation and per-segment
+  TCP/IP/Ethernet overhead (:mod:`repro.sim.wire`);
+* a switched fabric with propagation delay, plus an optional
+  ethernet-style multicast with collisions and exponential backoff
+  (:mod:`repro.sim.network`);
+* the paper's two physical topologies — separate client/server networks
+  and a single shared network (:mod:`repro.sim.topology`).
+
+Everything is driven by a single :class:`~repro.sim.events.EventScheduler`
+and is reproducible from a seed.
+"""
+
+from repro.sim.events import EventHandle, EventScheduler
+from repro.sim.env import SimEnv
+from repro.sim.nic import Nic, Port
+from repro.sim.network import Network
+from repro.sim.topology import ClusterTopology, build_dual_network, build_shared_network
+from repro.sim.trace import TraceRecorder
+from repro.sim.wire import WireModel
+
+__all__ = [
+    "ClusterTopology",
+    "EventHandle",
+    "EventScheduler",
+    "Network",
+    "Nic",
+    "Port",
+    "SimEnv",
+    "TraceRecorder",
+    "WireModel",
+    "build_dual_network",
+    "build_shared_network",
+]

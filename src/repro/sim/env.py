@@ -1,0 +1,39 @@
+"""Simulation environment: scheduler + tracing + RNG in one handle.
+
+Every simulated component receives a :class:`SimEnv` so that the whole run
+shares a single clock, a single trace recorder and a single seeded RNG
+registry.  This is the only object that must be threaded through the
+simulator's constructors.
+"""
+
+from __future__ import annotations
+
+from repro.sim.events import EventScheduler
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import TraceRecorder
+
+
+class SimEnv:
+    """Bundles the scheduler, trace recorder and RNG registry for one run."""
+
+    def __init__(self, seed: int = 0, record_events: bool = False):
+        self.scheduler = EventScheduler()
+        self.trace = TraceRecorder(record_events=record_events)
+        self.rng = RngRegistry(seed)
+        self.seed = seed
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self.scheduler.now
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Convenience pass-through to :meth:`EventScheduler.run`."""
+        self.scheduler.run(until=until, max_events=max_events)
+
+    def run_until_idle(self, max_events: int = 10_000_000) -> None:
+        """Convenience pass-through to :meth:`EventScheduler.run_until_idle`."""
+        self.scheduler.run_until_idle(max_events=max_events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SimEnv now={self.now:.6f} seed={self.seed}>"

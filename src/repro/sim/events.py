@@ -1,0 +1,155 @@
+"""Deterministic event-heap scheduler.
+
+The scheduler is the heart of the simulator: every NIC transmission,
+message delivery, timer and fault is an event on a single binary heap.
+Determinism matters because the test-suite and the benchmark harness rely
+on bit-identical reruns from the same seed; ties in firing time are broken
+by a monotonically increasing sequence number, never by object identity.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+
+
+class EventHandle:
+    """A cancelable reference to a scheduled event.
+
+    Handles are returned by :meth:`EventScheduler.schedule` and
+    :meth:`EventScheduler.schedule_at`.  Cancelling an already-fired or
+    already-cancelled event is a harmless no-op, which keeps timer
+    bookkeeping in protocol code simple.
+    """
+
+    __slots__ = ("time", "seq", "_action", "_args", "_cancelled")
+
+    def __init__(self, time: float, seq: int, action: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self._action = action
+        self._args = args
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self._cancelled = True
+        self._action = None
+        self._args = ()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self._cancelled else "pending"
+        return f"<EventHandle t={self.time:.6f} seq={self.seq} {state}>"
+
+
+class EventScheduler:
+    """A deterministic discrete-event scheduler.
+
+    Example::
+
+        sched = EventScheduler()
+        sched.schedule(1.0, print, "hello")
+        sched.run()
+        assert sched.now == 1.0
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[EventHandle] = []
+        self._seq = 0
+        self._now = 0.0
+        self._events_fired = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_fired(self) -> int:
+        """Number of events executed so far (for diagnostics)."""
+        return self._events_fired
+
+    @property
+    def pending(self) -> int:
+        """Number of events still on the heap (including cancelled ones)."""
+        return len(self._heap)
+
+    def schedule(self, delay: float, action: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``action(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule an event in the past (delay={delay})")
+        return self.schedule_at(self._now + delay, action, *args)
+
+    def schedule_at(self, time: float, action: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``action(*args)`` to run at absolute simulated ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule an event in the past (time={time}, now={self._now})"
+            )
+        handle = EventHandle(time, self._seq, action, args)
+        self._seq += 1
+        heapq.heappush(self._heap, handle)
+        return handle
+
+    def step(self) -> bool:
+        """Run the next pending event.  Returns ``False`` when idle."""
+        while self._heap:
+            handle = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            self._now = handle.time
+            action, args = handle._action, handle._args
+            handle.cancel()  # mark as consumed; drops references
+            self._events_fired += 1
+            action(*args)
+            return True
+        return False
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> None:
+        """Run events until the heap is empty, ``until`` is reached, or
+        ``max_events`` have fired.
+
+        When ``until`` is given, the clock is advanced to exactly ``until``
+        even if the last event fired earlier, mirroring how a wall clock
+        keeps ticking after a quiet period.
+        """
+        fired = 0
+        while self._heap:
+            nxt = self._heap[0]
+            if nxt.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if until is not None and nxt.time > until:
+                break
+            if max_events is not None and fired >= max_events:
+                return
+            self.step()
+            fired += 1
+        if until is not None and self._now < until:
+            self._now = until
+
+    def run_until_idle(self, max_events: int = 10_000_000) -> None:
+        """Run until no events remain.  Guards against runaway loops."""
+        fired = 0
+        while self.step():
+            fired += 1
+            if fired > max_events:
+                raise SimulationError(
+                    f"simulation did not quiesce within {max_events} events"
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<EventScheduler now={self._now:.6f} pending={len(self._heap)}>"

@@ -1,0 +1,65 @@
+"""Fault injection for simulation runs.
+
+A :class:`FaultPlan` is a declarative crash schedule: *crash process X at
+time t*.  Plans are applied to a running cluster by scheduling crash
+events; they are how the resilience tests drive the paper's "tolerates
+n-1 server crashes" claim without hand-written event plumbing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigurationError
+from repro.sim.env import SimEnv
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.process import SimProcess
+
+
+@dataclass(frozen=True)
+class CrashAt:
+    """Crash ``process_name`` at simulated ``time``."""
+
+    time: float
+    process_name: str
+
+
+@dataclass
+class FaultPlan:
+    """An ordered collection of fault events."""
+
+    crashes: list[CrashAt] = field(default_factory=list)
+
+    def crash(self, process_name: str, at: float) -> "FaultPlan":
+        """Append a crash event (chainable)."""
+        self.crashes.append(CrashAt(at, process_name))
+        return self
+
+    @staticmethod
+    def sequential(
+        process_names: list[str], first_at: float, spacing: float
+    ) -> "FaultPlan":
+        """Crash each listed process in order, ``spacing`` seconds apart.
+
+        This is the canonical "kill all but one server" resilience drill:
+        crashes are spaced so each ring reconfiguration completes before
+        the next crash, matching the paper's synchronous-cluster
+        assumption that failure handling is fast relative to failure
+        inter-arrival times.
+        """
+        plan = FaultPlan()
+        for index, name in enumerate(process_names):
+            plan.crash(name, first_at + index * spacing)
+        return plan
+
+    def apply(self, env: SimEnv, processes: dict[str, "SimProcess"]) -> None:
+        """Schedule every fault event against ``processes``."""
+        for crash in self.crashes:
+            if crash.process_name not in processes:
+                raise ConfigurationError(
+                    f"fault plan references unknown process {crash.process_name!r}"
+                )
+            process = processes[crash.process_name]
+            env.scheduler.schedule_at(crash.time, process.crash)

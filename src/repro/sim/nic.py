@@ -1,0 +1,156 @@
+"""Full-duplex network interface model.
+
+A :class:`Nic` owns two independent :class:`Port` rate servers — transmit
+and receive — matching the paper's observation that "modern full-duplex
+network interfaces can receive and send messages at the same time".  Each
+port serialises messages: a port transmits (or receives) exactly one
+message at a time at its configured bandwidth, which is precisely the
+"receive at most one message per round" constraint of the paper's
+performance model, translated to continuous time.
+
+The ring communication pattern keeps each server's ports collision-free;
+quorum/multicast patterns overload the receive ports, which is how the
+simulator reproduces the paper's Figure 1 argument.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Optional
+
+from repro.sim.env import SimEnv
+
+#: 100 Mbit/s fast ethernet, the paper's testbed NIC speed.
+FAST_ETHERNET_BPS = 100_000_000.0
+
+
+class Port:
+    """A FIFO rate server: one message at a time at ``bandwidth_bps``.
+
+    ``submit(wire_bytes, on_done)`` enqueues a message; when the port gets
+    to it, the port stays busy for ``wire_bytes * 8 / bandwidth`` seconds
+    and then invokes ``on_done``.  Callers may also register an idle
+    callback, which fires whenever the port drains — the simulator uses
+    this to implement the protocol's *send slot* (the pseudocode's
+    ``queue handler`` task runs when the outgoing link is free).
+    """
+
+    __slots__ = (
+        "_env",
+        "name",
+        "bandwidth_bps",
+        "_queue",
+        "_busy",
+        "bytes_total",
+        "messages_total",
+        "busy_time",
+        "_last_start",
+        "idle_callbacks",
+    )
+
+    def __init__(self, env: SimEnv, name: str, bandwidth_bps: float):
+        self._env = env
+        self.name = name
+        self.bandwidth_bps = bandwidth_bps
+        self._queue: deque[tuple] = deque()
+        self._busy = False
+        self.bytes_total = 0
+        self.messages_total = 0
+        self.busy_time = 0.0
+        self._last_start = 0.0
+        self.idle_callbacks: list[Callable[[], None]] = []
+
+    @property
+    def busy(self) -> bool:
+        return self._busy
+
+    @property
+    def queue_len(self) -> int:
+        return len(self._queue)
+
+    def submit(
+        self,
+        wire_bytes: int,
+        on_done: Callable[[], None],
+        on_start: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """Enqueue a message of ``wire_bytes`` for service.
+
+        ``on_start`` (if given) fires when serialisation begins — the
+        multicast collision model uses it to detect overlapping frames.
+        """
+        self._queue.append((wire_bytes, on_done, on_start))
+        if not self._busy:
+            self._start_next()
+
+    def on_idle(self, callback: Callable[[], None]) -> None:
+        """Register ``callback`` to fire each time the port drains."""
+        self.idle_callbacks.append(callback)
+
+    def purge(self) -> None:
+        """Drop every queued (not yet started) message.
+
+        Used when the owning process crashes: data sitting in socket
+        buffers dies with the host, while the message currently being
+        serialised finishes (and is dropped downstream by the owner-alive
+        check in :class:`~repro.sim.network.Network`).
+        """
+        self._queue.clear()
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` seconds this port spent transmitting."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / elapsed)
+
+    def _start_next(self) -> None:
+        wire_bytes, on_done, on_start = self._queue.popleft()
+        self._busy = True
+        self._last_start = self._env.now
+        if on_start is not None:
+            on_start()
+        duration = wire_bytes * 8.0 / self.bandwidth_bps
+        self._env.scheduler.schedule(duration, self._finish, wire_bytes, on_done)
+
+    def _finish(self, wire_bytes: int, on_done: Callable[[], None]) -> None:
+        self.bytes_total += wire_bytes
+        self.messages_total += 1
+        self.busy_time += self._env.now - self._last_start
+        on_done()
+        if self._queue:
+            self._start_next()
+        else:
+            self._busy = False
+            for callback in list(self.idle_callbacks):
+                callback()
+            # A callback may have submitted new work synchronously.
+            if not self._busy and self._queue:
+                self._start_next()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "busy" if self._busy else "idle"
+        return f"<Port {self.name} {state} q={len(self._queue)}>"
+
+
+class Nic:
+    """A full-duplex NIC: independent transmit and receive ports."""
+
+    def __init__(
+        self,
+        env: SimEnv,
+        name: str,
+        bandwidth_bps: float = FAST_ETHERNET_BPS,
+    ):
+        self.env = env
+        self.name = name
+        self.bandwidth_bps = bandwidth_bps
+        self.tx = Port(env, f"{name}.tx", bandwidth_bps)
+        self.rx = Port(env, f"{name}.rx", bandwidth_bps)
+        #: Set by Network.attach; a NIC belongs to exactly one network.
+        self.network: Optional[Any] = None
+        #: Optional owning process; when it is dead, the network drops
+        #: traffic to and from this NIC (crash fidelity).
+        self.owner: Optional[Any] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Nic {self.name} @{self.bandwidth_bps/1e6:.0f}Mbps>"

@@ -1,0 +1,58 @@
+"""Simulated process (actor) base class.
+
+A :class:`SimProcess` is anything with a name that can crash: servers,
+clients, fault injectors.  The class deliberately contains *no* protocol
+logic — protocol state machines live in :mod:`repro.core` and are wired to
+processes by the runtime (:mod:`repro.runtime.sim_net`).
+
+Crash semantics follow the paper's model: a crashed process stops
+performing any computation step.  Components that hold references to a
+process (channels, failure detectors) register crash listeners so the
+event propagates to the transport layer, where it surfaces as a broken
+TCP connection — the raw signal behind the paper's perfect failure
+detector.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import CrashedProcessError
+from repro.sim.env import SimEnv
+
+
+class SimProcess:
+    """A named, crashable simulated process."""
+
+    def __init__(self, env: SimEnv, name: str):
+        self.env = env
+        self.name = name
+        self._alive = True
+        self._crash_listeners: list[Callable[[SimProcess], None]] = []
+
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    def on_crash(self, listener: Callable[["SimProcess"], None]) -> None:
+        """Register ``listener(process)`` to run when this process crashes."""
+        self._crash_listeners.append(listener)
+
+    def crash(self) -> None:
+        """Crash the process.  Idempotent; listeners fire exactly once."""
+        if not self._alive:
+            return
+        self._alive = False
+        self.env.trace.count("process.crashes")
+        self.env.trace.emit(self.env.now, "crash", self.name)
+        for listener in list(self._crash_listeners):
+            listener(self)
+
+    def check_alive(self) -> None:
+        """Raise :class:`CrashedProcessError` if this process has crashed."""
+        if not self._alive:
+            raise CrashedProcessError(f"process {self.name!r} has crashed")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "up" if self._alive else "crashed"
+        return f"<SimProcess {self.name} {state}>"

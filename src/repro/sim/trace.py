@@ -1,0 +1,58 @@
+"""Structured tracing and counters for simulation runs.
+
+A :class:`TraceRecorder` collects two kinds of data:
+
+* *counters* — monotonically increasing named integers (messages sent,
+  bytes on the wire, collisions, retransmissions, ...);
+* *events* — optional timestamped records used by tests that assert on
+  fine-grained ordering (disabled by default because benchmark runs emit
+  millions of them).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded simulation event."""
+
+    time: float
+    kind: str
+    details: tuple = ()
+
+
+@dataclass
+class TraceRecorder:
+    """Collects counters and (optionally) a full event log."""
+
+    record_events: bool = False
+    counters: Counter = field(default_factory=Counter)
+    events: list[TraceEvent] = field(default_factory=list)
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Increment counter ``name`` by ``amount``."""
+        self.counters[name] += amount
+
+    def emit(self, time: float, kind: str, *details: Any) -> None:
+        """Record an event if event recording is enabled."""
+        if self.record_events:
+            self.events.append(TraceEvent(time, kind, tuple(details)))
+
+    def of_kind(self, kind: str) -> Iterable[TraceEvent]:
+        """Iterate over recorded events of one kind."""
+        return (e for e in self.events if e.kind == kind)
+
+    def last(self, kind: str) -> Optional[TraceEvent]:
+        """Return the most recent event of ``kind``, if any."""
+        for event in reversed(self.events):
+            if event.kind == kind:
+                return event
+        return None
+
+    def reset_counters(self) -> None:
+        """Zero all counters (used between warm-up and measurement)."""
+        self.counters.clear()

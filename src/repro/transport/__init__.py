@@ -1,0 +1,22 @@
+"""Wire transports: message codec, in-memory bus and real TCP framing.
+
+* :mod:`repro.transport.codec` — a compact binary codec for every
+  protocol message; encodings match the analytic sizes charged by the
+  simulator (tested), so simulated and real transports agree on cost;
+* :mod:`repro.transport.memory` — an in-process message bus with
+  deterministic FIFO delivery, used by protocol unit tests;
+* :mod:`repro.transport.framing` — length-prefixed stream framing used
+  by the asyncio runtime.
+"""
+
+from repro.transport.codec import decode_message, encode_message
+from repro.transport.framing import FrameDecoder, frame
+from repro.transport.memory import MemoryBus
+
+__all__ = [
+    "FrameDecoder",
+    "MemoryBus",
+    "decode_message",
+    "encode_message",
+    "frame",
+]

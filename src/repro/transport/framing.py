@@ -1,0 +1,51 @@
+"""Length-prefixed stream framing for the asyncio TCP runtime.
+
+A frame is a 4-byte big-endian length followed by that many bytes of
+codec-encoded message.  :class:`FrameDecoder` is an incremental parser
+(sans-I/O): feed it arbitrary chunks, iterate complete frames out.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import ProtocolError
+
+_LEN = struct.Struct(">I")
+
+#: Upper bound on a single frame; protects against corrupted lengths.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+def frame(payload: bytes) -> bytes:
+    """Wrap an encoded message into one frame."""
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame too large: {len(payload)} bytes")
+    return _LEN.pack(len(payload)) + payload
+
+
+class FrameDecoder:
+    """Incremental frame parser."""
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> list[bytes]:
+        """Append ``data``; return every complete frame payload."""
+        self._buffer.extend(data)
+        frames = []
+        while True:
+            if len(self._buffer) < _LEN.size:
+                break
+            (length,) = _LEN.unpack_from(self._buffer, 0)
+            if length > MAX_FRAME_BYTES:
+                raise ProtocolError(f"frame length {length} exceeds maximum")
+            if len(self._buffer) < _LEN.size + length:
+                break
+            frames.append(bytes(self._buffer[_LEN.size : _LEN.size + length]))
+            del self._buffer[: _LEN.size + length]
+        return frames
+
+    @property
+    def pending_bytes(self) -> int:
+        return len(self._buffer)

@@ -1,0 +1,23 @@
+"""Client emulation: the load-generation layer of the evaluation.
+
+* :mod:`repro.workload.generator` — closed-loop logical clients driving
+  a simulated cluster, with measurement-window accounting;
+* :mod:`repro.workload.scenarios` — the paper's exact experiment
+  configurations (two reader machines per server, writer-only load, one
+  reader plus one writer per server, shared vs separate networks).
+"""
+
+from repro.workload.generator import LoadDriver, WorkloadSpec
+from repro.workload.scenarios import (
+    contention_scenario,
+    read_only_scenario,
+    write_only_scenario,
+)
+
+__all__ = [
+    "LoadDriver",
+    "WorkloadSpec",
+    "contention_scenario",
+    "read_only_scenario",
+    "write_only_scenario",
+]

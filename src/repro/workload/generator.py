@@ -1,0 +1,169 @@
+"""Closed-loop load generation against a simulated cluster.
+
+A :class:`LoadDriver` spawns client *machines* (one NIC each, as in the
+paper's testbed) bound to specific servers, each emulating several
+logical clients.  Every logical client runs a closed loop: issue an
+operation, wait for completion, immediately issue the next.  Throughput
+is whatever the system sustains — the standard way to measure saturated
+throughput, and the paper's ("a single writing node can saturate the
+storage implementation").
+
+Written values embed the logical client id and a sequence number, so
+every written value is globally unique — a requirement of the value-based
+linearizability checker and good hygiene regardless.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Declarative description of a load pattern.
+
+    Attributes
+    ----------
+    reader_machines_per_server / writer_machines_per_server:
+        Client machines bound to each server, matching the paper's
+        "two dedicated client machines for each server".
+    reader_concurrency / writer_concurrency:
+        Logical clients each machine emulates (requests in parallel).
+        Reads that wait for pending writes have latencies of several ring
+        circuits, so saturating a loaded server takes far more
+        outstanding reads than unloaded reads (Little's law); hence the
+        separate knobs.
+    value_size:
+        Payload bytes per value (reads return this much; writes carry it).
+    """
+
+    reader_machines_per_server: int = 2
+    writer_machines_per_server: int = 0
+    reader_concurrency: int = 4
+    writer_concurrency: int = 4
+    value_size: int = 4096
+
+    def validate(self) -> "WorkloadSpec":
+        if self.reader_machines_per_server < 0 or self.writer_machines_per_server < 0:
+            raise ConfigurationError("machine counts must be >= 0")
+        if self.reader_concurrency < 1 or self.writer_concurrency < 1:
+            raise ConfigurationError("concurrency must be >= 1")
+        if self.value_size < 16:
+            raise ConfigurationError("value_size must be >= 16 (unique-value header)")
+        return self
+
+
+@dataclass
+class KindStats:
+    """Accounting for one operation kind inside the measurement window."""
+
+    operations: int = 0
+    payload_bytes: int = 0
+    latencies: list = field(default_factory=list)
+    #: per logical-client completed ops (for per-client fairness checks)
+    per_client: dict = field(default_factory=dict)
+
+
+class LoadDriver:
+    """Runs a :class:`WorkloadSpec` against a cluster.
+
+    Usage::
+
+        driver = LoadDriver(cluster, spec)
+        driver.start()
+        cluster.run(until=warmup_end)
+        driver.begin_measurement()
+        cluster.run(until=window_end)
+        driver.end_measurement()
+        stats = driver.stats["read"]
+    """
+
+    def __init__(self, cluster, spec: WorkloadSpec):
+        self.cluster = cluster
+        self.spec = spec.validate()
+        self.stats: dict[str, KindStats] = {"read": KindStats(), "write": KindStats()}
+        self._measuring = False
+        self._stopped = False
+        self._clients: list[tuple[object, int, str]] = []  # (host, client_id, kind)
+        self._inflight_started: dict = {}
+        self._write_seq = 0
+        self._build()
+
+    def _build(self) -> None:
+        for server_id in sorted(self.cluster.servers):
+            for _ in range(self.spec.reader_machines_per_server):
+                self._add_machine(server_id, "read")
+            for _ in range(self.spec.writer_machines_per_server):
+                self._add_machine(server_id, "write")
+
+    def _add_machine(self, server_id: int, kind: str) -> None:
+        host = self.cluster.add_client(home_server=server_id)
+        concurrency = (
+            self.spec.reader_concurrency
+            if kind == "read"
+            else self.spec.writer_concurrency
+        )
+        ids = [host.client_id]
+        for _ in range(concurrency - 1):
+            ids.append(host.add_virtual_client())
+        for client_id in ids:
+            self._clients.append((host, client_id, kind))
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Issue the first operation of every logical client."""
+        for host, client_id, kind in self._clients:
+            self._issue(host, client_id, kind)
+
+    def stop(self) -> None:
+        """Stop reissuing; in-flight operations complete and then the
+        simulation quiesces."""
+        self._stopped = True
+
+    def begin_measurement(self) -> None:
+        """Zero counters; subsequent completions count."""
+        self.stats = {"read": KindStats(), "write": KindStats()}
+        self._measuring = True
+
+    def end_measurement(self) -> None:
+        self._measuring = False
+
+    @property
+    def logical_clients(self) -> int:
+        return len(self._clients)
+
+    # ------------------------------------------------------------------
+    # The closed loop
+    # ------------------------------------------------------------------
+
+    def _issue(self, host, client_id: int, kind: str) -> None:
+        if self._stopped or not host.alive:
+            return
+        started = self.cluster.now
+
+        def on_complete(result) -> None:
+            self._completed(host, client_id, kind, started, result)
+
+        if kind == "read":
+            host.read(on_complete, client_id=client_id)
+        else:
+            host.write(self._next_value(client_id), on_complete, client_id=client_id)
+
+    def _completed(self, host, client_id: int, kind: str, started: float, result) -> None:
+        if result.ok and self._measuring:
+            stats = self.stats[kind]
+            stats.operations += 1
+            stats.payload_bytes += self.spec.value_size
+            stats.latencies.append(self.cluster.now - started)
+            stats.per_client[client_id] = stats.per_client.get(client_id, 0) + 1
+        self._issue(host, client_id, kind)
+
+    def _next_value(self, client_id: int) -> bytes:
+        self._write_seq += 1
+        header = client_id.to_bytes(8, "big") + self._write_seq.to_bytes(8, "big")
+        return header + b"\x00" * (self.spec.value_size - len(header))

@@ -1,0 +1,23 @@
+"""Shared pytest fixtures (driving helpers live in tests.helpers)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ring import RingView
+from tests.helpers import RingHarness
+
+
+@pytest.fixture
+def ring5() -> RingView:
+    return RingView.initial(5)
+
+
+@pytest.fixture
+def harness3() -> RingHarness:
+    return RingHarness(3)
+
+
+@pytest.fixture
+def harness5() -> RingHarness:
+    return RingHarness(5)

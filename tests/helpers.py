@@ -1,0 +1,87 @@
+"""Protocol-driving helpers shared across the test-suite."""
+
+from __future__ import annotations
+
+from repro.analysis.history import History
+from repro.core.config import ProtocolConfig
+from repro.core.messages import ClientRead, ClientWrite, OpId
+from repro.core.ring import RingView
+from repro.core.server import ServerProtocol
+from repro.runtime.sim_net import SimCluster
+
+
+def make_servers(n: int, config: ProtocolConfig | None = None) -> list[ServerProtocol]:
+    ring = RingView.initial(n)
+    return [ServerProtocol(i, ring, config or ProtocolConfig()) for i in range(n)]
+
+
+class RingHarness:
+    """Drives a set of ServerProtocols over an in-memory lossless ring.
+
+    Message delivery is explicit (``pump``), which lets tests control
+    interleavings precisely; each pump round lets every server send one
+    ring message and delivers everything currently in flight.
+    """
+
+    def __init__(self, n: int, config: ProtocolConfig | None = None):
+        self.servers = make_servers(n, config)
+        self.in_flight: list[tuple[int, object]] = []  # (dst, message)
+        self.replies: list = []
+        self._next_op = 0
+
+    def server(self, i: int) -> ServerProtocol:
+        return self.servers[i]
+
+    def client_write(self, server_id: int, value: bytes, client: int = 900) -> OpId:
+        op = OpId(client, self._next_op)
+        self._next_op += 1
+        self.replies.extend(
+            self.servers[server_id].on_client_message(client, ClientWrite(op, value))
+        )
+        return op
+
+    def client_read(self, server_id: int, client: int = 901) -> OpId:
+        op = OpId(client, self._next_op)
+        self._next_op += 1
+        self.replies.extend(
+            self.servers[server_id].on_client_message(client, ClientRead(op))
+        )
+        return op
+
+    def crash(self, server_id: int) -> None:
+        """Deliver a perfect-FD notification to every other server."""
+        for server in self.servers:
+            if server.server_id != server_id:
+                self.replies.extend(server.on_server_crash(server_id))
+
+    def pump(self, rounds: int = 1) -> None:
+        """One pump: every alive server sends one message; deliver all."""
+        for _ in range(rounds):
+            for server in self.servers:
+                message = server.next_ring_message()
+                if message is not None:
+                    self.in_flight.append((server.successor, message))
+            deliveries, self.in_flight = self.in_flight, []
+            for dst, message in deliveries:
+                self.replies.extend(self.servers[dst].on_ring_message(message))
+                self.replies.extend(self.servers[dst].drain_replies())
+
+    def pump_until_quiet(self, max_rounds: int = 200) -> None:
+        for _ in range(max_rounds):
+            if not self.in_flight and not any(s.has_ring_work for s in self.servers):
+                return
+            self.pump()
+        raise AssertionError("ring did not quiesce")
+
+    def acks_for(self, op: OpId) -> list:
+        return [r for r in self.replies if getattr(r.message, "op", None) == op]
+
+
+def run_recorded_cluster(num_servers: int, script, seed: int = 0, **kwargs):
+    """Build a cluster with history recording, run ``script(cluster)``,
+    return the closed history."""
+    cluster = SimCluster.build(num_servers=num_servers, seed=seed, **kwargs)
+    cluster.history = History()
+    script(cluster)
+    cluster.history.close()
+    return cluster.history

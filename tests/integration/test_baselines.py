@@ -1,0 +1,139 @@
+"""Integration tests for the baseline protocols.
+
+Each baseline must function (complete operations, converge) on the
+simulated cluster; the naive one must additionally *fail* atomicity in
+the staged read-inversion scenario — that failure is the paper's
+motivation for the pre-write phase.
+"""
+
+import pytest
+
+from repro.analysis import History, Operation, check_register_history
+from repro.baselines import (
+    build_abd_cluster,
+    build_chain_cluster,
+    build_naive_cluster,
+    build_tob_cluster,
+)
+from repro.baselines.naive import NaiveServer, Push
+from repro.core.messages import ClientRead, ClientWrite, OpId
+
+
+def run_ops(cluster, ops=6):
+    """A writer at s0 and a reader at the last server, alternating."""
+    n = cluster.config.num_servers
+    writer = cluster.add_client(home_server=0)
+    reader = cluster.add_client(home_server=n - 1)
+    for i in range(ops):
+        done = []
+        writer.write(b"value-%d" % i, done.append)
+        cluster.run_until(lambda: bool(done))
+        assert done[0].ok
+        got = []
+        reader.read(got.append)
+        cluster.run_until(lambda: bool(got))
+        assert got[0].ok
+        assert got[0].value == b"value-%d" % i, got[0]
+
+
+@pytest.mark.parametrize(
+    "build",
+    [build_abd_cluster, build_chain_cluster, build_tob_cluster, build_naive_cluster],
+    ids=["abd", "chain", "tob", "naive"],
+)
+def test_baseline_sequential_ops(build):
+    run_ops(build(3, seed=21))
+
+
+@pytest.mark.parametrize(
+    "build", [build_abd_cluster, build_chain_cluster, build_tob_cluster],
+    ids=["abd", "chain", "tob"],
+)
+def test_baseline_concurrent_history_linearizable(build):
+    """The three serious baselines are atomic in failure-free runs."""
+    cluster = build(3, seed=22)
+    cluster.history = History()
+    counts = {"left": 4}
+
+    def spawn(host, kind):
+        state = {"i": 0}
+
+        def on_complete(result):
+            state["i"] += 1
+            if state["i"] >= 8:
+                counts["left"] -= 1
+                return
+            issue()
+
+        def issue():
+            if kind == "write":
+                host.write(b"%d:%d" % (host.client_id, state["i"]), on_complete)
+            else:
+                host.read(on_complete)
+
+        issue()
+
+    for i, kind in enumerate(["write", "write", "read", "read"]):
+        spawn(cluster.add_client(home_server=i % 3), kind)
+    cluster.run_until(lambda: counts["left"] == 0)
+    cluster.history.close()
+    ok, reason = check_register_history(cluster.history)
+    assert ok, f"{build.__name__}: {reason}"
+
+
+def test_naive_read_inversion_anomaly():
+    """The staged anomaly of the paper's Section 3, on the sans-I/O
+    naive servers directly: while a write-all is propagating, a reader
+    at an updated server sees the new value, then a reader at a
+    not-yet-updated server sees the old one -> not linearizable."""
+    servers = [NaiveServer(i, 3) for i in range(3)]
+    op = OpId(1, 0)
+    # Writer starts at s0: installs locally, pushes to s1/s2 (delayed).
+    effects = servers[0].on_client_message(1, ClientWrite(op, b"new"))
+    pushes = [e for e in effects if hasattr(e, "message") and isinstance(e.message, Push)]
+    assert len(pushes) == 2
+
+    history = History()
+    history.invoke(0.0, 1, "w", "write", b"new")  # still in flight
+
+    # Reader A at the origin sees the new value immediately.
+    (reply_a,) = servers[0].on_client_message(2, ClientRead(OpId(2, 0)))
+    history.invoke(1.0, 2, "ra", "read", None)
+    history.respond(2.0, 2, "ra", reply_a.message.value)
+
+    # Reader B at a server the push has not reached sees the old value.
+    (reply_b,) = servers[2].on_client_message(3, ClientRead(OpId(3, 0)))
+    history.invoke(3.0, 3, "rb", "read", None)
+    history.respond(4.0, 3, "rb", reply_b.message.value)
+
+    assert reply_a.message.value == b"new"
+    assert reply_b.message.value == b""
+    history.close()
+    ok, _reason = check_register_history(history)
+    assert not ok, "the naive algorithm must exhibit read inversion"
+
+
+def test_naive_full_cluster_can_violate_under_staged_timing():
+    """Same anomaly through the full simulator: read the origin right
+    after the write is issued, then read a far server before the push
+    lands there."""
+    cluster = build_naive_cluster(4, seed=23)
+    cluster.history = History()
+    writer = cluster.add_client(home_server=0)
+    reader_near = cluster.add_client(home_server=0)
+    reader_far = cluster.add_client(home_server=3)
+
+    done: list = []
+    writer.write(b"new", done.append)
+    near: list = []
+    reader_near.read(near.append)
+    cluster.run_until(lambda: bool(near))
+    far: list = []
+    reader_far.read(far.append)
+    cluster.run_until(lambda: bool(far))
+    cluster.run_until(lambda: bool(done))
+    cluster.history.close()
+
+    if near[0].value == b"new" and far[0].value == b"":
+        ok, _ = check_register_history(cluster.history)
+        assert not ok, "checker must flag the inversion"

@@ -1,0 +1,98 @@
+"""Atomicity under concurrency: recorded histories must check out.
+
+These are the paper's correctness property exercised end-to-end: many
+clients, overlapping reads and writes, with and without crashes; every
+recorded history must be linearizable (value-based check) and
+tag-consistent (tag-based check).
+"""
+
+import pytest
+
+from repro.analysis import History, check_register_history, check_tagged_history
+from repro.core.config import ProtocolConfig
+from repro.runtime.sim_net import SimCluster
+
+
+def drive_mixed_load(
+    cluster: SimCluster,
+    num_writers: int,
+    num_readers: int,
+    ops_per_client: int,
+    crash_at: dict[float, int] | None = None,
+) -> None:
+    """Closed-loop mixed load; returns once every client finished."""
+    done_counts = {"left": num_writers + num_readers}
+
+    def spawn(host, kind: str, client_seq: list[int]) -> None:
+        def on_complete(result):
+            if client_seq[0] >= ops_per_client:
+                done_counts["left"] -= 1
+                return
+            client_seq[0] += 1
+            issue()
+
+        def issue():
+            if kind == "write":
+                value = b"%d:%d" % (host.client_id, client_seq[0])
+                host.write(value + b"." * 16, on_complete)
+            else:
+                host.read(on_complete)
+
+        issue()
+
+    for i in range(num_writers):
+        spawn(cluster.add_client(home_server=i % cluster.config.num_servers),
+              "write", [0])
+    for i in range(num_readers):
+        spawn(cluster.add_client(home_server=i % cluster.config.num_servers),
+              "read", [0])
+    if crash_at:
+        for time, victim in crash_at.items():
+            cluster.env.scheduler.schedule_at(time, cluster.crash_server, victim)
+    cluster.run_until(lambda: done_counts["left"] == 0)
+
+
+@pytest.mark.parametrize("num_servers,seed", [(2, 1), (3, 2), (5, 3)])
+def test_mixed_load_failure_free_is_linearizable(num_servers, seed):
+    cluster = SimCluster.build(num_servers=num_servers, seed=seed)
+    cluster.history = History()
+    drive_mixed_load(cluster, num_writers=4, num_readers=6, ops_per_client=12)
+    cluster.history.close()
+    assert len(cluster.history.completed()) == 10 * 13
+    ok, reason = check_register_history(cluster.history)
+    assert ok, reason
+    ok, reason = check_tagged_history(cluster.history)
+    assert ok, reason
+
+
+@pytest.mark.parametrize("seed", [4, 5, 6])
+def test_mixed_load_with_crash_is_linearizable(seed):
+    config = ProtocolConfig(client_timeout=0.1, client_max_retries=30)
+    cluster = SimCluster.build(num_servers=4, seed=seed, protocol=config)
+    cluster.history = History()
+    drive_mixed_load(
+        cluster,
+        num_writers=3,
+        num_readers=5,
+        ops_per_client=10,
+        crash_at={0.004: 1},
+    )
+    cluster.history.close()
+    ok, reason = check_register_history(cluster.history)
+    assert ok, reason
+
+
+def test_mixed_load_with_two_crashes_is_linearizable():
+    config = ProtocolConfig(client_timeout=0.1, client_max_retries=40)
+    cluster = SimCluster.build(num_servers=5, seed=9, protocol=config)
+    cluster.history = History()
+    drive_mixed_load(
+        cluster,
+        num_writers=3,
+        num_readers=4,
+        ops_per_client=8,
+        crash_at={0.003: 2, 0.05: 4},
+    )
+    cluster.history.close()
+    ok, reason = check_register_history(cluster.history)
+    assert ok, reason

@@ -1,0 +1,101 @@
+"""Resilience tests over the full simulated cluster (network + FD + timers).
+
+The paper's resilience claim: the storage stays available as long as one
+server survives, and clients simply retry at another server when theirs
+crashes.
+"""
+
+import pytest
+
+from repro import AtomicStorage, SimCluster
+from repro.analysis import History, check_register_history
+from repro.core.config import ProtocolConfig
+from repro.sim.faults import FaultPlan
+
+
+def fast_retry() -> ProtocolConfig:
+    return ProtocolConfig(client_timeout=0.08, client_max_retries=20)
+
+
+def test_survives_crash_of_every_server_but_one():
+    cluster = SimCluster.build(num_servers=5, seed=11, protocol=fast_retry())
+    cluster.history = History()
+    storage = AtomicStorage.over(cluster, home_server=4)
+    storage.write(b"before-any-crash")
+    for round_no, victim in enumerate([0, 1, 2, 3]):
+        cluster.crash_server(victim)
+        cluster.run(until=cluster.now + 0.25)
+        value = b"epoch-%d" % round_no
+        storage.write(value)
+        assert storage.read() == value
+    assert cluster.alive_servers() == [4]
+    cluster.history.close()
+    ok, reason = check_register_history(cluster.history)
+    assert ok, reason
+
+
+def test_client_fails_over_when_home_server_dies():
+    cluster = SimCluster.build(num_servers=3, seed=12, protocol=fast_retry())
+    storage = AtomicStorage.over(cluster, home_server=0)
+    storage.write(b"v1")
+    cluster.crash_server(0)
+    # The client does not know; its next op times out and retries at s1.
+    storage.write(b"v2")
+    assert storage.read() == b"v2"
+    assert storage.client.protos[storage.client.client_id].stats_retries >= 1
+
+
+def test_value_written_before_crash_survives():
+    cluster = SimCluster.build(num_servers=4, seed=13, protocol=fast_retry())
+    writer = AtomicStorage.over(cluster, home_server=1)
+    writer.write(b"precious")
+    cluster.crash_server(1)
+    cluster.run(until=cluster.now + 0.2)
+    for sid in cluster.alive_servers():
+        reader = AtomicStorage.over(cluster, home_server=sid)
+        assert reader.read() == b"precious"
+
+
+def test_crash_while_write_in_flight_write_completes_or_retries():
+    cluster = SimCluster.build(num_servers=4, seed=14, protocol=fast_retry())
+    cluster.history = History()
+    storage = AtomicStorage.over(cluster, home_server=2)
+    results = []
+    storage.client.write(b"racing", results.append)
+    # Crash the origin while the pre-write is circulating.
+    cluster.run(until=cluster.now + 0.0005)
+    cluster.crash_server(2)
+    cluster.run_until(lambda: bool(results))
+    assert results[0].ok, "the retried write must eventually complete"
+    reader = AtomicStorage.over(cluster, home_server=3)
+    assert reader.read() == b"racing"
+    cluster.history.close()
+    ok, reason = check_register_history(cluster.history)
+    assert ok, reason
+
+
+def test_fault_plan_driven_cascade_under_load():
+    cluster = SimCluster.build(num_servers=5, seed=15, protocol=fast_retry())
+    cluster.history = History()
+    clients = [AtomicStorage.over(cluster, home_server=i) for i in range(5)]
+    FaultPlan.sequential(["s0", "s2"], first_at=0.05, spacing=0.15).apply(
+        cluster.env, {h.name: h for h in cluster.servers.values()}
+    )
+    for i in range(8):
+        client = clients[(i * 3) % 5]
+        client.write(b"load-%d" % i)
+        assert client.read() == b"load-%d" % i
+    cluster.run(until=max(cluster.now, 0.5))
+    assert sorted(cluster.alive_servers()) == [1, 3, 4]
+    cluster.history.close()
+    ok, reason = check_register_history(cluster.history)
+    assert ok, reason
+
+
+def test_detection_delay_is_respected():
+    cluster = SimCluster.build(num_servers=3, seed=16, detection_delay=0.02)
+    cluster.crash_server(1)
+    cluster.run(until=cluster.now + 0.01)
+    assert cluster.servers[0].proto.ring.dead == set(), "not yet detected"
+    cluster.run(until=cluster.now + 0.05)
+    assert cluster.servers[0].proto.ring.dead == {1}

@@ -1,0 +1,66 @@
+"""Smoke tests for the experiment registry (quick mode).
+
+Every figure-regenerating function must run end-to-end and produce rows
+of the declared width; the heavier shape assertions live in
+``benchmarks/``.
+"""
+
+import pytest
+
+from repro.bench.experiments import (
+    EXPERIMENTS,
+    run_ablation_fairness,
+    run_fig1,
+    run_fig3a,
+    run_fig4,
+    run_sec4,
+)
+
+
+def test_registry_covers_every_paper_artifact():
+    assert {"fig1", "sec4", "fig3a", "fig3b", "fig3c", "fig3d", "fig4"} <= set(
+        EXPERIMENTS
+    )
+    assert len([k for k in EXPERIMENTS if k.startswith("abl")]) >= 5
+
+
+def test_fig1_rows_shape():
+    headers, rows = run_fig1(servers=(3,), rounds=60)
+    assert len(rows) == 1 and len(rows[0]) == len(headers)
+
+
+def test_sec4_rows_shape():
+    headers, rows = run_sec4(servers=(2, 3), rounds=60)
+    assert [row[0] for row in rows] == [2, 3]
+    assert all(len(row) == len(headers) for row in rows)
+
+
+def test_fig3a_quick_mode():
+    headers, rows = run_fig3a(servers=(2, 3), quick=True)
+    assert [row[0] for row in rows] == [2, 3]
+    assert rows[1][1] > rows[0][1], "more servers, more total reads"
+
+
+def test_fig4_rows_shape():
+    headers, rows = run_fig4(servers=(2, 4), samples=3)
+    assert rows[1][2] > rows[0][2], "write latency grows with n"
+
+
+def test_ablation_fairness_rows():
+    headers, rows = run_ablation_fairness(num_servers=3, quick=True)
+    labels = [row[0] for row in rows]
+    assert labels == ["default", "no fairness", "no piggyback"]
+
+
+def test_bench_main_subset(capsys):
+    from repro.bench.__main__ import main
+
+    assert main(["fig1"]) == 0
+    out = capsys.readouterr().out
+    assert "fig1" in out and "tput/round" in out
+
+
+def test_bench_main_rejects_unknown(capsys):
+    from repro.bench.__main__ import main
+
+    assert main(["not-an-experiment"]) == 2

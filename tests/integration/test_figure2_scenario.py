@@ -1,0 +1,92 @@
+"""FIG2 — the paper's Figure 2 illustration, executed step by step.
+
+Five servers; a write W(v2) arrives at s1 while readers contact s3 and
+s5:
+
+1. during the pre-write phase, a reader at a server that has *forwarded*
+   the pre-write must wait, while a server that has not yet seen it
+   answers v1 immediately;
+2. once the write (commit) message passes a server, its readers get v2;
+3. when the commit returns to s1, the writer is acknowledged, and from
+   then on every reader everywhere sees v2.
+
+(The paper's figure numbers servers 1..5; here they are 0..4 with the
+write entering at s0.)
+"""
+
+from tests.helpers import RingHarness
+
+from repro.core.tags import Tag
+
+
+def test_figure2_walkthrough():
+    h = RingHarness(5)
+    # Pre-populate v1 so readers have something old to see.
+    h.client_write(0, b"v1", client=1)
+    h.pump_until_quiet()
+    h.replies.clear()
+
+    # (1) W(v2) arrives at s0; the pre-write starts circulating.
+    write_op = h.client_write(0, b"v2", client=2)
+    h.pump(3)  # forwarded by s1 and s2: both now hold it pending
+
+    read_at_s2 = h.client_read(2, client=31)  # "s3" of the figure
+    read_at_s4 = h.client_read(4, client=32)  # "s5" of the figure
+
+    # s2 forwarded the pre-write -> its reader waits; s4 has not seen
+    # it -> immediate v1 (both outcomes are atomicity-safe because v2 is
+    # not committed anywhere yet).
+    assert h.acks_for(read_at_s2) == []
+    (s4_ack,) = h.acks_for(read_at_s4)
+    assert s4_ack.message.value == b"v1"
+
+    # (2) Let the pre-write finish its circle (2 more hops), the origin
+    # start the commit, and the commit reach s2 (2 hops): 4 pumps.
+    h.pump(4)
+    (s2_ack,) = h.acks_for(read_at_s2)
+    assert s2_ack.message.value == b"v2", "the waiting reader gets v2"
+
+    # A reader at s4 *after* s4 forwarded the pre-write but before its
+    # commit arrives must wait...
+    late_read_s4 = h.client_read(4, client=33)
+    if h.acks_for(late_read_s4):
+        # ...unless the commit already reached s4 in the same pump.
+        assert h.acks_for(late_read_s4)[0].message.value == b"v2"
+
+    # (3) Drain: the writer is acked; everyone serves v2.
+    h.pump_until_quiet()
+    assert len(h.acks_for(write_op)) == 1
+    assert len(h.acks_for(late_read_s4)) == 1
+    assert h.acks_for(late_read_s4)[0].message.value == b"v2"
+    for server in h.servers:
+        assert server.value == b"v2"
+        assert server.tag == Tag(2, 0)
+
+
+def test_no_read_inversion_during_write_window():
+    """Once any reader returns v2, no later reader may return v1.
+
+    Exercised at every intermediate step of the write's propagation.
+    """
+    h = RingHarness(5)
+    h.client_write(0, b"v1", client=1)
+    h.pump_until_quiet()
+    h.client_write(0, b"v2", client=2)
+
+    v2_seen_at = None  # pump step at which v2 was first returned
+    for step in range(20):
+        for server_id in range(5):
+            op = h.client_read(server_id, client=40 + server_id)
+            acks = h.acks_for(op)
+            if not acks:
+                continue
+            value = acks[0].message.value
+            if value == b"v2" and v2_seen_at is None:
+                v2_seen_at = step
+            if v2_seen_at is not None and step > v2_seen_at:
+                assert value == b"v2", (
+                    f"read inversion: v1 at step {step}, v2 first at {v2_seen_at}"
+                )
+        h.pump(1)
+    h.pump_until_quiet()
+    assert v2_seen_at is not None

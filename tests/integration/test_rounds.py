@@ -1,0 +1,65 @@
+"""Integration tests for the round model: Figure 1 and Section 4."""
+
+import pytest
+
+from repro.rounds import RoundStorage, run_figure1
+from repro.rounds.tob_round import RoundTobStorage
+
+
+def test_figure1_paper_numbers():
+    a = run_figure1("A", num_servers=3, rounds=90)
+    b = run_figure1("B", num_servers=3, rounds=90)
+    assert a.first_latency == b.first_latency == 4
+    assert a.throughput_per_round == pytest.approx(1.0, abs=0.05)
+    assert b.throughput_per_round == pytest.approx(3.0, abs=0.05)
+
+
+def test_figure1_scaling():
+    assert run_figure1("B", num_servers=6, rounds=90).throughput_per_round == pytest.approx(6.0, abs=0.1)
+    assert run_figure1("A", num_servers=7, rounds=120).throughput_per_round < 1.5
+
+
+def test_figure1_rejects_unknown_algorithm():
+    with pytest.raises(ValueError):
+        run_figure1("C")
+
+
+@pytest.mark.parametrize("n", [2, 3, 4, 6, 8])
+def test_sec4_write_latency_formula(n):
+    assert RoundStorage(n).isolated_write_latency() == 2 * n + 2
+
+
+@pytest.mark.parametrize("n", [2, 5, 8])
+def test_sec4_read_latency_constant(n):
+    assert RoundStorage(n).isolated_read_latency() == 2
+
+
+@pytest.mark.parametrize("n", [2, 4, 8])
+def test_sec4_write_throughput_one_per_round(n):
+    assert RoundStorage(n).saturated_write_throughput(150) == pytest.approx(1.0, abs=0.05)
+
+
+@pytest.mark.parametrize("n", [2, 4, 8])
+def test_sec4_read_throughput_n_per_round(n):
+    assert RoundStorage(n).saturated_read_throughput(150) == pytest.approx(n, rel=0.05)
+
+
+def test_sec4_contended_reads_stay_near_n():
+    for n in (2, 4, 8):
+        contended = RoundStorage(n).saturated_read_throughput(150, with_writes=True)
+        assert contended > n - 1.05
+
+
+def test_round_storage_correctness_smoke():
+    """The round adapter drives the *real* protocol: state must converge."""
+    storage = RoundStorage(4)
+    op = storage.issue_write(1, b"rounds")
+    storage.run(4 * 4 + 8)
+    assert storage.latency_of(op) == 10
+    for server in storage.servers:
+        assert server.value == b"rounds"
+
+
+def test_tob_round_model_throughput_is_one():
+    for n in (2, 4, 8):
+        assert RoundTobStorage(n).saturated_throughput(200) == pytest.approx(1.0, abs=0.06)

@@ -1,0 +1,76 @@
+"""End-to-end tests of the public AtomicStorage API over the simulator."""
+
+import pytest
+
+from repro import AtomicStorage, SimCluster
+from repro.errors import StorageUnavailableError
+
+
+def test_write_then_read():
+    cluster = SimCluster.build(num_servers=3, seed=1)
+    storage = AtomicStorage.over(cluster)
+    storage.write(b"v1")
+    assert storage.read() == b"v1"
+
+
+def test_initial_value_readable():
+    cluster = SimCluster.build(num_servers=3, seed=1, initial_value=b"genesis")
+    storage = AtomicStorage.over(cluster)
+    assert storage.read() == b"genesis"
+
+
+def test_reads_via_any_server_see_latest_write():
+    cluster = SimCluster.build(num_servers=5, seed=2)
+    writer = AtomicStorage.over(cluster, home_server=0)
+    readers = [AtomicStorage.over(cluster, home_server=i) for i in range(5)]
+    writer.write(b"broadcasted")
+    for reader in readers:
+        assert reader.read() == b"broadcasted"
+
+
+def test_last_writer_wins_across_clients():
+    cluster = SimCluster.build(num_servers=4, seed=3)
+    a = AtomicStorage.over(cluster, home_server=0)
+    b = AtomicStorage.over(cluster, home_server=2)
+    a.write(b"from-a")
+    b.write(b"from-b")
+    assert a.read() == b"from-b"
+    assert b.read() == b"from-b"
+
+
+def test_many_sequential_writes():
+    cluster = SimCluster.build(num_servers=3, seed=4)
+    storage = AtomicStorage.over(cluster)
+    for i in range(20):
+        storage.write(b"value-%03d" % i)
+    assert storage.read() == b"value-019"
+
+
+def test_write_requires_bytes():
+    cluster = SimCluster.build(num_servers=2, seed=5)
+    storage = AtomicStorage.over(cluster)
+    with pytest.raises(TypeError):
+        storage.write("not bytes")
+
+
+def test_single_server_cluster_works():
+    cluster = SimCluster.build(num_servers=1, seed=6)
+    storage = AtomicStorage.over(cluster)
+    storage.write(b"alone")
+    assert storage.read() == b"alone"
+
+
+def test_all_servers_crashed_fails_cleanly():
+    from repro.core.config import ProtocolConfig
+
+    cluster = SimCluster.build(
+        num_servers=2,
+        seed=7,
+        protocol=ProtocolConfig(client_timeout=0.05, client_max_retries=3),
+    )
+    storage = AtomicStorage.over(cluster)
+    storage.write(b"v")
+    cluster.crash_server(0)
+    cluster.crash_server(1)
+    with pytest.raises(StorageUnavailableError):
+        storage.write(b"w")

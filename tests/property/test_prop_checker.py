@@ -1,0 +1,66 @@
+"""Property-based cross-validation of the linearizability checkers.
+
+The fast cluster-based register checker must agree with the exponential
+Wing–Gong reference on arbitrary small histories — both on acceptances
+and rejections.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.history import History, Operation
+from repro.analysis.linearizability import (
+    check_register_history,
+    check_register_history_slow,
+)
+
+
+@st.composite
+def small_histories(draw):
+    """Random histories with unique written values and arbitrary
+    overlapping intervals (reads may return any written value or the
+    initial one, so both legal and illegal histories are generated)."""
+    num_writes = draw(st.integers(0, 4))
+    num_reads = draw(st.integers(0, 4))
+    operations = []
+    write_values = [bytes([65 + i]) for i in range(num_writes)]
+    for i, value in enumerate(write_values):
+        start = draw(st.integers(0, 20))
+        length = draw(st.integers(0, 10))
+        operations.append(Operation(i, "write", value, start, start + length))
+    for j in range(num_reads):
+        start = draw(st.integers(0, 20))
+        length = draw(st.integers(0, 10))
+        value = draw(st.sampled_from(write_values + [b""])) if write_values else b""
+        operations.append(
+            Operation(100 + j, "read", value, start, start + length)
+        )
+    return History.of(operations)
+
+
+@given(small_histories())
+@settings(max_examples=400, deadline=None)
+def test_fast_checker_agrees_with_wing_gong(history):
+    fast, fast_reason = check_register_history(history)
+    slow, _ = check_register_history_slow(history)
+    assert fast == slow, (
+        f"disagreement ({fast_reason}); ops={history.operations}"
+    )
+
+
+@given(small_histories())
+@settings(max_examples=200, deadline=None)
+def test_checker_is_deterministic(history):
+    assert check_register_history(history) == check_register_history(history)
+
+
+@given(st.integers(1, 6))
+def test_sequential_histories_always_pass(n):
+    operations = []
+    t = 0.0
+    for i in range(n):
+        operations.append(Operation(0, "write", bytes([65 + i]), t, t + 1))
+        operations.append(Operation(1, "read", bytes([65 + i]), t + 2, t + 3))
+        t += 4
+    ok, reason = check_register_history(History.of(operations))
+    assert ok, reason

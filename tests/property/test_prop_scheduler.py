@@ -1,0 +1,61 @@
+"""Property-based tests for the event scheduler and wire model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.events import EventScheduler
+from repro.sim.wire import WireModel
+
+
+@given(st.lists(st.floats(0, 1e6, allow_nan=False), max_size=60))
+@settings(max_examples=200)
+def test_scheduler_fires_in_nondecreasing_time_order(delays):
+    sched = EventScheduler()
+    fired = []
+    for delay in delays:
+        sched.schedule(delay, lambda d=delay: fired.append(sched.now))
+    sched.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+
+
+@given(
+    st.lists(st.tuples(st.floats(0, 100), st.booleans()), max_size=40),
+)
+@settings(max_examples=200)
+def test_cancelled_events_never_fire(entries):
+    sched = EventScheduler()
+    fired = []
+    handles = []
+    for delay, cancel in entries:
+        handle = sched.schedule(delay, lambda i=len(handles): fired.append(i))
+        handles.append((handle, cancel))
+    for handle, cancel in handles:
+        if cancel:
+            handle.cancel()
+    sched.run()
+    expected = [i for i, (_h, cancel) in enumerate(handles) if not cancel]
+    assert sorted(fired) == expected
+
+
+@given(st.integers(0, 10**7))
+@settings(max_examples=300)
+def test_wire_bytes_monotone_and_bounded(payload):
+    wire = WireModel()
+    cost = wire.wire_bytes(payload)
+    assert cost >= payload
+    assert cost >= wire.min_frame
+    # Overhead is at most header + one segment's overhead per MSS chunk
+    # of the *framed* payload (header included in segmentation).
+    framed = payload + wire.app_header
+    max_segments = framed // wire.mss + 1
+    assert cost <= max(wire.min_frame, framed + max_segments * wire.segment_overhead)
+
+
+@given(st.integers(0, 10**6), st.integers(1, 10**6))
+@settings(max_examples=200)
+def test_wire_bytes_superadditive_in_payload(a, b):
+    """Sending one big message never costs more than two smaller ones
+    (per-message framing amortises)."""
+    wire = WireModel()
+    assert wire.wire_bytes(a + b) <= wire.wire_bytes(a) + wire.wire_bytes(b)

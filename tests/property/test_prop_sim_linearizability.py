@@ -1,0 +1,88 @@
+"""Property-based end-to-end atomicity: random workloads and crash times.
+
+Hypothesis drives the full simulated cluster with random cluster sizes,
+client mixes and (optionally) randomly-timed crashes; the recorded
+history must always be linearizable.  This is the strongest automated
+statement of the paper's correctness claims in the repository.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import History, check_register_history, check_tagged_history
+from repro.core.config import ProtocolConfig
+from repro.runtime.sim_net import SimCluster
+
+
+def drive(cluster, clients, ops_per_client):
+    remaining = {"count": len(clients)}
+
+    def spawn(host, kind):
+        state = {"i": 0}
+
+        def on_complete(_result):
+            state["i"] += 1
+            if state["i"] >= ops_per_client:
+                remaining["count"] -= 1
+                return
+            issue()
+
+        def issue():
+            if kind == "write":
+                value = b"%d:%d" % (host.client_id, state["i"])
+                host.write(value + b"!" * 8, on_complete)
+            else:
+                host.read(on_complete)
+
+        issue()
+
+    for host, kind in clients:
+        spawn(host, kind)
+    cluster.run_until(lambda: remaining["count"] == 0, max_events=5_000_000)
+
+
+@given(
+    num_servers=st.integers(2, 5),
+    seed=st.integers(0, 10_000),
+    num_writers=st.integers(1, 3),
+    num_readers=st.integers(1, 3),
+)
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_random_failure_free_runs_are_atomic(num_servers, seed, num_writers, num_readers):
+    cluster = SimCluster.build(num_servers=num_servers, seed=seed)
+    cluster.history = History()
+    clients = []
+    for i in range(num_writers):
+        clients.append((cluster.add_client(home_server=i % num_servers), "write"))
+    for i in range(num_readers):
+        clients.append((cluster.add_client(home_server=i % num_servers), "read"))
+    drive(cluster, clients, ops_per_client=6)
+    cluster.history.close()
+    ok, reason = check_register_history(cluster.history)
+    assert ok, reason
+    ok, reason = check_tagged_history(cluster.history)
+    assert ok, reason
+
+
+@given(
+    num_servers=st.integers(3, 5),
+    seed=st.integers(0, 10_000),
+    crash_at_us=st.integers(100, 20_000),
+    victim_index=st.integers(0, 4),
+)
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_random_crash_timing_preserves_atomicity(num_servers, seed, crash_at_us, victim_index):
+    config = ProtocolConfig(client_timeout=0.1, client_max_retries=40)
+    cluster = SimCluster.build(num_servers=num_servers, seed=seed, protocol=config)
+    cluster.history = History()
+    victim = victim_index % num_servers
+    cluster.env.scheduler.schedule_at(crash_at_us / 1e6, cluster.crash_server, victim)
+    clients = []
+    for i in range(2):
+        clients.append((cluster.add_client(home_server=i % num_servers), "write"))
+    for i in range(3):
+        clients.append((cluster.add_client(home_server=(i + 1) % num_servers), "read"))
+    drive(cluster, clients, ops_per_client=5)
+    cluster.history.close()
+    ok, reason = check_register_history(cluster.history)
+    assert ok, f"seed={seed} crash@{crash_at_us}us victim={victim}: {reason}"

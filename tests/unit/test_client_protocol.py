@@ -1,0 +1,111 @@
+"""Unit tests for the client state machine (issue, ack, retry)."""
+
+import pytest
+
+from repro.core.client import ClientProtocol
+from repro.core.config import ProtocolConfig
+from repro.core.messages import ClientRead, ClientWrite, ReadAck, WriteAck
+from repro.core.tags import Tag
+from repro.errors import ProtocolError
+from repro.runtime.interface import CancelTimer, Complete, Fail, SendTo, SetTimer
+
+
+def make_client(**overrides):
+    config = ProtocolConfig(client_timeout=1.0, client_max_retries=2, **overrides)
+    return ClientProtocol(50, servers=[0, 1, 2], config=config)
+
+
+def test_write_issues_request_and_timer():
+    client = make_client()
+    op, effects = client.start_write(b"v")
+    send, timer = effects
+    assert isinstance(send, SendTo) and send.server == 0
+    assert isinstance(send.message, ClientWrite) and send.message.value == b"v"
+    assert isinstance(timer, SetTimer) and timer.delay == 1.0
+    assert client.busy
+
+
+def test_read_completes_on_ack():
+    client = make_client()
+    op, _effects = client.start_read()
+    effects = client.on_reply(ReadAck(op, b"data", Tag(1, 0)))
+    cancel, complete = effects
+    assert isinstance(cancel, CancelTimer)
+    assert isinstance(complete, Complete)
+    assert complete.value == b"data" and complete.kind == "read"
+    assert not client.busy
+
+
+def test_write_completes_on_ack_with_tag():
+    client = make_client()
+    op, _ = client.start_write(b"v")
+    effects = client.on_reply(WriteAck(op, Tag(4, 2)))
+    assert any(isinstance(e, Complete) and e.tag == Tag(4, 2) for e in effects)
+
+
+def test_one_operation_at_a_time():
+    client = make_client()
+    client.start_write(b"v")
+    with pytest.raises(ProtocolError):
+        client.start_read()
+
+
+def test_timeout_retries_at_next_server():
+    client = make_client()
+    op, _ = client.start_write(b"v")
+    effects = client.on_timeout(op.seq)
+    send = next(e for e in effects if isinstance(e, SendTo))
+    assert send.server == 1
+    assert send.message.op == op, "retries reuse the op id for dedup"
+    assert client.stats_retries == 1
+
+
+def test_retries_walk_all_servers_round_robin():
+    client = make_client()
+    op, _ = client.start_write(b"v")
+    servers = []
+    for _ in range(2):
+        effects = client.on_timeout(op.seq)
+        servers.extend(e.server for e in effects if isinstance(e, SendTo))
+    assert servers == [1, 2]
+
+
+def test_retries_exhausted_fails_operation():
+    client = make_client()
+    op, _ = client.start_write(b"v")
+    client.on_timeout(op.seq)
+    client.on_timeout(op.seq)
+    effects = client.on_timeout(op.seq)
+    assert any(isinstance(e, Fail) and e.op == op for e in effects)
+    assert not client.busy
+
+
+def test_stale_replies_and_timers_ignored():
+    client = make_client()
+    op, _ = client.start_write(b"v")
+    client.on_reply(WriteAck(op, Tag(1, 0)))
+    assert client.on_reply(WriteAck(op, Tag(1, 0))) == []
+    assert client.on_timeout(op.seq) == []
+
+
+def test_duplicate_ack_after_retry_is_harmless():
+    client = make_client()
+    op, _ = client.start_write(b"v")
+    client.on_timeout(op.seq)  # retried to server 1
+    effects = client.on_reply(WriteAck(op, Tag(1, 0)))  # ack from either server
+    assert any(isinstance(e, Complete) for e in effects)
+    assert client.on_reply(WriteAck(op, Tag(1, 0))) == []
+
+
+def test_op_ids_are_unique_and_increasing():
+    client = make_client()
+    op1, _ = client.start_write(b"a")
+    client.on_reply(WriteAck(op1, Tag(1, 0)))
+    op2, _ = client.start_read()
+    assert op2.seq == op1.seq + 1
+    assert op1.client == op2.client == 50
+
+
+def test_needs_at_least_one_server():
+    with pytest.raises(ProtocolError):
+        ClientProtocol(1, servers=[])

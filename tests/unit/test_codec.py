@@ -1,0 +1,88 @@
+"""Unit tests for the binary codec and stream framing."""
+
+import pytest
+
+from repro.core.messages import (
+    ClientRead,
+    ClientWrite,
+    Commit,
+    OpId,
+    PendingEntry,
+    PreWrite,
+    ReadAck,
+    ReconfigCommit,
+    ReconfigToken,
+    StateSync,
+    WriteAck,
+)
+from repro.core.tags import Tag
+from repro.errors import ProtocolError
+from repro.transport.codec import decode_message, encode_message
+from repro.transport.framing import FrameDecoder, frame
+
+OP = OpId(11, 5)
+
+
+@pytest.mark.parametrize(
+    "message",
+    [
+        ClientWrite(OP, b"payload"),
+        ClientWrite(OP, b""),
+        WriteAck(OP, Tag(3, 1)),
+        WriteAck(OP, None),
+        ClientRead(OP),
+        ReadAck(OP, b"\x00\xff" * 8, Tag(9, 0)),
+        PreWrite(Tag(4, 2), b"value", OP, (Tag(1, 0), Tag(2, 3))),
+        Commit((Tag(1, 1), Tag(2, 2))),
+        Commit(()),
+        StateSync(Tag(7, 0), b"state", (Tag(6, 1),)),
+        ReconfigToken(5, 2, 1, (0, 3), Tag(8, 1), b"v",
+                      (PendingEntry(Tag(9, 2), b"pv", OP),), ((11, 5), (12, 0))),
+        ReconfigCommit(5, 2, 1, (0,), Tag(8, 1), b"", (), ()),
+    ],
+    ids=lambda m: type(m).__name__,
+)
+def test_roundtrip(message):
+    assert decode_message(encode_message(message)) == message
+
+
+def test_decode_rejects_short_input():
+    with pytest.raises(ProtocolError):
+        decode_message(b"\x01\x02")
+
+
+def test_decode_rejects_unknown_type():
+    data = bytearray(encode_message(ClientRead(OP)))
+    data[0] = 250
+    with pytest.raises(ProtocolError):
+        decode_message(bytes(data))
+
+
+def test_decode_rejects_truncated_body():
+    data = encode_message(ClientWrite(OP, b"hello"))
+    with pytest.raises(ProtocolError):
+        decode_message(data[:-2])
+
+
+def test_encode_rejects_foreign_objects():
+    with pytest.raises(ProtocolError):
+        encode_message("not a message")
+
+
+def test_frame_roundtrip_in_chunks():
+    messages = [ClientRead(OP), ClientWrite(OP, b"x" * 100), Commit((Tag(1, 1),))]
+    stream = b"".join(frame(encode_message(m)) for m in messages)
+    decoder = FrameDecoder()
+    got = []
+    # Feed byte-by-byte to exercise partial-frame buffering.
+    for i in range(0, len(stream), 7):
+        for payload in decoder.feed(stream[i : i + 7]):
+            got.append(decode_message(payload))
+    assert got == messages
+    assert decoder.pending_bytes == 0
+
+
+def test_frame_decoder_rejects_absurd_length():
+    decoder = FrameDecoder()
+    with pytest.raises(ProtocolError):
+        decoder.feed(b"\xff\xff\xff\xff")

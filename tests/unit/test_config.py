@@ -1,0 +1,46 @@
+"""Unit tests for configuration validation."""
+
+import pytest
+
+from repro.core.config import ProtocolConfig
+from repro.errors import ConfigurationError
+from repro.runtime.sim_net import ClusterConfig
+from repro.workload.generator import WorkloadSpec
+
+
+def test_protocol_defaults_valid():
+    config = ProtocolConfig().validate()
+    assert config.piggyback_commits and config.fair_forwarding
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"max_piggybacked_commits": 0},
+        {"client_timeout": 0},
+        {"client_max_retries": -1},
+    ],
+)
+def test_protocol_rejects_bad_values(kwargs):
+    with pytest.raises(ConfigurationError):
+        ProtocolConfig(**kwargs).validate()
+
+
+def test_cluster_config_validation():
+    ClusterConfig(num_servers=2).validate()
+    with pytest.raises(ConfigurationError):
+        ClusterConfig(num_servers=0).validate()
+    with pytest.raises(ConfigurationError):
+        ClusterConfig(num_servers=2, topology="mesh").validate()
+    with pytest.raises(ConfigurationError):
+        ClusterConfig(num_servers=2, detection_delay=0).validate()
+
+
+def test_workload_spec_validation():
+    WorkloadSpec().validate()
+    with pytest.raises(ConfigurationError):
+        WorkloadSpec(reader_machines_per_server=-1).validate()
+    with pytest.raises(ConfigurationError):
+        WorkloadSpec(reader_concurrency=0).validate()
+    with pytest.raises(ConfigurationError):
+        WorkloadSpec(value_size=4).validate()

@@ -1,0 +1,100 @@
+"""Unit tests for the deterministic event scheduler."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import EventScheduler
+
+
+def test_events_fire_in_time_order():
+    sched = EventScheduler()
+    fired = []
+    sched.schedule(3.0, fired.append, "c")
+    sched.schedule(1.0, fired.append, "a")
+    sched.schedule(2.0, fired.append, "b")
+    sched.run()
+    assert fired == ["a", "b", "c"]
+    assert sched.now == 3.0
+
+
+def test_ties_break_by_schedule_order():
+    sched = EventScheduler()
+    fired = []
+    for name in "abc":
+        sched.schedule(1.0, fired.append, name)
+    sched.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_cancel_prevents_firing():
+    sched = EventScheduler()
+    fired = []
+    handle = sched.schedule(1.0, fired.append, "x")
+    sched.schedule(2.0, fired.append, "y")
+    handle.cancel()
+    handle.cancel()  # idempotent
+    sched.run()
+    assert fired == ["y"]
+
+
+def test_events_scheduled_during_events():
+    sched = EventScheduler()
+    fired = []
+
+    def cascade():
+        fired.append("outer")
+        sched.schedule(1.0, fired.append, "inner")
+
+    sched.schedule(1.0, cascade)
+    sched.run()
+    assert fired == ["outer", "inner"]
+    assert sched.now == 2.0
+
+
+def test_run_until_stops_and_advances_clock():
+    sched = EventScheduler()
+    fired = []
+    sched.schedule(1.0, fired.append, "a")
+    sched.schedule(5.0, fired.append, "b")
+    sched.run(until=3.0)
+    assert fired == ["a"]
+    assert sched.now == 3.0
+    sched.run()
+    assert fired == ["a", "b"]
+
+
+def test_cannot_schedule_in_the_past():
+    sched = EventScheduler()
+    sched.schedule(1.0, lambda: None)
+    sched.run()
+    with pytest.raises(SimulationError):
+        sched.schedule_at(0.5, lambda: None)
+    with pytest.raises(SimulationError):
+        sched.schedule(-1.0, lambda: None)
+
+
+def test_step_returns_false_when_idle():
+    sched = EventScheduler()
+    assert sched.step() is False
+    sched.schedule(1.0, lambda: None)
+    assert sched.step() is True
+    assert sched.step() is False
+
+
+def test_run_until_idle_guards_against_runaway():
+    sched = EventScheduler()
+
+    def forever():
+        sched.schedule(1.0, forever)
+
+    sched.schedule(1.0, forever)
+    with pytest.raises(SimulationError):
+        sched.run_until_idle(max_events=100)
+
+
+def test_events_fired_counter():
+    sched = EventScheduler()
+    for _ in range(5):
+        sched.schedule(1.0, lambda: None)
+    sched.run()
+    assert sched.events_fired == 5

@@ -1,0 +1,70 @@
+"""Unit tests for failure detectors."""
+
+from repro.fd.heartbeat import HeartbeatTracker
+from repro.fd.perfect import PerfectFailureDetector
+from repro.sim.env import SimEnv
+
+
+def test_perfect_fd_notifies_after_delay():
+    env = SimEnv()
+    fd = PerfectFailureDetector(env, detection_delay=0.005)
+    seen = []
+    fd.subscribe(seen.append)
+    fd.report_crash(3)
+    assert seen == [], "detection takes the configured delay"
+    env.run_until_idle()
+    assert seen == [3]
+    assert env.now == 0.005
+    assert fd.suspected() == {3}
+
+
+def test_perfect_fd_reports_each_crash_once():
+    env = SimEnv()
+    fd = PerfectFailureDetector(env, detection_delay=0.001)
+    seen = []
+    fd.subscribe(seen.append)
+    fd.report_crash(1)
+    fd.report_crash(1)
+    fd.report_crash(2)
+    env.run_until_idle()
+    assert sorted(seen) == [1, 2]
+
+
+def test_perfect_fd_multiple_listeners():
+    env = SimEnv()
+    fd = PerfectFailureDetector(env, detection_delay=0.001)
+    a, b = [], []
+    fd.subscribe(a.append)
+    fd.subscribe(b.append)
+    fd.report_crash(0)
+    env.run_until_idle()
+    assert a == b == [0]
+
+
+def test_heartbeat_tracker_suspects_after_timeout():
+    tracker = HeartbeatTracker(peers=[1, 2], timeout=1.0, now=0.0)
+    tracker.heard_from(1, now=0.5)
+    assert tracker.check(now=1.2) == [2]
+    assert tracker.suspected() == {2}
+    assert tracker.check(now=1.2) == [], "no double suspicion"
+    assert tracker.check(now=2.0) == [1]
+
+
+def test_heartbeat_never_unsuspects():
+    tracker = HeartbeatTracker(peers=[1], timeout=1.0)
+    tracker.check(now=2.0)
+    tracker.heard_from(1, now=2.1)  # a perfect detector ignores zombies
+    assert tracker.suspected() == {1}
+
+
+def test_heartbeat_ignores_unknown_peers():
+    tracker = HeartbeatTracker(peers=[1], timeout=1.0)
+    tracker.heard_from(99, now=0.5)
+    assert tracker.peers == {1}
+
+
+def test_heartbeat_timeout_must_be_positive():
+    import pytest
+
+    with pytest.raises(ValueError):
+        HeartbeatTracker(peers=[], timeout=0)

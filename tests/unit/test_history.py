@@ -1,0 +1,66 @@
+"""Unit tests for operation history recording."""
+
+import pytest
+
+from repro.analysis.history import History, Operation
+from repro.errors import HistoryError
+
+
+def test_invoke_respond_records_interval():
+    h = History()
+    h.invoke(1.0, client=1, op="op1", kind="read", value=None)
+    h.respond(2.0, client=1, op="op1", value=b"x", tag="t")
+    (op,) = h.operations
+    assert op.kind == "read" and op.value == b"x"
+    assert op.start == 1.0 and op.end == 2.0 and op.tag == "t"
+
+
+def test_write_records_invocation_value():
+    h = History()
+    h.invoke(1.0, 1, "w", "write", b"written")
+    h.respond(2.0, 1, "w", value=None)
+    assert h.operations[0].value == b"written"
+
+
+def test_duplicate_invocation_rejected():
+    h = History()
+    h.invoke(1.0, 1, "op", "read", None)
+    with pytest.raises(HistoryError):
+        h.invoke(1.5, 1, "op", "read", None)
+
+
+def test_response_without_invocation_rejected():
+    h = History()
+    with pytest.raises(HistoryError):
+        h.respond(1.0, 1, "ghost", b"")
+
+
+def test_close_converts_open_invocations():
+    h = History()
+    h.invoke(1.0, 1, "w", "write", b"v")
+    h.close()
+    (op,) = h.operations
+    assert not op.complete and op.end is None
+
+
+def test_filters():
+    ops = [
+        Operation(1, "write", b"a", 0, 1),
+        Operation(2, "read", b"a", 1, 2),
+        Operation(3, "write", b"b", 2, None),
+    ]
+    h = History.of(ops)
+    assert len(h.reads()) == 1
+    assert len(h.writes()) == 2
+    assert len(h.completed()) == 2
+    assert len(h) == 3
+
+
+def test_overlaps():
+    a = Operation(1, "read", b"", 0.0, 2.0)
+    b = Operation(2, "read", b"", 1.0, 3.0)
+    c = Operation(3, "read", b"", 2.5, 3.0)
+    open_op = Operation(4, "write", b"", 0.5, None)
+    assert a.overlaps(b) and b.overlaps(a)
+    assert not a.overlaps(c) and not c.overlaps(a)
+    assert open_op.overlaps(c), "open operations overlap everything after them"

@@ -1,0 +1,55 @@
+"""Unit tests for the in-memory transport bus."""
+
+from repro.core.messages import ClientRead, OpId
+from repro.transport.memory import MemoryBus
+
+
+def test_fifo_delivery():
+    bus = MemoryBus()
+    got = []
+    bus.register("b", lambda src, m: got.append((src, m)))
+    bus.send("a", "b", 1)
+    bus.send("a", "b", 2)
+    assert bus.pump_all() == 2
+    assert got == [("a", 1), ("a", 2)]
+
+
+def test_pump_one_at_a_time():
+    bus = MemoryBus()
+    got = []
+    bus.register("b", lambda src, m: got.append(m))
+    bus.send("a", "b", 1)
+    bus.send("a", "b", 2)
+    assert bus.pump() is True
+    assert got == [1]
+    bus.pump_all()
+    assert got == [1, 2]
+    assert bus.pump() is False
+
+
+def test_disconnect_drops_messages():
+    bus = MemoryBus()
+    got = []
+    bus.register("b", lambda src, m: got.append(m))
+    bus.send("a", "b", 1)
+    bus.disconnect("b")
+    bus.send("a", "b", 2)
+    bus.pump_all()
+    assert got == []
+
+
+def test_codec_roundtrip_mode():
+    bus = MemoryBus(through_codec=True)
+    got = []
+    bus.register("b", lambda src, m: got.append(m))
+    message = ClientRead(OpId(1, 2))
+    bus.send("a", "b", message)
+    bus.pump_all()
+    assert got == [message]
+    assert got[0] is not message, "message was re-materialised via the codec"
+
+
+def test_unregistered_destination_ignored():
+    bus = MemoryBus()
+    bus.send("a", "nowhere", 1)
+    assert bus.pump_all() == 0

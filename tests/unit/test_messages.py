@@ -1,0 +1,74 @@
+"""Unit tests for message definitions and wire-size accounting."""
+
+import pytest
+
+from repro.core.messages import (
+    ClientRead,
+    ClientWrite,
+    Commit,
+    OpId,
+    PendingEntry,
+    PreWrite,
+    ReadAck,
+    ReconfigCommit,
+    ReconfigToken,
+    StateSync,
+    WriteAck,
+    payload_size,
+)
+from repro.core.tags import Tag
+from repro.transport.codec import encode_message
+
+OP = OpId(7, 3)
+TAG = Tag(5, 2)
+
+
+def _all_messages():
+    return [
+        ClientWrite(OP, b"x" * 100),
+        WriteAck(OP, TAG),
+        WriteAck(OP, None),
+        ClientRead(OP),
+        ReadAck(OP, b"y" * 50, TAG),
+        PreWrite(TAG, b"v" * 200, OP),
+        PreWrite(TAG, b"v" * 200, OP, (Tag(1, 0), Tag(2, 1))),
+        Commit((Tag(1, 0),)),
+        Commit(()),
+        StateSync(TAG, b"z" * 10, (Tag(4, 4),)),
+        ReconfigToken(1, 1, 0, (2,), TAG, b"w" * 30,
+                      (PendingEntry(Tag(6, 1), b"p" * 20, OP),), ((7, 3),)),
+        ReconfigCommit(1, 1, 0, (2,), TAG, b"w" * 30, (), ((7, 3), (8, 0))),
+    ]
+
+
+@pytest.mark.parametrize("message", _all_messages(), ids=lambda m: type(m).__name__)
+def test_payload_size_matches_codec_encoding(message):
+    """The simulator charges exactly the bytes the real codec produces."""
+    assert payload_size(message) == len(encode_message(message))
+
+
+def test_payload_grows_with_value():
+    small = payload_size(ClientWrite(OP, b"a"))
+    large = payload_size(ClientWrite(OP, b"a" * 1000))
+    assert large - small == 999
+
+
+def test_commit_cost_is_per_tag():
+    one = payload_size(Commit((Tag(1, 0),)))
+    three = payload_size(Commit((Tag(1, 0), Tag(2, 0), Tag(3, 0))))
+    assert three - one == 24  # 12 bytes per tag
+
+
+def test_prewrite_origin_property():
+    assert PreWrite(Tag(9, 4), b"", OP).origin == 4
+
+
+def test_unknown_message_type_rejected():
+    with pytest.raises(TypeError):
+        payload_size(object())
+
+
+def test_messages_are_immutable():
+    message = ClientWrite(OP, b"v")
+    with pytest.raises(AttributeError):
+        message.value = b"other"

@@ -1,0 +1,39 @@
+"""Unit tests for the paper-style table/chart rendering."""
+
+from repro.bench.report import render_chart, render_table
+
+
+def test_table_alignment_and_formatting():
+    out = render_table(["n", "Mbit/s"], [[2, 186.33], [8, 745.0]])
+    lines = out.splitlines()
+    assert lines[0].split() == ["n", "Mbit/s"]
+    assert "186.3" in lines[2]
+    assert "745.0" in lines[3]
+    # Columns right-aligned: every line same width.
+    assert len({len(line) for line in lines}) == 1
+
+
+def test_table_with_string_cells():
+    out = render_table(["config", "x"], [["default", 1.0], ["no piggyback", 2.0]])
+    assert "no piggyback" in out
+
+
+def test_table_empty_rows():
+    out = render_table(["a", "b"], [])
+    assert "a" in out and "b" in out
+
+
+def test_chart_contains_series_markers_and_legend():
+    out = render_chart([2, 4, 8], {"reads": [10.0, 20.0, 40.0], "writes": [5.0, 5.0, 5.0]})
+    assert "o=reads" in out and "*=writes" in out
+    assert out.count("o") >= 3
+    assert "+" in out  # axis
+
+
+def test_chart_handles_empty_series():
+    assert render_chart([1], {}) == "(no data)"
+
+
+def test_chart_y_label():
+    out = render_chart([1, 2], {"s": [1.0, 2.0]}, y_label="Mbit/s")
+    assert out.splitlines()[0].strip() == "Mbit/s"

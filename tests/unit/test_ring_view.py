@@ -1,0 +1,80 @@
+"""Unit tests for ring membership views."""
+
+import pytest
+
+from repro.core.ring import RingView
+from repro.errors import ConfigurationError
+
+
+def test_initial_ring_members():
+    ring = RingView.initial(4)
+    assert ring.members == (0, 1, 2, 3)
+    assert ring.alive() == [0, 1, 2, 3]
+    assert ring.epoch == 0
+
+
+def test_successor_wraps_around():
+    ring = RingView.initial(3)
+    assert ring.successor(0) == 1
+    assert ring.successor(2) == 0
+
+
+def test_predecessor_wraps_around():
+    ring = RingView.initial(3)
+    assert ring.predecessor(0) == 2
+    assert ring.predecessor(1) == 0
+
+
+def test_successor_skips_dead(ring5):
+    ring = ring5.without(1).without(2)
+    assert ring.successor(0) == 3
+    assert ring.predecessor(3) == 0
+    assert ring.epoch == 2
+
+
+def test_single_survivor_is_own_successor(ring5):
+    ring = ring5.with_dead([0, 1, 2, 3])
+    assert ring.successor(4) == 4
+    assert ring.predecessor(4) == 4
+    assert ring.num_alive == 1
+
+
+def test_adopter_is_closest_alive_predecessor(ring5):
+    ring = ring5.without(2)
+    assert ring.adopter(2) == 1
+    ring = ring.without(1)
+    assert ring.adopter(2) == 0
+    assert ring.adopter(1) == 0
+
+
+def test_adopter_requires_dead_server(ring5):
+    with pytest.raises(ConfigurationError):
+        ring5.adopter(2)
+
+
+def test_cannot_kill_everyone(ring5):
+    with pytest.raises(ConfigurationError):
+        ring5.with_dead([0, 1, 2, 3, 4])
+
+
+def test_without_unknown_server_raises(ring5):
+    with pytest.raises(ConfigurationError):
+        ring5.without(99)
+
+
+def test_views_are_immutable(ring5):
+    smaller = ring5.without(0)
+    assert ring5.num_alive == 5
+    assert smaller.num_alive == 4
+
+
+def test_needs_at_least_one_server():
+    with pytest.raises(ConfigurationError):
+        RingView.initial(0)
+
+
+def test_is_alive(ring5):
+    ring = ring5.without(3)
+    assert ring.is_alive(0)
+    assert not ring.is_alive(3)
+    assert not ring.is_alive(42)

@@ -1,0 +1,203 @@
+"""Unit tests for the server state machine (failure-free paths).
+
+These drive ``ServerProtocol`` instances directly through the
+:class:`tests.conftest.RingHarness` lossless in-memory ring, asserting
+the exact message flows of the paper's pseudocode.
+"""
+
+from tests.helpers import RingHarness, make_servers
+
+from repro.core.messages import (
+    ClientRead,
+    ClientWrite,
+    Commit,
+    OpId,
+    PreWrite,
+    ReadAck,
+    WriteAck,
+)
+from repro.core.tags import Tag
+
+
+def test_initial_state():
+    (server,) = make_servers(1)
+    assert server.value == b""
+    assert server.tag == Tag.ZERO
+    assert not server.pending
+    assert not server.has_ring_work
+
+
+def test_write_completes_after_two_ring_traversals():
+    h = RingHarness(3)
+    op = h.client_write(0, b"v1")
+    # Pre-write circle: 3 pumps (s0->s1, s1->s2, s2->s0).
+    h.pump(3)
+    assert h.acks_for(op) == [], "no ack before the commit returns"
+    assert h.server(0).value == b"v1", "origin installs at pre-write return"
+    # Commit circle + the extra staleness hop.
+    h.pump_until_quiet()
+    acks = h.acks_for(op)
+    assert len(acks) == 1 and isinstance(acks[0].message, WriteAck)
+    for server in h.servers:
+        assert server.value == b"v1"
+        assert not server.pending
+
+
+def test_read_is_local_and_immediate_without_contention():
+    h = RingHarness(3)
+    op = h.client_write(1, b"v1")
+    h.pump_until_quiet()
+    h.replies.clear()
+    read_op = h.client_read(2)
+    acks = h.acks_for(read_op)
+    assert len(acks) == 1
+    assert isinstance(acks[0].message, ReadAck)
+    assert acks[0].message.value == b"v1"
+    assert h.server(2).stats_reads_served == 1
+    assert h.server(2).stats_reads_waited == 0
+
+
+def test_read_waits_during_pre_write_window():
+    h = RingHarness(3)
+    h.client_write(0, b"new")
+    # Three pumps: s0 initiates, s1 forwards, s2 forwards.  A pre-write
+    # enters a server's pending set only when *forwarded* (line 71), so
+    # s2 now blocks reads on it.
+    h.pump(3)
+    assert Tag(1, 0) in h.server(2).pending
+    read_op = h.client_read(2)
+    assert h.acks_for(read_op) == [], "read must wait for the pending write"
+    assert h.server(2).stats_reads_waited == 1
+    h.pump_until_quiet()
+    acks = h.acks_for(read_op)
+    assert len(acks) == 1 and acks[0].message.value == b"new"
+
+
+def test_read_still_immediate_while_pre_write_only_queued():
+    """Line 71's forward-time pending keeps reads immediate as long as
+    possible: a queued-but-unforwarded pre-write does not block reads."""
+    h = RingHarness(3)
+    h.client_write(0, b"new")
+    h.pump(1)  # s1 has the pre-write queued, not yet forwarded
+    read_op = h.client_read(1)
+    acks = h.acks_for(read_op)
+    assert len(acks) == 1 and acks[0].message.value == b""
+
+
+def test_tags_increase_monotonically_per_origin():
+    h = RingHarness(3)
+    h.client_write(0, b"a")
+    h.pump_until_quiet()
+    h.client_write(0, b"b")
+    h.pump_until_quiet()
+    assert h.server(1).tag == Tag(2, 0)
+    assert h.server(1).value == b"b"
+
+
+def test_concurrent_writes_ordered_by_tag():
+    h = RingHarness(3)
+    op_a = h.client_write(0, b"from-s0", client=1)
+    op_b = h.client_write(1, b"from-s1", client=2)
+    h.pump_until_quiet()
+    assert len(h.acks_for(op_a)) == 1
+    assert len(h.acks_for(op_b)) == 1
+    # Same ts 1 at both origins: server id 1 wins the tie-break.
+    winner = max(Tag(1, 0), Tag(1, 1))
+    values = {s.value for s in h.servers}
+    assert values == {b"from-s1"}, values
+    assert all(s.tag == winner for s in h.servers)
+
+
+def test_duplicate_pre_write_dropped():
+    h = RingHarness(3)
+    s1 = h.server(1)
+    pw = PreWrite(Tag(1, 0), b"v", OpId(9, 0))
+    s1.on_ring_message(pw)
+    before = len(s1.fair)
+    s1.on_ring_message(pw)
+    assert len(s1.fair) == before, "second copy must not enqueue"
+    assert s1.stats_duplicates_dropped == 1
+
+
+def test_stale_commit_dropped():
+    h = RingHarness(3)
+    h.client_write(0, b"a")
+    h.pump_until_quiet()
+    s1 = h.server(1)
+    processed = s1.stats_commits_processed
+    s1.on_ring_message(Commit((Tag(1, 0),)))  # already committed
+    assert s1.stats_commits_processed == processed
+    assert not s1.commit_queue or s1.commit_queue[-1] != Tag(1, 0)
+
+
+def test_commit_travels_one_circle_plus_one_hop():
+    h = RingHarness(3)
+    h.client_write(0, b"v")
+    h.pump_until_quiet()
+    # Every server processed the commit exactly once.
+    assert all(s.stats_commits_processed == 1 for s in h.servers)
+    assert h.server(1).stats_duplicates_dropped >= 1, "the extra hop is dropped"
+
+
+def test_client_write_dedup_by_completed_ops():
+    h = RingHarness(3)
+    op = OpId(42, 7)
+    h.replies.extend(
+        h.server(0).on_client_message(42, ClientWrite(op, b"v"))
+    )
+    h.pump_until_quiet()
+    assert len(h.acks_for(op)) == 1
+    # Retry of the same op at another server: immediate ack, no new write.
+    initiated_before = sum(s.stats_writes_initiated for s in h.servers)
+    h.replies.extend(
+        h.server(2).on_client_message(42, ClientWrite(op, b"v"))
+    )
+    h.pump_until_quiet()
+    assert len(h.acks_for(op)) == 2
+    assert sum(s.stats_writes_initiated for s in h.servers) == initiated_before
+
+
+def test_client_write_dedup_joins_inflight_write():
+    h = RingHarness(3)
+    op = OpId(42, 7)
+    h.server(0).on_client_message(42, ClientWrite(op, b"v"))
+    h.pump(2)  # pre-write is travelling; op is in-flight at s1/s2
+    h.replies.extend(h.server(2).on_client_message(42, ClientWrite(op, b"v")))
+    h.pump_until_quiet()
+    # Both the origin and the retried server ack the same op once each.
+    assert len(h.acks_for(op)) == 2
+    assert sum(s.stats_writes_initiated for s in h.servers) == 1
+
+
+def test_single_server_ring_commits_locally():
+    h = RingHarness(1)
+    op = h.client_write(0, b"solo")
+    acks = h.acks_for(op)
+    assert len(acks) == 1 and isinstance(acks[0].message, WriteAck)
+    read_op = h.client_read(0)
+    assert h.acks_for(read_op)[0].message.value == b"solo"
+    assert not h.server(0).has_ring_work
+
+
+def test_writes_from_all_servers_complete_under_load():
+    h = RingHarness(4)
+    ops = []
+    for round_no in range(5):
+        for server_id in range(4):
+            ops.append(h.client_write(server_id, b"v%d-%d" % (server_id, round_no),
+                                      client=100 + server_id))
+    h.pump_until_quiet()
+    for op in ops:
+        assert len(h.acks_for(op)) == 1, f"write {op} not acked exactly once"
+    # All servers converged on the same final value.
+    assert len({s.value for s in h.servers}) == 1
+    assert all(not s.pending for s in h.servers)
+
+
+def test_read_reply_carries_tag():
+    h = RingHarness(2)
+    h.client_write(0, b"x")
+    h.pump_until_quiet()
+    read_op = h.client_read(1)
+    ack = h.acks_for(read_op)[0].message
+    assert ack.tag == Tag(1, 0)

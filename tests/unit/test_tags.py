@@ -1,0 +1,51 @@
+"""Unit tests for the (ts, server_id) tag order."""
+
+import pytest
+
+from repro.core.tags import Tag, max_tag
+
+
+def test_lexicographic_order_ts_dominates():
+    assert Tag(1, 5) < Tag(2, 0)
+    assert Tag(2, 0) > Tag(1, 5)
+
+
+def test_lexicographic_order_id_breaks_ties():
+    assert Tag(3, 1) < Tag(3, 2)
+    assert not Tag(3, 2) < Tag(3, 1)
+
+
+def test_zero_is_smallest():
+    assert Tag.ZERO < Tag(1, 0)
+    assert Tag.ZERO < Tag(0, 0)  # server ids are >= 0
+
+
+def test_equality_and_hash():
+    assert Tag(4, 2) == Tag(4, 2)
+    assert hash(Tag(4, 2)) == hash(Tag(4, 2))
+    assert Tag(4, 2) != Tag(4, 3)
+
+
+def test_next_for_increments_ts_and_stamps_id():
+    tag = Tag(7, 3).next_for(1)
+    assert tag == Tag(8, 1)
+    assert tag > Tag(7, 3)
+
+
+def test_max_tag_empty_is_zero():
+    assert max_tag([]) is Tag.ZERO
+
+
+def test_max_tag_picks_lexicographic_maximum():
+    tags = [Tag(2, 1), Tag(3, 0), Tag(2, 9)]
+    assert max_tag(tags) == Tag(3, 0)
+
+
+def test_total_ordering_derives_ge_le():
+    assert Tag(1, 1) <= Tag(1, 1)
+    assert Tag(2, 1) >= Tag(1, 9)
+
+
+def test_comparison_with_non_tag_raises():
+    with pytest.raises(TypeError):
+        _ = Tag(1, 1) < 5

@@ -1,0 +1,48 @@
+"""Unit tests for the wire cost model."""
+
+import pytest
+
+from repro.sim.wire import WireModel
+
+
+def test_single_segment_message():
+    wire = WireModel()
+    # 1000 bytes + 32 header fits one segment: + 78 overhead.
+    assert wire.wire_bytes(1000) == 1000 + 32 + 78
+
+
+def test_multi_segment_message():
+    wire = WireModel()
+    # 4096 + 32 = 4128 app bytes -> 3 segments of 1448.
+    assert wire.wire_bytes(4096) == 4096 + 32 + 3 * 78
+
+
+def test_minimum_frame_applies():
+    wire = WireModel()
+    assert wire.wire_bytes(0) == max(84, 0 + 32 + 78)
+    tiny = WireModel(app_header=0, segment_overhead=0)
+    assert tiny.wire_bytes(1) == 84
+
+
+def test_tx_time_scales_with_bandwidth():
+    wire = WireModel()
+    t100 = wire.tx_time(4096, 100e6)
+    t1000 = wire.tx_time(4096, 1e9)
+    assert abs(t100 / t1000 - 10.0) < 1e-9
+    # 4362 wire bytes at 100 Mbit/s ~ 349 us.
+    assert abs(t100 - 4362 * 8 / 100e6) < 1e-12
+
+
+def test_efficiency_improves_with_payload():
+    wire = WireModel()
+    assert wire.efficiency(256) < wire.efficiency(4096) < 1.0
+    # The regime behind the paper's ~90 Mbit/s on 100 Mbit/s links.
+    assert 0.90 < wire.efficiency(4096) < 0.96
+
+
+def test_invalid_inputs():
+    wire = WireModel()
+    with pytest.raises(ValueError):
+        wire.wire_bytes(-1)
+    with pytest.raises(ValueError):
+        wire.tx_time(100, 0)
