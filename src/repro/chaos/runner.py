@@ -1,0 +1,224 @@
+"""Chaos run execution: workload + fault plan + linearizability gate.
+
+:func:`run_schedule` builds a fresh simulated cluster for one
+:class:`~repro.chaos.schedule.ChaosSchedule`, drives a closed-loop
+mixed read/write workload while the schedule's fault plan fires, records
+the complete operation history, and gates the run through the
+value-based linearizability checker
+(:func:`repro.analysis.linearizability.check_register_history`).
+
+Every protocol of the repo's zoo can be the target: the paper's ring
+algorithm (``core``) and each baseline.  The naive read-one/write-all
+baseline is *expected* to violate atomicity — that anomaly is the
+paper's motivation — so its violations are reported as expected
+anomalies rather than failures.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.analysis.history import History
+from repro.analysis.linearizability import check_register_history
+from repro.baselines import (
+    build_abd_cluster,
+    build_chain_cluster,
+    build_naive_cluster,
+    build_tob_cluster,
+)
+from repro.chaos.schedule import (
+    CORE_PROFILE,
+    GENTLE_PROFILE,
+    ChaosProfile,
+    ChaosSchedule,
+)
+from repro.errors import ConfigurationError
+from repro.runtime.sim_net import SimCluster
+
+
+@dataclass(frozen=True)
+class ProtocolTarget:
+    """One protocol the chaos harness can attack."""
+
+    name: str
+    builder: object  # (num_servers, seed=..., protocol=...) -> SimCluster
+    profile: ChaosProfile
+    #: Whether a linearizability violation fails the run (False only for
+    #: the naive baseline, whose read inversion is the expected anomaly).
+    atomic: bool = True
+
+
+def _build_core(num_servers: int, **kwargs) -> SimCluster:
+    return SimCluster.build(num_servers=num_servers, **kwargs)
+
+
+TARGETS: dict[str, ProtocolTarget] = {
+    "core": ProtocolTarget("core", _build_core, CORE_PROFILE),
+    "abd": ProtocolTarget("abd", build_abd_cluster, GENTLE_PROFILE),
+    "chain": ProtocolTarget("chain", build_chain_cluster, GENTLE_PROFILE),
+    "tob": ProtocolTarget("tob", build_tob_cluster, GENTLE_PROFILE),
+    "naive": ProtocolTarget("naive", build_naive_cluster, GENTLE_PROFILE, atomic=False),
+}
+
+#: Trace counters proving a fault type actually fired during a run.
+#: Where possible these count *effect*, not injection: a partition is
+#: exercised when it held or dropped a frame, not merely when its cut
+#: was installed.
+_KIND_COUNTERS = {
+    "crash": ("process.crashes",),
+    "partition": ("nemesis.held", "nemesis.cut_drops"),
+    "drop": ("nemesis.drops",),
+    "delay": ("nemesis.delayed",),
+    "duplicate": ("nemesis.dup_deliveries",),
+    "throttle": ("nemesis.throttles",),
+    "pause": ("nemesis.pauses",),
+}
+
+
+@dataclass
+class ChaosResult:
+    """Outcome of one chaos run."""
+
+    schedule: ChaosSchedule
+    protocol: str
+    linearizable: bool
+    reason: str
+    ops_completed: int
+    ops_open: int
+    ops_failed: int
+    #: Completions required for the run to count as live: an empty or
+    #: near-empty history passes the linearizability check vacuously, so
+    #: safety alone would let a total deadlock report green.
+    ops_required: int = 0
+    exercised: set[str] = field(default_factory=set)
+    wall_seconds: float = 0.0
+
+    @property
+    def progressed(self) -> bool:
+        return self.ops_completed >= self.ops_required
+
+    @property
+    def ok(self) -> bool:
+        """Whether the run passes its gate (naive may violate safety,
+        but even naive must make progress)."""
+        if not self.progressed:
+            return False
+        if TARGETS[self.protocol].atomic:
+            return self.linearizable
+        return True
+
+    @property
+    def anomaly(self) -> bool:
+        return not self.linearizable and not TARGETS[self.protocol].atomic
+
+    def describe(self) -> str:
+        if not self.progressed:
+            verdict = f"STALLED: {self.ops_completed}/{self.ops_required} required ops"
+        elif self.linearizable:
+            verdict = "OK"
+        elif self.anomaly:
+            verdict = "ANOMALY (expected)"
+        else:
+            verdict = f"VIOLATION: {self.reason}"
+        kinds = ",".join(sorted(self.exercised)) or "none"
+        return (
+            f"{self.protocol:<5} {self.schedule.describe()} "
+            f"done={self.ops_completed} open={self.ops_open} "
+            f"failed={self.ops_failed} hit={kinds} -> {verdict} "
+            f"({self.wall_seconds:.2f}s)"
+        )
+
+
+def run_schedule(schedule: ChaosSchedule, protocol: str = "core") -> ChaosResult:
+    """Execute one chaos schedule against ``protocol`` and gate it."""
+    target = TARGETS.get(protocol)
+    if target is None:
+        raise ConfigurationError(
+            f"unknown protocol {protocol!r}; choose from {sorted(TARGETS)}"
+        )
+    if protocol != "core" and schedule.profile != target.profile.name:
+        raise ConfigurationError(
+            f"protocol {protocol!r} only survives {target.profile.name!r} "
+            f"schedules, got a {schedule.profile!r} one (crashes and message "
+            "loss are outside the failure-free baselines' model)"
+        )
+    started = time.perf_counter()
+    cluster = target.builder(
+        schedule.num_servers,
+        seed=schedule.cluster_seed,
+        protocol=schedule.config,
+    )
+    cluster.history = History()
+
+    progress = {"left": schedule.num_clients, "failed": 0}
+    # Pace each client's operations across the whole fault span so the
+    # workload demonstrably overlaps every scheduled fault window; the
+    # stagger desynchronises clients to maximise read/write concurrency.
+    pacing = schedule.workload_span / max(1, schedule.ops_per_client)
+
+    def spawn(host, kind: str, stagger: float) -> None:
+        state = {"seq": 0}
+
+        def on_complete(result) -> None:
+            if not result.ok:
+                progress["failed"] += 1
+            state["seq"] += 1
+            if state["seq"] >= schedule.ops_per_client:
+                progress["left"] -= 1
+                return
+            cluster.env.scheduler.schedule(pacing, issue)
+
+        def issue() -> None:
+            if kind == "write":
+                stamp = b"%d:%d" % (host.client_id, state["seq"])
+                host.write(stamp.ljust(schedule.value_size, b"."), on_complete)
+            else:
+                host.read(on_complete)
+
+        cluster.env.scheduler.schedule(stagger, issue)
+
+    num_clients = schedule.num_clients
+    for i in range(schedule.writers):
+        spawn(cluster.add_client(home_server=i % schedule.num_servers), "write",
+              stagger=pacing * i / max(1, num_clients))
+    for i in range(schedule.readers):
+        spawn(cluster.add_client(home_server=i % schedule.num_servers), "read",
+              stagger=pacing * (schedule.writers + i) / max(1, num_clients))
+
+    # Faults are applied after the clients exist so client-side links
+    # (partitions isolating clients) resolve to real processes.
+    cluster.apply_faults(schedule.plan)
+
+    scheduler = cluster.env.scheduler
+    while progress["left"] > 0 and cluster.now < schedule.deadline:
+        if not scheduler.step():
+            break  # idle: every remaining operation is permanently stalled
+
+    cluster.history.close()
+    ok, reason = check_register_history(cluster.history)
+
+    counters = cluster.env.trace.counters
+    exercised = {
+        kind
+        for kind, names in _KIND_COUNTERS.items()
+        if any(counters.get(name, 0) > 0 for name in names)
+    }
+    completed = len(cluster.history.completed())
+    total_ops = schedule.num_clients * schedule.ops_per_client
+    # Gentle schedules lose nothing, so every operation must complete;
+    # under the full menu, retry exhaustion may legitimately fail a few
+    # ops, but losing more than half the workload is a liveness bug.
+    required = total_ops if not target.profile.retries else (total_ops + 1) // 2
+    return ChaosResult(
+        schedule=schedule,
+        protocol=protocol,
+        linearizable=ok,
+        reason=reason if not ok else "",
+        ops_completed=completed,
+        ops_open=len(cluster.history) - completed,
+        ops_failed=progress["failed"],
+        ops_required=required,
+        exercised=exercised,
+        wall_seconds=time.perf_counter() - started,
+    )

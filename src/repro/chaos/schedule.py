@@ -1,0 +1,248 @@
+"""Randomized chaos schedule generation.
+
+A :class:`ChaosSchedule` bundles everything one chaos run needs: a
+:class:`~repro.sim.faults.FaultPlan` drawn from a seeded RNG, the
+workload shape, the protocol tunables and the run deadline.  Schedules
+are pure data — :mod:`repro.chaos.runner` executes them — and are fully
+determined by ``(seed, index, profile, num_servers)``, so any failing run
+can be replayed bit-identically from its coordinates.
+
+Two generation profiles encode which faults a protocol family can be
+expected to survive:
+
+``CORE_PROFILE``
+    The full menu for the paper's ring algorithm: crashes (the paper's
+    n−1 claim), hold-mode partitions of either network, probabilistic
+    drop and duplication, FIFO-preserving delays, NIC throttles and
+    process pauses.  Two scheduling rules keep the faults inside the
+    protocol's stated model (reliable FIFO channels between correct
+    processes, perfect failure detection):
+
+    * the client timeout is set beyond the last fault window
+      (:meth:`FaultPlan.stall_horizon`), so a retry can never race a
+      pre-write that is merely stalled — under TCP a request is retried
+      only once its server is actually gone;
+    * probabilistic *loss* on the server ring is never combined with
+      crashes: a lost pre-write leaves a zombie pending entry that a
+      crash-triggered state merge would resurrect and re-commit, which
+      models a TCP connection silently eating one message — a failure
+      TCP does not exhibit.
+
+``GENTLE_PROFILE``
+    Pure-delay menu for the failure-free baselines (ABD, chain, TOB,
+    naive): hold-mode partitions, delays, throttles and pauses, with
+    client retries disabled.  Nothing is ever lost, so every baseline
+    except the (deliberately broken) naive one must stay linearizable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.config import ProtocolConfig
+from repro.sim.faults import FaultPlan
+from repro.sim.rng import derive_seed
+
+#: Fault types the harness knows how to schedule and count.
+FAULT_KINDS = ("crash", "partition", "drop", "delay", "duplicate", "throttle", "pause")
+
+
+@dataclass(frozen=True)
+class ChaosProfile:
+    """Which fault types a schedule may contain, with probabilities."""
+
+    name: str
+    crash_weights: tuple[int, ...] = (0,)  # distribution of crash counts
+    p_partition: float = 0.0
+    p_ring_loss: float = 0.0    # probabilistic drop on a ring link
+    p_client_loss: float = 0.0  # probabilistic drop on a client link
+    p_duplicate: float = 0.0
+    p_delay: float = 0.0
+    p_throttle: float = 0.0
+    p_pause: float = 0.0
+    retries: bool = True
+
+
+CORE_PROFILE = ChaosProfile(
+    name="core",
+    crash_weights=(0, 0, 1, 1, 1, 2),
+    p_partition=0.55,
+    p_ring_loss=0.5,
+    p_client_loss=0.6,
+    p_duplicate=0.6,
+    p_delay=0.7,
+    p_throttle=0.45,
+    p_pause=0.45,
+    retries=True,
+)
+
+GENTLE_PROFILE = ChaosProfile(
+    name="gentle",
+    crash_weights=(0,),
+    p_partition=0.5,
+    p_ring_loss=0.0,
+    p_client_loss=0.0,
+    p_duplicate=0.0,
+    p_delay=0.8,
+    p_throttle=0.5,
+    p_pause=0.5,
+    retries=False,
+)
+
+#: Last instant any fault window may still be open.
+FAULT_WINDOW_END = 1.0
+#: Extra slack between the stall horizon and the client timeout: long
+#: enough that a stalled-then-healed operation completes (and acks) well
+#: before its retry timer fires.
+RETRY_MARGIN = 0.4
+
+
+@dataclass(frozen=True)
+class ChaosSchedule:
+    """One fully-specified chaos run."""
+
+    seed: int
+    index: int
+    profile: str
+    num_servers: int
+    cluster_seed: int
+    writers: int
+    readers: int
+    ops_per_client: int
+    value_size: int
+    plan: FaultPlan = field(compare=False)
+    config: ProtocolConfig = field(compare=False)
+    deadline: float = 10.0
+    #: Simulated time the workload is paced to span.  Without pacing a
+    #: few dozen operations finish in single-digit milliseconds — before
+    #: the first fault window even opens — so each client spreads its
+    #: operations across this span to guarantee fault/operation overlap.
+    workload_span: float = 0.0
+
+    @property
+    def num_clients(self) -> int:
+        return self.writers + self.readers
+
+    def describe(self) -> str:
+        kinds = ",".join(sorted(self.plan.fault_kinds())) or "none"
+        return (
+            f"[{self.profile}#{self.index}] servers={self.num_servers} "
+            f"clients={self.writers}w+{self.readers}r ops={self.ops_per_client} "
+            f"faults={kinds}"
+        )
+
+
+def generate_schedule(
+    seed: int,
+    index: int,
+    num_servers: int = 4,
+    profile: ChaosProfile = CORE_PROFILE,
+) -> ChaosSchedule:
+    """Draw one randomized schedule, deterministic in all arguments."""
+    rng = random.Random(derive_seed(seed, f"chaos.{profile.name}.{index}"))
+    servers = [f"s{i}" for i in range(num_servers)]
+    writers = rng.randint(2, 3)
+    readers = rng.randint(2, 4)
+    clients = [f"c{i}" for i in range(writers + readers)]
+    ops_per_client = rng.randint(4, 8)
+
+    plan = FaultPlan()
+    num_crashes = min(rng.choice(profile.crash_weights), num_servers - 1)
+    for victim in rng.sample(servers, num_crashes):
+        plan.crash(victim, at=round(rng.uniform(0.05, 1.4), 4))
+
+    def window(max_len: float) -> tuple[float, float]:
+        start = rng.uniform(0.05, FAULT_WINDOW_END - 0.05)
+        end = min(FAULT_WINDOW_END, start + rng.uniform(0.02, max_len))
+        return round(start, 4), round(end, 4)
+
+    if num_servers >= 2 and rng.random() < profile.p_partition:
+        at, heal_at = window(0.3)
+        if rng.random() < 0.5 or len(clients) == 0:
+            # Ring partition: split the servers into two non-empty groups.
+            cut = rng.randint(1, num_servers - 1)
+            shuffled = rng.sample(servers, num_servers)
+            plan.partition([shuffled[:cut], shuffled[cut:]], at=at, heal_at=heal_at)
+        else:
+            # Client-side partition: some servers unreachable by clients.
+            cut = rng.randint(1, num_servers - 1)
+            island = rng.sample(servers, cut)
+            plan.partition([island, clients], at=at, heal_at=heal_at)
+
+    # Probabilistic loss on a ring link.  Never combined with crashes:
+    # see the module docstring for why (zombie-pending resurrection).
+    if num_servers >= 2 and num_crashes == 0 and rng.random() < profile.p_ring_loss:
+        src = rng.choice(servers)
+        dst = f"s{(int(src[1:]) + 1) % num_servers}"
+        at, until = window(0.5)
+        plan.drop(src, dst, p=round(rng.uniform(0.05, 0.3), 3), at=at, until=until)
+
+    if rng.random() < profile.p_client_loss:
+        at, until = window(0.6)
+        plan.drop(
+            rng.choice(clients), rng.choice(servers),
+            p=round(rng.uniform(0.1, 0.4), 3), at=at, until=until, symmetric=True,
+        )
+
+    if rng.random() < profile.p_duplicate:
+        at, until = window(0.6)
+        if num_servers >= 2 and rng.random() < 0.5:
+            src = rng.choice(servers)
+            dst = f"s{(int(src[1:]) + 1) % num_servers}"
+        else:
+            src, dst = rng.choice(clients), rng.choice(servers)
+        plan.duplicate(src, dst, p=round(rng.uniform(0.2, 0.6), 3),
+                       at=at, until=until, symmetric=True)
+
+    if rng.random() < profile.p_delay:
+        at, until = window(0.6)
+        everyone = servers + clients
+        src = rng.choice(everyone)
+        dst = rng.choice([name for name in everyone if name != src])
+        plan.delay(src, dst, at=at, until=until,
+                   extra=round(rng.uniform(0.0005, 0.003), 5),
+                   jitter=round(rng.uniform(0.0, 0.002), 5), symmetric=True)
+
+    if rng.random() < profile.p_throttle:
+        at, until = window(0.5)
+        plan.throttle(rng.choice(servers), factor=round(rng.uniform(2.0, 6.0), 2),
+                      at=at, until=until)
+
+    if rng.random() < profile.p_pause:
+        at, _ = window(0.3)
+        plan.pause(rng.choice(servers), at=at,
+                   resume_at=round(at + rng.uniform(0.02, 0.12), 4))
+
+    horizon = plan.stall_horizon()
+    if profile.retries:
+        config = ProtocolConfig(
+            client_timeout=round(horizon + RETRY_MARGIN, 4),
+            client_max_retries=40,
+        )
+    else:
+        # Nothing in the gentle menu loses a frame, so every operation
+        # completes without retries; an enormous timeout documents that.
+        config = ProtocolConfig(client_timeout=1e9, client_max_retries=0)
+
+    last_crash = max((crash.time for crash in plan.crashes), default=0.0)
+    span = max(horizon, last_crash) + 0.3
+    deadline = span + 4.0 * config.client_timeout + 2.0
+    if not profile.retries:
+        deadline = span + 4.0
+
+    return ChaosSchedule(
+        seed=seed,
+        index=index,
+        profile=profile.name,
+        num_servers=num_servers,
+        cluster_seed=derive_seed(seed, f"chaos.cluster.{profile.name}.{index}") % (2**31),
+        writers=writers,
+        readers=readers,
+        ops_per_client=ops_per_client,
+        value_size=rng.choice((32, 128, 512)),
+        plan=plan,
+        config=config,
+        deadline=round(deadline, 4),
+        workload_span=round(span, 4),
+    )

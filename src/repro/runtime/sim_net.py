@@ -40,6 +40,8 @@ from repro.runtime.interface import (
     SetTimer,
 )
 from repro.sim.env import SimEnv
+from repro.sim.faults import FaultPlan
+from repro.sim.nemesis import Nemesis
 from repro.sim.network import DEFAULT_PROPAGATION_DELAY
 from repro.sim.nic import FAST_ETHERNET_BPS, Nic
 from repro.sim.process import SimProcess
@@ -394,6 +396,12 @@ class SimCluster:
             wire=config.wire,
             propagation_delay=config.propagation_delay,
         )
+        #: Fault controller: every network routes deliveries through it,
+        #: so fault plans can partition, drop, delay, duplicate, throttle
+        #: and pause without the protocol layers knowing.
+        self.nemesis = Nemesis(self.env, self.topo)
+        for network in self.topo.networks.values():
+            network.faults = self.nemesis
         self.ring = RingView.initial(config.num_servers)
         self.fd = PerfectFailureDetector(self.env, config.detection_delay)
         self.fd.subscribe(self._fd_notify)
@@ -562,6 +570,15 @@ class SimCluster:
     def crash_server(self, server_id: int) -> None:
         """Crash a server now (tests and fault plans)."""
         self.servers[server_id].crash()
+
+    def apply_faults(self, plan: FaultPlan) -> None:
+        """Schedule a :class:`~repro.sim.faults.FaultPlan` against this
+        cluster: crashes hit the hosts, everything else the nemesis."""
+        processes: dict[str, SimProcess] = {
+            host.name: host for host in self.servers.values()
+        }
+        processes.update({host.name: host for host in self.clients.values()})
+        plan.apply(self.env, processes, self.nemesis)
 
     def alive_servers(self) -> list[int]:
         return [sid for sid, host in self.servers.items() if host.alive]

@@ -20,16 +20,21 @@ and is reproducible from a seed.
 
 from repro.sim.events import EventHandle, EventScheduler
 from repro.sim.env import SimEnv
+from repro.sim.faults import FaultPlan
+from repro.sim.nemesis import Nemesis
 from repro.sim.nic import Nic, Port
 from repro.sim.network import Network
 from repro.sim.topology import ClusterTopology, build_dual_network, build_shared_network
 from repro.sim.trace import TraceRecorder
-from repro.sim.wire import WireModel
+from repro.sim.wire import LinkProfile, WireModel
 
 __all__ = [
     "ClusterTopology",
     "EventHandle",
     "EventScheduler",
+    "FaultPlan",
+    "LinkProfile",
+    "Nemesis",
     "Network",
     "Nic",
     "Port",

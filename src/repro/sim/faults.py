@@ -1,21 +1,56 @@
-"""Fault injection for simulation runs.
+"""Declarative fault schedules for simulation runs.
 
-A :class:`FaultPlan` is a declarative crash schedule: *crash process X at
-time t*.  Plans are applied to a running cluster by scheduling crash
-events; they are how the resilience tests drive the paper's "tolerates
-n-1 server crashes" claim without hand-written event plumbing.
+A :class:`FaultPlan` is a composable algebra of timed fault events —
+*crash process X at t*, *partition {s0,s1} from {s2} during [t, t')*,
+*drop 20 % of c0→s3 frames during [t, t')*, *throttle s1's NICs 4× during
+[t, t')*, *pause s2 during [t, t')* — built with chainable methods and
+applied to a running cluster in one call.  Crash events act on
+:class:`~repro.sim.process.SimProcess` objects directly; every other
+event is executed by the cluster's :class:`~repro.sim.nemesis.Nemesis`.
+
+Plans validate eagerly: negative or NaN times, empty windows, duplicate
+crashes of the same process and out-of-range probabilities are rejected
+at construction, so a bad schedule fails loudly instead of silently
+double-scheduling.
+
+The original crash-only surface (``FaultPlan().crash(name, at)``,
+:meth:`FaultPlan.sequential`) is unchanged; the chaos harness
+(:mod:`repro.chaos`) composes the full algebra from a seeded RNG.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Optional
 
 from repro.errors import ConfigurationError
 from repro.sim.env import SimEnv
+from repro.sim.wire import LinkProfile
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.nemesis import Nemesis
     from repro.sim.process import SimProcess
+
+
+def _check_time(value: float, what: str) -> float:
+    if not isinstance(value, (int, float)) or not math.isfinite(value) or value < 0:
+        raise ConfigurationError(
+            f"{what} must be a finite non-negative number, got {value!r}"
+        )
+    return float(value)
+
+
+def _check_window(start: float, end: float, what: str) -> tuple[float, float]:
+    start = _check_time(start, f"{what} start")
+    end = _check_time(end, f"{what} end")
+    if end <= start:
+        raise ConfigurationError(f"{what} window must end after it starts ({start} >= {end})")
+    return start, end
+
+
+def _windows_overlap(a_start: float, a_end: float, b_start: float, b_end: float) -> bool:
+    return a_start < b_end and b_start < a_end
 
 
 @dataclass(frozen=True)
@@ -26,15 +61,182 @@ class CrashAt:
     process_name: str
 
 
+@dataclass(frozen=True)
+class PartitionAt:
+    """Cut all links between processes in different ``groups`` during
+    ``[time, heal_time)``; ``mode`` is ``"hold"`` (TCP: frames buffered
+    until heal) or ``"drop"`` (frames lost)."""
+
+    time: float
+    heal_time: float
+    groups: tuple[tuple[str, ...], ...]
+    mode: str = "hold"
+
+
+@dataclass(frozen=True)
+class LinkFaultAt:
+    """Apply a :class:`~repro.sim.wire.LinkProfile` to the ``src``→``dst``
+    link during ``[time, until)`` (both directions when symmetric)."""
+
+    time: float
+    until: float
+    src: str
+    dst: str
+    profile: LinkProfile
+    symmetric: bool = False
+
+
+@dataclass(frozen=True)
+class ThrottleAt:
+    """Run ``process_name``'s NICs at ``1/factor`` speed during
+    ``[time, until)`` (slow-NIC fault)."""
+
+    time: float
+    until: float
+    process_name: str
+    factor: float
+
+
+@dataclass(frozen=True)
+class PauseAt:
+    """Freeze ``process_name``'s NIC I/O during ``[time, resume_time)``
+    (models a stop-the-world pause; nothing is lost, everything queues)."""
+
+    time: float
+    resume_time: float
+    process_name: str
+
+
 @dataclass
 class FaultPlan:
-    """An ordered collection of fault events."""
+    """An ordered, composable collection of fault events."""
 
     crashes: list[CrashAt] = field(default_factory=list)
+    partitions: list[PartitionAt] = field(default_factory=list)
+    link_faults: list[LinkFaultAt] = field(default_factory=list)
+    throttles: list[ThrottleAt] = field(default_factory=list)
+    pauses: list[PauseAt] = field(default_factory=list)
+
+    # -- builders ------------------------------------------------------
 
     def crash(self, process_name: str, at: float) -> "FaultPlan":
         """Append a crash event (chainable)."""
+        at = _check_time(at, "crash time")
+        if any(crash.process_name == process_name for crash in self.crashes):
+            raise ConfigurationError(
+                f"duplicate crash of {process_name!r}: a process crashes once"
+            )
         self.crashes.append(CrashAt(at, process_name))
+        return self
+
+    def partition(
+        self, groups, at: float, heal_at: float, mode: str = "hold"
+    ) -> "FaultPlan":
+        """Partition the listed groups of processes during [at, heal_at)."""
+        at, heal_at = _check_window(at, heal_at, "partition")
+        if mode not in ("hold", "drop"):
+            raise ConfigurationError(f"unknown partition mode {mode!r}")
+        frozen = tuple(tuple(group) for group in groups)
+        if len(frozen) < 2 or any(not group for group in frozen):
+            raise ConfigurationError("a partition needs >= 2 non-empty groups")
+        seen: set[str] = set()
+        for group in frozen:
+            for name in group:
+                if name in seen:
+                    raise ConfigurationError(f"process {name!r} in two partition groups")
+                seen.add(name)
+        # Cuts are on/off toggles, not refcounted: a second partition's
+        # heal would silently reopen links the first still wants cut.
+        # The link enumeration is the executor's own, so the validator
+        # can never drift from what Nemesis.partition actually cuts.
+        from repro.sim.nemesis import Nemesis
+
+        links = set(Nemesis._cross_links(frozen))
+        for other in self.partitions:
+            if _windows_overlap(at, heal_at, other.time, other.heal_time) and (
+                links & set(Nemesis._cross_links(other.groups))
+            ):
+                raise ConfigurationError(
+                    "partitions with overlapping windows cut the same link; "
+                    "merge them into one partition event"
+                )
+        self.partitions.append(PartitionAt(at, heal_at, frozen, mode))
+        return self
+
+    def link(
+        self,
+        src: str,
+        dst: str,
+        at: float,
+        until: float,
+        profile: LinkProfile,
+        symmetric: bool = False,
+    ) -> "FaultPlan":
+        """Impair one link with an arbitrary profile during [at, until)."""
+        at, until = _check_window(at, until, "link fault")
+        try:
+            profile.validate()
+        except ValueError as exc:
+            raise ConfigurationError(str(exc)) from exc
+        self.link_faults.append(LinkFaultAt(at, until, src, dst, profile, symmetric))
+        return self
+
+    def drop(
+        self, src: str, dst: str, p: float, at: float, until: float,
+        symmetric: bool = False,
+    ) -> "FaultPlan":
+        """Drop each src→dst frame with probability ``p`` during [at, until)."""
+        return self.link(src, dst, at, until, LinkProfile(drop_p=p), symmetric)
+
+    def delay(
+        self, src: str, dst: str, at: float, until: float,
+        extra: float = 0.0, jitter: float = 0.0, symmetric: bool = False,
+    ) -> "FaultPlan":
+        """Add ``extra`` (+ uniform ``jitter``) latency to src→dst frames.
+        Deliveries stay FIFO per link, so this never reorders a TCP-like
+        connection — it stretches it."""
+        return self.link(
+            src, dst, at, until,
+            LinkProfile(extra_delay=extra, jitter=jitter), symmetric,
+        )
+
+    def duplicate(
+        self, src: str, dst: str, p: float, at: float, until: float,
+        symmetric: bool = False,
+    ) -> "FaultPlan":
+        """Deliver each src→dst frame twice with probability ``p``."""
+        return self.link(src, dst, at, until, LinkProfile(dup_p=p), symmetric)
+
+    def throttle(
+        self, process_name: str, factor: float, at: float, until: float
+    ) -> "FaultPlan":
+        """Slow ``process_name``'s NICs by ``factor`` during [at, until)."""
+        at, until = _check_window(at, until, "throttle")
+        if not (isinstance(factor, (int, float)) and math.isfinite(factor) and factor > 0):
+            raise ConfigurationError(f"throttle factor must be finite and > 0, got {factor!r}")
+        for other in self.throttles:
+            if other.process_name == process_name and _windows_overlap(
+                at, until, other.time, other.until
+            ):
+                raise ConfigurationError(
+                    f"overlapping throttle windows for {process_name!r}: "
+                    "the earlier unthrottle would cancel the later window"
+                )
+        self.throttles.append(ThrottleAt(at, until, process_name, factor))
+        return self
+
+    def pause(self, process_name: str, at: float, resume_at: float) -> "FaultPlan":
+        """Pause ``process_name`` during [at, resume_at)."""
+        at, resume_at = _check_window(at, resume_at, "pause")
+        for other in self.pauses:
+            if other.process_name == process_name and _windows_overlap(
+                at, resume_at, other.time, other.resume_time
+            ):
+                raise ConfigurationError(
+                    f"overlapping pause windows for {process_name!r}: "
+                    "the earlier resume would cancel the later window"
+                )
+        self.pauses.append(PauseAt(at, resume_at, process_name))
         return self
 
     @staticmethod
@@ -54,12 +256,130 @@ class FaultPlan:
             plan.crash(name, first_at + index * spacing)
         return plan
 
-    def apply(self, env: SimEnv, processes: dict[str, "SimProcess"]) -> None:
-        """Schedule every fault event against ``processes``."""
+    # -- introspection -------------------------------------------------
+
+    @property
+    def events(self) -> int:
+        """Total number of scheduled fault events."""
+        return (
+            len(self.crashes) + len(self.partitions) + len(self.link_faults)
+            + len(self.throttles) + len(self.pauses)
+        )
+
+    def fault_kinds(self) -> set[str]:
+        """The fault types this plan schedules (chaos coverage report)."""
+        kinds: set[str] = set()
+        if self.crashes:
+            kinds.add("crash")
+        if self.partitions:
+            kinds.add("partition")
+        for fault in self.link_faults:
+            if fault.profile.drop_p:
+                kinds.add("drop")
+            if fault.profile.dup_p:
+                kinds.add("duplicate")
+            if fault.profile.extra_delay or fault.profile.jitter:
+                kinds.add("delay")
+        if self.throttles:
+            kinds.add("throttle")
+        if self.pauses:
+            kinds.add("pause")
+        return kinds
+
+    def stall_horizon(self) -> float:
+        """Latest time at which any fault window is still active.
+
+        Clients must not retry while a write's pre-write can still be
+        stalled in a cut/paused/slowed link: a retry landing at a server
+        that has not yet seen the pre-write would initiate the write a
+        second time, which is outside the protocol's model (requests are
+        never lost under TCP).  Chaos schedules therefore set the client
+        timeout beyond this horizon.
+        """
+        horizon = 0.0
+        for partition in self.partitions:
+            horizon = max(horizon, partition.heal_time)
+        for fault in self.link_faults:
+            horizon = max(horizon, fault.until)
+        for throttle in self.throttles:
+            horizon = max(horizon, throttle.until)
+        for pause in self.pauses:
+            horizon = max(horizon, pause.resume_time)
+        return horizon
+
+    # -- application ---------------------------------------------------
+
+    def apply(
+        self,
+        env: SimEnv,
+        processes: dict[str, "SimProcess"],
+        nemesis: Optional["Nemesis"] = None,
+    ) -> None:
+        """Schedule every fault event against the given cluster.
+
+        Every process the plan names must exist in ``processes`` — a
+        typo'd name would otherwise cut a link no traffic ever crosses
+        (silently weakening the schedule) or explode mid-run inside the
+        scheduler.  Apply plans *after* creating the clients they name.
+
+        ``nemesis`` is required when the plan contains anything beyond
+        crashes; :meth:`repro.runtime.sim_net.SimCluster.apply_faults`
+        passes the cluster's own controller.
+        """
+        named: set[str] = {crash.process_name for crash in self.crashes}
+        for partition in self.partitions:
+            named.update(name for group in partition.groups for name in group)
+        for fault in self.link_faults:
+            named.update((fault.src, fault.dst))
+        named.update(throttle.process_name for throttle in self.throttles)
+        named.update(pause.process_name for pause in self.pauses)
+        unknown = named - set(processes)
+        if unknown:
+            raise ConfigurationError(
+                f"fault plan references unknown processes {sorted(unknown)!r}; "
+                "apply the plan after creating every process it names"
+            )
+
         for crash in self.crashes:
-            if crash.process_name not in processes:
-                raise ConfigurationError(
-                    f"fault plan references unknown process {crash.process_name!r}"
-                )
             process = processes[crash.process_name]
             env.scheduler.schedule_at(crash.time, process.crash)
+
+        if self.events == len(self.crashes):
+            return
+        if nemesis is None:
+            raise ConfigurationError(
+                "this plan contains link/NIC faults; apply it with a nemesis "
+                "(e.g. cluster.apply_faults(plan))"
+            )
+        for partition in self.partitions:
+            env.scheduler.schedule_at(
+                partition.time, nemesis.partition, partition.groups, partition.mode
+            )
+            env.scheduler.schedule_at(
+                partition.heal_time, nemesis.heal_partition, partition.groups
+            )
+        for fault in self.link_faults:
+            env.scheduler.schedule_at(
+                fault.time, self._start_link_rule, nemesis, fault
+            )
+        for throttle in self.throttles:
+            env.scheduler.schedule_at(
+                throttle.time, nemesis.throttle, throttle.process_name, throttle.factor
+            )
+            env.scheduler.schedule_at(
+                throttle.until, nemesis.unthrottle, throttle.process_name
+            )
+        for pause in self.pauses:
+            env.scheduler.schedule_at(pause.time, nemesis.pause, pause.process_name)
+            env.scheduler.schedule_at(
+                pause.resume_time, nemesis.resume, pause.process_name
+            )
+
+    @staticmethod
+    def _start_link_rule(nemesis: "Nemesis", fault: LinkFaultAt) -> None:
+        rule_id = nemesis.add_link_rule(
+            fault.src, fault.dst, fault.profile, fault.symmetric
+        )
+        nemesis.env.scheduler.schedule_at(
+            fault.until, nemesis.remove_link_rule, fault.src, fault.dst, rule_id
+        )

@@ -79,6 +79,10 @@ class Network:
         self.name = name
         self.wire = wire or WireModel()
         self.propagation_delay = propagation_delay
+        #: Optional fault controller (see :mod:`repro.sim.nemesis`).  When
+        #: set, every delivery is routed through it so partitions, drops,
+        #: delays and duplicates can be injected per directed link.
+        self.faults = None
         self._nics: dict[str, Nic] = {}
         # Multicast collision domain: currently-in-the-air frames.  Any
         # time overlap between two frames destroys both (no carrier
@@ -128,17 +132,46 @@ class Network:
                 return  # the sender died mid-transmission; the frame is lost
             if on_sent is not None:
                 on_sent()
-            self.env.scheduler.schedule(
-                self.propagation_delay, self._arrive, dst, wire_bytes, message, deliver
-            )
+            self.env.trace.emit(self.env.now, "net.tx", self.name, src.name, dst.name, wire_bytes)
+            self._dispatch(src, dst, wire_bytes, message, deliver)
 
         src.tx.submit(wire_bytes, tx_done)
+
+    def _dispatch(
+        self, src: Nic, dst: Nic, wire_bytes: int, message: Any, deliver: DeliveryCallback
+    ) -> None:
+        """Hand a transmitted frame to the fabric.
+
+        Without a fault controller this is a plain propagation-delayed
+        arrival; with one, the controller decides whether/when/how often
+        the frame arrives (partition, drop, delay, duplicate).
+        """
+        if self.faults is None:
+            self.schedule_arrival(self.propagation_delay, dst, wire_bytes, message, deliver)
+        else:
+            self.faults.route(self, src, dst, wire_bytes, message, deliver)
+
+    def schedule_arrival(
+        self, delay: float, dst: Nic, wire_bytes: int, message: Any,
+        deliver: DeliveryCallback,
+    ) -> None:
+        """Schedule the receive-port stage ``delay`` seconds from now."""
+        self.env.scheduler.schedule(
+            delay, self._arrive, dst, wire_bytes, message, deliver
+        )
+
+    def deliver_now(
+        self, dst: Nic, wire_bytes: int, message: Any, deliver: DeliveryCallback
+    ) -> None:
+        """Fault-controller entry point: start the receive-port stage now."""
+        self._arrive(dst, wire_bytes, message, deliver)
 
     def _arrive(
         self, dst: Nic, wire_bytes: int, message: Any, deliver: DeliveryCallback
     ) -> None:
         if dst.owner is not None and not dst.owner.alive:
             return  # receiver is down; the switch drops the frame
+        self.env.trace.emit(self.env.now, "net.rx", self.name, dst.name, wire_bytes)
         dst.rx.submit(wire_bytes, lambda: deliver(message))
 
     # ------------------------------------------------------------------
@@ -223,13 +256,8 @@ class Network:
             if on_sent is not None:
                 on_sent()
             for dst in dsts:
-                self.env.scheduler.schedule(
-                    self.propagation_delay,
-                    self._arrive,
-                    dst,
-                    wire_bytes,
-                    message,
-                    lambda m, d=dst: deliver(d, m),
+                self._dispatch(
+                    src, dst, wire_bytes, message, lambda m, d=dst: deliver(d, m)
                 )
 
         src.tx.submit(wire_bytes, tx_done, on_start=tx_start)

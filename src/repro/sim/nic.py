@@ -41,6 +41,7 @@ class Port:
         "bandwidth_bps",
         "_queue",
         "_busy",
+        "_paused",
         "bytes_total",
         "messages_total",
         "busy_time",
@@ -54,6 +55,7 @@ class Port:
         self.bandwidth_bps = bandwidth_bps
         self._queue: deque[tuple] = deque()
         self._busy = False
+        self._paused = False
         self.bytes_total = 0
         self.messages_total = 0
         self.busy_time = 0.0
@@ -63,6 +65,10 @@ class Port:
     @property
     def busy(self) -> bool:
         return self._busy
+
+    @property
+    def paused(self) -> bool:
+        return self._paused
 
     @property
     def queue_len(self) -> int:
@@ -80,12 +86,47 @@ class Port:
         multicast collision model uses it to detect overlapping frames.
         """
         self._queue.append((wire_bytes, on_done, on_start))
-        if not self._busy:
+        if not self._busy and not self._paused:
             self._start_next()
 
     def on_idle(self, callback: Callable[[], None]) -> None:
         """Register ``callback`` to fire each time the port drains."""
         self.idle_callbacks.append(callback)
+
+    def pause(self) -> None:
+        """Stop serving the queue (a stop-the-world pause of the host).
+
+        The message currently being serialised finishes — NIC hardware
+        completes the frame in flight — but nothing further starts until
+        :meth:`resume`.  Submissions while paused simply queue up.
+        """
+        self._paused = True
+
+    def resume(self) -> None:
+        """Resume serving; queued messages flow again in FIFO order."""
+        if not self._paused:
+            return
+        self._paused = False
+        if self._busy:
+            return
+        if self._queue:
+            self._start_next()
+        else:
+            # Wake out-loops that went idle against a paused port.
+            for callback in list(self.idle_callbacks):
+                callback()
+            if not self._busy and self._queue:
+                self._start_next()
+
+    def set_bandwidth(self, bandwidth_bps: float) -> None:
+        """Change the service rate (slow-NIC throttle).
+
+        Takes effect from the next message; the one currently being
+        serialised keeps its original duration.
+        """
+        if bandwidth_bps <= 0:
+            raise ValueError(f"bandwidth_bps must be > 0, got {bandwidth_bps}")
+        self.bandwidth_bps = bandwidth_bps
 
     def purge(self) -> None:
         """Drop every queued (not yet started) message.
@@ -117,6 +158,9 @@ class Port:
         self.messages_total += 1
         self.busy_time += self._env.now - self._last_start
         on_done()
+        if self._paused:
+            self._busy = False
+            return
         if self._queue:
             self._start_next()
         else:
@@ -144,6 +188,12 @@ class Nic:
         self.env = env
         self.name = name
         self.bandwidth_bps = bandwidth_bps
+        #: Nameplate rate; :meth:`throttle` scales from this, so repeated
+        #: throttles do not compound.
+        self.rated_bps = bandwidth_bps
+        #: Owning process name (NICs are named ``{process}@{network}``);
+        #: precomputed because the nemesis keys links by it per delivery.
+        self.process_name = name.split("@", 1)[0]
         self.tx = Port(env, f"{name}.tx", bandwidth_bps)
         self.rx = Port(env, f"{name}.rx", bandwidth_bps)
         #: Set by Network.attach; a NIC belongs to exactly one network.
@@ -151,6 +201,32 @@ class Nic:
         #: Optional owning process; when it is dead, the network drops
         #: traffic to and from this NIC (crash fidelity).
         self.owner: Optional[Any] = None
+
+    def throttle(self, factor: float) -> None:
+        """Run both ports at ``rated_bps / factor`` (slow-NIC fault)."""
+        if factor <= 0:
+            raise ValueError(f"throttle factor must be > 0, got {factor}")
+        self.set_bandwidth(self.rated_bps / factor)
+
+    def unthrottle(self) -> None:
+        """Restore the nameplate bandwidth."""
+        self.set_bandwidth(self.rated_bps)
+
+    def set_bandwidth(self, bandwidth_bps: float) -> None:
+        """Set the current rate of both ports (next message onwards)."""
+        self.bandwidth_bps = bandwidth_bps
+        self.tx.set_bandwidth(bandwidth_bps)
+        self.rx.set_bandwidth(bandwidth_bps)
+
+    def pause(self) -> None:
+        """Pause both ports (the host stops doing I/O)."""
+        self.tx.pause()
+        self.rx.pause()
+
+    def resume(self) -> None:
+        """Resume both ports."""
+        self.rx.resume()
+        self.tx.resume()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Nic {self.name} @{self.bandwidth_bps/1e6:.0f}Mbps>"

@@ -70,3 +70,54 @@ class WireModel:
     def efficiency(self, payload_bytes: int) -> float:
         """Goodput fraction: payload bytes / wire bytes."""
         return payload_bytes / self.wire_bytes(payload_bytes)
+
+
+@dataclass(frozen=True)
+class LinkProfile:
+    """Wire-level impairment of one directed link.
+
+    The nemesis layer (:mod:`repro.sim.nemesis`) attaches profiles to
+    links to model lossy, slow or duplicating paths.  A profile describes
+    *per-message* behaviour; windowing (when the impairment is active) is
+    the fault plan's job.
+
+    Attributes
+    ----------
+    drop_p:
+        Probability a message is silently lost on this link.
+    dup_p:
+        Probability a message is delivered twice.  The duplicate trails
+        the original by one fabric propagation delay and is FIFO-clamped
+        behind it.
+    extra_delay:
+        Fixed additional latency in seconds added to every delivery.
+    jitter:
+        Upper bound of a uniform random additional latency.  Deliveries
+        on a link are never reordered by jitter — the nemesis clamps
+        arrival times to keep each link FIFO, matching TCP.
+    """
+
+    drop_p: float = 0.0
+    dup_p: float = 0.0
+    extra_delay: float = 0.0
+    jitter: float = 0.0
+
+    def validate(self) -> "LinkProfile":
+        if not 0.0 <= self.drop_p <= 1.0:
+            raise ValueError(f"drop_p must be in [0, 1], got {self.drop_p}")
+        if not 0.0 <= self.dup_p <= 1.0:
+            raise ValueError(f"dup_p must be in [0, 1], got {self.dup_p}")
+        if self.extra_delay < 0 or self.extra_delay != self.extra_delay:
+            raise ValueError(f"extra_delay must be >= 0, got {self.extra_delay}")
+        if self.jitter < 0 or self.jitter != self.jitter:
+            raise ValueError(f"jitter must be >= 0, got {self.jitter}")
+        return self
+
+    @property
+    def is_noop(self) -> bool:
+        return (
+            self.drop_p == 0.0
+            and self.dup_p == 0.0
+            and self.extra_delay == 0.0
+            and self.jitter == 0.0
+        )

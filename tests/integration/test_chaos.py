@@ -1,0 +1,103 @@
+"""Integration tests for the randomized chaos harness.
+
+These pin the acceptance behaviour: randomized fault schedules against
+the core protocol pass the linearizability gate, the whole baseline zoo
+survives its gentle profile, fault coverage is demonstrable through
+trace counters, and profile/protocol mismatches are rejected.
+"""
+
+import pytest
+
+from repro.chaos import (
+    CORE_PROFILE,
+    GENTLE_PROFILE,
+    TARGETS,
+    generate_schedule,
+    run_schedule,
+)
+from repro.chaos.__main__ import main as chaos_main
+from repro.errors import ConfigurationError
+
+
+def test_core_survives_a_batch_of_randomized_schedules():
+    exercised = set()
+    for index in range(8):
+        schedule = generate_schedule(seed=0, index=index)
+        result = run_schedule(schedule, "core")
+        assert result.linearizable, (
+            f"schedule {schedule.describe()}: {result.reason}"
+        )
+        assert result.ops_completed > 0
+        exercised |= result.exercised
+    assert {"crash", "partition"} <= exercised, exercised
+
+
+def test_schedules_are_deterministic_data():
+    a = generate_schedule(seed=3, index=5)
+    b = generate_schedule(seed=3, index=5)
+    assert a == b and a.plan.events == b.plan.events
+    c = generate_schedule(seed=3, index=6)
+    assert (a.plan.events, a.writers, a.readers, a.ops_per_client) != (
+        c.plan.events, c.writers, c.readers, c.ops_per_client
+    ) or a.cluster_seed != c.cluster_seed
+
+
+@pytest.mark.parametrize("protocol", ["abd", "chain", "tob"])
+def test_atomic_baselines_survive_gentle_chaos(protocol):
+    profile = TARGETS[protocol].profile
+    for index in range(3):
+        schedule = generate_schedule(seed=1, index=index, profile=profile)
+        result = run_schedule(schedule, protocol)
+        assert result.linearizable, (
+            f"{protocol} schedule {schedule.describe()}: {result.reason}"
+        )
+
+
+def test_naive_baseline_never_fails_the_gate_but_may_violate():
+    for index in range(4):
+        schedule = generate_schedule(seed=2, index=index, profile=GENTLE_PROFILE)
+        result = run_schedule(schedule, "naive")
+        assert result.ok, "naive violations are expected anomalies, not failures"
+
+
+def test_baselines_reject_core_profile_schedules():
+    schedule = generate_schedule(seed=0, index=0, profile=CORE_PROFILE)
+    with pytest.raises(ConfigurationError):
+        run_schedule(schedule, "abd")
+
+
+def test_unknown_protocol_rejected():
+    with pytest.raises(ConfigurationError):
+        run_schedule(generate_schedule(seed=0, index=0), "raft")
+
+
+def test_core_tolerates_the_full_stall_horizon():
+    """Timeout rule: the generated client timeout always clears the last
+    fault window, so retries cannot race stalled pre-writes."""
+    for index in range(10):
+        schedule = generate_schedule(seed=4, index=index)
+        assert schedule.config.client_timeout > schedule.plan.stall_horizon()
+        assert schedule.deadline > schedule.workload_span
+
+
+def test_stalled_runs_fail_the_gate():
+    """A vacuously-linearizable empty history must not pass: the gate
+    requires the workload to have made progress."""
+    schedule = generate_schedule(seed=0, index=0)
+    result = run_schedule(schedule, "core")
+    assert result.ops_required > 0
+    assert result.progressed and result.ok
+    import dataclasses
+
+    stalled = dataclasses.replace(result, ops_completed=0)
+    assert stalled.linearizable and not stalled.ok, (
+        "zero completed ops is a liveness failure even though the empty "
+        "history is trivially linearizable"
+    )
+    assert "STALLED" in stalled.describe()
+
+
+def test_cli_small_batch_exits_zero(capsys):
+    assert chaos_main(["--runs", "3", "--seed", "0", "-q"]) == 0
+    out = capsys.readouterr().out
+    assert "3/3 schedules passed" in out

@@ -1,0 +1,194 @@
+"""Unit tests for the nemesis fault controller's link mechanics."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.env import SimEnv
+from repro.sim.nemesis import Nemesis
+from repro.sim.network import Network
+from repro.sim.nic import Nic
+from repro.sim.process import SimProcess
+from repro.sim.wire import LinkProfile, WireModel
+
+
+def _rig(prop=0.01, bandwidth=8_000.0):
+    """A two-NIC network with a nemesis attached, 1-byte wire units."""
+    env = SimEnv(seed=42)
+    wire = WireModel(app_header=0, segment_overhead=0, min_frame=1, mss=10**9)
+    net = Network(env, "lan", wire, propagation_delay=prop)
+    nics = [Nic(env, f"n{i}", bandwidth) for i in range(3)]
+    for nic in nics:
+        net.attach(nic)
+    nemesis = Nemesis(env)
+    net.faults = nemesis
+    return env, net, nics, nemesis
+
+
+def test_unfaulted_links_behave_identically():
+    env, net, nics, _ = _rig()
+    got = []
+    net.unicast(nics[0], nics[1], 500, "hello", lambda m: got.append((m, env.now)))
+    env.run_until_idle()
+    # Same 0.5s tx + 0.01 prop + 0.5s rx as without a nemesis.
+    assert got == [("hello", pytest.approx(1.01))]
+
+
+def test_cut_hold_buffers_and_heals_in_fifo_order():
+    env, net, nics, nemesis = _rig()
+    got = []
+    nemesis.cut("n0", "n1")
+    net.unicast(nics[0], nics[1], 100, "a", got.append)
+    net.unicast(nics[0], nics[1], 100, "b", got.append)
+    env.run(until=0.5)
+    assert got == [], "cut link must not deliver"
+    assert env.trace.counters["nemesis.held"] == 2
+    nemesis.heal("n0", "n1")
+    env.run_until_idle()
+    assert got == ["a", "b"], "heal must flush in FIFO order"
+    assert env.trace.counters["nemesis.held_delivered"] == 2
+
+
+def test_cut_drop_mode_loses_frames():
+    env, net, nics, nemesis = _rig()
+    got = []
+    nemesis.cut("n0", "n1", mode="drop")
+    net.unicast(nics[0], nics[1], 100, "a", got.append)
+    env.run_until_idle()
+    nemesis.heal("n0", "n1")
+    env.run_until_idle()
+    assert got == []
+    assert env.trace.counters["nemesis.cut_drops"] == 1
+
+
+def test_cut_is_directional():
+    env, net, nics, nemesis = _rig()
+    got = []
+    nemesis.cut("n0", "n1")
+    net.unicast(nics[1], nics[0], 100, "reverse", got.append)
+    env.run_until_idle()
+    assert got == ["reverse"], "only n0->n1 is cut, not n1->n0"
+
+
+def test_partition_cuts_cross_group_links_both_ways():
+    env, net, nics, nemesis = _rig()
+    got = []
+    nemesis.partition([["n0"], ["n1", "n2"]])
+    net.unicast(nics[0], nics[1], 100, "x", got.append)
+    net.unicast(nics[2], nics[0], 100, "y", got.append)
+    net.unicast(nics[1], nics[2], 100, "intra", got.append)
+    env.run_until_idle()
+    assert got == ["intra"], "same-group traffic flows, cross-group is cut"
+    nemesis.heal_partition([["n0"], ["n1", "n2"]])
+    env.run_until_idle()
+    assert sorted(got) == ["intra", "x", "y"]
+
+
+def test_drop_probability_one_always_drops():
+    env, net, nics, nemesis = _rig()
+    got = []
+    nemesis.add_link_rule("n0", "n1", LinkProfile(drop_p=1.0))
+    for i in range(5):
+        net.unicast(nics[0], nics[1], 10, i, got.append)
+    env.run_until_idle()
+    assert got == []
+    assert env.trace.counters["nemesis.drops"] == 5
+
+
+def test_duplicate_probability_one_delivers_twice():
+    env, net, nics, nemesis = _rig()
+    got = []
+    nemesis.add_link_rule("n0", "n1", LinkProfile(dup_p=1.0))
+    net.unicast(nics[0], nics[1], 10, "m", got.append)
+    env.run_until_idle()
+    assert got == ["m", "m"]
+    assert env.trace.counters["nemesis.dup_deliveries"] == 1
+
+
+def test_delay_with_jitter_preserves_per_link_fifo():
+    env, net, nics, nemesis = _rig(prop=0.001)
+    got = []
+    nemesis.add_link_rule(
+        "n0", "n1", LinkProfile(extra_delay=0.01, jitter=0.5)
+    )
+    for i in range(20):
+        net.unicast(nics[0], nics[1], 1, i, got.append)
+    env.run_until_idle()
+    assert got == list(range(20)), "jitter must never reorder a link"
+    assert env.trace.counters["nemesis.delayed"] == 20
+
+
+def test_rule_removal_restores_the_link():
+    env, net, nics, nemesis = _rig()
+    got = []
+    rule = nemesis.add_link_rule("n0", "n1", LinkProfile(drop_p=1.0))
+    net.unicast(nics[0], nics[1], 10, "lost", got.append)
+    env.run_until_idle()
+    nemesis.remove_link_rule("n0", "n1", rule)
+    net.unicast(nics[0], nics[1], 10, "kept", got.append)
+    env.run_until_idle()
+    assert got == ["kept"]
+
+
+def test_symmetric_rule_covers_both_directions():
+    env, net, nics, nemesis = _rig()
+    got = []
+    nemesis.add_link_rule("n0", "n1", LinkProfile(drop_p=1.0), symmetric=True)
+    net.unicast(nics[0], nics[1], 10, "fwd", got.append)
+    net.unicast(nics[1], nics[0], 10, "rev", got.append)
+    env.run_until_idle()
+    assert got == []
+
+
+def test_held_frames_from_a_crashed_sender_are_dropped():
+    env, net, nics, nemesis = _rig()
+    owner = SimProcess(env, "n0")
+    nics[0].owner = owner
+    got = []
+    nemesis.cut("n0", "n1")
+    net.unicast(nics[0], nics[1], 100, "zombie", got.append)
+    env.run(until=0.2)
+    owner.crash()
+    nemesis.heal("n0", "n1")
+    env.run_until_idle()
+    assert got == [], "the nemesis never delivers on behalf of the dead"
+    assert env.trace.counters["nemesis.posthumous_drops"] == 1
+
+
+def test_throttle_slows_and_unthrottle_restores():
+    env, net, nics, nemesis = _rig()
+    nemesis_topo = Nemesis(env)  # no topology: NIC faults must fail loudly
+    with pytest.raises(ConfigurationError):
+        nemesis_topo.throttle("n0", 2.0)
+    # Direct NIC throttle (what the topology-aware path does per NIC).
+    nics[0].throttle(4.0)
+    got = []
+    net.unicast(nics[0], nics[1], 100, "slow", lambda m: got.append(env.now))
+    env.run_until_idle()
+    # tx at 2_000 bps: 0.4s, prop 0.01, rx (unthrottled nic1) 0.1s.
+    assert got == [pytest.approx(0.51)]
+    nics[0].unthrottle()
+    assert nics[0].bandwidth_bps == nics[0].rated_bps
+
+
+def test_pause_holds_port_and_resume_flushes():
+    env, net, nics, nemesis = _rig()
+    got = []
+    nics[1].pause()
+    net.unicast(nics[0], nics[1], 100, "m", got.append)
+    env.run(until=1.0)
+    assert got == [], "rx port paused: frame queued, not delivered"
+    nics[1].resume()
+    env.run_until_idle()
+    assert got == ["m"]
+
+
+def test_pause_of_tx_port_stops_sending():
+    env, net, nics, nemesis = _rig()
+    got = []
+    nics[0].tx.pause()
+    net.unicast(nics[0], nics[1], 100, "m", got.append)
+    env.run(until=1.0)
+    assert got == []
+    nics[0].tx.resume()
+    env.run_until_idle()
+    assert got == ["m"]
