@@ -30,6 +30,10 @@ class ThroughputSample:
 
     @property
     def ops_per_s(self) -> float:
+        # Guard like mbit_per_s: a zero-duration window must raise the
+        # same ValueError, not leak a bare ZeroDivisionError.
+        if self.seconds <= 0:
+            raise ValueError(f"duration must be > 0, got {self.seconds}")
         return self.operations / self.seconds
 
     @property

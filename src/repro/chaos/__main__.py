@@ -77,6 +77,8 @@ def main(argv: list[str] | None = None) -> int:
 
     failures = 0
     anomalies = 0
+    retransmits = 0
+    dups_suppressed = 0
     exercised: set[str] = set()
     core_exercised: set[str] = set()
     for protocol, runs in batches:
@@ -89,6 +91,8 @@ def main(argv: list[str] | None = None) -> int:
         anomalies += sum(1 for result in results if result.anomaly)
         for result in results:
             exercised |= result.exercised
+            retransmits += result.retransmits
+            dups_suppressed += result.dups_suppressed
             if protocol == "core":
                 core_exercised |= result.exercised
         print(f"  {protocol}: {passed}/{len(results)} schedules passed "
@@ -96,6 +100,8 @@ def main(argv: list[str] | None = None) -> int:
 
     print(f"fault types exercised: "
           f"{', '.join(kind for kind in FAULT_KINDS if kind in exercised) or 'none'}")
+    print(f"reliable transport: {retransmits} retransmission(s), "
+          f"{dups_suppressed} duplicate(s) suppressed")
     if anomalies:
         print(f"expected anomalies observed (naive baseline): {anomalies}")
 

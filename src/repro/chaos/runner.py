@@ -92,6 +92,11 @@ class ChaosResult:
     #: safety alone would let a total deadlock report green.
     ops_required: int = 0
     exercised: set[str] = field(default_factory=set)
+    #: Session-layer activity (repro.transport.reliable): proof that the
+    #: implemented channel machinery — not generator restraint — is what
+    #: kept the run inside the protocol's reliable-FIFO model.
+    retransmits: int = 0
+    dups_suppressed: int = 0
     wall_seconds: float = 0.0
 
     @property
@@ -125,7 +130,8 @@ class ChaosResult:
         return (
             f"{self.protocol:<5} {self.schedule.describe()} "
             f"done={self.ops_completed} open={self.ops_open} "
-            f"failed={self.ops_failed} hit={kinds} -> {verdict} "
+            f"failed={self.ops_failed} hit={kinds} "
+            f"rtx={self.retransmits} dup={self.dups_suppressed} -> {verdict} "
             f"({self.wall_seconds:.2f}s)"
         )
 
@@ -220,5 +226,7 @@ def run_schedule(schedule: ChaosSchedule, protocol: str = "core") -> ChaosResult
         ops_failed=progress["failed"],
         ops_required=required,
         exercised=exercised,
+        retransmits=counters.get("reliable.retransmits", 0),
+        dups_suppressed=counters.get("reliable.dups_suppressed", 0),
         wall_seconds=time.perf_counter() - started,
     )

@@ -13,20 +13,22 @@ expected to survive:
 ``CORE_PROFILE``
     The full menu for the paper's ring algorithm: crashes (the paper's
     n−1 claim), hold-mode partitions of either network, probabilistic
-    drop and duplication, FIFO-preserving delays, NIC throttles and
-    process pauses.  Two scheduling rules keep the faults inside the
-    protocol's stated model (reliable FIFO channels between correct
-    processes, perfect failure detection):
+    drop and duplication on any link, FIFO-preserving delays, NIC
+    throttles and process pauses — with *no* scheduling restrictions.
+    Two historic envelopes are gone because the reliable session layer
+    (:mod:`repro.transport.reliable`) now implements the channel model
+    instead of the generator assuming it:
 
-    * the client timeout is set beyond the last fault window
-      (:meth:`FaultPlan.stall_horizon`), so a retry can never race a
-      pre-write that is merely stalled — under TCP a request is retried
-      only once its server is actually gone;
-    * probabilistic *loss* on the server ring is never combined with
-      crashes: a lost pre-write leaves a zombie pending entry that a
-      crash-triggered state merge would resurrect and re-commit, which
-      models a TCP connection silently eating one message — a failure
-      TCP does not exhibit.
+    * ring loss freely combines with crashes, on any ring link (not just
+      successor links): a dropped pre-write is retransmitted, so a
+      crash-triggered state merge no longer resurrects zombie pending
+      entries left by silent loss;
+    * the client timeout is an aggressive constant
+      (:data:`AGGRESSIVE_CLIENT_TIMEOUT`) well below the stall horizon,
+      so retries deliberately race stalled operations; safety rests on
+      server-side OpId deduplication plus the session layer's
+      duplicate suppression, which is exactly the claim the harness is
+      meant to attack.
 
 ``GENTLE_PROFILE``
     Pure-delay menu for the failure-free baselines (ABD, chain, TOB,
@@ -92,10 +94,17 @@ GENTLE_PROFILE = ChaosProfile(
 
 #: Last instant any fault window may still be open.
 FAULT_WINDOW_END = 1.0
-#: Extra slack between the stall horizon and the client timeout: long
-#: enough that a stalled-then-healed operation completes (and acks) well
-#: before its retry timer fires.
-RETRY_MARGIN = 0.4
+#: Client timeout under the full menu: deliberately *below* the stall
+#: horizon (fault windows run past 1.0s), so retries race operations
+#: that are stalled — not lost — in cut, paused or slowed links.  A
+#: retry landing at a server that has not seen the stalled pre-write
+#: initiates the operation a second time; OpId dedup and the session
+#: layer must keep that safe, and the chaos gate proves it.
+AGGRESSIVE_CLIENT_TIMEOUT = 0.25
+#: Post-fault settling time added to the deadline: enough for session
+#: retransmission backoff (rto_max plus a round trip) and a few client
+#: retries to finish every straggler after the last window closes.
+SETTLE_TIME = 4.0
 
 
 @dataclass(frozen=True)
@@ -159,7 +168,7 @@ def generate_schedule(
 
     if num_servers >= 2 and rng.random() < profile.p_partition:
         at, heal_at = window(0.3)
-        if rng.random() < 0.5 or len(clients) == 0:
+        if rng.random() < 0.5:
             # Ring partition: split the servers into two non-empty groups.
             cut = rng.randint(1, num_servers - 1)
             shuffled = rng.sample(servers, num_servers)
@@ -170,11 +179,22 @@ def generate_schedule(
             island = rng.sample(servers, cut)
             plan.partition([island, clients], at=at, heal_at=heal_at)
 
-    # Probabilistic loss on a ring link.  Never combined with crashes:
-    # see the module docstring for why (zombie-pending resurrection).
-    if num_servers >= 2 and num_crashes == 0 and rng.random() < profile.p_ring_loss:
+    # Probabilistic loss on any ring link — successor or not, crashes or
+    # not.  The reliable session layer retransmits, so silent loss is a
+    # transport-level event the protocol never observes; the historic
+    # "no loss with crashes / successor links only" envelope is gone.
+    # The draw is biased toward links that carry frames (successor data
+    # links and their reverse ack links), because a drop rule on a link
+    # no frame crosses exercises nothing — but any pair is schedulable.
+    if num_servers >= 2 and rng.random() < profile.p_ring_loss:
         src = rng.choice(servers)
-        dst = f"s{(int(src[1:]) + 1) % num_servers}"
+        roll = rng.random()
+        if roll < 0.5:
+            dst = f"s{(int(src[1:]) + 1) % num_servers}"  # data link
+        elif roll < 0.75:
+            dst = f"s{(int(src[1:]) - 1) % num_servers}"  # ack link
+        else:
+            dst = rng.choice([name for name in servers if name != src])
         at, until = window(0.5)
         plan.drop(src, dst, p=round(rng.uniform(0.05, 0.3), 3), at=at, until=until)
 
@@ -197,9 +217,14 @@ def generate_schedule(
 
     if rng.random() < profile.p_delay:
         at, until = window(0.6)
-        everyone = servers + clients
-        src = rng.choice(everyone)
-        dst = rng.choice([name for name in everyone if name != src])
+        # Pick a link that actually carries traffic (ring successor or
+        # client<->server); a delay between two clients would stretch a
+        # link no frame ever crosses and count as coverage never fired.
+        if num_servers >= 2 and rng.random() < 0.5:
+            src = rng.choice(servers)
+            dst = f"s{(int(src[1:]) + 1) % num_servers}"
+        else:
+            src, dst = rng.choice(clients), rng.choice(servers)
         plan.delay(src, dst, at=at, until=until,
                    extra=round(rng.uniform(0.0005, 0.003), 5),
                    jitter=round(rng.uniform(0.0, 0.002), 5), symmetric=True)
@@ -216,8 +241,10 @@ def generate_schedule(
 
     horizon = plan.stall_horizon()
     if profile.retries:
+        # The timeout is deliberately below the stall horizon: retries
+        # race stalled operations, and the dedup machinery is on trial.
         config = ProtocolConfig(
-            client_timeout=round(horizon + RETRY_MARGIN, 4),
+            client_timeout=AGGRESSIVE_CLIENT_TIMEOUT,
             client_max_retries=40,
         )
     else:
@@ -227,9 +254,7 @@ def generate_schedule(
 
     last_crash = max((crash.time for crash in plan.crashes), default=0.0)
     span = max(horizon, last_crash) + 0.3
-    deadline = span + 4.0 * config.client_timeout + 2.0
-    if not profile.retries:
-        deadline = span + 4.0
+    deadline = span + SETTLE_TIME
 
     return ChaosSchedule(
         seed=seed,

@@ -121,10 +121,18 @@ class ClientProtocol:
         if self._outstanding is None or timer_id != self._outstanding.seq:
             return []  # stale timer
         if self._retries >= self.config.client_max_retries:
+            # Reset the *whole* op state, exactly as the ack path does:
+            # a stale _kind would mislabel the next operation's failure,
+            # and leftover _retries would shorten its retry budget.  The
+            # CancelTimer disarms any runtime that re-arms timers around
+            # delivery (the timer that fired here is already gone, but
+            # runtimes treat cancel-unarmed as a no-op).
             op = self._outstanding
             self._outstanding = None
+            self._kind = None
             self._message = None
-            return [Fail(op, reason="retries exhausted")]
+            self._retries = 0
+            return [CancelTimer(op.seq), Fail(op, reason="retries exhausted")]
         self._retries += 1
         self.stats_retries += 1
         self._server_index += 1

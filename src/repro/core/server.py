@@ -52,6 +52,25 @@ optimisations; see DESIGN.md section 5):
   operation id; servers remember the highest completed sequence number
   per client (merged during reconfiguration), so a client retrying a
   write whose ack was lost gets an ack instead of a second write.
+* **Superseded-initiation hygiene.**  With aggressive client timeouts a
+  retry can land at a server that has not yet seen the original
+  pre-write (it is stalled, not lost — the session layer retransmits),
+  so the same client operation can be *initiated twice* under different
+  tags.  Three rules keep that safe.  (1) A server drops any pre-write
+  whose operation it already recorded as completed, so a late duplicate
+  circle breaks as soon as the real commit has passed.  (2) Each server
+  tracks the highest timestamp it has ever *seen* (``ts_seen``, fed by
+  every pre-write, commit, state sync and merge — including dropped
+  duplicates) and initiates strictly above it; therefore any write that
+  begins after an operation was acknowledged outbids every tag that
+  operation was ever initiated under, and a straggler duplicate commit
+  can never override a newer value (the monotone install rejects it).
+  (3) When a commit completes an operation, same-operation pending
+  entries under other tags are zombies: they are dropped, their ack
+  waiters are answered with the committed tag, and read thresholds
+  referencing them are clamped — likewise at reconfiguration, where the
+  merged ``completed_ops`` filters them out of the merged pending set so
+  the post-merge re-commit cannot resurrect them.
 """
 
 from __future__ import annotations
@@ -136,6 +155,12 @@ class ServerProtocol:
         # and the termination rule for circulating commits.
         self.watermark: dict[int, int] = {}
 
+        # Highest timestamp ever observed in any tag, including tags of
+        # dropped duplicates.  New initiations go strictly above it, so
+        # a superseded duplicate's eventual commit can never outbid a
+        # write that started after the operation was acknowledged.
+        self.ts_seen: int = 0
+
         # Client-op bookkeeping.
         self.completed_ops: dict[int, int] = {}  # client -> max committed seq
         self.op_index: dict[OpId, Tag] = {}  # in-flight client write -> tag
@@ -160,6 +185,7 @@ class ServerProtocol:
         self.stats_forwards = 0
         self.stats_commits_processed = 0
         self.stats_duplicates_dropped = 0
+        self.stats_superseded_dropped = 0
         self.stats_reconfigs = 0
         self.stats_commit_unknown_tag = 0
 
@@ -264,6 +290,14 @@ class ServerProtocol:
                 # Committed while queued (possible around reconfigs).
                 self.stats_duplicates_dropped += 1
                 return self.next_ring_message()
+            if self._op_completed(prewrite.op):
+                # A duplicate initiation whose operation committed under
+                # another tag while this copy sat queued; forwarding it
+                # would re-enter it into our pending set as a zombie.
+                if self.op_index.get(prewrite.op) == prewrite.tag:
+                    del self.op_index[prewrite.op]
+                self.stats_superseded_dropped += 1
+                return self.next_ring_message()
             # Line 71: entering pending at *forward* time keeps reads
             # immediate for as long as possible; by the time any commit
             # for this tag can exist, we have forwarded the pre-write.
@@ -292,7 +326,7 @@ class ServerProtocol:
     def _on_client_write(self, client: int, message: ClientWrite) -> None:
         op = message.op
         # Duplicate of a committed write (retry after a lost ack).
-        if self.completed_ops.get(op.client, -1) >= op.seq:
+        if self._op_completed(op):
             self._reply(client, WriteAck(op))
             return
         # Duplicate of an in-flight write: join its ack waiters.
@@ -332,7 +366,7 @@ class ServerProtocol:
             return None
         op, value, client = self.write_queue.popleft()
         # A queued duplicate may have completed meanwhile.
-        if self.completed_ops.get(op.client, -1) >= op.seq:
+        if self._op_completed(op):
             self._reply(client, WriteAck(op))
             return None
         if op in self.op_index:
@@ -342,8 +376,7 @@ class ServerProtocol:
             self._commit_locally(op, value, client)
             return None
 
-        highest = max_tag(self.pending.keys())
-        new_tag = Tag(max(highest.ts, self.tag.ts) + 1, self.server_id)
+        new_tag = Tag(self._next_ts(), self.server_id)
         self.pending[new_tag] = PendingEntry(new_tag, value, op)
         self.op_index[op] = new_tag
         self.ack_waiters.setdefault(new_tag, []).append((client, op))
@@ -353,7 +386,7 @@ class ServerProtocol:
 
     def _commit_locally(self, op: OpId, value: bytes, client: int) -> None:
         """Single-survivor fast path: the write is trivially everywhere."""
-        new_tag = Tag(max(max_tag(self.pending.keys()).ts, self.tag.ts) + 1, self.server_id)
+        new_tag = Tag(self._next_ts(), self.server_id)
         self.watermark[self.server_id] = max(
             self.watermark.get(self.server_id, 0), new_tag.ts
         )
@@ -366,6 +399,7 @@ class ServerProtocol:
     def _on_pre_write(self, message: PreWrite) -> None:
         tag = message.tag
         origin = tag.server_id
+        self._note_tag(tag)
         if origin == self.server_id:
             # Lines 32-38: our own pre-write completed the circle; every
             # server now stores the value, so install it and start the
@@ -388,6 +422,15 @@ class ServerProtocol:
             if self._is_stale(tag):
                 self.stats_duplicates_dropped += 1
                 return
+            if self._op_completed(message.op):
+                # The operation committed under another tag; committing
+                # this copy too would re-install a superseded value.
+                self.pending.pop(tag, None)
+                self.stats_superseded_dropped += 1
+                for client, waiting_op in self.ack_waiters.pop(tag, ()):
+                    self._reply(client, WriteAck(waiting_op))
+                self._retarget_read_waiters()
+                return
             self.pending.pop(tag, None)
             self._install(tag, message.value)
             self._record_completed(message.op)
@@ -398,6 +441,14 @@ class ServerProtocol:
         # Lines 30-31: enqueue for (fair) forwarding.
         if self._is_stale(tag) or tag in self.pending or tag in self.queued_tags:
             self.stats_duplicates_dropped += 1
+            return
+        if self._op_completed(message.op):
+            # Duplicate initiation of an operation that already committed
+            # under another tag (an aggressive retry raced the stalled
+            # original).  Dropping it here breaks the duplicate's circle,
+            # so it can never commit; ts_seen was noted above, so our own
+            # future initiations still outbid it.
+            self.stats_superseded_dropped += 1
             return
         self.queued_tags.add(tag)
         self.op_index[message.op] = tag
@@ -416,6 +467,7 @@ class ServerProtocol:
         once — plus one extra hop back to the first processor.
         """
         origin = tag.server_id
+        self._note_tag(tag)
         if self._is_stale(tag):
             self.stats_duplicates_dropped += 1
             return
@@ -427,6 +479,7 @@ class ServerProtocol:
             self._install(tag, entry.value)
             self._record_completed(entry.op)
             self.op_index.pop(entry.op, None)
+            self._drop_superseded(entry.op, tag)
         elif tag > self.tag:
             # We never saw this write's value and are asked to commit
             # above our installed state: only possible for flows already
@@ -445,6 +498,7 @@ class ServerProtocol:
 
     def _on_state_sync(self, message: StateSync) -> None:
         """Predecessor's committed state after a splice (line 88)."""
+        self._note_tag(message.tag)
         if message.tag > self.tag:
             self._install(message.tag, message.value)
             self._wake_readers()
@@ -482,6 +536,9 @@ class ServerProtocol:
         return tuple(entries[tag] for tag in sorted(entries))
 
     def _merge_into_token(self, token: ReconfigToken) -> ReconfigToken:
+        self._note_tag(token.tag)
+        for entry in token.pending:
+            self._note_tag(entry.tag)
         merged_tag, merged_value = (
             (token.tag, token.value) if token.tag >= self.tag else (self.tag, self.value)
         )
@@ -523,10 +580,13 @@ class ServerProtocol:
             # Re-commit every surviving pending write so no read blocks
             # forever and every origin can ack its client.  The commits
             # flow behind the ReconfigCommit (FIFO), so every server has
-            # the merged values before a commit reaches it.
-            for pending_entry in commit.pending:
-                if not self._is_stale(pending_entry.tag):
-                    self.commit_queue.append(pending_entry.tag)
+            # the merged values before a commit reaches it.  Iterating
+            # the *applied* pending set (not the raw token) matters:
+            # apply-time filtering has already dropped stale entries and
+            # zombies of operations the merged completed_ops says are
+            # done, which must not be re-committed (resurrection).
+            for tag in sorted(self.pending):
+                self.commit_queue.append(tag)
             self._resume()
         else:
             key = (token.coordinator, token.nonce)
@@ -554,6 +614,7 @@ class ServerProtocol:
         # until the follow-up reconfiguration's commit arrives.
 
     def _apply_merged_state(self, commit: ReconfigCommit) -> None:
+        self._note_tag(commit.tag)
         if commit.tag > self.tag:
             self._install(commit.tag, commit.value)
         for client, seq in commit.completed_ops:
@@ -566,10 +627,35 @@ class ServerProtocol:
         self.fair.reset_counters()
         merged: dict[Tag, PendingEntry] = {}
         for entry in commit.pending:
-            if not self._is_stale(entry.tag):
-                merged[entry.tag] = entry
+            self._note_tag(entry.tag)
+            if self._is_stale(entry.tag):
+                continue
+            if self._op_completed(entry.op):
+                # A zombie of an operation the merged completed_ops says
+                # is done: re-committing it would resurrect a superseded
+                # value.  Its committed state is covered by the merged
+                # (tag, value) — some survivor processed the real commit,
+                # or completed_ops could not name the operation.
+                self.stats_superseded_dropped += 1
+                continue
+            merged[entry.tag] = entry
         self.pending = merged
         self.op_index = {entry.op: entry.tag for entry in merged.values()}
+        # Waiters for operations the merge knows are complete would now
+        # wait forever (their tag was filtered); answer them here.
+        for tag in sorted(self.ack_waiters):
+            waiting = self.ack_waiters[tag]
+            remaining = [
+                (client, op) for client, op in waiting if not self._op_completed(op)
+            ]
+            for client, op in waiting:
+                if self._op_completed(op):
+                    self._reply(client, WriteAck(op))
+            if remaining:
+                self.ack_waiters[tag] = remaining
+            else:
+                del self.ack_waiters[tag]
+        self._retarget_read_waiters()
         self._wake_readers()
 
     def _resume(self) -> None:
@@ -589,6 +675,14 @@ class ServerProtocol:
         self.queued_tags.clear()
         for tag in sorted(self.pending):
             entry = self.pending.pop(tag)
+            self._note_tag(tag)
+            if self._op_completed(entry.op):
+                # Zombie of an already-committed operation: answer its
+                # waiters, but do not install a superseded value.
+                self.stats_superseded_dropped += 1
+                for client, op in self.ack_waiters.pop(tag, ()):
+                    self._reply(client, WriteAck(op))
+                continue
             self.watermark[tag.server_id] = max(
                 self.watermark.get(tag.server_id, 0), tag.ts
             )
@@ -603,12 +697,13 @@ class ServerProtocol:
                 self._reply(client, WriteAck(op, tag))
         self.commit_queue.clear()
         self.control_queue.clear()
+        self._retarget_read_waiters()
         self._wake_readers()
         self._resume()
         # Absorb queued client writes through the fast path.
         queued, self.write_queue = self.write_queue, deque()
         for op, value, client in queued:
-            if self.completed_ops.get(op.client, -1) >= op.seq:
+            if self._op_completed(op):
                 self._reply(client, WriteAck(op))
             else:
                 self._commit_locally(op, value, client)
@@ -648,6 +743,73 @@ class ServerProtocol:
     def _record_completed(self, op: OpId) -> None:
         if self.completed_ops.get(op.client, -1) < op.seq:
             self.completed_ops[op.client] = op.seq
+
+    def _op_completed(self, op: OpId) -> bool:
+        """Whether ``op`` is known to have committed (under any tag).
+        Clients run one operation at a time with monotone sequence
+        numbers, so the per-client watermark answers exactly this."""
+        return self.completed_ops.get(op.client, -1) >= op.seq
+
+    def _note_tag(self, tag: Tag) -> None:
+        """Track the highest timestamp ever seen (duplicates included)."""
+        if tag.ts > self.ts_seen:
+            self.ts_seen = tag.ts
+
+    def _next_ts(self) -> int:
+        """Timestamp for a fresh initiation: strictly above everything
+        installed, pending, or ever seen — including tags of duplicates
+        this server dropped, which may still commit elsewhere."""
+        return max(max_tag(self.pending.keys()).ts, self.tag.ts, self.ts_seen) + 1
+
+    def _drop_superseded(self, op: OpId, committed: Tag) -> None:
+        """Remove pending zombies of ``op`` left by duplicate initiations.
+
+        ``op`` just committed under ``committed``; any other pending tag
+        carrying the same operation is a duplicate whose circle may
+        never close.  Its ack waiters get the real committed tag, and
+        read thresholds pointing at it are clamped so no read waits for
+        a commit that will never arrive.
+        """
+        zombies = [
+            tag for tag, entry in self.pending.items()
+            if entry.op == op and tag != committed
+        ]
+        for tag in zombies:
+            del self.pending[tag]
+            self.queued_tags.discard(tag)
+            self.stats_superseded_dropped += 1
+            for client, waiting_op in self.ack_waiters.pop(tag, ()):
+                self._reply(client, WriteAck(waiting_op, committed))
+        if self.op_index.get(op) in zombies:
+            del self.op_index[op]
+        if zombies:
+            self._retarget_read_waiters()
+
+    def _retarget_read_waiters(self) -> None:
+        """Clamp read thresholds to the highest still-outstanding tag.
+
+        A waiter's threshold can point at a pending entry that was
+        dropped as a superseded duplicate; left alone it would wait for
+        a commit that never comes.  Clamping to ``max(pending, tag)`` is
+        safe: every write completed before the read arrived has either
+        been installed here (covered by ``self.tag``) or is still
+        pending here (covered by the remaining pending set).
+        """
+        if not self.read_waiters:
+            return
+        ceiling = max_tag(self.pending.keys())
+        if self.tag > ceiling:
+            ceiling = self.tag
+        changed = False
+        clamped = []
+        for threshold, client, op in self.read_waiters:
+            if threshold > ceiling:
+                threshold = ceiling
+                changed = True
+            clamped.append((threshold, client, op))
+        if changed:
+            self.read_waiters = clamped
+            self._wake_readers()
 
     def _wake_readers(self) -> None:
         """Answer read waiters whose threshold is now installed.

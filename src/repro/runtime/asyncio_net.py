@@ -15,10 +15,21 @@ ran over a cluster:
   of the connection failed"); the detecting predecessor coordinates the
   reconfiguration, and other servers learn of the crash from the
   reconfiguration token's dead set;
-* clients connect to any server, retry at the next one on timeout.
-
-Everything runs on one event loop; protocol calls are serialized by the
-loop, so the state machines need no locks.
+* clients connect to any server, retry at the next one on timeout;
+* every frame rides in a reliable-session segment
+  (:mod:`repro.transport.reliable`).  TCP already retransmits *within* a
+  connection, so the session layer earns its keep at the seams TCP does
+  not cover.  The *ring* session persists across same-peer reconnects: a
+  sender re-establishes a dropped successor connection by retransmitting
+  exactly its unacked suffix, and the receiver's sequence numbers
+  deduplicate whatever had already arrived.  *Client* sessions are
+  connection-scoped on both ends — across a reconnect, exactly-once
+  delivery of client operations is the protocol's OpId dedup (the same
+  machinery that covers retries to a *different* server) — while within
+  a connection the cumulative acks tell each side which frames actually
+  reached the peer application, not merely its socket buffer.  The
+  simulator wires the identical sessions under its fabric, so both
+  runtimes implement — not assume — the paper's reliable FIFO channels.
 """
 
 from __future__ import annotations
@@ -42,10 +53,20 @@ from repro.runtime.interface import (
 )
 from repro.transport.codec import decode_message, encode_message
 from repro.transport.framing import FrameDecoder, frame
+from repro.transport.reliable import ReliableSession, Segment, decode_segment, encode_segment
 
 _HELLO = struct.Struct(">Bq")  # kind (0 = ring, 1 = client), peer id
 _KIND_RING = 0
 _KIND_CLIENT = 1
+
+
+def _segment_frame(segment: Segment) -> bytes:
+    """One wire frame carrying a session-layer segment."""
+    return frame(encode_segment(segment, encode_message))
+
+
+def _now() -> float:
+    return asyncio.get_running_loop().time()
 
 
 async def _read_frames(reader: asyncio.StreamReader, decoder: FrameDecoder):
@@ -80,6 +101,18 @@ class AsyncServerNode:
         self._ring_wake = asyncio.Event()
         self._tasks: list[asyncio.Task] = []
         self._stopped = False
+        # Reliable sessions: one endpoint toward the current successor
+        # (reset whenever the successor changes — a new ring link is a
+        # new channel), one per inbound peer (ring predecessors by
+        # ``-peer_id - 1`` to keep them disjoint from client ids).
+        self._ring_session = ReliableSession()
+        self._peer_sessions: dict[int, ReliableSession] = {}
+
+    def _peer_session(self, key: int) -> ReliableSession:
+        session = self._peer_sessions.get(key)
+        if session is None:
+            session = self._peer_sessions[key] = ReliableSession()
+        return session
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -118,24 +151,51 @@ class AsyncServerNode:
             writer.close()
             return
         kind, peer_id = _HELLO.unpack(hello)
+        # Ring predecessors and clients share one id space for sessions;
+        # predecessors are mapped below zero to keep them disjoint.
+        session_key = peer_id if kind == _KIND_CLIENT else -peer_id - 1
         if kind == _KIND_CLIENT:
             self._client_writers[peer_id] = writer
+            # Client sessions are connection-scoped (both ends make a
+            # fresh one per connection): cross-connection exactly-once
+            # for client operations is the protocol's OpId dedup, so
+            # tying the session to the connection avoids both permanent
+            # seq gaps across seams and leaking sessions under client
+            # churn.  Ring sessions, by contrast, persist across
+            # same-peer reconnects — there the unacked-suffix replay is
+            # the only recovery short of a reconfiguration.
+            self._peer_sessions[peer_id] = ReliableSession()
+        # Bind this connection to its session object once: a stale
+        # handler must never feed late frames into a replacement
+        # connection's fresh session.
+        session = self._peer_session(session_key)
         try:
             async for payload in _read_frames(reader, decoder):
                 if self._stopped:
                     break
-                message = decode_message(payload)
-                if kind == _KIND_RING:
-                    replies = self.proto.on_ring_message(message)
-                else:
-                    replies = self.proto.on_client_message(peer_id, message)
-                await self._dispatch_replies(replies)
-                self._ring_wake.set()
+                segment = decode_segment(payload, decode_message)
+                for message in session.on_segment(segment, _now()):
+                    if kind == _KIND_RING:
+                        replies = self.proto.on_ring_message(message)
+                    else:
+                        replies = self.proto.on_client_message(peer_id, message)
+                    await self._dispatch_replies(replies)
+                    self._ring_wake.set()
+                if session.ack_owed:
+                    # No reverse traffic carried the ack (ring links are
+                    # one-directional; client requests may defer their
+                    # reply): spend a frame on a pure ack.
+                    writer.write(_segment_frame(session.make_ack()))
+                    await writer.drain()
         except (ConnectionError, asyncio.CancelledError):
             pass
         finally:
-            if kind == _KIND_CLIENT:
+            if kind == _KIND_CLIENT and self._client_writers.get(peer_id) is writer:
+                # Deregister only our own writer and session: a reconnect
+                # may have replaced both before this stale handler
+                # observed EOF, and it must not tear down the new ones.
                 self._client_writers.pop(peer_id, None)
+                self._peer_sessions.pop(peer_id, None)
             writer.close()
 
     async def _dispatch_replies(self, replies) -> None:
@@ -143,8 +203,9 @@ class AsyncServerNode:
             writer = self._client_writers.get(reply.client)
             if writer is None:
                 continue
+            session = self._peer_session(reply.client)
             try:
-                writer.write(frame(encode_message(reply.message)))
+                writer.write(_segment_frame(session.send(reply.message, _now())))
                 await writer.drain()
             except ConnectionError:
                 self._client_writers.pop(reply.client, None)
@@ -165,12 +226,13 @@ class AsyncServerNode:
             successor = self.proto.successor
             try:
                 writer = await self._successor_writer(successor)
-                writer.write(frame(encode_message(message)))
+                writer.write(_segment_frame(self._ring_session.send(message, _now())))
                 await writer.drain()
             except (ConnectionError, OSError):
                 # The paper's failure detector: a broken ring connection
                 # means the successor crashed.  Splice and reconfigure.
                 self._drop_ring_writer()
+                self._ring_session.reset()
                 if self.proto.ring.is_alive(successor) and self.proto.ring.num_alive > 1:
                     replies = self.proto.on_server_crash(successor)
                     await self._dispatch_replies(replies)
@@ -185,29 +247,55 @@ class AsyncServerNode:
             and not self._ring_writer.is_closing()
         ):
             return self._ring_writer
+        if self._ring_peer is not None and self._ring_peer != successor:
+            # A different successor is a different channel: fresh seqs.
+            self._ring_session.reset()
         self._drop_ring_writer()
         host, port = self.addresses[successor]
         reader, writer = await asyncio.open_connection(host, port)
         writer.write(_HELLO.pack(_KIND_RING, self.server_id))
+        # Reconnected to the same peer: frames written to the old
+        # connection may or may not have reached it — retransmit the
+        # unacked suffix and let receive-side dedup resolve the
+        # ambiguity.  This is the session layer doing for connection
+        # seams what TCP does within one connection.
+        for segment in self._ring_session.unacked_segments():
+            writer.write(_segment_frame(segment))
         await writer.drain()
         self._ring_writer = writer
         self._ring_peer = successor
-        # Watch the read side: EOF or a reset on this connection is the
-        # paper's failure-detector signal for the successor's crash.
-        self._tasks.append(asyncio.create_task(self._watch_successor(reader, successor)))
+        # Watch the read side: the successor's cumulative acks arrive
+        # here, and EOF or a reset on this connection is the paper's
+        # failure-detector signal for the successor's crash.
+        self._tasks.append(
+            asyncio.create_task(self._watch_successor(reader, writer, successor))
+        )
         return writer
 
-    async def _watch_successor(self, reader: asyncio.StreamReader, peer: int) -> None:
+    async def _watch_successor(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        peer: int,
+    ) -> None:
+        decoder = FrameDecoder()
         try:
-            while True:
-                chunk = await reader.read(4096)
-                if not chunk:
+            async for payload in _read_frames(reader, decoder):
+                if self._ring_writer is not writer:
                     break
+                self._ring_session.on_segment(
+                    decode_segment(payload, decode_message), _now()
+                )
         except (ConnectionError, OSError, asyncio.CancelledError):
             pass
-        if self._stopped or self._ring_peer != peer:
+        if self._stopped or self._ring_writer is not writer:
+            # A stale watcher (its connection was already replaced, e.g.
+            # by a same-peer reconnect) must not tear down the live
+            # connection or report a live successor as crashed —
+            # identity is the *connection*, not the peer id.
             return
         self._drop_ring_writer()
+        self._ring_session.reset()
         if self.proto.ring.is_alive(peer) and self.proto.ring.num_alive > 1:
             replies = self.proto.on_server_crash(peer)
             await self._dispatch_replies(replies)
@@ -237,6 +325,18 @@ class AsyncClient:
         self._futures: dict[OpId, asyncio.Future] = {}
         self._timers: dict[int, asyncio.TimerHandle] = {}
         self._reader_tasks: dict[int, asyncio.Task] = {}
+        # One reliable session per live server connection.  Sessions are
+        # connection-scoped (dropped with the connection, matching the
+        # server side): requests lost at a connection seam are recovered
+        # by the protocol's retry timer plus server-side OpId dedup, the
+        # same machinery that covers retries to a different server.
+        self._sessions: dict[int, ReliableSession] = {}
+
+    def _session(self, server: int) -> ReliableSession:
+        session = self._sessions.get(server)
+        if session is None:
+            session = self._sessions[server] = ReliableSession()
+        return session
 
     async def write(self, value: bytes) -> None:
         op, effects = self.proto.start_write(value)
@@ -291,7 +391,7 @@ class AsyncClient:
     async def _send(self, server: int, message) -> None:
         try:
             writer = await self._connection(server)
-            writer.write(frame(encode_message(message)))
+            writer.write(_segment_frame(self._session(server).send(message, _now())))
             await writer.drain()
         except (ConnectionError, OSError):
             self._drop(server)
@@ -310,11 +410,20 @@ class AsyncClient:
 
     async def _reader(self, server: int, reader: asyncio.StreamReader) -> None:
         decoder = FrameDecoder()
+        session = self._session(server)
         try:
             async for payload in _read_frames(reader, decoder):
-                message = decode_message(payload)
-                if isinstance(message, (ReadAck, WriteAck)):
-                    await self._execute(self.proto.on_reply(message))
+                segment = decode_segment(payload, decode_message)
+                for message in session.on_segment(segment, _now()):
+                    if isinstance(message, (ReadAck, WriteAck)):
+                        await self._execute(self.proto.on_reply(message))
+                if session.ack_owed:
+                    # Acknowledge replies even when no further request is
+                    # imminent, so the server's send window stays clean.
+                    self._connections[server][1].write(
+                        _segment_frame(session.make_ack())
+                    )
+                    await self._connections[server][1].drain()
         except (ConnectionError, asyncio.CancelledError):
             pass
         finally:
@@ -336,6 +445,10 @@ class AsyncClient:
         task = self._reader_tasks.pop(server, None)
         if task is not None:
             task.cancel()
+        # The session dies with its connection (the server makes a fresh
+        # one per connection too); the retry timer re-issues anything
+        # that was in flight, and OpId dedup absorbs double delivery.
+        self._sessions.pop(server, None)
 
 
 class AsyncCluster:

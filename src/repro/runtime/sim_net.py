@@ -14,7 +14,17 @@ wires up:
   for a broken TCP connection in a synchronous cluster);
 * crash fidelity: a crashing server's queued-but-untransmitted messages
   die with it, while messages already on the wire are delivered (TCP
-  semantics).
+  semantics);
+* the reliable session layer (:mod:`repro.transport.reliable`): every
+  unicast between hosts rides in a sequence-numbered segment, acks
+  piggyback on reverse traffic, lost frames are retransmitted on a
+  backoff timer and duplicates/reorders are suppressed at the receiver.
+  The paper's "reliable FIFO channels between correct processes" is
+  thereby *implemented* machinery the nemesis can attack (drop ring
+  frames, even alongside crashes) instead of an oracle the chaos
+  generator had to schedule around.  Sessions to a crashed peer are
+  abandoned when the failure detector fires — the simulator's stand-in
+  for a TCP reset — so retransmission never outlives the channel.
 """
 
 from __future__ import annotations
@@ -47,6 +57,12 @@ from repro.sim.nic import FAST_ETHERNET_BPS, Nic
 from repro.sim.process import SimProcess
 from repro.sim.topology import build_dual_network, build_shared_network
 from repro.sim.wire import WireModel
+from repro.transport.reliable import (
+    SEGMENT_HEADER_BYTES,
+    ReliableConfig,
+    ReliableSession,
+    Segment,
+)
 
 #: Time between a server crash and the failure detector notifying the
 #: survivors.  Chosen larger than any in-flight message delivery so that
@@ -83,6 +99,12 @@ class ClusterConfig:
     #: value-sized payloads, so the register must start full (the paper's
     #: read experiment necessarily measures value-carrying replies).
     initial_value: bytes = b""
+    #: Run every unicast through the reliable session layer
+    #: (:mod:`repro.transport.reliable`).  ``False`` restores the bare
+    #: fabric, whose FIFO guarantee holds only while the nemesis is
+    #: polite — useful for unit tests of raw network behaviour.
+    reliable: bool = True
+    reliable_config: ReliableConfig = field(default_factory=ReliableConfig)
 
     def validate(self) -> "ClusterConfig":
         if self.num_servers < 1:
@@ -92,6 +114,7 @@ class ClusterConfig:
         if self.detection_delay <= 0:
             raise ConfigurationError("detection_delay must be > 0")
         self.protocol.validate()
+        self.reliable_config.validate()
         return self
 
 
@@ -368,6 +391,160 @@ class ClientHost(_HostBase):
             handle.cancel()
 
 
+class _ReliableLinkLayer:
+    """Drives one :class:`~repro.transport.reliable.ReliableSession` per
+    directed host pair off the cluster's event scheduler.
+
+    The sans-I/O sessions decide *what* to (re)transmit and *what* is
+    deliverable; this adapter owns the timers (retransmission backoff,
+    delayed pure acks), charges segments to the NIC transmit ports like
+    any other traffic, and mirrors session statistics into the trace
+    (``reliable.retransmits``, ``reliable.dups_suppressed``,
+    ``reliable.acks``, ``reliable.abandoned``) so chaos runs can prove
+    the machinery fired.
+    """
+
+    def __init__(self, cluster: "SimCluster", config: ReliableConfig):
+        self.cluster = cluster
+        self.env = cluster.env
+        self.config = config
+        self.sessions: dict[tuple[str, str], ReliableSession] = {}
+        self._retx_timers: dict[tuple[str, str], object] = {}
+        self._ack_timers: dict[tuple[str, str], object] = {}
+
+    def session(self, local: str, peer: str) -> ReliableSession:
+        key = (local, peer)
+        session = self.sessions.get(key)
+        if session is None:
+            session = self.sessions[key] = ReliableSession(self.config)
+        return session
+
+    # -- outbound ------------------------------------------------------
+
+    def wrap(self, src_name: str, dst_name: str, kind: str, message) -> tuple[Segment, int]:
+        """Envelope one outgoing message; returns (segment, wire bytes)."""
+        session = self.session(src_name, dst_name)
+        segment = session.send((kind, message), self.env.now)
+        self._cancel(self._ack_timers, (src_name, dst_name))  # ack rides along
+        self._sync_retx_timer(src_name, dst_name)
+        return segment, SEGMENT_HEADER_BYTES + _payload_of(message)
+
+    # -- inbound -------------------------------------------------------
+
+    def deliver(self, dst_name: str, src_name: str, segment: Segment) -> None:
+        """Receive-port callback: run the segment through ``dst``'s
+        session endpoint and dispatch whatever became deliverable."""
+        session = self.session(dst_name, src_name)
+        dups_before = session.stats.dups_suppressed
+        payloads = session.on_segment(segment, self.env.now)
+        dups = session.stats.dups_suppressed - dups_before
+        if dups:
+            self.env.trace.count("reliable.dups_suppressed", dups)
+        # The piggybacked ack may have advanced our own send window.
+        self._sync_retx_timer(dst_name, src_name)
+        for kind, message in payloads:
+            self.cluster._dispatch_payload(dst_name, src_name, kind, message)
+        if session.ack_owed:
+            self._arm_ack(dst_name, src_name)
+
+    # -- lifecycle -----------------------------------------------------
+
+    def abandon_peer(self, name: str) -> None:
+        """Tear down every session touching ``name`` (the peer crashed).
+
+        The failure detector calls this: a dead host's channels are
+        reset, not drained, exactly as broken TCP connections would be —
+        otherwise retransmission to the dead would outlive the run.
+        """
+        for key, session in self.sessions.items():
+            if name not in key:
+                continue
+            if session.in_flight:
+                self.env.trace.count("reliable.abandoned", session.in_flight)
+            session.reset()
+            self._cancel(self._retx_timers, key)
+            self._cancel(self._ack_timers, key)
+
+    # -- timers --------------------------------------------------------
+
+    def _sync_retx_timer(self, local: str, peer: str) -> None:
+        key = (local, peer)
+        session = self.sessions.get(key)
+        deadline = session.retransmit_deadline if session is not None else None
+        handle = self._retx_timers.get(key)
+        if deadline is None:
+            self._cancel(self._retx_timers, key)
+            return
+        if handle is not None and not handle.cancelled and handle.time <= deadline:
+            return  # fires no later than needed; re-syncs itself
+        self._cancel(self._retx_timers, key)
+        self._retx_timers[key] = self.env.scheduler.schedule_at(
+            deadline, self._on_retx_timer, local, peer
+        )
+
+    def _on_retx_timer(self, local: str, peer: str) -> None:
+        self._retx_timers.pop((local, peer), None)
+        session = self.sessions.get((local, peer))
+        if session is None or not self._alive(local):
+            return
+        if not self._alive(peer):
+            # The peer died after abandon_peer's one-shot sweep and this
+            # session was re-filled by a later send (a client retry
+            # round-robining onto the dead server).  Retransmitting into
+            # the void forever would keep the scheduler from ever going
+            # idle; reset instead — TCP to a dead host errors out too.
+            if session.in_flight:
+                self.env.trace.count("reliable.abandoned", session.in_flight)
+            session.reset()
+            return
+        segments = session.poll(self.env.now)
+        if segments:
+            self.env.trace.count("reliable.retransmits", len(segments))
+        for segment in segments:
+            self._send_segment(local, peer, segment)
+        self._sync_retx_timer(local, peer)
+
+    def _arm_ack(self, local: str, peer: str) -> None:
+        key = (local, peer)
+        handle = self._ack_timers.get(key)
+        if handle is not None and not handle.cancelled:
+            return
+        self._ack_timers[key] = self.env.scheduler.schedule(
+            self.config.ack_delay, self._on_ack_timer, local, peer
+        )
+
+    def _on_ack_timer(self, local: str, peer: str) -> None:
+        self._ack_timers.pop((local, peer), None)
+        session = self.sessions.get((local, peer))
+        if session is None or not session.ack_owed or not self._alive(local):
+            return
+        self.env.trace.count("reliable.acks")
+        self._send_segment(local, peer, session.make_ack())
+
+    # -- plumbing ------------------------------------------------------
+
+    def _send_segment(self, local: str, peer: str, segment: Segment) -> None:
+        src_nic, dst_nic, network = self.cluster.topo.nic_for(local, peer)
+        wire_bytes = SEGMENT_HEADER_BYTES
+        if segment.is_data:
+            _kind, message = segment.payload
+            wire_bytes += _payload_of(message)
+        network.unicast(
+            src_nic, dst_nic, wire_bytes, segment,
+            self.cluster._segment_deliver(peer, local),
+        )
+
+    def _alive(self, name: str) -> bool:
+        host = self.cluster.process_by_name(name)
+        return host is not None and host.alive
+
+    @staticmethod
+    def _cancel(timers: dict, key: tuple[str, str]) -> None:
+        handle = timers.pop(key, None)
+        if handle is not None:
+            handle.cancel()
+
+
 class SimCluster:
     """A simulated storage cluster: ring servers plus dynamic clients.
 
@@ -402,6 +579,12 @@ class SimCluster:
         self.nemesis = Nemesis(self.env, self.topo)
         for network in self.topo.networks.values():
             network.faults = self.nemesis
+        #: Reliable session layer: None means raw fabric (tests only).
+        self.reliable: Optional[_ReliableLinkLayer] = (
+            _ReliableLinkLayer(self, config.reliable_config)
+            if config.reliable
+            else None
+        )
         self.ring = RingView.initial(config.num_servers)
         self.fd = PerfectFailureDetector(self.env, config.detection_delay)
         self.fd.subscribe(self._fd_notify)
@@ -491,6 +674,12 @@ class SimCluster:
         host = self._host_by_client_id.get(client_id)
         return host.name if host is not None else None
 
+    def process_by_name(self, name: str) -> Optional[_HostBase]:
+        """Resolve a host (server or client machine) by process name."""
+        if name.startswith("s"):
+            return self.servers.get(int(name[1:]))
+        return self.clients.get(int(name[1:]))
+
     def transmit(self, host, src_nic: Nic, dst_name: str, message, kind: str) -> None:
         """Send one message from ``host`` through ``src_nic``."""
         route_src, dst_nic, network = self.topo.nic_for(host.name, dst_name)
@@ -499,8 +688,15 @@ class SimCluster:
                 f"route from {host.name} to {dst_name} uses {route_src.name}, "
                 f"but the out-loop pumped {src_nic.name}"
             )
-        deliver = self._make_deliver(dst_name, kind, host.name)
-        network.unicast(src_nic, dst_nic, _payload_of(message), message, deliver)
+        if self.reliable is None:
+            deliver = self._make_deliver(dst_name, kind, host.name)
+            network.unicast(src_nic, dst_nic, _payload_of(message), message, deliver)
+            return
+        segment, wire_bytes = self.reliable.wrap(host.name, dst_name, kind, message)
+        network.unicast(
+            src_nic, dst_nic, wire_bytes, segment,
+            self._segment_deliver(dst_name, host.name),
+        )
 
     def multicast_servers(self, host, message) -> None:
         """Ethernet multicast to every other alive server (naive
@@ -522,30 +718,42 @@ class SimCluster:
         network = src_nic.network
         network.multicast(src_nic, dsts, _payload_of(message), message, deliver)
 
-    def _make_deliver(self, dst_name: str, kind: str, src_name: str):
-        def deliver(message) -> None:
-            if kind == "ring":
-                server = self._server_by_name(dst_name)
-                if server is not None:
-                    server.receive_ring(message)
-            elif kind == "srv":
-                # Generic server-to-server delivery (baseline protocols).
-                server = self._server_by_name(dst_name)
-                if server is not None:
-                    server.receive_server(int(src_name[1:]), message)
-            elif kind == "request":
-                server = self._server_by_name(dst_name)
-                client_id = int(src_name[1:])
-                if server is not None:
-                    server.receive_client(client_id, message)
-            elif kind == "reply":
-                host = self.clients.get(int(dst_name[1:]))
-                if host is not None:
-                    host.on_reply_delivered(message)
-            else:  # pragma: no cover - defensive
-                raise SimulationError(f"unknown delivery kind {kind!r}")
+    def _segment_deliver(self, dst_name: str, src_name: str):
+        """Receive callback for session-layer segments: the session
+        decides delivery; :meth:`_dispatch_payload` routes the results."""
+        def deliver(segment: Segment) -> None:
+            self.reliable.deliver(dst_name, src_name, segment)
 
         return deliver
+
+    def _make_deliver(self, dst_name: str, kind: str, src_name: str):
+        """Raw-fabric receive callback (``reliable=False`` clusters)."""
+        def deliver(message) -> None:
+            self._dispatch_payload(dst_name, src_name, kind, message)
+
+        return deliver
+
+    def _dispatch_payload(self, dst_name: str, src_name: str, kind: str, message) -> None:
+        if kind == "ring":
+            server = self._server_by_name(dst_name)
+            if server is not None:
+                server.receive_ring(message)
+        elif kind == "srv":
+            # Generic server-to-server delivery (baseline protocols).
+            server = self._server_by_name(dst_name)
+            if server is not None:
+                server.receive_server(int(src_name[1:]), message)
+        elif kind == "request":
+            server = self._server_by_name(dst_name)
+            client_id = int(src_name[1:])
+            if server is not None:
+                server.receive_client(client_id, message)
+        elif kind == "reply":
+            host = self.clients.get(int(dst_name[1:]))
+            if host is not None:
+                host.on_reply_delivered(message)
+        else:  # pragma: no cover - defensive
+            raise SimulationError(f"unknown delivery kind {kind!r}")
 
     def _server_by_name(self, name: str) -> Optional[ServerHost]:
         return self.servers.get(int(name[1:]))
@@ -563,6 +771,13 @@ class SimCluster:
         self.fd.report_crash(crashed_id)
 
     def _fd_notify(self, crashed_id: int) -> None:
+        if self.reliable is not None:
+            # The detector firing is the moment every survivor's TCP
+            # connection to the dead server resets: abandon the sessions
+            # (and their retransmission timers) in both directions.
+            # Wire-borne frames of the dead have already landed — the
+            # detection delay exceeds any in-flight delivery.
+            self.reliable.abandon_peer(f"s{crashed_id}")
         for server_id, host in self.servers.items():
             if server_id != crashed_id and host.alive:
                 host.notify_crash(crashed_id)

@@ -289,12 +289,15 @@ class FaultPlan:
     def stall_horizon(self) -> float:
         """Latest time at which any fault window is still active.
 
-        Clients must not retry while a write's pre-write can still be
-        stalled in a cut/paused/slowed link: a retry landing at a server
-        that has not yet seen the pre-write would initiate the write a
-        second time, which is outside the protocol's model (requests are
-        never lost under TCP).  Chaos schedules therefore set the client
-        timeout beyond this horizon.
+        The chaos runner sizes a schedule's workload span and deadline
+        from this: operations are paced across the horizon so they
+        demonstrably overlap every window, and the deadline adds settle
+        time beyond it.  (Historically the client timeout was pinned
+        past this horizon so a retry could never race a stalled
+        pre-write; since the reliable session layer landed, the chaos
+        client timeout is deliberately *below* it — duplicate
+        initiations are the server's OpId-dedup problem now, and the
+        harness attacks exactly that.)
         """
         horizon = 0.0
         for partition in self.partitions:

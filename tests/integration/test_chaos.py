@@ -15,6 +15,7 @@ from repro.chaos import (
     generate_schedule,
     run_schedule,
 )
+from repro.chaos.schedule import AGGRESSIVE_CLIENT_TIMEOUT
 from repro.chaos.__main__ import main as chaos_main
 from repro.errors import ConfigurationError
 
@@ -71,13 +72,90 @@ def test_unknown_protocol_rejected():
         run_schedule(generate_schedule(seed=0, index=0), "raft")
 
 
-def test_core_tolerates_the_full_stall_horizon():
-    """Timeout rule: the generated client timeout always clears the last
-    fault window, so retries cannot race stalled pre-writes."""
+def test_client_timeout_races_the_stall_horizon():
+    """Lifted envelope: the client timeout is aggressive — *below* the
+    stall horizon whenever a fault window is scheduled — so retries race
+    stalled operations and the dedup machinery is what keeps runs safe.
+    (The old generator pinned the timeout past the horizon.)"""
+    raced = 0
     for index in range(10):
         schedule = generate_schedule(seed=4, index=index)
-        assert schedule.config.client_timeout > schedule.plan.stall_horizon()
+        assert schedule.config.client_timeout == AGGRESSIVE_CLIENT_TIMEOUT
         assert schedule.deadline > schedule.workload_span
+        raced += schedule.plan.stall_horizon() > schedule.config.client_timeout
+    assert raced > 0, "no schedule put the timeout inside a fault window"
+
+
+def test_ring_loss_now_schedulable_with_crashes():
+    """Lifted envelope: the generator may combine probabilistic ring
+    loss with crashes (previously forbidden: a lost pre-write left a
+    zombie pending entry the crash merge would resurrect), and ring loss
+    may hit any ring link, not just successor links."""
+    combined = 0
+    non_successor = 0
+    for index in range(200):
+        schedule = generate_schedule(seed=7, index=index)
+        plan = schedule.plan
+        ring_drops = [
+            fault for fault in plan.link_faults
+            if fault.profile.drop_p and fault.src.startswith("s")
+            and fault.dst.startswith("s")
+        ]
+        if ring_drops and plan.crashes:
+            combined += 1
+        for fault in ring_drops:
+            succ = (int(fault.src[1:]) + 1) % schedule.num_servers
+            if fault.dst != f"s{succ}":
+                non_successor += 1
+    assert combined > 0, "ring loss never drawn alongside a crash"
+    assert non_successor > 0, "ring loss only ever drawn on successor links"
+
+
+def test_ring_loss_combined_with_crash_stays_linearizable():
+    """The previously-unschedulable combination, as one fixed plan: lose
+    ring frames on a non-successor link *and* crash a server while the
+    workload runs.  The reliable session layer must retransmit through
+    the loss (provable via the trace), and the run must stay
+    linearizable and make progress."""
+    import dataclasses
+
+    from repro.sim.faults import FaultPlan
+
+    base = generate_schedule(seed=11, index=0)
+    plan = (
+        FaultPlan()
+        .drop("s0", "s1", p=0.35, at=0.02, until=0.9)
+        .drop("s2", "s0", p=0.25, at=0.05, until=0.8)  # non-successor link
+        .crash("s3", at=0.4)
+    )
+    schedule = dataclasses.replace(
+        base, plan=plan, workload_span=1.0, deadline=6.0,
+        writers=3, readers=3, ops_per_client=6,
+    )
+    result = run_schedule(schedule, "core")
+    assert result.linearizable, result.reason
+    assert result.progressed, (
+        f"only {result.ops_completed}/{result.ops_required} required ops"
+    )
+    assert result.retransmits > 0, (
+        "the session layer never retransmitted; the loss windows cannot "
+        "have been exercised"
+    )
+    assert "crash" in result.exercised and "drop" in result.exercised
+
+
+def test_batch_proves_session_layer_fired():
+    """Acceptance: across a seed-0 batch, trace counters must show the
+    session layer actually retransmitting and suppressing duplicates."""
+    retransmits = 0
+    dups = 0
+    for index in range(8):
+        result = run_schedule(generate_schedule(seed=0, index=index), "core")
+        assert result.ok, result.describe()
+        retransmits += result.retransmits
+        dups += result.dups_suppressed
+    assert retransmits > 0
+    assert dups > 0
 
 
 def test_stalled_runs_fail_the_gate():

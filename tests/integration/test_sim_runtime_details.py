@@ -2,14 +2,17 @@
 
 These pin behaviours that the throughput results depend on: NIC-exact
 accounting of every message, per-connection reply fairness, virtual
-clients sharing one machine NIC, and client-reply routing.
+clients sharing one machine NIC, client-reply routing, and the reliable
+session layer under every unicast.
 """
 
 import pytest
 
 from repro import AtomicStorage, SimCluster
+from repro.core.config import ProtocolConfig
 from repro.core.messages import payload_size
 from repro.errors import ConfigurationError
+from repro.sim.faults import FaultPlan
 
 
 def test_dual_topology_separates_ring_and_client_traffic():
@@ -99,3 +102,96 @@ def test_payload_of_respects_custom_sizers():
     from repro.core.messages import ClientRead, OpId
 
     assert _payload_of(ClientRead(OpId(1, 1))) == payload_size(ClientRead(OpId(1, 1)))
+
+
+def test_reliable_layer_retransmits_through_a_drop_window():
+    """A ring drop window loses frames; the session layer must resend
+    them (trace counter) and the write must still complete — exactly the
+    scenario the old chaos envelope forbade the generator to draw."""
+    cluster = SimCluster.build(
+        num_servers=3, seed=58,
+        protocol=ProtocolConfig(client_timeout=0.5, client_max_retries=20),
+    )
+    client = cluster.add_client(home_server=0)
+    plan = FaultPlan().drop("s0", "s1", p=1.0, at=0.0, until=0.2)
+    cluster.apply_faults(plan)
+    results = []
+    client.write(b"through the storm" * 10, results.append)
+    cluster.run_until(lambda: bool(results))
+    assert results[0].ok
+    counters = cluster.env.trace.counters
+    assert counters["nemesis.drops"] > 0, "the window must actually drop"
+    assert counters["reliable.retransmits"] > 0
+    reader = AtomicStorage.over(cluster, home_server=2)
+    assert reader.read() == b"through the storm" * 10
+
+
+def test_reliable_layer_suppresses_nemesis_duplicates():
+    """Frames duplicated by the nemesis arrive once at the protocol."""
+    cluster = SimCluster.build(num_servers=2, seed=59)
+    client = cluster.add_client(home_server=0)
+    plan = FaultPlan().duplicate("c0", "s0", p=1.0, at=0.0, until=5.0,
+                                 symmetric=True)
+    cluster.apply_faults(plan)
+    results = []
+    client.write(b"once only", results.append)
+    cluster.run_until(lambda: bool(results))
+    assert results[0].ok
+    assert cluster.env.trace.counters["nemesis.dup_deliveries"] > 0
+    assert cluster.env.trace.counters["reliable.dups_suppressed"] > 0
+
+
+def test_sessions_to_a_crashed_server_are_abandoned():
+    """The failure detector firing resets every session touching the
+    dead server, cancelling retransmission timers — the simulator's TCP
+    reset.  The run then quiesces instead of retransmitting forever."""
+    cluster = SimCluster.build(
+        num_servers=3, seed=60,
+        protocol=ProtocolConfig(client_timeout=0.2, client_max_retries=10),
+    )
+    client = cluster.add_client(home_server=0)
+    results = []
+    client.write(b"pre-crash", results.append)
+    cluster.run_until(lambda: bool(results))
+    cluster.crash_server(0)
+    client.write(b"post-crash", results.append)
+    # Must terminate: abandoned sessions stop rearming timers.
+    cluster.env.run_until_idle(max_events=200_000)
+    assert len(results) == 2 and results[1].ok
+    for (local, peer), session in cluster.reliable.sessions.items():
+        if "s0" in (local, peer):
+            assert session.in_flight == 0
+
+
+def test_late_sends_to_a_dead_server_still_quiesce():
+    """Regression: abandon_peer runs once at FD-notify, but a client
+    retry can round-robin back onto the dead server *afterwards*,
+    re-filling the session.  The retransmit timer must notice the peer
+    is dead and reset instead of re-arming at rto_max forever — else
+    run_until_idle never returns after any crash-bearing run."""
+    cluster = SimCluster.build(
+        num_servers=3, seed=62,
+        protocol=ProtocolConfig(client_timeout=0.2, client_max_retries=6),
+    )
+    client = cluster.add_client(home_server=0)
+    cluster.crash_server(0)
+    cluster.run(until=0.05)  # detection fired; abandon sweep is done
+    results = []
+    client.write(b"after the sweep", results.append)
+    cluster.env.run_until_idle(max_events=100_000)
+    assert results and results[0].ok
+    for (local, peer), session in cluster.reliable.sessions.items():
+        assert session.in_flight == 0, (local, peer)
+
+
+def test_reliable_false_restores_the_raw_fabric():
+    """Unit-test escape hatch: a cluster built with reliable=False moves
+    bare protocol messages with no session envelope or ack traffic."""
+    cluster = SimCluster.build(num_servers=2, seed=61, reliable=False)
+    assert cluster.reliable is None
+    storage = AtomicStorage.over(cluster)
+    storage.write(b"raw")
+    assert storage.read() == b"raw"
+    counters = cluster.env.trace.counters
+    assert "reliable.retransmits" not in counters
+    assert "reliable.acks" not in counters

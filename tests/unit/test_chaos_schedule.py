@@ -1,0 +1,70 @@
+"""Unit tests for chaos schedule generation.
+
+Pins the generator invariants the runner relies on — most importantly
+that the historic ``len(clients) == 0`` guard on the partition branch
+was dead code: every generated schedule has at least two writers and two
+readers, so the client-partition branch is always reachable and the
+50/50 ring/client split is exactly what the RNG draw decides.
+"""
+
+from repro.chaos.schedule import (
+    AGGRESSIVE_CLIENT_TIMEOUT,
+    CORE_PROFILE,
+    GENTLE_PROFILE,
+    generate_schedule,
+)
+
+
+def test_generated_schedules_always_have_clients():
+    """The generator cannot produce a zero-client plan: writers are
+    drawn from [2,3] and readers from [2,4], so the partition branch's
+    old `or len(clients) == 0` fallback could never fire."""
+    for index in range(100):
+        schedule = generate_schedule(seed=13, index=index)
+        assert schedule.writers >= 2
+        assert schedule.readers >= 2
+        assert schedule.num_clients == schedule.writers + schedule.readers
+
+
+def test_partition_branch_covers_both_ring_and_client_splits():
+    """With the dead guard gone, the 50/50 draw alone decides the
+    partition flavour — across many schedules both must appear."""
+    ring_partitions = 0
+    client_partitions = 0
+    for index in range(200):
+        schedule = generate_schedule(seed=13, index=index)
+        for partition in schedule.plan.partitions:
+            names = {name for group in partition.groups for name in group}
+            if any(name.startswith("c") for name in names):
+                client_partitions += 1
+            else:
+                ring_partitions += 1
+    assert ring_partitions > 0
+    assert client_partitions > 0
+
+
+def test_partition_groups_never_contain_unknown_processes():
+    for index in range(50):
+        schedule = generate_schedule(seed=21, index=index)
+        known = {f"s{i}" for i in range(schedule.num_servers)}
+        known |= {f"c{i}" for i in range(schedule.num_clients)}
+        for partition in schedule.plan.partitions:
+            for group in partition.groups:
+                assert set(group) <= known
+
+
+def test_core_profile_uses_the_aggressive_timeout():
+    for index in range(20):
+        schedule = generate_schedule(seed=3, index=index, profile=CORE_PROFILE)
+        assert schedule.config.client_timeout == AGGRESSIVE_CLIENT_TIMEOUT
+        assert schedule.config.client_max_retries > 0
+        assert schedule.deadline > schedule.workload_span
+
+
+def test_gentle_profile_still_disables_retries():
+    for index in range(10):
+        schedule = generate_schedule(seed=3, index=index, profile=GENTLE_PROFILE)
+        assert schedule.config.client_max_retries == 0
+        assert not schedule.plan.crashes
+        for fault in schedule.plan.link_faults:
+            assert fault.profile.drop_p == 0.0 and fault.profile.dup_p == 0.0

@@ -80,6 +80,44 @@ def test_retries_exhausted_fails_operation():
     assert not client.busy
 
 
+def test_retries_exhausted_resets_full_op_state():
+    """Regression: the exhausted path used to leave _kind and _retries
+    stale and emitted no CancelTimer.  A late ack arriving after the
+    Fail must be ignored, and the next operation must start with a
+    fresh retry budget and the right kind."""
+    client = make_client()
+    op, _ = client.start_write(b"v")
+    for _ in range(2):
+        client.on_timeout(op.seq)
+    effects = client.on_timeout(op.seq)
+    kinds = [type(e) for e in effects]
+    assert kinds == [CancelTimer, Fail], effects
+    assert effects[0].timer_id == op.seq
+    assert client._kind is None and client._retries == 0
+
+    # A late ack for the failed write is stale, not a completion.
+    assert client.on_reply(WriteAck(op, Tag(9, 1))) == []
+    assert not client.busy
+
+    # The next operation starts clean: full retry budget, correct kind.
+    op2, effects = client.start_read()
+    assert op2.seq == op.seq + 1
+    assert client._kind == "read" and client._retries == 0
+    ack = client.on_reply(ReadAck(op2, b"x", Tag(1, 0)))
+    complete = next(e for e in ack if isinstance(e, Complete))
+    assert complete.kind == "read"
+    # And its retry budget was not eaten by the failed predecessor.
+    client2 = make_client()
+    op3, _ = client2.start_write(b"w")
+    client2.on_timeout(op3.seq)
+    client2.on_timeout(op3.seq)
+    client2.on_timeout(op3.seq)  # exhausted (2 retries allowed)
+    op4, _ = client2.start_write(b"w2")
+    assert not any(
+        isinstance(e, Fail) for e in client2.on_timeout(op4.seq)
+    ), "the new op must get its own full retry budget"
+
+
 def test_stale_replies_and_timers_ignored():
     client = make_client()
     op, _ = client.start_write(b"v")

@@ -27,6 +27,22 @@ def test_throughput_sample():
     assert abs(s.mbit_per_s - 100 * 4096 * 8 / 2 / 1e6) < 1e-9
 
 
+def test_throughput_sample_zero_duration_guards_consistently():
+    """Regression: ops_per_s used to raise a bare ZeroDivisionError for
+    a zero-duration window while mbit_per_s raised ValueError — both
+    properties must reject the degenerate window the same way."""
+    degenerate = ThroughputSample(operations=5, payload_bytes=5 * 64, seconds=0.0)
+    with pytest.raises(ValueError):
+        degenerate.ops_per_s
+    with pytest.raises(ValueError):
+        degenerate.mbit_per_s
+    negative = ThroughputSample(operations=5, payload_bytes=5 * 64, seconds=-1.0)
+    with pytest.raises(ValueError):
+        negative.ops_per_s
+    with pytest.raises(ValueError):
+        negative.mbit_per_s
+
+
 def test_latency_stats_percentiles():
     stats = LatencyStats.from_samples([i / 1000 for i in range(1, 101)])
     assert stats.count == 100
@@ -48,8 +64,18 @@ def test_percentile_bounds():
         percentile([], 50)
     with pytest.raises(ValueError):
         percentile([1.0], 150)
+    with pytest.raises(ValueError):
+        percentile([1.0], -0.5)
     assert percentile([1.0, 2.0], 0) == 1.0
     assert percentile([1.0, 2.0], 100) == 2.0
+
+
+def test_percentile_zero_returns_minimum():
+    """The 0th percentile is the smallest sample (nearest-rank clamps
+    the rank to 1), for any input size — including a singleton."""
+    assert percentile([3.5], 0.0) == 3.5
+    assert percentile([1.0, 2.0, 3.0], 0.0) == 1.0
+    assert percentile(sorted([9.0, -2.0, 4.0]), 0.0) == -2.0
 
 
 def test_mean_rejects_empty():
