@@ -4,9 +4,9 @@ Examples::
 
     python -m repro.chaos --runs 25 --seed 0
         25 randomized fault schedules against the core ring protocol;
-        exits non-zero unless 25/25 are linearizable AND every fault
-        type (crash, partition, drop, delay, duplicate, throttle,
-        pause) demonstrably fired at least once across the batch.
+        exits non-zero unless 25/25 are linearizable AND every required
+        fault type (crash, restart, partition, drop, delay, duplicate)
+        demonstrably fired at least once across the batch.
 
     python -m repro.chaos --runs 5 --seed 3 --protocols core,abd,tob
         Smaller batch against several protocols (baselines get the
@@ -26,7 +26,10 @@ from repro.chaos.schedule import FAULT_KINDS, generate_schedule
 
 #: Fault types the acceptance gate requires to have demonstrably fired
 #: (throttle/pause are reported but not required: they are refinements).
-REQUIRED_KINDS = ("crash", "partition", "drop", "delay", "duplicate")
+#: ``restart`` is required: every core batch must prove — via the
+#: ``process.restarts`` trace counter — that at least one crashed server
+#: came back from its durable snapshot and rejoined mid-run.
+REQUIRED_KINDS = ("crash", "restart", "partition", "drop", "delay", "duplicate")
 
 
 def run_batch(

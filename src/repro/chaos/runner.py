@@ -67,6 +67,7 @@ TARGETS: dict[str, ProtocolTarget] = {
 #: was installed.
 _KIND_COUNTERS = {
     "crash": ("process.crashes",),
+    "restart": ("process.restarts",),
     "partition": ("nemesis.held", "nemesis.cut_drops"),
     "drop": ("nemesis.drops",),
     "delay": ("nemesis.delayed",),

@@ -12,9 +12,11 @@ expected to survive:
 
 ``CORE_PROFILE``
     The full menu for the paper's ring algorithm: crashes (the paper's
-    n−1 claim), hold-mode partitions of either network, probabilistic
-    drop and duplication on any link, FIFO-preserving delays, NIC
-    throttles and process pauses — with *no* scheduling restrictions.
+    n−1 claim), crash *recovery* (a crashed server restarts from its
+    durable snapshot and rejoins the ring mid-run), hold-mode
+    partitions of either network, probabilistic drop and duplication on
+    any link, FIFO-preserving delays, NIC throttles and process
+    pauses — with *no* scheduling restrictions.
     Two historic envelopes are gone because the reliable session layer
     (:mod:`repro.transport.reliable`) now implements the channel model
     instead of the generator assuming it:
@@ -47,7 +49,10 @@ from repro.sim.faults import FaultPlan
 from repro.sim.rng import derive_seed
 
 #: Fault types the harness knows how to schedule and count.
-FAULT_KINDS = ("crash", "partition", "drop", "delay", "duplicate", "throttle", "pause")
+FAULT_KINDS = (
+    "crash", "restart", "partition", "drop", "delay", "duplicate",
+    "throttle", "pause",
+)
 
 
 @dataclass(frozen=True)
@@ -56,6 +61,10 @@ class ChaosProfile:
 
     name: str
     crash_weights: tuple[int, ...] = (0,)  # distribution of crash counts
+    #: Per crash, the probability that a matching restart is scheduled —
+    #: turning the crash into a crash-*recovery* event: the server comes
+    #: back from its durable snapshot and rejoins the ring mid-run.
+    p_restart: float = 0.0
     p_partition: float = 0.0
     p_ring_loss: float = 0.0    # probabilistic drop on a ring link
     p_client_loss: float = 0.0  # probabilistic drop on a client link
@@ -69,6 +78,7 @@ class ChaosProfile:
 CORE_PROFILE = ChaosProfile(
     name="core",
     crash_weights=(0, 0, 1, 1, 1, 2),
+    p_restart=0.75,
     p_partition=0.55,
     p_ring_loss=0.5,
     p_client_loss=0.6,
@@ -160,6 +170,16 @@ def generate_schedule(
     num_crashes = min(rng.choice(profile.crash_weights), num_servers - 1)
     for victim in rng.sample(servers, num_crashes):
         plan.crash(victim, at=round(rng.uniform(0.05, 1.4), 4))
+    # Crash recovery: each crashed server may come back and rejoin.  The
+    # gap past the crash leaves room for the detection delay and the
+    # crash reconfiguration to finish, so the rejoin exercises the
+    # steady-state recovery path (restart-into-a-reconfiguration is
+    # covered separately by scheduling two crashes close together).
+    for crash in list(plan.crashes):
+        if rng.random() < profile.p_restart:
+            plan.restart(
+                crash.process_name, at=round(crash.time + rng.uniform(0.5, 1.1), 4)
+            )
 
     def window(max_len: float) -> tuple[float, float]:
         start = rng.uniform(0.05, FAULT_WINDOW_END - 0.05)

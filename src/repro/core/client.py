@@ -138,6 +138,24 @@ class ClientProtocol:
         self._server_index += 1
         return self._issue()
 
+    def abandon(self) -> Optional[OpId]:
+        """Forget the in-flight operation without completing it.
+
+        The runtime calls this when it gives up on an operation for
+        reasons the protocol cannot see (e.g. the simulation went idle
+        with the operation half-open).  Resetting the full op state here
+        keeps the handle reusable: a later ``start_read``/``start_write``
+        must begin from scratch, not from a stale ``_kind``/``_retries``
+        or a phantom outstanding op.  Returns the abandoned op id (for
+        timer/callback cleanup), or ``None`` if nothing was in flight.
+        """
+        op = self._outstanding
+        self._outstanding = None
+        self._kind = None
+        self._message = None
+        self._retries = 0
+        return op
+
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------

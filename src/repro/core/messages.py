@@ -152,13 +152,19 @@ class PendingEntry:
 
 @dataclass(frozen=True)
 class ReconfigToken:
-    """State-merge token circulated once around the new ring after a crash.
+    """State-merge token circulated once around the new ring after a
+    membership change (a crash, or a crashed server rejoining).
 
-    The coordinator (the crashed server's alive predecessor) initiates the
-    token; every server merges its own state into it and forwards it.
-    ``nonce`` uniquely identifies one reconfiguration attempt so that a
-    token orphaned by its coordinator's own crash dies after one circle
-    instead of circulating forever.
+    The coordinator (the crashed server's alive predecessor, or the
+    rejoining server's sponsor) initiates the token; every server merges
+    its own state into it and forwards it.  ``nonce`` uniquely
+    identifies one reconfiguration attempt so that a token orphaned by
+    its coordinator's own crash dies after one circle instead of
+    circulating forever.  ``revived`` lists servers this
+    reconfiguration folds *back into* the ring (crash recovery); every
+    receiver splices them in before merging, so the token and its
+    commit traverse the grown ring — including the rejoiner, which is
+    how the rejoiner catches up.
     """
 
     nonce: int
@@ -169,6 +175,7 @@ class ReconfigToken:
     value: bytes
     pending: tuple[PendingEntry, ...]
     completed_ops: tuple[tuple[int, int], ...]  # (client, max completed seq)
+    revived: tuple[int, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -183,9 +190,29 @@ class ReconfigCommit:
     value: bytes
     pending: tuple[PendingEntry, ...]
     completed_ops: tuple[tuple[int, int], ...]
+    revived: tuple[int, ...] = ()
 
 
-RingMessage = Union[PreWrite, Commit, StateSync, ReconfigToken, ReconfigCommit]
+@dataclass(frozen=True)
+class RejoinRequest:
+    """A restarted server announcing itself to a live sponsor.
+
+    Sent outside the ring order (the rejoiner is not part of anyone's
+    ring yet).  The sponsor folds the rejoiner back in by coordinating a
+    reconfiguration whose token carries ``revived=(server_id,)``.
+    ``generation`` is the rejoiner's restart count — informational (it
+    lets traces distinguish announcements across repeated restarts); the
+    request itself is idempotent and retried until the rejoiner is
+    resumed by a reconfiguration commit.
+    """
+
+    server_id: int
+    generation: int = 0
+
+
+RingMessage = Union[
+    PreWrite, Commit, StateSync, ReconfigToken, ReconfigCommit, RejoinRequest
+]
 ClientMessage = Union[ClientWrite, ClientRead]
 ServerReply = Union[WriteAck, ReadAck]
 Message = Union[RingMessage, ClientMessage, ServerReply]
@@ -237,6 +264,8 @@ def payload_size(message: Message) -> int:
             + 4  # coordinator
             + 4  # dead count
             + 4 * len(message.dead)
+            + 4  # revived count
+            + 4 * len(message.revived)
             + TAG_WIRE_BYTES
             + 4  # value length
             + len(message.value)
@@ -245,4 +274,6 @@ def payload_size(message: Message) -> int:
             + 4  # completed-ops count
             + OP_ID_WIRE_BYTES * len(message.completed_ops)
         )
+    if isinstance(message, RejoinRequest):
+        return BASE_WIRE_BYTES + 4 + 4  # server id + generation
     raise TypeError(f"unknown message type: {type(message).__name__}")

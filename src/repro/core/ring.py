@@ -86,6 +86,31 @@ class RingView:
         """A new view with every id in ``dead_ids`` marked crashed."""
         return RingView(self.members, self.dead | frozenset(dead_ids))
 
+    def revived(self, server_id: int) -> "RingView":
+        """A new view with ``server_id`` alive again (crash recovery).
+
+        A rejoining server takes back its original slot in the member
+        order, so the splice rule keeps working unchanged.  Reviving a
+        server that is not dead is a no-op — rejoin announcements are
+        retried and may race the reconfiguration that already folded the
+        server back in.  Note the dead set is no longer monotone once a
+        cluster uses recovery, so :attr:`epoch` (``len(dead)``) can
+        repeat across views; the reconfiguration machinery orders
+        attempts by ``(coordinator, nonce)``, not by epoch.
+        """
+        if server_id not in set(self.members):
+            raise ConfigurationError(f"unknown server {server_id}")
+        if server_id not in self.dead:
+            return self
+        return RingView(self.members, self.dead - {server_id})
+
+    def revive_all(self, server_ids) -> "RingView":
+        """A new view with every id in ``server_ids`` alive again."""
+        revivals = frozenset(server_ids) & self.dead
+        if not revivals:
+            return self
+        return RingView(self.members, self.dead - revivals)
+
     def _walk(self, start: int, step: int) -> int:
         if start not in set(self.members):
             raise ConfigurationError(f"unknown server {start}")

@@ -71,6 +71,23 @@ optimisations; see DESIGN.md section 5):
   referencing them are clamped — likewise at reconfiguration, where the
   merged ``completed_ops`` filters them out of the merged pending set so
   the post-merge re-commit cannot resurrect them.
+* **Crash recovery.**  The paper's model is crash-stop; this server
+  additionally supports restart-and-rejoin, the recovery model of
+  erasure-coded atomic-storage successors.  A server persists a
+  write-ahead snapshot (:mod:`repro.core.durable`) before any reply
+  leaves a handler; after a restart, :meth:`ServerProtocol.restore`
+  reloads it and the server comes back *rejoining*: paused, deferring
+  reads, and announcing itself (:class:`RejoinRequest`) to a live
+  sponsor.  The sponsor folds it back in by coordinating a
+  reconfiguration whose token is marked ``revived`` — every receiver
+  splices the rejoiner into its ring view before merging, so the token
+  and commit traverse the *grown* ring, the rejoiner contributes its
+  recovered pending set to the merge, and the commit that ends the
+  reconfiguration is exactly the point at which the rejoiner is caught
+  up and resumes service.  Snapshotted ``ts_seen`` keeps post-restart
+  initiations above every tag the server ever touched, and the
+  persisted reconfiguration nonce counter keeps restarted coordinators
+  from reusing nonces.
 """
 
 from __future__ import annotations
@@ -79,6 +96,7 @@ from collections import deque
 from typing import Optional
 
 from repro.core.config import ProtocolConfig
+from repro.core.durable import ServerSnapshot, SnapshotStore
 from repro.core.fairness import INITIATE_OWN, FairScheduler
 from repro.core.messages import (
     ClientMessage,
@@ -91,6 +109,7 @@ from repro.core.messages import (
     ReadAck,
     ReconfigCommit,
     ReconfigToken,
+    RejoinRequest,
     RingMessage,
     StateSync,
     WriteAck,
@@ -122,12 +141,20 @@ class ServerProtocol:
         ring: RingView,
         config: Optional[ProtocolConfig] = None,
         initial_value: bytes = b"",
+        durable: Optional[SnapshotStore] = None,
     ):
         if server_id not in set(ring.members):
             raise ProtocolError(f"server {server_id} not a ring member")
         self.server_id = server_id
         self.ring = ring
         self.config = (config or ProtocolConfig()).validate()
+
+        #: Durable snapshot store (crash recovery).  When set, the
+        #: protocol persists a write-ahead snapshot of its committed and
+        #: pending state before any reply leaves a handler, so a restart
+        #: via :meth:`restore` never forgets an acknowledged operation.
+        self.durable = durable
+        self._dirty = False
 
         # Register state (pseudocode line 12): current value and its tag.
         self.value: bytes = initial_value
@@ -176,6 +203,15 @@ class ServerProtocol:
         self._reconfig_counter = 0
         self._seen_reconfigs: set[tuple[int, int]] = set()  # (coordinator, nonce)
 
+        # Crash-recovery state.  A restored server stays in ``rejoining``
+        # (paused, announcing itself) until a reconfiguration commit
+        # folds it back into the ring; a live server sponsoring someone
+        # else's rejoin defers the request while it is itself paused.
+        self.rejoining = False
+        self.restart_generation = 0
+        self._rejoin_sponsor: Optional[int] = None
+        self._deferred_rejoins: deque[RejoinRequest] = deque()
+
         self._replies: list[Reply] = []
 
         # Statistics (read by the benchmark harness and tests).
@@ -188,6 +224,136 @@ class ServerProtocol:
         self.stats_superseded_dropped = 0
         self.stats_reconfigs = 0
         self.stats_commit_unknown_tag = 0
+        self.stats_rejoins_sponsored = 0
+
+    # ------------------------------------------------------------------
+    # Durable state (crash recovery)
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> ServerSnapshot:
+        """An immutable copy of everything a restart must reload.
+
+        The forward queue is deliberately excluded: a queued pre-write
+        still lives in its sender's pending set, and the rejoin merge
+        redistributes it.  Session-layer state is likewise excluded — a
+        restart is a new channel.
+        """
+        return ServerSnapshot(
+            server_id=self.server_id,
+            members=tuple(self.ring.members),
+            dead=tuple(sorted(self.ring.dead)),
+            tag=self.tag,
+            value=self.value,
+            ts_seen=self.ts_seen,
+            watermark=tuple(sorted(self.watermark.items())),
+            completed_ops=tuple(sorted(self.completed_ops.items())),
+            pending=tuple(self.pending[tag] for tag in sorted(self.pending)),
+            reconfig_counter=self._reconfig_counter,
+        )
+
+    @classmethod
+    def restore(
+        cls,
+        server_id: int,
+        members,
+        snapshot: Optional[ServerSnapshot],
+        config: Optional[ProtocolConfig] = None,
+        durable: Optional[SnapshotStore] = None,
+        *,
+        alone: bool = False,
+        generation: int = 1,
+    ) -> "ServerProtocol":
+        """Rebuild a server from its durable snapshot after a restart.
+
+        ``snapshot`` may be ``None`` (the server crashed before it ever
+        persisted); recovery then starts from initial state.  With
+        ``alone=False`` the server comes back *rejoining*: paused,
+        deferring reads, and announcing itself until a reconfiguration
+        commit folds it back into the ring with the merged state.  With
+        ``alone=True`` (no other server is alive) there is nobody to
+        rejoin: the server resumes immediately as the sole survivor and
+        resolves its recovered pending writes locally.
+        """
+        members = tuple(members)
+        if alone:
+            dead = frozenset(members) - {server_id}
+        elif snapshot is not None:
+            dead = frozenset(snapshot.dead) - {server_id}
+        else:
+            dead = frozenset()
+        proto = cls(server_id, RingView(members, dead), config, durable=durable)
+        if snapshot is not None:
+            proto.value = snapshot.value
+            proto.tag = snapshot.tag
+            proto.ts_seen = snapshot.ts_seen
+            proto.watermark = dict(snapshot.watermark)
+            proto.completed_ops = dict(snapshot.completed_ops)
+            proto.pending = {entry.tag: entry for entry in snapshot.pending}
+            proto.op_index = {entry.op: entry.tag for entry in snapshot.pending}
+            proto._reconfig_counter = snapshot.reconfig_counter
+        proto.restart_generation = generation
+        if alone:
+            # Sole survivor: recovered pending writes commit locally, in
+            # tag order, exactly as a live server resolves them when the
+            # ring shrinks to one.
+            if proto.pending:
+                proto._resolve_alone()
+                proto.drain_replies()  # no client is waiting across a restart
+        else:
+            proto.rejoining = True
+            proto.paused = True
+        proto._dirty = True
+        proto._maybe_persist()
+        return proto
+
+    def queue_rejoin_announce(self, sponsor: int) -> None:
+        """Target the next rejoin announcement at ``sponsor``.
+
+        The runtime picks sponsors (any server it believes alive) and
+        re-queues announcements on a timer until :attr:`rejoining`
+        clears; the request itself is idempotent at the sponsor.
+        """
+        if self.rejoining:
+            self._rejoin_sponsor = sponsor
+
+    def next_rejoin_announce(self) -> Optional[tuple[int, RejoinRequest]]:
+        """The pending ``(sponsor, announcement)``, if one is queued.
+
+        Pulled by the runtime's outbound pump ahead of ring traffic —
+        the announcement travels outside ring order because the
+        rejoiner is not part of anyone's ring yet.
+        """
+        if self._rejoin_sponsor is None:
+            return None
+        sponsor, self._rejoin_sponsor = self._rejoin_sponsor, None
+        return sponsor, RejoinRequest(self.server_id, self.restart_generation)
+
+    def complete_rejoin_alone(self) -> None:
+        """End a rejoin with no live sponsor: this server is the ring.
+
+        The runtime calls this when every other server is dead — there
+        is nobody to announce to, and with a perfect failure detector
+        "nobody answers" *means* "nobody is alive".  Recovered pending
+        writes resolve locally, exactly as a live sole survivor resolves
+        them when the ring shrinks to one.
+        """
+        if not self.rejoining:
+            return
+        self.ring = RingView(
+            self.ring.members, frozenset(self.ring.members) - {self.server_id}
+        )
+        self.rejoining = False
+        self._rejoin_sponsor = None
+        self._resolve_alone()
+        self._maybe_persist()
+
+    def _mark_dirty(self) -> None:
+        self._dirty = True
+
+    def _maybe_persist(self) -> None:
+        if self._dirty and self.durable is not None:
+            self.durable.save(self.snapshot())
+            self._dirty = False
 
     # ------------------------------------------------------------------
     # Public protocol surface
@@ -211,6 +377,7 @@ class ServerProtocol:
             self._on_client_read(client, message)
         else:
             raise ProtocolError(f"unexpected client message: {message!r}")
+        self._maybe_persist()
         return self.drain_replies()
 
     def on_ring_message(self, message: RingMessage) -> list[Reply]:
@@ -227,8 +394,11 @@ class ServerProtocol:
             self._on_reconfig_token(message)
         elif isinstance(message, ReconfigCommit):
             self._on_reconfig_commit(message)
+        elif isinstance(message, RejoinRequest):
+            self._on_rejoin_request(message)
         else:
             raise ProtocolError(f"unexpected ring message: {message!r}")
+        self._maybe_persist()
         return self.drain_replies()
 
     def on_server_crash(self, crashed: int) -> list[Reply]:
@@ -238,12 +408,22 @@ class ServerProtocol:
         if crashed in self.ring.dead or crashed not in set(self.ring.members):
             return self.drain_replies()
 
+        if self.rejoining:
+            # Not part of anyone's ring yet: note the crash, stay paused.
+            # Coordinating a reconfiguration from outside the ring would
+            # circulate a token nobody routes back (every survivor still
+            # considers this server dead); the announcement retry brings
+            # us in through a live sponsor instead.
+            self.ring = self.ring.without(crashed)
+            return self.drain_replies()
+
         was_successor = self.successor == crashed
         self.ring = self.ring.without(crashed)
         self.stats_reconfigs += 1
 
         if self.alone:
             self._resolve_alone()
+            self._maybe_persist()
             return self.drain_replies()
 
         if was_successor:
@@ -256,6 +436,7 @@ class ServerProtocol:
         else:
             # Await the coordinator's token; suspend normal ring traffic.
             self.paused = True
+        self._maybe_persist()
         return self.drain_replies()
 
     @property
@@ -270,6 +451,13 @@ class ServerProtocol:
     def next_ring_message(self) -> Optional[RingMessage]:
         """Pull the next message for the successor (the ``queue handler``
         task, lines 53–75, plus commit piggybacking)."""
+        message = self._next_ring_message()
+        # Initiating or forwarding mutates the pending set; persist
+        # before the message leaves (write-ahead of the wire).
+        self._maybe_persist()
+        return message
+
+    def _next_ring_message(self) -> Optional[RingMessage]:
         if self.control_queue:
             return self._attach_commits(self.control_queue.popleft())
         if self.paused or self.alone:
@@ -282,14 +470,14 @@ class ServerProtocol:
                 return self._attach_commits(message)
             if self.write_queue or not self.fair.empty:
                 # The popped write was absorbed (duplicate); keep going.
-                return self.next_ring_message()
+                return self._next_ring_message()
         elif choice is not None:
             _origin, prewrite = choice
             self.queued_tags.discard(prewrite.tag)
             if self._is_stale(prewrite.tag):
                 # Committed while queued (possible around reconfigs).
                 self.stats_duplicates_dropped += 1
-                return self.next_ring_message()
+                return self._next_ring_message()
             if self._op_completed(prewrite.op):
                 # A duplicate initiation whose operation committed under
                 # another tag while this copy sat queued; forwarding it
@@ -297,7 +485,7 @@ class ServerProtocol:
                 if self.op_index.get(prewrite.op) == prewrite.tag:
                     del self.op_index[prewrite.op]
                 self.stats_superseded_dropped += 1
-                return self.next_ring_message()
+                return self._next_ring_message()
             # Line 71: entering pending at *forward* time keeps reads
             # immediate for as long as possible; by the time any commit
             # for this tag can exist, we have forwarded the pre-write.
@@ -306,6 +494,7 @@ class ServerProtocol:
             )
             self.op_index[prewrite.op] = prewrite.tag
             self.stats_forwards += 1
+            self._mark_dirty()
             return self._attach_commits(
                 PreWrite(prewrite.tag, prewrite.value, prewrite.op)
             )
@@ -382,6 +571,7 @@ class ServerProtocol:
         self.ack_waiters.setdefault(new_tag, []).append((client, op))
         self.fair.note_initiated()
         self.stats_writes_initiated += 1
+        self._mark_dirty()
         return PreWrite(new_tag, value, op)
 
     def _commit_locally(self, op: OpId, value: bytes, client: int) -> None:
@@ -472,6 +662,7 @@ class ServerProtocol:
             self.stats_duplicates_dropped += 1
             return
         self.watermark[origin] = max(self.watermark.get(origin, 0), tag.ts)
+        self._mark_dirty()  # commit point: watermark and pending change
         self.stats_commits_processed += 1
 
         entry = self.pending.pop(tag, None)
@@ -507,10 +698,20 @@ class ServerProtocol:
     # Reconfiguration
     # ------------------------------------------------------------------
 
-    def _start_reconfig(self) -> None:
-        """Coordinator side: circulate the state-merge token."""
+    def _start_reconfig(self, revived: tuple[int, ...] = ()) -> None:
+        """Coordinator side: circulate the state-merge token.
+
+        ``revived`` names servers this reconfiguration folds back into
+        the ring (crash recovery); the coordinator has already spliced
+        them into its own view, and every receiver does the same before
+        merging, so the token traverses the grown ring.
+        """
         self.paused = True
         self._reconfig_counter += 1
+        # Reconfig point: persist the nonce counter so a restarted
+        # coordinator can never reuse a nonce (others would drop its
+        # fresh token as an orphaned duplicate).
+        self._mark_dirty()
         token = ReconfigToken(
             nonce=self._reconfig_counter,
             epoch=self.ring.epoch,
@@ -520,6 +721,7 @@ class ServerProtocol:
             value=self.value,
             pending=self._pending_snapshot(),
             completed_ops=tuple(sorted(self.completed_ops.items())),
+            revived=tuple(sorted(revived)),
         )
         self.control_queue.append(token)
 
@@ -548,7 +750,9 @@ class ServerProtocol:
         completed: dict[int, int] = dict(token.completed_ops)
         for client, seq in self.completed_ops.items():
             completed[client] = max(completed.get(client, -1), seq)
-        dead = frozenset(token.dead) | self.ring.dead
+        # A server this token revives must not ride along in the merged
+        # dead set via some receiver's stale view.
+        dead = (frozenset(token.dead) | self.ring.dead) - frozenset(token.revived)
         return ReconfigToken(
             nonce=token.nonce,
             epoch=len(dead),
@@ -558,10 +762,11 @@ class ServerProtocol:
             value=merged_value,
             pending=tuple(entries[tag] for tag in sorted(entries)),
             completed_ops=tuple(sorted(completed.items())),
+            revived=token.revived,
         )
 
     def _on_reconfig_token(self, token: ReconfigToken) -> None:
-        self.ring = self.ring.with_dead(token.dead)
+        self.ring = self.ring.with_dead(token.dead).revive_all(token.revived)
         if token.coordinator == self.server_id:
             # Token is back with every survivor's state merged in.
             final = self._merge_into_token(token)
@@ -574,6 +779,7 @@ class ServerProtocol:
                 value=final.value,
                 pending=final.pending,
                 completed_ops=final.completed_ops,
+                revived=final.revived,
             )
             self.control_queue.append(commit)
             self._apply_merged_state(commit)
@@ -599,7 +805,7 @@ class ServerProtocol:
             self.control_queue.append(self._merge_into_token(token))
 
     def _on_reconfig_commit(self, commit: ReconfigCommit) -> None:
-        self.ring = self.ring.with_dead(commit.dead)
+        self.ring = self.ring.with_dead(commit.dead).revive_all(commit.revived)
         if commit.coordinator == self.server_id:
             return  # full circle; applied when created
         key = (commit.coordinator, -commit.nonce)
@@ -641,6 +847,7 @@ class ServerProtocol:
             merged[entry.tag] = entry
         self.pending = merged
         self.op_index = {entry.op: entry.tag for entry in merged.values()}
+        self._mark_dirty()  # reconfig point: the merged state is durable
         # Waiters for operations the merge knows are complete would now
         # wait forever (their tag was filtered); answer them here.
         for tag in sorted(self.ack_waiters):
@@ -660,9 +867,45 @@ class ServerProtocol:
 
     def _resume(self) -> None:
         self.paused = False
+        if self.rejoining:
+            # The reconfiguration commit that carries the merged state is
+            # the moment a recovering server is caught up: from here on
+            # it serves reads and initiates writes like any ring member.
+            self.rejoining = False
+            self._rejoin_sponsor = None
         deferred, self.deferred_reads = self.deferred_reads, deque()
         for client, message in deferred:
             self._on_client_read(client, message)
+        rejoins, self._deferred_rejoins = self._deferred_rejoins, deque()
+        for request in rejoins:
+            # May pause us again (a new reconfiguration); later requests
+            # in the batch then re-defer themselves.
+            self._on_rejoin_request(request)
+
+    def _on_rejoin_request(self, message: RejoinRequest) -> None:
+        """Sponsor side of the rejoin handshake.
+
+        A restarted server announced itself.  If our view still has it
+        dead, splice it back in and coordinate a reconfiguration whose
+        token (marked ``revived``) circulates the grown ring — through
+        the rejoiner, which merges its recovered state in and resumes on
+        the commit.  If our view already has it alive, a commit is (or
+        was) on its way and the request is a retried duplicate: drop it.
+        """
+        rid = message.server_id
+        if rid == self.server_id or rid not in set(self.ring.members):
+            return
+        if rid not in self.ring.dead:
+            return
+        if self.paused:
+            # Mid-reconfiguration: the ring is in flux.  Defer; the
+            # rejoiner also retries, so nothing is lost if we crash.
+            self._deferred_rejoins.append(message)
+            return
+        self.ring = self.ring.revived(rid)
+        self.stats_reconfigs += 1
+        self.stats_rejoins_sponsored += 1
+        self._start_reconfig(revived=(rid,))
 
     def _resolve_alone(self) -> None:
         """Down to a single survivor: every known pending write commits
@@ -686,6 +929,7 @@ class ServerProtocol:
             self.watermark[tag.server_id] = max(
                 self.watermark.get(tag.server_id, 0), tag.ts
             )
+            self._mark_dirty()
             self._install(tag, entry.value)
             self._record_completed(entry.op)
             self.op_index.pop(entry.op, None)
@@ -735,6 +979,7 @@ class ServerProtocol:
         if tag > self.tag:
             self.tag = tag
             self.value = value
+            self._mark_dirty()
 
     def _is_stale(self, tag: Tag) -> bool:
         """True when ``tag`` is already committed here (duplicate filter)."""
@@ -743,6 +988,7 @@ class ServerProtocol:
     def _record_completed(self, op: OpId) -> None:
         if self.completed_ops.get(op.client, -1) < op.seq:
             self.completed_ops[op.client] = op.seq
+            self._mark_dirty()
 
     def _op_completed(self, op: OpId) -> bool:
         """Whether ``op`` is known to have committed (under any tag).
@@ -754,6 +1000,7 @@ class ServerProtocol:
         """Track the highest timestamp ever seen (duplicates included)."""
         if tag.ts > self.ts_seen:
             self.ts_seen = tag.ts
+            self._mark_dirty()
 
     def _next_ts(self) -> int:
         """Timestamp for a fresh initiation: strictly above everything
@@ -778,6 +1025,7 @@ class ServerProtocol:
             del self.pending[tag]
             self.queued_tags.discard(tag)
             self.stats_superseded_dropped += 1
+            self._mark_dirty()
             for client, waiting_op in self.ack_waiters.pop(tag, ()):
                 self._reply(client, WriteAck(waiting_op, committed))
         if self.op_index.get(op) in zombies:

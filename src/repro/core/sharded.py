@@ -207,5 +207,8 @@ class BlockStore:
         scheduler = self.cluster.env.scheduler
         while not done:
             if not scheduler.step():
+                # Same leak class as AtomicStorage._run: reset the
+                # half-open op so the handle stays usable after failure.
+                self._client.abort_op()
                 raise StorageUnavailableError("simulation idle before completion")
         return done[0]

@@ -65,6 +65,11 @@ class AtomicStorage:
         scheduler = self.cluster.env.scheduler
         while not done:
             if not scheduler.step():
+                # Abandon the half-open operation before raising: the
+                # client protocol would otherwise keep it outstanding
+                # forever, so the next read/write on this handle would
+                # start from stale in-flight state instead of fresh.
+                self.client.abort_op()
                 raise StorageUnavailableError(
                     "simulation went idle before the operation completed"
                 )

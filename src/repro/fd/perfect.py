@@ -35,6 +35,20 @@ class PerfectFailureDetector:
         self._suspected.add(crashed_id)
         self.env.scheduler.schedule(self.detection_delay, self._notify, crashed_id)
 
+    def report_recovery(self, server_id: int) -> None:
+        """Called when a crashed server restarts (crash recovery).
+
+        Clears the suspicion so a *second* crash of the same server is
+        detected and relayed again.  Recovery itself is not broadcast by
+        the detector — survivors learn of a rejoin from the
+        reconfiguration the rejoiner's sponsor coordinates, just as a
+        real cluster learns it from a fresh inbound connection rather
+        than from the failure detector.
+        """
+        if server_id in self._suspected:
+            self._suspected.discard(server_id)
+            self.env.trace.count("fd.recoveries")
+
     def _notify(self, crashed_id: int) -> None:
         self.env.trace.count("fd.detections")
         for listener in list(self._listeners):

@@ -29,7 +29,16 @@ ran over a cluster:
   a connection the cumulative acks tell each side which frames actually
   reached the peer application, not merely its socket buffer.  The
   simulator wires the identical sessions under its fabric, so both
-  runtimes implement — not assume — the paper's reliable FIFO channels.
+  runtimes implement — not assume — the paper's reliable FIFO channels;
+* crashed servers can *restart*: each node persists a write-ahead
+  snapshot (:mod:`repro.core.durable`; file-backed via
+  ``AsyncCluster(durable_dir=...)``), and :meth:`AsyncServerNode.restart`
+  reloads it, re-listens on the node's port and announces the node to a
+  live sponsor (hello kind ``rejoin``) until a reconfiguration folds it
+  back into the ring.  Every hello carries the sender's restart
+  generation, so a receiver can tell a same-incarnation reconnect (keep
+  the ring session; replay the unacked suffix) from a restarted peer
+  (fresh session — the restarted sender's sequence numbers start over).
 """
 
 from __future__ import annotations
@@ -40,7 +49,8 @@ from typing import Optional
 
 from repro.core.client import ClientProtocol
 from repro.core.config import ProtocolConfig
-from repro.core.messages import OpId, ReadAck, WriteAck
+from repro.core.durable import MemorySnapshotStore, SnapshotStore
+from repro.core.messages import OpId, ReadAck, RejoinRequest, WriteAck
 from repro.core.ring import RingView
 from repro.core.server import ServerProtocol
 from repro.errors import StorageUnavailableError
@@ -55,9 +65,23 @@ from repro.transport.codec import decode_message, encode_message
 from repro.transport.framing import FrameDecoder, frame
 from repro.transport.reliable import ReliableSession, Segment, decode_segment, encode_segment
 
-_HELLO = struct.Struct(">Bq")  # kind (0 = ring, 1 = client), peer id
+#: Connection hello: kind (0 = ring, 1 = client, 2 = rejoin), peer id,
+#: and the peer's restart generation.  The generation gives ring
+#: connections *incarnation* identity: a reconnect from the same peer at
+#: the same generation resumes the persistent ring session (the sender
+#: replays its unacked suffix), while a higher generation means the peer
+#: restarted — its session state is gone, so the receiver starts a fresh
+#: session instead of suppressing the newcomer's restarted sequence
+#: numbers as duplicates.
+_HELLO = struct.Struct(">BqI")
 _KIND_RING = 0
 _KIND_CLIENT = 1
+_KIND_REJOIN = 2
+
+#: How often a rejoining server re-announces itself (to the next
+#: candidate sponsor, round-robin) until a reconfiguration commit folds
+#: it back into the ring.
+_REJOIN_RETRY = 0.3
 
 
 def _segment_frame(segment: Segment) -> bytes:
@@ -88,11 +112,21 @@ class AsyncServerNode:
         ring: RingView,
         addresses: dict[int, tuple[str, int]],
         config: Optional[ProtocolConfig] = None,
+        durable: Optional[SnapshotStore] = None,
     ):
         self.server_id = server_id
         # Shared mapping (the cluster may still be filling it in).
         self.addresses = addresses
-        self.proto = ServerProtocol(server_id, ring, config)
+        self.config = config
+        #: Durable snapshot store; a restart reloads from it.  Use a
+        #: :class:`~repro.core.durable.FileSnapshotStore` for state that
+        #: must survive the *process* (the deployment story); the default
+        #: in-memory store survives :meth:`restart` within one process.
+        self.durable = durable if durable is not None else MemorySnapshotStore()
+        #: Restart generation, carried in every outgoing hello so peers
+        #: can tell a restarted incarnation from a reconnect.
+        self.generation = 0
+        self.proto = ServerProtocol(server_id, ring, config, durable=self.durable)
         self._server: Optional[asyncio.AbstractServer] = None
         self._client_writers: dict[int, asyncio.StreamWriter] = {}
         self._inbound_writers: list[asyncio.StreamWriter] = []
@@ -107,6 +141,9 @@ class AsyncServerNode:
         # ``-peer_id - 1`` to keep them disjoint from client ids).
         self._ring_session = ReliableSession()
         self._peer_sessions: dict[int, ReliableSession] = {}
+        # Last hello generation seen per inbound ring peer: a higher one
+        # means the peer restarted, so its persistent session is void.
+        self._peer_generations: dict[int, int] = {}
 
     def _peer_session(self, key: int) -> ReliableSession:
         session = self._peer_sessions.get(key)
@@ -136,6 +173,89 @@ class AsyncServerNode:
                 writer.transport.abort()
         await asyncio.sleep(0)
 
+    async def restart(self) -> None:
+        """Restart a stopped server from its durable snapshot and rejoin.
+
+        The volatile half is rebuilt from scratch (a new protocol
+        restored from the snapshot, fresh sessions — every link is a new
+        connection, which the bumped ``generation`` communicates); the
+        node re-listens on its recorded address and announces itself to
+        the live servers until a reconfiguration folds it back in.
+        """
+        if not self._stopped:
+            return
+        self.generation += 1
+        self._stopped = False
+        self._tasks = []
+        self._client_writers = {}
+        self._inbound_writers = []
+        self._ring_writer = None
+        self._ring_peer = None
+        self._ring_wake = asyncio.Event()
+        self._ring_session = ReliableSession()
+        self._peer_sessions = {}
+        self._peer_generations = {}
+        self.proto = ServerProtocol.restore(
+            self.server_id,
+            sorted(self.addresses),
+            self.durable.load(),
+            self.config,
+            durable=self.durable,
+            generation=self.generation,
+        )
+        host, port = self.addresses[self.server_id]
+        self._server = await asyncio.start_server(self._on_connection, host, port)
+        self._tasks.append(asyncio.create_task(self._ring_sender()))
+        self._tasks.append(asyncio.create_task(self._rejoin_announcer()))
+
+    async def _rejoin_announcer(self) -> None:
+        """Announce this restarted server to candidate sponsors until a
+        reconfiguration commit resumes it.
+
+        Each attempt opens a short-lived connection (hello kind
+        ``rejoin``) to the next candidate, round-robin, pacing attempts
+        at ``_REJOIN_RETRY`` whether or not the candidate answered.
+        With the paper's failure model a refused connection means that
+        server is down, so two full rounds of nothing-but-refusals mean
+        *nobody* is alive: the restarted server is the whole ring and
+        resumes alone from its snapshot, mirroring the simulator's
+        alone-restart.  Known limitation: if every server crashes and
+        several restart near-simultaneously, their listeners accept each
+        other's announcements (no refusal), each defers the other's
+        request while paused, and none takes the alone path — mass
+        cold-start recovery needs the quorum/epoch reconfiguration the
+        roadmap's partition-tolerance item calls for.
+        """
+        candidates = [sid for sid in sorted(self.addresses) if sid != self.server_id]
+        consecutive_refusals = 0
+        attempt = 0
+        while not self._stopped and self.proto.rejoining and candidates:
+            sponsor = candidates[attempt % len(candidates)]
+            attempt += 1
+            try:
+                _reader, writer = await asyncio.open_connection(
+                    *self.addresses[sponsor]
+                )
+                writer.write(_HELLO.pack(_KIND_REJOIN, self.server_id, self.generation))
+                writer.write(
+                    frame(
+                        encode_message(
+                            RejoinRequest(self.server_id, self.generation)
+                        )
+                    )
+                )
+                await writer.drain()
+                writer.close()
+                consecutive_refusals = 0
+            except (ConnectionError, OSError):
+                consecutive_refusals += 1
+                if consecutive_refusals >= 2 * len(candidates):
+                    self.proto.complete_rejoin_alone()
+                    self.proto.drain_replies()  # nobody is waiting across a restart
+                    self._ring_wake.set()
+                    return
+            await asyncio.sleep(_REJOIN_RETRY)
+
     # ------------------------------------------------------------------
     # Inbound connections
     # ------------------------------------------------------------------
@@ -150,10 +270,35 @@ class AsyncServerNode:
         except (asyncio.IncompleteReadError, ConnectionError):
             writer.close()
             return
-        kind, peer_id = _HELLO.unpack(hello)
+        kind, peer_id, peer_generation = _HELLO.unpack(hello)
+        if kind == _KIND_REJOIN:
+            # A restarted server announcing itself: raw frames, no
+            # session (one idempotent, retried message per connection).
+            try:
+                async for payload in _read_frames(reader, decoder):
+                    if self._stopped:
+                        break
+                    replies = self.proto.on_ring_message(decode_message(payload))
+                    await self._dispatch_replies(replies)
+                    self._ring_wake.set()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+            finally:
+                writer.close()
+            return
         # Ring predecessors and clients share one id space for sessions;
         # predecessors are mapped below zero to keep them disjoint.
         session_key = peer_id if kind == _KIND_CLIENT else -peer_id - 1
+        if kind == _KIND_RING:
+            # Ring sessions persist across same-peer reconnects (the
+            # unacked-suffix replay needs the receive cursor) — but only
+            # within one incarnation.  A higher hello generation means
+            # the peer restarted with fresh sequence numbers; keeping the
+            # old cursor would suppress its entire fresh stream as
+            # duplicates.
+            if self._peer_generations.get(session_key) != peer_generation:
+                self._peer_generations[session_key] = peer_generation
+                self._peer_sessions[session_key] = ReliableSession()
         if kind == _KIND_CLIENT:
             self._client_writers[peer_id] = writer
             # Client sessions are connection-scoped (both ends make a
@@ -253,7 +398,7 @@ class AsyncServerNode:
         self._drop_ring_writer()
         host, port = self.addresses[successor]
         reader, writer = await asyncio.open_connection(host, port)
-        writer.write(_HELLO.pack(_KIND_RING, self.server_id))
+        writer.write(_HELLO.pack(_KIND_RING, self.server_id, self.generation))
         # Reconnected to the same peer: frames written to the old
         # connection may or may not have reached it — retransmit the
         # unacked suffix and let receive-side dedup resolve the
@@ -402,7 +547,7 @@ class AsyncClient:
             return self._connections[server][1]
         host, port = self.addresses[server]
         reader, writer = await asyncio.open_connection(host, port)
-        writer.write(_HELLO.pack(_KIND_CLIENT, self.client_id))
+        writer.write(_HELLO.pack(_KIND_CLIENT, self.client_id, 0))
         await writer.drain()
         self._connections[server] = (reader, writer)
         self._reader_tasks[server] = asyncio.create_task(self._reader(server, reader))
@@ -452,20 +597,48 @@ class AsyncClient:
 
 
 class AsyncCluster:
-    """Convenience: an n-server cluster on localhost ephemeral ports."""
+    """Convenience: an n-server cluster on localhost ephemeral ports.
 
-    def __init__(self, num_servers: int, config: Optional[ProtocolConfig] = None):
+    ``durable_dir`` switches every node's snapshot store to the file
+    backend (one ``s<id>.snapshot`` per server under the directory), the
+    deployment configuration where state must survive the process; by
+    default each node keeps an in-memory store, which is enough for
+    :meth:`restart_server` within one process.
+    """
+
+    def __init__(
+        self,
+        num_servers: int,
+        config: Optional[ProtocolConfig] = None,
+        durable_dir: Optional[str] = None,
+    ):
         self.num_servers = num_servers
         self.config = config or ProtocolConfig()
+        self.durable_dir = durable_dir
         self.nodes: dict[int, AsyncServerNode] = {}
         self.addresses: dict[int, tuple[str, int]] = {}
         self._next_client = 0
+
+    def _make_store(self, server_id: int) -> SnapshotStore:
+        if self.durable_dir is None:
+            return MemorySnapshotStore()
+        from repro.core.durable import FileSnapshotStore
+
+        return FileSnapshotStore(
+            f"{self.durable_dir}/s{server_id}.snapshot"
+        )
 
     async def start(self, base_port: int = 0) -> None:
         ring = RingView.initial(self.num_servers)
         # Bind listeners first so successor connections find them.
         for server_id in range(self.num_servers):
-            node = AsyncServerNode(server_id, ring, self.addresses, self.config)
+            node = AsyncServerNode(
+                server_id,
+                ring,
+                self.addresses,
+                self.config,
+                durable=self._make_store(server_id),
+            )
             host, port = "127.0.0.1", 0
             node._server = await asyncio.start_server(node._on_connection, host, port)
             actual = node._server.sockets[0].getsockname()
@@ -480,6 +653,11 @@ class AsyncCluster:
 
     async def crash_server(self, server_id: int) -> None:
         await self.nodes[server_id].stop()
+
+    async def restart_server(self, server_id: int) -> None:
+        """Restart a crashed server from its durable snapshot; it
+        re-listens on its original port and rejoins the ring."""
+        await self.nodes[server_id].restart()
 
     def client(self, home_server: int = 0) -> AsyncClient:
         self._next_client += 1

@@ -35,6 +35,7 @@ from typing import Callable, Optional
 
 from repro.core.client import ClientProtocol
 from repro.core.config import ProtocolConfig
+from repro.core.durable import MemorySnapshotStore
 from repro.core.messages import ClientMessage, OpId, payload_size
 from repro.core.ring import RingView
 from repro.core.server import ServerProtocol
@@ -69,6 +70,15 @@ from repro.transport.reliable import (
 #: wire-borne messages from the dead server land before reconfiguration
 #: starts (the synchrony assumption behind the paper's perfect detector).
 DEFAULT_DETECTION_DELAY = 0.005
+
+#: Rejoin announcement retry cadence: a restarted server re-announces
+#: itself (to a different sponsor each attempt, round-robin) until a
+#: reconfiguration commit resumes it.  The initial period comfortably
+#: exceeds a healthy reconfiguration round trip, and the backoff keeps a
+#: rejoiner stuck behind a long fault window from spraying announcements
+#: that would each trigger a redundant reconfiguration at heal time.
+REJOIN_RETRY_INITIAL = 0.25
+REJOIN_RETRY_MAX = 1.0
 
 
 @dataclass(frozen=True)
@@ -218,9 +228,37 @@ class ServerHost(_HostBase):
             return
         self._post(self.proto.on_server_crash(crashed_id))
 
+    # -- restart (crash recovery) --------------------------------------
+
+    def restart(self) -> None:
+        """Restart this server from its durable snapshot and rejoin.
+
+        Volatile state — the protocol object, reply queues, NIC queues
+        (purged at crash) — is gone; the cluster rebuilds the protocol
+        from the snapshot store, re-opens the reliable channels (a
+        restart is a new connection on every link) and drives the rejoin
+        handshake until a reconfiguration folds the server back in.
+        """
+        if self._alive:
+            return
+        self.cluster.reopen_server(self.server_id)
+        super().restart()
+        self._reply_queues.clear()
+        self._reply_rr.clear()
+        self.proto = self.cluster.restore_server_protocol(self.server_id, self.restarts)
+        self.cluster.begin_rejoin(self)
+        self.kick()
+
     # -- outbound sources ----------------------------------------------
 
     def _ring_source(self):
+        announce = self.proto.next_rejoin_announce()
+        if announce is not None:
+            # The announcement travels outside ring order: the rejoiner
+            # is not part of anyone's ring yet, so it contacts a sponsor
+            # directly over the server network.
+            sponsor, message = announce
+            return (f"s{sponsor}", message, "ring")
         message = self.proto.next_ring_message()
         if message is None:
             return None
@@ -321,6 +359,17 @@ class ClientHost(_HostBase):
         self._execute(proto, effects)
         return op
 
+    def abort_op(self, client_id: Optional[int] = None) -> None:
+        """Abandon a logical client's in-flight operation (if any):
+        reset the protocol's op state, disarm its timer and drop its
+        completion callback.  Used by blocking wrappers that give up on
+        an operation the simulation can no longer complete."""
+        proto = self._proto(client_id)
+        op = proto.abandon()
+        if op is not None:
+            self._cancel_timer(proto.client_id, op.seq)
+            self._callbacks.pop(op, None)
+
     # -- inbound ---------------------------------------------------------
 
     def on_reply_delivered(self, message) -> None:
@@ -411,6 +460,16 @@ class _ReliableLinkLayer:
         self.sessions: dict[tuple[str, str], ReliableSession] = {}
         self._retx_timers: dict[tuple[str, str], object] = {}
         self._ack_timers: dict[tuple[str, str], object] = {}
+        #: Channel generation per host, bumped whenever the host's
+        #: sessions are torn down (crash detection, restart).  Deliveries
+        #: carry the generations captured at send time; a mismatch at
+        #: arrival means the frame belongs to a connection that no longer
+        #: exists — the simulator's stand-in for a TCP segment of a dead
+        #: connection being discarded, which is what keeps a frame from a
+        #: host's previous incarnation out of its successor's fresh
+        #: session (stale high sequence numbers would otherwise poison
+        #: the reorder buffer).
+        self._generations: dict[str, int] = {}
 
     def session(self, local: str, peer: str) -> ReliableSession:
         key = (local, peer)
@@ -449,6 +508,20 @@ class _ReliableLinkLayer:
 
     # -- lifecycle -----------------------------------------------------
 
+    def channel_stamp(self, src: str, dst: str) -> tuple[int, int]:
+        """The (src, dst) channel generations; captured per delivery."""
+        return (self._generations.get(src, 0), self._generations.get(dst, 0))
+
+    def deliver_stamped(
+        self, dst_name: str, src_name: str, segment: Segment, stamp: tuple[int, int]
+    ) -> None:
+        """Receive-port callback with connection identity: a frame whose
+        channel was re-opened since it was sent is discarded."""
+        if stamp != self.channel_stamp(src_name, dst_name):
+            self.env.trace.count("reliable.stale_dropped")
+            return
+        self.deliver(dst_name, src_name, segment)
+
     def abandon_peer(self, name: str) -> None:
         """Tear down every session touching ``name`` (the peer crashed).
 
@@ -456,6 +529,7 @@ class _ReliableLinkLayer:
         reset, not drained, exactly as broken TCP connections would be —
         otherwise retransmission to the dead would outlive the run.
         """
+        self._generations[name] = self._generations.get(name, 0) + 1
         for key, session in self.sessions.items():
             if name not in key:
                 continue
@@ -464,6 +538,13 @@ class _ReliableLinkLayer:
             session.reset()
             self._cancel(self._retx_timers, key)
             self._cancel(self._ack_timers, key)
+
+    def reopen_peer(self, name: str) -> None:
+        """Reset every session touching ``name`` and bump its channel
+        generation (the peer restarted: every link to it is a brand-new
+        connection, and frames of the old incarnation must not land in
+        the fresh sessions)."""
+        self.abandon_peer(name)
 
     # -- timers --------------------------------------------------------
 
@@ -591,6 +672,9 @@ class SimCluster:
         self.clients: dict[int, ClientHost] = {}
         self._host_by_client_id: dict[int, ClientHost] = {}
         self._next_client_id = 0
+        #: Durable snapshot stores, one per server: the simulated "disk"
+        #: that outlives a crashed process and feeds its restart.
+        self.durable_stores: dict[int, MemorySnapshotStore] = {}
         #: Optional history recorder (see repro.analysis.history).
         self.history = None
         if host_factory is None:
@@ -603,11 +687,13 @@ class SimCluster:
 
     @staticmethod
     def _default_host_factory(cluster: "SimCluster", server_id: int) -> "ServerHost":
+        store = cluster.durable_stores.setdefault(server_id, MemorySnapshotStore())
         proto = ServerProtocol(
             server_id,
             cluster.ring,
             cluster.config.protocol,
             initial_value=cluster.config.initial_value,
+            durable=store,
         )
         return ServerHost(cluster, server_id, proto)
 
@@ -720,9 +806,14 @@ class SimCluster:
 
     def _segment_deliver(self, dst_name: str, src_name: str):
         """Receive callback for session-layer segments: the session
-        decides delivery; :meth:`_dispatch_payload` routes the results."""
+        decides delivery; :meth:`_dispatch_payload` routes the results.
+        The channel generations captured here give the frame its
+        connection identity — a restart in flight invalidates it."""
+        reliable = self.reliable
+        stamp = reliable.channel_stamp(src_name, dst_name)
+
         def deliver(segment: Segment) -> None:
-            self.reliable.deliver(dst_name, src_name, segment)
+            reliable.deliver_stamped(dst_name, src_name, segment, stamp)
 
         return deliver
 
@@ -785,6 +876,74 @@ class SimCluster:
     def crash_server(self, server_id: int) -> None:
         """Crash a server now (tests and fault plans)."""
         self.servers[server_id].crash()
+
+    # ------------------------------------------------------------------
+    # Crash recovery
+    # ------------------------------------------------------------------
+
+    def restart_server(self, server_id: int) -> None:
+        """Restart a crashed server now: reload its durable snapshot and
+        run the rejoin handshake until the ring folds it back in."""
+        self.servers[server_id].restart()
+
+    def reopen_server(self, server_id: int) -> None:
+        """Cluster-level bookkeeping for a server restart.
+
+        Runs *before* the host comes back alive: revive the membership
+        view, clear the failure detector's suspicion (so a second crash
+        is detected again) and re-open the reliable channels — every
+        link to the restarted server is a brand-new connection.
+        """
+        if server_id in self.ring.dead:
+            self.ring = self.ring.revived(server_id)
+        self.fd.report_recovery(server_id)
+        if self.reliable is not None:
+            self.reliable.reopen_peer(f"s{server_id}")
+
+    def restore_server_protocol(self, server_id: int, generation: int) -> ServerProtocol:
+        """Rebuild a server's protocol from its durable snapshot."""
+        store = self.durable_stores.setdefault(server_id, MemorySnapshotStore())
+        others_alive = any(
+            sid != server_id and host.alive for sid, host in self.servers.items()
+        )
+        return ServerProtocol.restore(
+            server_id,
+            range(self.config.num_servers),
+            store.load(),
+            self.config.protocol,
+            durable=store,
+            alone=not others_alive,
+            generation=generation,
+        )
+
+    def begin_rejoin(self, host: "ServerHost") -> None:
+        """Drive the rejoin handshake for a freshly restarted server."""
+        if host.proto.rejoining:
+            self._pump_rejoin(host, host.restarts, 0)
+
+    def _pump_rejoin(self, host: "ServerHost", generation: int, attempt: int) -> None:
+        """Announce (and re-announce, with backoff, round-robining over
+        sponsors) until a reconfiguration commit resumes the rejoiner."""
+        if not host.alive or host.restarts != generation:
+            return  # crashed again; a future restart drives its own pump
+        proto = host.proto
+        if not proto.rejoining:
+            return  # folded back in
+        sponsors = [
+            sid
+            for sid, other in self.servers.items()
+            if sid != host.server_id and other.alive
+        ]
+        if not sponsors:
+            # Nobody to rejoin: the restarted server *is* the ring, and
+            # its recovered pending writes resolve locally.
+            proto.complete_rejoin_alone()
+            host._post(proto.drain_replies())
+            return
+        proto.queue_rejoin_announce(sponsors[attempt % len(sponsors)])
+        host.kick()
+        delay = min(REJOIN_RETRY_INITIAL * (2 ** attempt), REJOIN_RETRY_MAX)
+        self.env.scheduler.schedule(delay, self._pump_rejoin, host, generation, attempt + 1)
 
     def apply_faults(self, plan: FaultPlan) -> None:
         """Schedule a :class:`~repro.sim.faults.FaultPlan` against this

@@ -1,17 +1,22 @@
 """Declarative fault schedules for simulation runs.
 
 A :class:`FaultPlan` is a composable algebra of timed fault events —
-*crash process X at t*, *partition {s0,s1} from {s2} during [t, t')*,
-*drop 20 % of c0→s3 frames during [t, t')*, *throttle s1's NICs 4× during
-[t, t')*, *pause s2 during [t, t')* — built with chainable methods and
-applied to a running cluster in one call.  Crash events act on
-:class:`~repro.sim.process.SimProcess` objects directly; every other
-event is executed by the cluster's :class:`~repro.sim.nemesis.Nemesis`.
+*crash process X at t*, *restart it at t'*, *partition {s0,s1} from {s2}
+during [t, t')*, *drop 20 % of c0→s3 frames during [t, t')*, *throttle
+s1's NICs 4× during [t, t')*, *pause s2 during [t, t')* — built with
+chainable methods and applied to a running cluster in one call.  Crash
+and restart events act on :class:`~repro.sim.process.SimProcess` objects
+directly; every other event is executed by the cluster's
+:class:`~repro.sim.nemesis.Nemesis`.
 
-Plans validate eagerly: negative or NaN times, empty windows, duplicate
-crashes of the same process and out-of-range probabilities are rejected
-at construction, so a bad schedule fails loudly instead of silently
-double-scheduling.
+Plans validate eagerly: negative, NaN or boolean times, empty windows,
+out-of-range probabilities and inconsistent crash/restart timelines are
+rejected at construction, so a bad schedule fails loudly instead of
+silently double-scheduling.  Per process, crashes and restarts must
+strictly alternate in time starting with a crash — no crashing a process
+that is already down, no restarting one that is up — which is the
+interval-validation generalisation of the historic crashes-once rule
+(a crash with no matching restart is simply a permanent crash).
 
 The original crash-only surface (``FaultPlan().crash(name, at)``,
 :meth:`FaultPlan.sequential`) is unchanged; the chaos harness
@@ -34,7 +39,14 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 
 def _check_time(value: float, what: str) -> float:
-    if not isinstance(value, (int, float)) or not math.isfinite(value) or value < 0:
+    # bool is an int subclass: plan.crash("s0", True) would otherwise
+    # silently schedule at t=1.0 instead of failing the schedule.
+    if (
+        isinstance(value, bool)
+        or not isinstance(value, (int, float))
+        or not math.isfinite(value)
+        or value < 0
+    ):
         raise ConfigurationError(
             f"{what} must be a finite non-negative number, got {value!r}"
         )
@@ -56,6 +68,21 @@ def _windows_overlap(a_start: float, a_end: float, b_start: float, b_end: float)
 @dataclass(frozen=True)
 class CrashAt:
     """Crash ``process_name`` at simulated ``time``."""
+
+    time: float
+    process_name: str
+
+
+@dataclass(frozen=True)
+class RestartAt:
+    """Restart ``process_name`` at simulated ``time``.
+
+    The process must be down at that time (a strictly earlier crash with
+    no intervening restart).  What restarting *means* is the process's
+    business: a bare :class:`~repro.sim.process.SimProcess` merely
+    re-arms, while a server host reloads its durable snapshot and runs
+    the rejoin handshake.
+    """
 
     time: float
     process_name: str
@@ -116,18 +143,68 @@ class FaultPlan:
     link_faults: list[LinkFaultAt] = field(default_factory=list)
     throttles: list[ThrottleAt] = field(default_factory=list)
     pauses: list[PauseAt] = field(default_factory=list)
+    restarts: list[RestartAt] = field(default_factory=list)
 
     # -- builders ------------------------------------------------------
 
     def crash(self, process_name: str, at: float) -> "FaultPlan":
-        """Append a crash event (chainable)."""
+        """Append a crash event (chainable).
+
+        The process must be up at ``at``: crashes and restarts of one
+        process must strictly alternate in time, starting with a crash.
+        """
         at = _check_time(at, "crash time")
-        if any(crash.process_name == process_name for crash in self.crashes):
-            raise ConfigurationError(
-                f"duplicate crash of {process_name!r}: a process crashes once"
-            )
+        self._check_lifecycle(process_name, at, "crash")
         self.crashes.append(CrashAt(at, process_name))
         return self
+
+    def restart(self, process_name: str, at: float) -> "FaultPlan":
+        """Append a restart event (chainable).
+
+        The process must be down at ``at`` (a strictly earlier crash
+        with no intervening restart); restarting a live process is
+        rejected at construction, like every other impossible schedule.
+        """
+        at = _check_time(at, "restart time")
+        self._check_lifecycle(process_name, at, "restart")
+        self.restarts.append(RestartAt(at, process_name))
+        return self
+
+    def _check_lifecycle(self, process_name: str, at: float, kind: str) -> None:
+        """Validate the crash/restart timeline of one process.
+
+        Builders may append events in any call order; validity is a
+        property of the *times*: sorted chronologically, the events must
+        strictly alternate crash, restart, crash, ... (ties are
+        rejected — simultaneous crash and restart is not a schedule,
+        it is a contradiction).
+        """
+        events = [
+            (crash.time, "crash")
+            for crash in self.crashes
+            if crash.process_name == process_name
+        ]
+        events += [
+            (restart.time, "restart")
+            for restart in self.restarts
+            if restart.process_name == process_name
+        ]
+        events.append((at, kind))
+        events.sort()
+        times = [time for time, _ in events]
+        if len(set(times)) != len(times):
+            raise ConfigurationError(
+                f"{process_name!r} has two lifecycle events at the same time"
+            )
+        expected = "crash"
+        for time, event_kind in events:
+            if event_kind != expected:
+                state = "already down" if event_kind == "crash" else "not down"
+                raise ConfigurationError(
+                    f"cannot {event_kind} {process_name!r} at {time}: "
+                    f"the process is {state} at that point in the schedule"
+                )
+            expected = "restart" if expected == "crash" else "crash"
 
     def partition(
         self, groups, at: float, heal_at: float, mode: str = "hold"
@@ -263,7 +340,7 @@ class FaultPlan:
         """Total number of scheduled fault events."""
         return (
             len(self.crashes) + len(self.partitions) + len(self.link_faults)
-            + len(self.throttles) + len(self.pauses)
+            + len(self.throttles) + len(self.pauses) + len(self.restarts)
         )
 
     def fault_kinds(self) -> set[str]:
@@ -271,6 +348,8 @@ class FaultPlan:
         kinds: set[str] = set()
         if self.crashes:
             kinds.add("crash")
+        if self.restarts:
+            kinds.add("restart")
         if self.partitions:
             kinds.add("partition")
         for fault in self.link_faults:
@@ -308,6 +387,12 @@ class FaultPlan:
             horizon = max(horizon, throttle.until)
         for pause in self.pauses:
             horizon = max(horizon, pause.resume_time)
+        # A crash..restart pair is a fault window too: the process is
+        # down (and its share of the ring stalled) until the restart —
+        # and the rejoin churn follows it.  Permanent crashes stay
+        # outside the horizon, as before.
+        for restart in self.restarts:
+            horizon = max(horizon, restart.time)
         return horizon
 
     # -- application ---------------------------------------------------
@@ -330,6 +415,7 @@ class FaultPlan:
         passes the cluster's own controller.
         """
         named: set[str] = {crash.process_name for crash in self.crashes}
+        named.update(restart.process_name for restart in self.restarts)
         for partition in self.partitions:
             named.update(name for group in partition.groups for name in group)
         for fault in self.link_faults:
@@ -346,8 +432,11 @@ class FaultPlan:
         for crash in self.crashes:
             process = processes[crash.process_name]
             env.scheduler.schedule_at(crash.time, process.crash)
+        for restart in self.restarts:
+            process = processes[restart.process_name]
+            env.scheduler.schedule_at(restart.time, process.restart)
 
-        if self.events == len(self.crashes):
+        if self.events == len(self.crashes) + len(self.restarts):
             return
         if nemesis is None:
             raise ConfigurationError(

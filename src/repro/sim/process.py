@@ -11,6 +11,15 @@ process (channels, failure detectors) register crash listeners so the
 event propagates to the transport layer, where it surfaces as a broken
 TCP connection — the raw signal behind the paper's perfect failure
 detector.
+
+Restart semantics extend that model with crash *recovery*: a crashed
+process may be restarted, which re-arms it and fires restart listeners so
+the same components can re-attach (channels reopen, failure detectors
+clear their suspicion).  Volatile state is gone — whatever a process
+wants to survive a crash must live in durable storage
+(:mod:`repro.core.durable`), exactly as on a real machine.  Crash and
+restart listeners stay registered across cycles, so a restarted process
+can crash (and recover) again.
 """
 
 from __future__ import annotations
@@ -22,13 +31,17 @@ from repro.sim.env import SimEnv
 
 
 class SimProcess:
-    """A named, crashable simulated process."""
+    """A named, crashable — and restartable — simulated process."""
 
     def __init__(self, env: SimEnv, name: str):
         self.env = env
         self.name = name
         self._alive = True
+        #: Completed crash→restart cycles (the ``process.restarts`` trace
+        #: counter aggregates this across the cluster).
+        self.restarts = 0
         self._crash_listeners: list[Callable[[SimProcess], None]] = []
+        self._restart_listeners: list[Callable[[SimProcess], None]] = []
 
     @property
     def alive(self) -> bool:
@@ -38,14 +51,32 @@ class SimProcess:
         """Register ``listener(process)`` to run when this process crashes."""
         self._crash_listeners.append(listener)
 
+    def on_restart(self, listener: Callable[["SimProcess"], None]) -> None:
+        """Register ``listener(process)`` to run when this process restarts."""
+        self._restart_listeners.append(listener)
+
     def crash(self) -> None:
-        """Crash the process.  Idempotent; listeners fire exactly once."""
+        """Crash the process.  Idempotent; listeners fire once per crash."""
         if not self._alive:
             return
         self._alive = False
         self.env.trace.count("process.crashes")
         self.env.trace.emit(self.env.now, "crash", self.name)
         for listener in list(self._crash_listeners):
+            listener(self)
+
+    def restart(self) -> None:
+        """Restart a crashed process.  Idempotent on a live process;
+        listeners fire once per restart.  Subclasses that own recoverable
+        state (e.g. a server host) override this to reload it from
+        durable storage before firing listeners."""
+        if self._alive:
+            return
+        self._alive = True
+        self.restarts += 1
+        self.env.trace.count("process.restarts")
+        self.env.trace.emit(self.env.now, "restart", self.name)
+        for listener in list(self._restart_listeners):
             listener(self)
 
     def check_alive(self) -> None:

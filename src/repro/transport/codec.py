@@ -24,6 +24,7 @@ from repro.core.messages import (
     ReadAck,
     ReconfigCommit,
     ReconfigToken,
+    RejoinRequest,
     StateSync,
     WriteAck,
 )
@@ -40,6 +41,7 @@ _TYPE_CODES = {
     StateSync: 7,
     ReconfigToken: 8,
     ReconfigCommit: 9,
+    RejoinRequest: 10,
 }
 _BY_CODE = {code: cls for cls, code in _TYPE_CODES.items()}
 
@@ -111,6 +113,8 @@ def encode_message(message: Any) -> bytes:
         )
     elif isinstance(message, (ReconfigToken, ReconfigCommit)):
         body = _encode_reconfig(message)
+    elif isinstance(message, RejoinRequest):
+        body = struct.pack(">iI", message.server_id, message.generation)
     else:  # pragma: no cover - defensive
         raise ProtocolError(f"cannot encode {message!r}")
     return _encode_header(code, len(body)) + body
@@ -169,6 +173,9 @@ def decode_message(data: bytes) -> Any:
         return StateSync(tag, bytes(body[offset:]), tuple(commits))
     if cls in (ReconfigToken, ReconfigCommit):
         return _decode_reconfig(cls, body)
+    if cls is RejoinRequest:
+        server_id, generation = struct.unpack_from(">iI", body, 0)
+        return RejoinRequest(server_id, generation)
     raise ProtocolError(f"cannot decode {cls.__name__}")  # pragma: no cover
 
 
@@ -182,6 +189,8 @@ def _encode_reconfig(message) -> bytes:
             len(message.dead),
         ),
         b"".join(struct.pack(">i", d) for d in message.dead),
+        struct.pack(">I", len(message.revived)),
+        b"".join(struct.pack(">i", r) for r in message.revived),
         _tag_bytes(message.tag),
         struct.pack(">I", len(message.value)),
         message.value,
@@ -205,6 +214,13 @@ def _decode_reconfig(cls, body: memoryview):
     for _ in range(dead_count):
         (d,) = struct.unpack_from(">i", body, offset)
         dead.append(d)
+        offset += 4
+    (revived_count,) = struct.unpack_from(">I", body, offset)
+    offset += 4
+    revived = []
+    for _ in range(revived_count):
+        (r,) = struct.unpack_from(">i", body, offset)
+        revived.append(r)
         offset += 4
     tag, offset = _read_tag(body, offset)
     (value_len,) = struct.unpack_from(">I", body, offset)
@@ -238,4 +254,5 @@ def _decode_reconfig(cls, body: memoryview):
         value=value,
         pending=tuple(pending),
         completed_ops=tuple(completed),
+        revived=tuple(revived),
     )

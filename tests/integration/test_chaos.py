@@ -179,3 +179,40 @@ def test_cli_small_batch_exits_zero(capsys):
     assert chaos_main(["--runs", "3", "--seed", "0", "-q"]) == 0
     out = capsys.readouterr().out
     assert "3/3 schedules passed" in out
+
+
+def test_restart_schedules_are_generated_and_pass():
+    """The core profile schedules crash/restart pairs; a schedule that
+    contains one must pass the gate with the restart *proven* in-trace
+    (the ``process.restarts`` counter backs the coverage report)."""
+    found = None
+    for index in range(30):
+        schedule = generate_schedule(seed=0, index=index)
+        if schedule.plan.restarts:
+            found = schedule
+            break
+    assert found is not None, "core profile must generate restart schedules"
+    # Interval validity by construction: each restart strictly follows
+    # its crash.
+    crash_times = {c.process_name: c.time for c in found.plan.crashes}
+    for restart in found.plan.restarts:
+        assert restart.time > crash_times[restart.process_name]
+    # The restart window extends the stall horizon and thus the
+    # workload span: operations demonstrably overlap the recovery.
+    assert found.workload_span >= max(r.time for r in found.plan.restarts)
+
+    result = run_schedule(found, "core")
+    assert result.ok, f"{found.describe()}: {result.reason}"
+    assert "restart" in result.exercised
+
+
+def test_restart_coverage_accumulates_across_acceptance_batch():
+    """Across a 12-run slice of the seed-0 batch (the smoke size), the
+    restart kind fires at least once — the CLI coverage gate relies on
+    this."""
+    exercised = set()
+    for index in range(12):
+        result = run_schedule(generate_schedule(seed=0, index=index), "core")
+        assert result.ok
+        exercised |= result.exercised
+    assert "restart" in exercised

@@ -1,0 +1,183 @@
+"""Crash-recovery integration: restart, rejoin, and serve again.
+
+The recovery model under test: a crashed server restarts from its
+durable snapshot, announces itself to a live sponsor, and is folded back
+into the ring by a reconfiguration whose token traverses the *grown*
+ring — so the rejoiner catches up (merged tag/value, merged pending set)
+before it serves a single read.  Histories must stay linearizable
+through the whole cycle, including a second crash of the same server.
+"""
+
+import pytest
+
+from repro import AtomicStorage, SimCluster
+from repro.analysis import History, check_register_history
+from repro.core.config import ProtocolConfig
+from repro.errors import ConfigurationError
+from repro.sim.faults import FaultPlan
+
+
+def fast_retry() -> ProtocolConfig:
+    return ProtocolConfig(client_timeout=0.08, client_max_retries=30)
+
+
+def settle(cluster, seconds: float = 1.2) -> None:
+    cluster.run(until=cluster.now + seconds)
+
+
+def test_restarted_server_rejoins_and_serves_committed_reads():
+    cluster = SimCluster.build(num_servers=4, seed=21, protocol=fast_retry())
+    cluster.history = History()
+    storage = AtomicStorage.over(cluster, home_server=0)
+    storage.write(b"before-crash")
+    cluster.crash_server(1)
+    settle(cluster, 0.3)
+    storage.write(b"while-down")  # committed without s1
+    cluster.restart_server(1)
+    settle(cluster)
+
+    proto = cluster.servers[1].proto
+    assert not proto.rejoining and not proto.paused, "rejoin must complete"
+    # Catch-up happened before serving: the rejoined server holds the
+    # write it missed while down.
+    assert proto.value == b"while-down"
+    # Every survivor folded it back in.
+    for sid in (0, 2, 3):
+        assert cluster.servers[sid].proto.ring.is_alive(1)
+    assert cluster.env.trace.counters["process.restarts"] == 1
+
+    # The rejoined server serves committed reads directly.
+    reader = AtomicStorage.over(cluster, home_server=1)
+    assert reader.read() == b"while-down"
+    storage.write(b"after-rejoin")
+    assert reader.read() == b"after-rejoin"
+    assert cluster.servers[1].proto.stats_reads_served >= 1
+
+    cluster.history.close()
+    ok, reason = check_register_history(cluster.history)
+    assert ok, reason
+
+
+def test_rejoined_server_initiates_writes_again():
+    cluster = SimCluster.build(num_servers=3, seed=22, protocol=fast_retry())
+    storage = AtomicStorage.over(cluster, home_server=2)
+    storage.write(b"seed")
+    cluster.crash_server(2)
+    settle(cluster, 0.3)
+    cluster.restart_server(2)
+    settle(cluster)
+    # The handle is homed at s2: with s2 rejoined, its next write is
+    # initiated *by* the recovered server.
+    storage.write(b"initiated-by-rejoiner")
+    assert storage.read() == b"initiated-by-rejoiner"
+    assert cluster.servers[2].proto.stats_writes_initiated >= 1
+
+
+def test_restart_during_another_servers_reconfiguration():
+    """A server restarts while the ring is still reconfiguring around a
+    *different* crash; the history stays linearizable and the rejoiner
+    is eventually folded in."""
+    cluster = SimCluster.build(num_servers=5, seed=23, protocol=fast_retry())
+    cluster.history = History()
+    clients = [AtomicStorage.over(cluster, home_server=i) for i in range(5)]
+    clients[0].write(b"base")
+
+    cluster.crash_server(1)
+    settle(cluster, 0.4)
+    # Crash s3 and, before its reconfiguration can settle, restart s1:
+    # the rejoin handshake races the crash-triggered merge.
+    cluster.crash_server(3)
+    cluster.restart_server(1)
+    for i in range(6):
+        client = clients[i % 5]
+        client.write(b"load-%d" % i)
+        assert client.read() == b"load-%d" % i
+    settle(cluster)
+
+    assert not cluster.servers[1].proto.rejoining
+    assert cluster.servers[0].proto.ring.is_alive(1)
+    assert not cluster.servers[0].proto.ring.is_alive(3)
+    cluster.history.close()
+    ok, reason = check_register_history(cluster.history)
+    assert ok, reason
+
+
+def test_crash_rejoin_crash_again_is_detected_again():
+    cluster = SimCluster.build(num_servers=4, seed=24, protocol=fast_retry())
+    cluster.history = History()
+    storage = AtomicStorage.over(cluster, home_server=0)
+    storage.write(b"v1")
+    cluster.crash_server(1)
+    settle(cluster, 0.3)
+    cluster.restart_server(1)
+    settle(cluster)
+    assert cluster.servers[0].proto.ring.is_alive(1)
+
+    # Second crash of the same server: the failure detector must fire
+    # again (its suspicion was cleared at recovery) and the ring must
+    # shrink again.
+    cluster.crash_server(1)
+    settle(cluster, 0.4)
+    assert not cluster.servers[0].proto.ring.is_alive(1)
+    storage.write(b"v2")
+    assert storage.read() == b"v2"
+    assert cluster.env.trace.counters["fd.detections"] >= 2
+
+    cluster.history.close()
+    ok, reason = check_register_history(cluster.history)
+    assert ok, reason
+
+
+def test_restart_with_no_survivors_serves_from_snapshot():
+    """Everyone died; the restarted server is the whole ring and serves
+    the last committed value from its durable snapshot."""
+    cluster = SimCluster.build(num_servers=3, seed=25, protocol=fast_retry())
+    storage = AtomicStorage.over(cluster, home_server=0)
+    storage.write(b"precious")
+    for sid in (0, 1, 2):
+        cluster.crash_server(sid)
+    settle(cluster, 0.3)
+    cluster.restart_server(2)
+    settle(cluster, 0.3)
+    proto = cluster.servers[2].proto
+    assert not proto.rejoining and proto.alone
+    reader = AtomicStorage.over(cluster, home_server=2)
+    assert reader.read() == b"precious"
+    reader.write(b"post-apocalypse")
+    assert reader.read() == b"post-apocalypse"
+
+
+def test_fault_plan_crash_restart_pair_end_to_end():
+    """The declarative surface: a crash/restart pair in a FaultPlan
+    turns into a full recovery cycle, proven by the trace counters."""
+    cluster = SimCluster.build(num_servers=4, seed=26, protocol=fast_retry())
+    cluster.history = History()
+    clients = [AtomicStorage.over(cluster, home_server=i) for i in range(4)]
+    plan = FaultPlan().crash("s2", at=0.05).restart("s2", at=0.6)
+    cluster.apply_faults(plan)
+    for i in range(8):
+        client = clients[i % 4]
+        client.write(b"op-%d" % i)
+        assert client.read() == b"op-%d" % i
+    cluster.run(until=max(cluster.now, 2.0))
+
+    counters = cluster.env.trace.counters
+    assert counters["process.crashes"] == 1
+    assert counters["process.restarts"] == 1
+    assert not cluster.servers[2].proto.rejoining
+    assert cluster.servers[0].proto.ring.is_alive(2)
+    cluster.history.close()
+    ok, reason = check_register_history(cluster.history)
+    assert ok, reason
+
+
+def test_restart_of_live_server_is_a_noop():
+    cluster = SimCluster.build(num_servers=3, seed=27)
+    cluster.restart_server(0)
+    assert cluster.servers[0].alive
+    assert cluster.env.trace.counters.get("process.restarts", 0) == 0
+
+
+def test_plan_rejects_restart_of_never_crashed_server():
+    with pytest.raises(ConfigurationError):
+        FaultPlan().restart("s0", at=0.5)

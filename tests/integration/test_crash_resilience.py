@@ -99,3 +99,35 @@ def test_detection_delay_is_respected():
     assert cluster.servers[0].proto.ring.dead == set(), "not yet detected"
     cluster.run(until=cluster.now + 0.05)
     assert cluster.servers[0].proto.ring.dead == {1}
+
+
+def test_idle_simulation_resets_half_open_op_state():
+    """Regression: when the scheduler goes idle mid-operation (fully
+    crashed ring, client machine down before its retry timer fires),
+    AtomicStorage._run used to raise while leaving the client protocol's
+    in-flight op state behind — the next operation on the same handle
+    then exploded on the phantom outstanding op instead of starting
+    fresh."""
+    from repro.errors import StorageUnavailableError
+
+    cluster = SimCluster.build(
+        num_servers=2, seed=18,
+        protocol=ProtocolConfig(client_timeout=0.05, client_max_retries=3),
+    )
+    storage = AtomicStorage.over(cluster)
+    storage.write(b"v")
+    for sid in (0, 1):
+        cluster.crash_server(sid)  # the whole ring is gone
+    # The client machine dies right after issuing: its retry timer fires
+    # into a dead host and re-arms nothing, so the simulation goes idle
+    # with the operation half-open.
+    cluster.env.scheduler.schedule(0.01, storage.client.crash)
+    with pytest.raises(StorageUnavailableError, match="idle"):
+        storage.write(b"lost")
+
+    # The op state must have been reset: after a restart the same handle
+    # fails *cleanly* (retries exhausted against a dead ring) instead of
+    # raising ProtocolError("... already has Op(...) in flight").
+    storage.client.restart()
+    with pytest.raises(StorageUnavailableError, match="write failed"):
+        storage.write(b"after-reset")

@@ -147,3 +147,27 @@ def test_op_ids_are_unique_and_increasing():
 def test_needs_at_least_one_server():
     with pytest.raises(ProtocolError):
         ClientProtocol(1, servers=[])
+
+
+def test_abandon_resets_op_state_and_reports_the_op():
+    client = make_client()
+    op, _ = client.start_write(b"v")
+    client.on_timeout(op.seq)  # one retry consumed
+    assert client.abandon() == op
+    assert not client.busy
+    # The handle is reusable and the new op starts from scratch: a full
+    # retry budget and no phantom outstanding op.
+    op2, effects = client.start_read()
+    assert op2.seq == op.seq + 1
+    assert any(isinstance(e, SendTo) for e in effects)
+    assert not any(
+        isinstance(e, Fail) for e in client.on_timeout(op2.seq)
+    ), "the abandoned op's consumed retries must not leak into the next op"
+
+
+def test_abandon_with_nothing_in_flight_is_a_noop():
+    client = make_client()
+    assert client.abandon() is None
+    op, _ = client.start_write(b"v")
+    client.on_reply(WriteAck(op, Tag(1, 0)))
+    assert client.abandon() is None

@@ -12,6 +12,7 @@ from repro.core.messages import (
     ReadAck,
     ReconfigCommit,
     ReconfigToken,
+    RejoinRequest,
     StateSync,
     WriteAck,
 )
@@ -39,6 +40,11 @@ OP = OpId(11, 5)
         ReconfigToken(5, 2, 1, (0, 3), Tag(8, 1), b"v",
                       (PendingEntry(Tag(9, 2), b"pv", OP),), ((11, 5), (12, 0))),
         ReconfigCommit(5, 2, 1, (0,), Tag(8, 1), b"", (), ()),
+        ReconfigToken(6, 1, 0, (3,), Tag(9, 0), b"rv",
+                      (), ((11, 5),), revived=(2,)),
+        ReconfigCommit(6, 1, 0, (), Tag(9, 0), b"rv", (), (), revived=(1, 2)),
+        RejoinRequest(2),
+        RejoinRequest(3, generation=7),
     ],
     ids=lambda m: type(m).__name__,
 )

@@ -1,0 +1,168 @@
+"""Durable snapshot round trips: stores, serialisation, protocol state.
+
+The crash-recovery contract: a server restored from its snapshot has
+*identical* protocol state for everything the snapshot covers — the
+committed register, ts_seen, watermarks, completed operations and the
+pending set — so no acknowledged operation is forgotten across a crash.
+"""
+
+import pytest
+
+from repro.core.durable import (
+    FileSnapshotStore,
+    MemorySnapshotStore,
+    ServerSnapshot,
+)
+from repro.core.messages import ClientWrite, Commit, OpId, PendingEntry, PreWrite
+from repro.core.ring import RingView
+from repro.core.server import ServerProtocol
+from repro.core.tags import Tag
+from repro.errors import ProtocolError
+
+
+def sample_snapshot() -> ServerSnapshot:
+    return ServerSnapshot(
+        server_id=1,
+        members=(0, 1, 2, 3),
+        dead=(2,),
+        tag=Tag(7, 1),
+        value=b"\x00committed\xff",
+        ts_seen=9,
+        watermark=((0, 4), (1, 7)),
+        completed_ops=((10, 3), (11, 0)),
+        pending=(
+            PendingEntry(Tag(8, 0), b"in-flight", OpId(10, 4)),
+            PendingEntry(Tag(9, 3), b"", OpId(12, 0)),
+        ),
+        reconfig_counter=5,
+    )
+
+
+def test_json_round_trip_is_identity():
+    snapshot = sample_snapshot()
+    assert ServerSnapshot.from_json(snapshot.to_json()) == snapshot
+
+
+def test_from_json_rejects_garbage_and_wrong_version():
+    with pytest.raises(ProtocolError):
+        ServerSnapshot.from_json("{}")
+    document = sample_snapshot().to_json().replace('"version": 1', '"version": 99')
+    with pytest.raises(ProtocolError, match="version"):
+        ServerSnapshot.from_json(document)
+
+
+def test_memory_store_round_trip_latest_wins():
+    store = MemorySnapshotStore()
+    assert store.load() is None
+    first = sample_snapshot()
+    store.save(first)
+    second = ServerSnapshot(
+        server_id=1, members=(0, 1), dead=(), tag=Tag(8, 0), value=b"newer",
+        ts_seen=8, watermark=(), completed_ops=(), pending=(),
+    )
+    store.save(second)
+    assert store.load() == second
+    assert store.saves == 2
+
+
+def test_file_store_round_trip_and_atomic_overwrite(tmp_path):
+    path = str(tmp_path / "s1.snapshot")
+    store = FileSnapshotStore(path)
+    assert store.load() is None
+    store.save(sample_snapshot())
+    assert store.load() == sample_snapshot()
+    # A second save atomically replaces the first (no .tmp residue).
+    newer = ServerSnapshot(
+        server_id=1, members=(0, 1, 2, 3), dead=(), tag=Tag(9, 1), value=b"v2",
+        ts_seen=9, watermark=(), completed_ops=(), pending=(),
+    )
+    store.save(newer)
+    assert store.load() == newer
+    assert not (tmp_path / "s1.snapshot.tmp").exists()
+    # A fresh store handle over the same path sees the persisted state.
+    assert FileSnapshotStore(path).load() == newer
+
+
+# ----------------------------------------------------------------------
+# Protocol snapshot/restore: write -> crash -> reload -> identical state.
+# ----------------------------------------------------------------------
+
+
+def build_server_with_state() -> tuple[ServerProtocol, MemorySnapshotStore]:
+    store = MemorySnapshotStore()
+    proto = ServerProtocol(1, RingView.initial(3), durable=store)
+    # A committed write from another origin (forward, then commit).
+    proto.on_ring_message(PreWrite(Tag(3, 0), b"committed-upstream", OpId(50, 0)))
+    while proto.has_ring_work:
+        if proto.next_ring_message() is None:
+            break
+    proto.on_ring_message(Commit((Tag(3, 0),)))
+    # An in-flight local initiation (stays pending).
+    proto.on_client_message(60, ClientWrite(OpId(60, 0), b"still-pending"))
+    while proto.has_ring_work:
+        if proto.next_ring_message() is None:
+            break
+    return proto, store
+
+
+def test_write_crash_reload_restores_identical_protocol_state():
+    proto, store = build_server_with_state()
+    snapshot = store.load()
+    assert snapshot is not None, "commit points must have persisted"
+    # "Crash": the protocol object is discarded; only the store survives.
+    restored = ServerProtocol.restore(1, (0, 1, 2), store.load(), durable=store)
+    assert restored.value == proto.value
+    assert restored.tag == proto.tag
+    assert restored.ts_seen == proto.ts_seen
+    assert restored.watermark == proto.watermark
+    assert restored.completed_ops == proto.completed_ops
+    assert restored.pending == proto.pending
+    assert restored.op_index == proto.op_index
+    assert restored._reconfig_counter == proto._reconfig_counter
+    # A restored (non-alone) server is rejoining: paused, deferring
+    # reads, announcing itself.
+    assert restored.rejoining and restored.paused
+
+
+def test_snapshot_is_write_ahead_of_replies():
+    """The snapshot covering a commit exists before the ack is handed to
+    the runtime, so an acknowledged write can never be forgotten."""
+    store = MemorySnapshotStore()
+    proto = ServerProtocol(0, RingView(members=(0,)), durable=store)
+    replies = proto.on_client_message(9, ClientWrite(OpId(9, 0), b"acked"))
+    assert replies, "the single-survivor fast path acks immediately"
+    snapshot = store.load()
+    assert snapshot is not None
+    assert snapshot.value == b"acked"
+    assert dict(snapshot.completed_ops).get(9) == 0
+
+
+def test_restore_without_snapshot_starts_fresh_but_rejoining():
+    restored = ServerProtocol.restore(2, (0, 1, 2), None)
+    assert restored.tag == Tag.ZERO
+    assert restored.rejoining and restored.paused
+
+
+def test_restore_alone_resolves_recovered_pending_writes():
+    store = MemorySnapshotStore()
+    snapshot = ServerSnapshot(
+        server_id=0,
+        members=(0, 1, 2),
+        dead=(),
+        tag=Tag(2, 1),
+        value=b"old",
+        ts_seen=4,
+        watermark=((1, 2),),
+        completed_ops=(),
+        pending=(PendingEntry(Tag(4, 2), b"orphaned", OpId(70, 0)),),
+    )
+    restored = ServerProtocol.restore(
+        0, (0, 1, 2), snapshot, durable=store, alone=True
+    )
+    # The sole survivor resolves the orphaned pre-write locally: it is
+    # installed (its tag outbids the committed one) and not pending.
+    assert not restored.rejoining and not restored.paused
+    assert restored.alone
+    assert restored.pending == {}
+    assert restored.value == b"orphaned"
+    assert dict(restored.completed_ops).get(70) == 0

@@ -32,6 +32,21 @@ def test_crash_rejects_non_number_time():
         FaultPlan().crash("s0", at="soon")
 
 
+def test_crash_rejects_boolean_time():
+    # bool subclasses int: plan.crash("s0", True) would otherwise be
+    # silently accepted as a crash at t=1.0.
+    with pytest.raises(ConfigurationError):
+        FaultPlan().crash("s0", at=True)
+    with pytest.raises(ConfigurationError):
+        FaultPlan().crash("s0", at=False)
+    with pytest.raises(ConfigurationError):
+        FaultPlan().restart("s0", at=True)
+    with pytest.raises(ConfigurationError):
+        FaultPlan().pause("s0", at=True, resume_at=2.0)
+    with pytest.raises(ConfigurationError):
+        FaultPlan().drop("a", "b", p=0.5, at=0.1, until=True)
+
+
 def test_duplicate_crash_of_same_process_rejected():
     plan = FaultPlan().crash("s0", at=0.1)
     with pytest.raises(ConfigurationError):
@@ -41,6 +56,84 @@ def test_duplicate_crash_of_same_process_rejected():
 def test_sequential_rejects_duplicate_names():
     with pytest.raises(ConfigurationError):
         FaultPlan.sequential(["s0", "s1", "s0"], first_at=0.1, spacing=0.1)
+
+
+# ----------------------------------------------------------------------
+# Crash/restart interval validation: per process the lifecycle events
+# must strictly alternate in time, starting with a crash.
+# ----------------------------------------------------------------------
+
+
+def test_restart_of_live_process_rejected():
+    with pytest.raises(ConfigurationError, match="not down"):
+        FaultPlan().restart("s0", at=0.5)
+    # A restart *before* the only crash is equally impossible.
+    plan = FaultPlan().crash("s0", at=0.5)
+    with pytest.raises(ConfigurationError, match="not down"):
+        plan.restart("s0", at=0.2)
+
+
+def test_crash_while_down_rejected_but_crash_after_restart_allowed():
+    plan = FaultPlan().crash("s0", at=0.1).restart("s0", at=0.4)
+    plan.crash("s0", at=0.7)  # up again at 0.7: fine
+    with pytest.raises(ConfigurationError, match="already down"):
+        plan.crash("s0", at=0.9)  # down since 0.7, no restart between
+    plan.restart("s0", at=0.9)
+    assert len(plan.crashes) == 2
+    assert len(plan.restarts) == 2
+
+
+def test_double_restart_rejected():
+    plan = FaultPlan().crash("s0", at=0.1).restart("s0", at=0.4)
+    with pytest.raises(ConfigurationError, match="not down"):
+        plan.restart("s0", at=0.6)
+
+
+def test_simultaneous_lifecycle_events_rejected():
+    plan = FaultPlan().crash("s0", at=0.1)
+    with pytest.raises(ConfigurationError, match="same time"):
+        plan.restart("s0", at=0.1)
+
+
+def test_lifecycle_validation_is_call_order_independent():
+    # Builders may append events out of chronological order; validity is
+    # a property of the times.
+    plan = FaultPlan()
+    plan.crash("s0", at=0.1)
+    plan.crash("s1", at=0.2)  # other processes are independent timelines
+    plan.restart("s0", at=0.8)
+    with pytest.raises(ConfigurationError):
+        plan.crash("s0", at=0.5)  # would land inside s0's down interval
+
+
+def test_restart_applies_and_rearms_the_process():
+    env = SimEnv()
+    process = SimProcess(env, "s0")
+    FaultPlan().crash("s0", at=0.2).restart("s0", at=0.6).apply(
+        env, {"s0": process}
+    )
+    env.run(until=0.4)
+    assert not process.alive
+    env.run_until_idle()
+    assert process.alive
+    assert process.restarts == 1
+    assert env.trace.counters["process.crashes"] == 1
+    assert env.trace.counters["process.restarts"] == 1
+
+
+def test_restart_listeners_fire_per_cycle():
+    env = SimEnv()
+    process = SimProcess(env, "s0")
+    seen = []
+    process.on_restart(lambda p: seen.append(p.restarts))
+    process.restart()  # idempotent on a live process
+    assert seen == []
+    process.crash()
+    process.restart()
+    process.crash()
+    process.restart()
+    assert seen == [1, 2]
+    assert env.trace.counters["process.restarts"] == 2
 
 
 def test_crash_applies_once_per_process():
@@ -153,6 +246,15 @@ def test_fault_kinds_and_horizon():
     # not windows: a crash is permanent, not a stall).
     assert plan.stall_horizon() == pytest.approx(0.9)
     assert plan.events == 7
+
+
+def test_restart_extends_horizon_and_fault_kinds():
+    plan = FaultPlan().crash("s0", at=0.2).restart("s0", at=1.7)
+    assert plan.fault_kinds() == {"crash", "restart"}
+    # A crash..restart pair *is* a fault window: the process is down
+    # until the restart (a permanent crash still is not).
+    assert plan.stall_horizon() == pytest.approx(1.7)
+    assert plan.events == 2
 
 
 def test_overlapping_pause_windows_rejected():

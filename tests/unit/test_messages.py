@@ -12,6 +12,7 @@ from repro.core.messages import (
     ReadAck,
     ReconfigCommit,
     ReconfigToken,
+    RejoinRequest,
     StateSync,
     WriteAck,
     payload_size,
@@ -38,6 +39,10 @@ def _all_messages():
         ReconfigToken(1, 1, 0, (2,), TAG, b"w" * 30,
                       (PendingEntry(Tag(6, 1), b"p" * 20, OP),), ((7, 3),)),
         ReconfigCommit(1, 1, 0, (2,), TAG, b"w" * 30, (), ((7, 3), (8, 0))),
+        ReconfigToken(2, 1, 0, (), TAG, b"", (), (), revived=(3,)),
+        ReconfigCommit(2, 1, 0, (2,), TAG, b"", (), (), revived=(1, 3)),
+        RejoinRequest(3),
+        RejoinRequest(3, generation=4),
     ]
 
 

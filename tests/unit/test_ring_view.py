@@ -78,3 +78,37 @@ def test_is_alive(ring5):
     assert ring.is_alive(0)
     assert not ring.is_alive(3)
     assert not ring.is_alive(42)
+
+
+def test_revived_restores_original_slot():
+    from repro.core.ring import RingView
+
+    ring = RingView.initial(4).without(1).without(2)
+    revived = ring.revived(1)
+    assert revived.is_alive(1)
+    assert revived.dead == {2}
+    # The rejoiner takes back its original slot in the member order.
+    assert revived.successor(0) == 1
+    assert revived.successor(1) == 3
+
+
+def test_revived_is_noop_for_live_server_and_rejects_unknown():
+    import pytest
+
+    from repro.core.ring import RingView
+    from repro.errors import ConfigurationError
+
+    ring = RingView.initial(3).without(2)
+    assert ring.revived(0) is ring
+    with pytest.raises(ConfigurationError):
+        ring.revived(9)
+
+
+def test_revive_all_filters_to_the_dead():
+    from repro.core.ring import RingView
+
+    ring = RingView.initial(4).with_dead((1, 3))
+    assert ring.revive_all(()) is ring
+    assert ring.revive_all((0,)) is ring  # nothing dead in the set
+    grown = ring.revive_all((1, 3, 0))
+    assert grown.dead == frozenset()

@@ -188,3 +188,83 @@ def test_two_crashes_in_quick_succession():
         assert server.ring.dead == {2, 3}
         assert not server.paused
         assert server.value == b"v"
+
+
+# ----------------------------------------------------------------------
+# Crash recovery: the rejoin handshake at the protocol level.
+# ----------------------------------------------------------------------
+
+
+def test_rejoin_handshake_folds_restarted_server_back_in():
+    from repro.core.server import ServerProtocol
+
+    h = CrashableHarness(4)
+    h.client_write(0, b"v1", client=70)
+    h.pump_until_quiet()
+    snapshot = h.server(2).snapshot()  # what the durable store held
+    h.crash(2)
+    h.pump_until_quiet()
+    h.client_write(0, b"v2", client=71)  # committed while s2 is down
+    h.pump_until_quiet()
+
+    # "Restart": a fresh protocol restored from the snapshot.
+    restored = ServerProtocol.restore(2, (0, 1, 2, 3), snapshot)
+    assert restored.rejoining and restored.paused
+    assert restored.value == b"v1"  # pre-crash state only
+    h.servers[2] = restored
+    h.dead.discard(2)
+
+    # The announcement reaches a sponsor; the revived-marked
+    # reconfiguration circulates the grown ring and resumes the
+    # rejoiner with the merged state.
+    restored.queue_rejoin_announce(0)
+    sponsor, announce = restored.next_rejoin_announce()
+    assert sponsor == 0
+    h.replies.extend(h.server(0).on_ring_message(announce))
+    h.pump_until_quiet()
+
+    assert not restored.rejoining and not restored.paused
+    assert restored.value == b"v2", "caught up before serving"
+    for server in h.alive_servers():
+        assert server.ring.is_alive(2)
+    assert h.server(0).stats_rejoins_sponsored == 1
+
+    # A duplicate (retried) announcement after the fold-in is dropped.
+    h.replies.extend(h.server(1).on_ring_message(announce))
+    h.pump_until_quiet()
+    assert h.server(1).stats_rejoins_sponsored == 0
+
+    # The rejoined server participates fully: a write through it
+    # circulates the grown ring and commits everywhere.
+    op = h.client_write(2, b"v3", client=72)
+    h.pump_until_quiet()
+    assert len(h.acks_for(op)) == 1
+    for server in h.alive_servers():
+        assert server.value == b"v3"
+        assert not server.pending
+
+
+def test_rejoin_request_to_paused_sponsor_is_deferred():
+    from repro.core.messages import RejoinRequest
+    from repro.core.server import ServerProtocol
+
+    h = CrashableHarness(5)
+    h.client_write(0, b"v1", client=80)
+    h.pump_until_quiet()
+    snapshot = h.server(3).snapshot()
+    h.crash(3)
+    # Deliver the crash notifications but do NOT let the merge finish:
+    # the sponsor is mid-reconfiguration (paused) when the announcement
+    # lands.
+    sponsor = h.server(2)  # predecessor of 3: the coordinator
+    assert sponsor.paused
+    restored = ServerProtocol.restore(3, (0, 1, 2, 3, 4), snapshot)
+    h.servers[3] = restored
+    h.dead.discard(3)
+    h.replies.extend(sponsor.on_ring_message(RejoinRequest(3)))
+    assert sponsor.ring.is_alive(3) is False, "deferred, not spliced yet"
+    h.pump_until_quiet()
+    # After its own reconfiguration resumed it, the sponsor processed
+    # the deferred request and folded the rejoiner back in.
+    assert not restored.rejoining
+    assert all(s.ring.is_alive(3) for s in h.alive_servers())
