@@ -72,7 +72,7 @@ class BaselineServerHost(HostBase):
             return
         self._post(self.proto.on_server_message(src, message))
 
-    def receive_ring(self, message) -> None:  # pragma: no cover - unused
+    def receive_ring(self, message, sender=None) -> None:  # pragma: no cover - unused
         raise NotImplementedError("baseline hosts use receive_server")
 
     def notify_crash(self, crashed_id: int) -> None:

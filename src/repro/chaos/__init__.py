@@ -25,6 +25,8 @@ from repro.chaos.schedule import (
     CORE_PROFILE,
     FAULT_KINDS,
     GENTLE_PROFILE,
+    PARTITION_PROFILE,
+    PROFILES,
     ChaosProfile,
     ChaosSchedule,
     generate_schedule,
@@ -34,6 +36,8 @@ __all__ = [
     "CORE_PROFILE",
     "FAULT_KINDS",
     "GENTLE_PROFILE",
+    "PARTITION_PROFILE",
+    "PROFILES",
     "ChaosProfile",
     "ChaosResult",
     "ChaosSchedule",

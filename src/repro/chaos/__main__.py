@@ -8,6 +8,13 @@ Examples::
         fault type (crash, restart, partition, drop, delay, duplicate)
         demonstrably fired at least once across the batch.
 
+    python -m repro.chaos --profile partition --runs 25 --seed 0
+        The partition-heavy batch: every schedule cuts the cluster under
+        the *imperfect* heartbeat detector (epoch-guarded, quorum-
+        installed views).  The gate additionally requires in-trace proof
+        that at least one run wrongly suspected a live server
+        (``fd.wrong_suspicions``) and still checked linearizable.
+
     python -m repro.chaos --runs 5 --seed 3 --protocols core,abd,tob
         Smaller batch against several protocols (baselines get the
         gentle, loss-free profile they are expected to survive).
@@ -20,22 +27,30 @@ from __future__ import annotations
 
 import argparse
 import sys
+from typing import Optional
 
 from repro.chaos.runner import TARGETS, ChaosResult, run_schedule
-from repro.chaos.schedule import FAULT_KINDS, generate_schedule
+from repro.chaos.schedule import FAULT_KINDS, PROFILES, ChaosProfile, generate_schedule
 
 #: Fault types the acceptance gate requires to have demonstrably fired
 #: (throttle/pause are reported but not required: they are refinements).
 #: ``restart`` is required: every core batch must prove — via the
 #: ``process.restarts`` trace counter — that at least one crashed server
-#: came back from its durable snapshot and rejoined mid-run.
+#: came back from its durable snapshot and rejoined mid-run.  A profile
+#: may override this set (``ChaosProfile.required_kinds``).
 REQUIRED_KINDS = ("crash", "restart", "partition", "drop", "delay", "duplicate")
 
 
 def run_batch(
-    protocol: str, runs: int, seed: int, num_servers: int, verbose: bool = True
+    protocol: str,
+    runs: int,
+    seed: int,
+    num_servers: int,
+    verbose: bool = True,
+    profile: Optional[ChaosProfile] = None,
 ) -> list[ChaosResult]:
-    profile = TARGETS[protocol].profile
+    if profile is None:
+        profile = TARGETS[protocol].profile
     results = []
     for index in range(runs):
         schedule = generate_schedule(seed, index, num_servers, profile)
@@ -60,6 +75,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--protocols", default="core",
                         help="comma-separated targets, or 'all' "
                              f"(choices: {','.join(TARGETS)})")
+    parser.add_argument("--profile", default=None,
+                        help="generation profile override for the core "
+                             f"protocol (choices: {','.join(PROFILES)}); "
+                             "'partition' runs the imperfect heartbeat "
+                             "detector with epoch-guarded views")
     parser.add_argument("--smoke", action="store_true",
                         help="fixed quick pass over the whole zoo (CI)")
     parser.add_argument("-q", "--quiet", action="store_true")
@@ -69,6 +89,16 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(f"--runs must be >= 1, got {args.runs}")
     if args.servers < 1:
         parser.error(f"--servers must be >= 1, got {args.servers}")
+    profile = None
+    if args.profile is not None:
+        if args.profile not in PROFILES:
+            parser.error(f"unknown profile {args.profile!r}; "
+                         f"choices: {','.join(PROFILES)}")
+        profile = PROFILES[args.profile]
+        if args.smoke:
+            parser.error("--smoke runs fixed profiles; drop --profile")
+        if args.protocols != "core":
+            parser.error("--profile only applies to the core protocol")
     if args.smoke:
         batches = [("core", 12), ("abd", 2), ("chain", 2), ("tob", 2), ("naive", 2)]
     else:
@@ -82,13 +112,17 @@ def main(argv: list[str] | None = None) -> int:
     anomalies = 0
     retransmits = 0
     dups_suppressed = 0
+    wrong_suspicions = 0
     exercised: set[str] = set()
     core_exercised: set[str] = set()
     for protocol, runs in batches:
+        batch_profile = profile if protocol == "core" else None
+        profile_name = (batch_profile or TARGETS[protocol].profile).name
         if not args.quiet:
-            print(f"== {protocol}: {runs} randomized schedules (seed {args.seed}) ==")
+            print(f"== {protocol}: {runs} randomized {profile_name!r} schedules "
+                  f"(seed {args.seed}) ==")
         results = run_batch(protocol, runs, args.seed, args.servers,
-                            verbose=not args.quiet)
+                            verbose=not args.quiet, profile=batch_profile)
         passed = sum(1 for result in results if result.ok)
         failures += sum(1 for result in results if not result.ok)
         anomalies += sum(1 for result in results if result.anomaly)
@@ -96,6 +130,7 @@ def main(argv: list[str] | None = None) -> int:
             exercised |= result.exercised
             retransmits += result.retransmits
             dups_suppressed += result.dups_suppressed
+            wrong_suspicions += result.wrong_suspicions
             if protocol == "core":
                 core_exercised |= result.exercised
         print(f"  {protocol}: {passed}/{len(results)} schedules passed "
@@ -108,18 +143,28 @@ def main(argv: list[str] | None = None) -> int:
     if anomalies:
         print(f"expected anomalies observed (naive baseline): {anomalies}")
 
+    core_profile_obj = profile if profile is not None else TARGETS["core"].profile
+    if core_profile_obj.fd == "heartbeat":
+        print(f"imperfect detector: {wrong_suspicions} wrong suspicion(s) "
+              "of live servers, all runs gated through the checker")
+
     code = 0
     if failures:
         print(f"FAIL: {failures} run(s) failed the gate "
               "(linearizability violation or stalled workload)")
         code = 1
     gate = core_exercised if core_exercised else exercised
-    missing = [kind for kind in REQUIRED_KINDS if kind not in gate]
+    required = core_profile_obj.required_kinds or REQUIRED_KINDS
+    missing = [kind for kind in required if kind not in gate]
     core_runs = sum(runs for protocol, runs in batches if protocol == "core")
     # Coverage is a statistical property; only gate on it when the core
     # batch is large enough that every required kind should have fired.
     if missing and core_runs >= 10:
         print(f"FAIL: fault coverage incomplete, never fired: {', '.join(missing)}")
+        code = 1
+    if core_profile_obj.fd == "heartbeat" and core_runs >= 10 and not wrong_suspicions:
+        print("FAIL: no run wrongly suspected a live server — the batch "
+              "never exercised the imperfect detector's defining hazard")
         code = 1
     if code == 0:
         print("chaos: all gates green")

@@ -30,6 +30,8 @@ from repro.baselines import (
 from repro.chaos.schedule import (
     CORE_PROFILE,
     GENTLE_PROFILE,
+    PARTITION_PROFILE,
+    PROFILES,
     ChaosProfile,
     ChaosSchedule,
 )
@@ -98,6 +100,12 @@ class ChaosResult:
     #: kept the run inside the protocol's reliable-FIFO model.
     retransmits: int = 0
     dups_suppressed: int = 0
+    #: Imperfect-detector activity (fd="heartbeat" profiles): suspicions
+    #: raised against servers that were actually alive — the in-trace
+    #: proof that a run exercised wrong suspicion — and data frames the
+    #: epoch guard rejected as stale.
+    wrong_suspicions: int = 0
+    stale_epoch_drops: int = 0
     wall_seconds: float = 0.0
 
     @property
@@ -128,12 +136,17 @@ class ChaosResult:
         else:
             verdict = f"VIOLATION: {self.reason}"
         kinds = ",".join(sorted(self.exercised)) or "none"
+        imperfect = (
+            f"wrongsusp={self.wrong_suspicions} stale={self.stale_epoch_drops} "
+            if self.wrong_suspicions or self.stale_epoch_drops
+            else ""
+        )
         return (
             f"{self.protocol:<5} {self.schedule.describe()} "
             f"done={self.ops_completed} open={self.ops_open} "
             f"failed={self.ops_failed} hit={kinds} "
-            f"rtx={self.retransmits} dup={self.dups_suppressed} -> {verdict} "
-            f"({self.wall_seconds:.2f}s)"
+            f"rtx={self.retransmits} dup={self.dups_suppressed} {imperfect}"
+            f"-> {verdict} ({self.wall_seconds:.2f}s)"
         )
 
 
@@ -150,11 +163,18 @@ def run_schedule(schedule: ChaosSchedule, protocol: str = "core") -> ChaosResult
             f"schedules, got a {schedule.profile!r} one (crashes and message "
             "loss are outside the failure-free baselines' model)"
         )
+    profile = PROFILES.get(schedule.profile, target.profile)
+    builder_kwargs = {}
+    if profile.fd != "perfect":
+        # Heartbeat schedules run the imperfect detector (and therefore
+        # epoch-guarded quorum-installed views) in the cluster.
+        builder_kwargs["fd"] = profile.fd
     started = time.perf_counter()
     cluster = target.builder(
         schedule.num_servers,
         seed=schedule.cluster_seed,
         protocol=schedule.config,
+        **builder_kwargs,
     )
     cluster.history = History()
 
@@ -229,5 +249,7 @@ def run_schedule(schedule: ChaosSchedule, protocol: str = "core") -> ChaosResult
         exercised=exercised,
         retransmits=counters.get("reliable.retransmits", 0),
         dups_suppressed=counters.get("reliable.dups_suppressed", 0),
+        wrong_suspicions=counters.get("fd.wrong_suspicions", 0),
+        stale_epoch_drops=counters.get("epoch.stale_dropped", 0),
         wall_seconds=time.perf_counter() - started,
     )

@@ -73,6 +73,19 @@ class ChaosProfile:
     p_throttle: float = 0.0
     p_pause: float = 0.0
     retries: bool = True
+    #: Failure detector the cluster runs under this profile: "perfect"
+    #: (the oracle the paper assumes) or "heartbeat" (the imperfect
+    #: detector + epoch-guarded quorum-installed views).
+    fd: str = "perfect"
+    #: Partition-heavy generation: guaranteed partition windows (hold
+    #: *and* drop modes), long enough for the heartbeat detector to
+    #: wrongly suspect a partitioned-but-alive server, with at most one
+    #: *permanent* crash so the surviving side always keeps an ack
+    #: quorum of the current view and the run stays live.
+    partition_heavy: bool = False
+    #: Fault kinds the batch gate requires to have demonstrably fired
+    #: (empty means the harness-wide default applies).
+    required_kinds: tuple[str, ...] = ()
 
 
 CORE_PROFILE = ChaosProfile(
@@ -101,6 +114,44 @@ GENTLE_PROFILE = ChaosProfile(
     p_pause=0.5,
     retries=False,
 )
+
+#: Partition-tolerant reconfiguration under the *imperfect* detector.
+#: Every schedule cuts the cluster at least once (hold and drop modes
+#: both drawn), long enough past the heartbeat timeout that a
+#: partitioned-but-alive server is wrongly suspected, excluded by a
+#: quorum-installed epoch, and folded back after the heal — combined
+#: with crashes, restarts, link loss/delay/duplication, throttles and
+#: pauses.  Every crash restarts: under quorum-installed views a member
+#: lost *permanently* from an already-shrunken view (say, the ring
+#: wrongly excluded two partitioned peers and then one of the two
+#: survivors died for good) is an unrecoverable configuration in any
+#: majority-based reconfigurable system — the epoch guard makes such a
+#: side stall rather than fork, so a schedule that durably destroys the
+#: last quorum would fail the liveness gate by design, not by bug.
+#: Permanent crashes stay covered by the perfect-detector core profile.
+PARTITION_PROFILE = ChaosProfile(
+    name="partition",
+    fd="heartbeat",
+    partition_heavy=True,
+    crash_weights=(0, 1, 1, 2),
+    p_restart=1.0,
+    p_partition=1.0,
+    p_ring_loss=0.45,
+    p_client_loss=0.5,
+    p_duplicate=0.5,
+    p_delay=0.6,
+    p_throttle=0.4,
+    p_pause=0.4,
+    retries=True,
+    required_kinds=("crash", "restart", "partition", "drop", "delay", "duplicate"),
+)
+
+#: Generation profiles by name (the runner maps a schedule's profile
+#: string back to its definition, e.g. to pick the failure detector).
+PROFILES: dict[str, ChaosProfile] = {
+    profile.name: profile
+    for profile in (CORE_PROFILE, GENTLE_PROFILE, PARTITION_PROFILE)
+}
 
 #: Last instant any fault window may still be open.
 FAULT_WINDOW_END = 1.0
@@ -168,25 +219,67 @@ def generate_schedule(
 
     plan = FaultPlan()
     num_crashes = min(rng.choice(profile.crash_weights), num_servers - 1)
-    for victim in rng.sample(servers, num_crashes):
-        plan.crash(victim, at=round(rng.uniform(0.05, 1.4), 4))
-    # Crash recovery: each crashed server may come back and rejoin.  The
-    # gap past the crash leaves room for the detection delay and the
-    # crash reconfiguration to finish, so the rejoin exercises the
-    # steady-state recovery path (restart-into-a-reconfiguration is
-    # covered separately by scheduling two crashes close together).
-    for crash in list(plan.crashes):
-        if rng.random() < profile.p_restart:
-            plan.restart(
-                crash.process_name, at=round(crash.time + rng.uniform(0.5, 1.1), 4)
-            )
+    if profile.partition_heavy:
+        # The heartbeat detector takes timeout + grace + a merge round
+        # to install an exclusion, so recovery leaves a wider gap; and
+        # only the first crash may be permanent under the quorum
+        # discipline — a second never-restarted crash plus a partition
+        # could durably destroy every ack quorum and stall the run by
+        # design (wrong suspicion costs liveness, never safety).
+        for ordinal, victim in enumerate(rng.sample(servers, num_crashes)):
+            at = round(rng.uniform(0.05, 1.4), 4)
+            plan.crash(victim, at=at)
+            if ordinal > 0 or rng.random() < profile.p_restart:
+                plan.restart(victim, at=round(at + rng.uniform(1.0, 1.6), 4))
+    else:
+        for victim in rng.sample(servers, num_crashes):
+            plan.crash(victim, at=round(rng.uniform(0.05, 1.4), 4))
+        # Crash recovery: each crashed server may come back and rejoin.
+        # The gap past the crash leaves room for the detection delay and
+        # the crash reconfiguration to finish, so the rejoin exercises
+        # the steady-state recovery path (restart-into-a-reconfiguration
+        # is covered separately by scheduling two crashes close together).
+        for crash in list(plan.crashes):
+            if rng.random() < profile.p_restart:
+                plan.restart(
+                    crash.process_name,
+                    at=round(crash.time + rng.uniform(0.5, 1.1), 4),
+                )
 
     def window(max_len: float) -> tuple[float, float]:
         start = rng.uniform(0.05, FAULT_WINDOW_END - 0.05)
         end = min(FAULT_WINDOW_END, start + rng.uniform(0.02, max_len))
         return round(start, 4), round(end, 4)
 
-    if num_servers >= 2 and rng.random() < profile.p_partition:
+    def split_groups() -> list[list[str]]:
+        if rng.random() < 0.7 or len(clients) == 0:
+            # Ring partition: the servers split into two non-empty sides.
+            cut = rng.randint(1, num_servers - 1)
+            shuffled = rng.sample(servers, num_servers)
+            return [shuffled[:cut], shuffled[cut:]]
+        # Client-side partition: some servers unreachable by clients.
+        cut = rng.randint(1, num_servers - 1)
+        return [rng.sample(servers, cut), clients]
+
+    if profile.partition_heavy and num_servers >= 2:
+        # Guaranteed partition windows, sized past the heartbeat timeout
+        # so suspicion demonstrably fires while the cut holds; hold and
+        # drop modes both occur.  A possible second window starts after
+        # the first heals (the validator rejects same-link overlap).
+        at = round(rng.uniform(0.1, 0.5), 4)
+        heal_at = round(at + rng.uniform(0.3, 0.6), 4)
+        plan.partition(
+            split_groups(), at=at, heal_at=heal_at,
+            mode="hold" if rng.random() < 0.5 else "drop",
+        )
+        if rng.random() < 0.4:
+            at2 = round(heal_at + rng.uniform(0.15, 0.35), 4)
+            heal2 = round(at2 + rng.uniform(0.25, 0.45), 4)
+            plan.partition(
+                split_groups(), at=at2, heal_at=heal2,
+                mode="hold" if rng.random() < 0.5 else "drop",
+            )
+    elif num_servers >= 2 and rng.random() < profile.p_partition:
         at, heal_at = window(0.3)
         if rng.random() < 0.5:
             # Ring partition: split the servers into two non-empty groups.
@@ -275,6 +368,12 @@ def generate_schedule(
     last_crash = max((crash.time for crash in plan.crashes), default=0.0)
     span = max(horizon, last_crash) + 0.3
     deadline = span + SETTLE_TIME
+    if profile.fd == "heartbeat":
+        # Detection is no longer an oracle: every exclusion costs a
+        # heartbeat timeout plus the propose grace, and a wrongly
+        # suspected server re-enters through a sponsored merge after the
+        # heal — give stragglers room to finish behind that churn.
+        deadline += 1.5
 
     return ChaosSchedule(
         seed=seed,

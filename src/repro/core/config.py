@@ -44,6 +44,17 @@ class ProtocolConfig:
     client_max_retries:
         Retries before the client raises
         :class:`~repro.errors.StorageUnavailableError`.
+    view_quorum:
+        Epoch-guarded, quorum-installed ring views — the operating mode
+        for clusters running the *imperfect* (heartbeat) failure
+        detector.  Suspicions no longer splice the view directly:
+        membership changes only through a reconfiguration commit whose
+        token traversed (and was therefore acked by) a majority of the
+        previous view's alive members, data traffic is rejected across
+        epochs, and a wrongly suspected server pauses instead of serving
+        possibly-stale reads.  Runtimes enable this automatically when
+        built with ``fd="heartbeat"``; with the perfect detector the
+        flag stays off and suspicion remains a crash certificate.
     """
 
     piggyback_commits: bool = True
@@ -51,6 +62,7 @@ class ProtocolConfig:
     fair_forwarding: bool = True
     client_timeout: float = 5.0
     client_max_retries: int = 16
+    view_quorum: bool = False
 
     def validate(self) -> "ProtocolConfig":
         """Raise :class:`ConfigurationError` on nonsensical settings."""

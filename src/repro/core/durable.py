@@ -63,6 +63,11 @@ class ServerSnapshot:
     completed_ops: tuple[tuple[int, int], ...]   # client -> max committed seq
     pending: tuple[PendingEntry, ...]
     reconfig_counter: int = 0
+    #: Installed view epoch.  Persisted so a restarted server rejoins
+    #: claiming the epoch it actually had — the epoch guard then rejects
+    #: any stale traffic of its previous incarnation, and its sponsor's
+    #: fold-in token (strictly higher epoch) is the only way back in.
+    epoch: int = 0
 
     def to_json(self) -> str:
         """Serialise to a JSON document (the file backend's format)."""
@@ -86,6 +91,7 @@ class ServerSnapshot:
                     for entry in self.pending
                 ],
                 "reconfig_counter": self.reconfig_counter,
+                "epoch": self.epoch,
             }
         )
 
@@ -116,6 +122,7 @@ class ServerSnapshot:
                     for entry in data["pending"]
                 ),
                 reconfig_counter=data.get("reconfig_counter", 0),
+                epoch=data.get("epoch", 0),
             )
         except ProtocolError:
             raise

@@ -105,13 +105,18 @@ class PreWrite:
 
     ``origin`` is the initiating server's id (== ``tag.server_id`` for
     normal writes).  ``op`` identifies the client operation so that every
-    server can deduplicate retried client writes.
+    server can deduplicate retried client writes.  ``epoch`` stamps the
+    sender's installed ring view; under the imperfect failure detector a
+    receiver rejects traffic from any other epoch, which is what stops a
+    wrongly-suspected-but-alive server's stale writes from re-entering
+    the ring after a partition heals.
     """
 
     tag: Tag
     value: bytes
     op: OpId
     commits: tuple[Tag, ...] = ()
+    epoch: int = 0
 
     @property
     def origin(self) -> int:
@@ -124,21 +129,25 @@ class Commit:
 
     A standalone ``Commit`` is sent when commit tags are queued but no
     other ring message is about to leave; otherwise the tags ride in the
-    ``commits`` field of another message.
+    ``commits`` field of another message.  ``epoch`` stamps the sender's
+    installed view (see :class:`PreWrite`).
     """
 
     commits: tuple[Tag, ...]
+    epoch: int = 0
 
 
 @dataclass(frozen=True)
 class StateSync:
     """Predecessor pushes its full register state to a new successor
     after splicing the ring around a crashed server (pseudocode line 88).
+    ``epoch`` stamps the sender's installed view (see :class:`PreWrite`).
     """
 
     tag: Tag
     value: bytes
     commits: tuple[Tag, ...] = ()
+    epoch: int = 0
 
 
 @dataclass(frozen=True)
@@ -203,15 +212,55 @@ class RejoinRequest:
     ``generation`` is the rejoiner's restart count — informational (it
     lets traces distinguish announcements across repeated restarts); the
     request itself is idempotent and retried until the rejoiner is
-    resumed by a reconfiguration commit.
+    resumed by a reconfiguration commit.  ``epoch`` stamps the last view
+    the rejoiner had installed: the sponsor's fold-in token necessarily
+    carries a higher epoch, and a request claiming an epoch *above* the
+    sponsor's own is dropped (a confused rejoiner cannot drag the ring
+    backwards).
     """
 
     server_id: int
     generation: int = 0
+    epoch: int = 0
+
+
+@dataclass(frozen=True)
+class StaleEpochNotice:
+    """Tells a stale sender that the ring has moved on without it.
+
+    Sent outside the ring order by a server that rejected epoch-stale
+    traffic (or an epoch-stale reconfiguration attempt).  ``epoch`` is
+    the *sender's* installed epoch; a receiver whose own epoch is lower
+    knows it was excluded from a view it never saw — it must stop
+    serving and rejoin through a sponsor, exactly like a restarted
+    server.  The notice is advisory: losing it only delays the rejoin
+    (the excluded server's own stalled traffic re-triggers it).
+    """
+
+    epoch: int
+    sender: int
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """Liveness beacon for the imperfect failure detector.
+
+    Exchanged between every pair of servers outside the ring order and
+    outside the reliable session layer — a retransmitted heartbeat would
+    defeat its purpose as a freshness signal.
+    """
+
+    server_id: int
 
 
 RingMessage = Union[
-    PreWrite, Commit, StateSync, ReconfigToken, ReconfigCommit, RejoinRequest
+    PreWrite,
+    Commit,
+    StateSync,
+    ReconfigToken,
+    ReconfigCommit,
+    RejoinRequest,
+    StaleEpochNotice,
 ]
 ClientMessage = Union[ClientWrite, ClientRead]
 ServerReply = Union[WriteAck, ReadAck]
@@ -238,16 +287,18 @@ def payload_size(message: Message) -> int:
             BASE_WIRE_BYTES
             + TAG_WIRE_BYTES
             + OP_ID_WIRE_BYTES
+            + 8  # epoch stamp
             + 4  # piggybacked-commit count
             + len(message.value)
             + TAG_WIRE_BYTES * len(message.commits)
         )
     if isinstance(message, Commit):
-        return BASE_WIRE_BYTES + TAG_WIRE_BYTES * len(message.commits)
+        return BASE_WIRE_BYTES + 8 + TAG_WIRE_BYTES * len(message.commits)
     if isinstance(message, StateSync):
         return (
             BASE_WIRE_BYTES
             + TAG_WIRE_BYTES
+            + 8  # epoch stamp
             + 4  # piggybacked-commit count
             + len(message.value)
             + TAG_WIRE_BYTES * len(message.commits)
@@ -275,5 +326,9 @@ def payload_size(message: Message) -> int:
             + OP_ID_WIRE_BYTES * len(message.completed_ops)
         )
     if isinstance(message, RejoinRequest):
-        return BASE_WIRE_BYTES + 4 + 4  # server id + generation
+        return BASE_WIRE_BYTES + 4 + 4 + 8  # server id + generation + epoch
+    if isinstance(message, StaleEpochNotice):
+        return BASE_WIRE_BYTES + 8 + 4  # epoch + sender id
+    if isinstance(message, Heartbeat):
+        return BASE_WIRE_BYTES + 4  # server id
     raise TypeError(f"unknown message type: {type(message).__name__}")

@@ -12,6 +12,16 @@ reconfiguration.  Because "closest alive predecessor" is computed from the
 monotonically growing dead set, adoptership can only transfer *towards*
 the crash detector and two alive servers never simultaneously consider
 themselves adopters of the same dead server.
+
+Every view additionally carries an **epoch**: a monotonically increasing
+counter that totally orders the views one server moves through.  Each
+membership change — shrinking *or* growing — produces a strictly larger
+epoch, so unlike the historic ``len(dead)`` rule the epoch never repeats
+once crash recovery re-grows the ring.  Under the imperfect failure
+detector the epoch is the safety anchor: reconfiguration tokens and
+commits are epoch-stamped, data traffic is rejected across epochs, and a
+view transition is installed only by a commit whose token gathered an
+ack quorum of the previous view (see :mod:`repro.core.server`).
 """
 
 from __future__ import annotations
@@ -23,10 +33,19 @@ from repro.errors import ConfigurationError
 
 @dataclass(frozen=True)
 class RingView:
-    """Immutable ring membership snapshot."""
+    """Immutable ring membership snapshot.
+
+    ``epoch`` defaults to ``len(dead)`` when not given, which preserves
+    the historic value for directly-constructed views; views derived
+    through :meth:`without`, :meth:`with_dead`, :meth:`revived` and
+    :meth:`revive_all` instead *increment* the parent's epoch, so epochs
+    stay strictly monotone along any one server's view history even when
+    recovery re-grows the ring.
+    """
 
     members: tuple[int, ...]
     dead: frozenset[int] = field(default_factory=frozenset)
+    epoch: int = -1
 
     @staticmethod
     def initial(num_servers: int) -> "RingView":
@@ -43,6 +62,8 @@ class RingView:
             raise ConfigurationError(f"dead ids not in ring: {sorted(unknown)}")
         if not self.alive():
             raise ConfigurationError("a ring view must contain at least one alive server")
+        if self.epoch < 0:
+            object.__setattr__(self, "epoch", len(self.dead))
 
     def alive(self) -> list[int]:
         """Alive members in initial ring order."""
@@ -53,9 +74,15 @@ class RingView:
         return len(self.members) - len(self.dead)
 
     @property
-    def epoch(self) -> int:
-        """Views are totally ordered by the number of known crashes."""
-        return len(self.dead)
+    def quorum(self) -> int:
+        """Majority of this view's alive members.
+
+        Installing a successor view requires acks from at least this
+        many members of *this* view; two disjoint alive sets cannot both
+        reach it, which is what keeps a partitioned minority from
+        installing a competing view (see docs/reconfiguration.md).
+        """
+        return self.num_alive // 2 + 1
 
     def is_alive(self, server_id: int) -> bool:
         return server_id in set(self.members) and server_id not in self.dead
@@ -80,11 +107,27 @@ class RingView:
         """A new view with ``dead_id`` marked crashed."""
         if dead_id not in set(self.members):
             raise ConfigurationError(f"unknown server {dead_id}")
-        return RingView(self.members, self.dead | {dead_id})
+        return RingView(self.members, self.dead | {dead_id}, self.epoch + 1)
 
     def with_dead(self, dead_ids) -> "RingView":
         """A new view with every id in ``dead_ids`` marked crashed."""
-        return RingView(self.members, self.dead | frozenset(dead_ids))
+        dead = self.dead | frozenset(dead_ids)
+        if dead == self.dead:
+            return self
+        return RingView(self.members, dead, self.epoch + 1)
+
+    def at_epoch(self, epoch: int, dead=None) -> "RingView":
+        """The same membership at an explicitly installed ``epoch``.
+
+        Used when adopting a reconfiguration commit wholesale: the
+        commit's dead set *replaces* the local one (a stale receiver's
+        private suspicions must not survive adoption) and the commit's
+        epoch becomes the view's.
+        """
+        new_dead = self.dead if dead is None else frozenset(dead)
+        if new_dead == self.dead and epoch == self.epoch:
+            return self
+        return RingView(self.members, new_dead, epoch)
 
     def revived(self, server_id: int) -> "RingView":
         """A new view with ``server_id`` alive again (crash recovery).
@@ -93,23 +136,22 @@ class RingView:
         order, so the splice rule keeps working unchanged.  Reviving a
         server that is not dead is a no-op — rejoin announcements are
         retried and may race the reconfiguration that already folded the
-        server back in.  Note the dead set is no longer monotone once a
-        cluster uses recovery, so :attr:`epoch` (``len(dead)``) can
-        repeat across views; the reconfiguration machinery orders
-        attempts by ``(coordinator, nonce)``, not by epoch.
+        server back in.  Reviving *bumps* the epoch like any other
+        membership change, so epochs never repeat across views even
+        though the dead set is no longer monotone under recovery.
         """
         if server_id not in set(self.members):
             raise ConfigurationError(f"unknown server {server_id}")
         if server_id not in self.dead:
             return self
-        return RingView(self.members, self.dead - {server_id})
+        return RingView(self.members, self.dead - {server_id}, self.epoch + 1)
 
     def revive_all(self, server_ids) -> "RingView":
         """A new view with every id in ``server_ids`` alive again."""
         revivals = frozenset(server_ids) & self.dead
         if not revivals:
             return self
-        return RingView(self.members, self.dead - revivals)
+        return RingView(self.members, self.dead - revivals, self.epoch + 1)
 
     def _walk(self, start: int, step: int) -> int:
         if start not in set(self.members):

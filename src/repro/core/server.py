@@ -48,6 +48,28 @@ optimisations; see DESIGN.md section 5):
   additionally resolves writes whose origin crashed — otherwise a read
   could block forever on an orphaned pre-write — and redistributes values
   for pre-writes that died mid-ring.
+* **Epoch-guarded, quorum-installed views (imperfect detector).**  With
+  ``config.view_quorum`` (the operating mode behind the runtimes'
+  ``fd="heartbeat"`` option) the perfect-detector shortcut above is
+  replaced: suspicion (:meth:`on_suspect`) may be *wrong*, so it never
+  splices the view — it pauses the server and, after a grace delay, the
+  runtime asks for a proposal (:meth:`propose_reconfig`).  A proposal
+  launches only when the surviving members of the installed view form a
+  majority of it; its token is admitted only over exactly that view
+  (``epoch == installed + 1``), at most one proposal per view wins the
+  per-view promise (lowest coordinator id; a forwarded competitor
+  abandons one's own attempt), and the commit installs the new view
+  wholesale with a strictly larger epoch.  Data traffic across epochs
+  is rejected, wrongly excluded servers are fenced with
+  :class:`StaleEpochNotice` and fold back in as rejoiners via the
+  revived merge.  Full design rationale: docs/reconfiguration.md.
+* **At-most-one commit per client write.**  Aggressive retries can get
+  one operation initiated under two tags at two servers concurrently
+  (partition-heal bursts make this common); each server endorses at
+  most one tag per operation (lowest wins, deterministically), an
+  origin only commits a returning pre-write it still endorses, and the
+  reconfiguration merge keeps one entry per operation — so one write
+  can never acquire two write points.
 * **Client-operation deduplication.**  Pre-writes carry the client
   operation id; servers remember the highest completed sequence number
   per client (merged during reconfiguration), so a client retrying a
@@ -111,6 +133,7 @@ from repro.core.messages import (
     ReconfigToken,
     RejoinRequest,
     RingMessage,
+    StaleEpochNotice,
     StateSync,
     WriteAck,
 )
@@ -212,6 +235,48 @@ class ServerProtocol:
         self._rejoin_sponsor: Optional[int] = None
         self._deferred_rejoins: deque[RejoinRequest] = deque()
 
+        # Epoch-guarded view state (imperfect-detector mode, enabled by
+        # ``config.view_quorum``).  ``installed_epoch`` is the epoch of
+        # the last *committed* view — the reference every guard compares
+        # against (``self.ring`` may run ahead tentatively while a
+        # reconfiguration token circulates).  ``suspected`` mirrors the
+        # runtime's heartbeat tracker; suspicion pauses the server but
+        # never mutates the view directly — only a quorum-installed
+        # commit does.  ``view_log`` records every install for the
+        # epoch-agreement property tests.
+        self.installed_epoch = ring.epoch
+        #: The last *committed* view.  ``self.ring`` may run ahead
+        #: tentatively while a reconfiguration token circulates (routing
+        #: follows the proposal); quorum and base-epoch checks always
+        #: anchor here.
+        self.installed_view = ring
+        self.suspected: set[int] = set()
+        self._suspicion_paused = False
+        #: One forwarded token per installed view: (base epoch,
+        #: coordinator, nonce).  Competing proposals for the same base
+        #: are refused unless they outrank the promise (lower
+        #: coordinator id, or a fresh retry by the same coordinator), so
+        #: two interleaved tokens can never both complete their circle
+        #: and install divergent views at the same epoch.
+        self._promise: Optional[tuple[int, int, int]] = None
+        #: Nonce of this server's own in-flight proposal, if any.
+        self._attempt_nonce: Optional[int] = None
+        #: Rejoiners that announced themselves (rid -> claimed epoch).
+        #: A rejoiner that is alive in the installed view but stale —
+        #: restarted before its exclusion installed, or demoted by the
+        #: epoch guard — must ride the next proposal as ``revived`` so
+        #: the base check lets it merge and catch up; cleared at every
+        #: install (still-stale members re-announce).
+        self._announced_rejoiners: dict[int, int] = {}
+        #: Set by handlers when the runtime should (re-)evaluate the
+        #: view proposal after the detector's grace delay.
+        self.reconcile_due = False
+        #: Directed out-of-ring-order messages (StaleEpochNotice), pulled
+        #: by the runtime ahead of ring traffic.
+        self.outbox: deque[tuple[int, RingMessage]] = deque()
+        self._stale_notified: dict[int, int] = {}  # peer -> epoch notified at
+        self.view_log: list[tuple[int, int, int]] = []  # (epoch, coordinator, nonce)
+
         self._replies: list[Reply] = []
 
         # Statistics (read by the benchmark harness and tests).
@@ -225,6 +290,10 @@ class ServerProtocol:
         self.stats_reconfigs = 0
         self.stats_commit_unknown_tag = 0
         self.stats_rejoins_sponsored = 0
+        self.stats_stale_epoch_dropped = 0
+        self.stats_quorum_stalls = 0
+        self.stats_epoch_rejected_reconfigs = 0
+        self.stats_confirm_reconfigs = 0
 
     # ------------------------------------------------------------------
     # Durable state (crash recovery)
@@ -249,6 +318,7 @@ class ServerProtocol:
             completed_ops=tuple(sorted(self.completed_ops.items())),
             pending=tuple(self.pending[tag] for tag in sorted(self.pending)),
             reconfig_counter=self._reconfig_counter,
+            epoch=self.installed_epoch,
         )
 
     @classmethod
@@ -281,7 +351,12 @@ class ServerProtocol:
             dead = frozenset(snapshot.dead) - {server_id}
         else:
             dead = frozenset()
-        proto = cls(server_id, RingView(members, dead), config, durable=durable)
+        epoch = snapshot.epoch if snapshot is not None else 0
+        proto = cls(
+            server_id, RingView(members, dead, epoch), config, durable=durable
+        )
+        proto.installed_epoch = epoch
+        proto.installed_view = proto.ring
         if snapshot is not None:
             proto.value = snapshot.value
             proto.tag = snapshot.tag
@@ -326,7 +401,23 @@ class ServerProtocol:
         if self._rejoin_sponsor is None:
             return None
         sponsor, self._rejoin_sponsor = self._rejoin_sponsor, None
-        return sponsor, RejoinRequest(self.server_id, self.restart_generation)
+        return sponsor, RejoinRequest(
+            self.server_id, self.restart_generation, self.installed_epoch
+        )
+
+    def next_directed_message(self) -> Optional[tuple[int, RingMessage]]:
+        """The next out-of-ring-order ``(destination, message)``, if any.
+
+        Pulled by the runtime's outbound pump ahead of ring traffic:
+        rejoin announcements, stale-epoch notices and reconfiguration
+        tokens whose first hop differs from the installed successor.
+        """
+        announce = self.next_rejoin_announce()
+        if announce is not None:
+            return announce
+        if self.outbox:
+            return self.outbox.popleft()
+        return None
 
     def complete_rejoin_alone(self) -> None:
         """End a rejoin with no live sponsor: this server is the ring.
@@ -340,8 +431,12 @@ class ServerProtocol:
         if not self.rejoining:
             return
         self.ring = RingView(
-            self.ring.members, frozenset(self.ring.members) - {self.server_id}
+            self.ring.members,
+            frozenset(self.ring.members) - {self.server_id},
+            max(self.ring.epoch, self.installed_epoch) + 1,
         )
+        self.installed_epoch = self.ring.epoch
+        self.installed_view = self.ring
         self.rejoining = False
         self._rejoin_sponsor = None
         self._resolve_alone()
@@ -380,8 +475,31 @@ class ServerProtocol:
         self._maybe_persist()
         return self.drain_replies()
 
-    def on_ring_message(self, message: RingMessage) -> list[Reply]:
-        """Handle a message from the ring predecessor."""
+    def on_ring_message(
+        self, message: RingMessage, sender: Optional[int] = None
+    ) -> list[Reply]:
+        """Handle a message from the ring predecessor.
+
+        ``sender`` is the hop sender's server id when the runtime knows
+        it; the epoch guard uses it to notify a stale peer that the ring
+        moved on without it.
+        """
+        if self.config.view_quorum and isinstance(
+            message, (PreWrite, Commit, StateSync)
+        ):
+            # Epoch guard: data traffic is valid only within the sender's
+            # and receiver's *common* installed view.  Traffic from an
+            # older epoch is a wrongly-suspected (or healed) server that
+            # does not know it was excluded — tell it; traffic from a
+            # newer epoch means *we* are the stale one (possible only on
+            # reordered seams) and must not process writes we cannot
+            # place.
+            if message.epoch != self.installed_epoch:
+                self.stats_stale_epoch_dropped += 1
+                if message.epoch < self.installed_epoch and sender is not None:
+                    self._notify_stale(sender)
+                self._maybe_persist()
+                return self.drain_replies()
         if isinstance(message, PreWrite):
             self._process_commits(message.commits)
             self._on_pre_write(message)
@@ -396,6 +514,8 @@ class ServerProtocol:
             self._on_reconfig_commit(message)
         elif isinstance(message, RejoinRequest):
             self._on_rejoin_request(message)
+        elif isinstance(message, StaleEpochNotice):
+            self._on_stale_epoch(message)
         else:
             raise ProtocolError(f"unexpected ring message: {message!r}")
         self._maybe_persist()
@@ -439,10 +559,240 @@ class ServerProtocol:
         self._maybe_persist()
         return self.drain_replies()
 
+    # ------------------------------------------------------------------
+    # Imperfect failure detector (epoch-guarded views, config.view_quorum)
+    # ------------------------------------------------------------------
+
+    def on_suspect(self, peer: int) -> list[Reply]:
+        """Heartbeat-detector suspicion of ``peer`` (may be wrong!).
+
+        Unlike :meth:`on_server_crash`, suspicion never splices the
+        view.  It (1) pauses this server — if a view member may be gone,
+        locally-served reads are no longer provably fresh, and a server
+        on the wrong side of a partition must stop serving *before* the
+        other side installs a view without it — and (2) asks the runtime
+        to re-evaluate the view proposal after the detector's grace
+        delay (:attr:`reconcile_due`).
+        """
+        if not self.config.view_quorum:
+            raise ProtocolError("on_suspect requires view_quorum mode")
+        if peer == self.server_id or peer not in set(self.ring.members):
+            return self.drain_replies()
+        if peer in self.suspected:
+            return self.drain_replies()
+        self.suspected.add(peer)
+        if self._promise is not None and self._promise[1] == peer:
+            # The coordinator we promised this view transition to may be
+            # gone; release the promise so a surviving proposer can move
+            # the epoch.
+            self._promise = None
+        if self.installed_view.is_alive(peer) and not self.rejoining:
+            self.paused = True
+            self._suspicion_paused = True
+            self.reconcile_due = True
+        return self.drain_replies()
+
+    def on_unsuspect(self, peer: int) -> list[Reply]:
+        """A suspected peer's heartbeat arrived late: it is alive.
+
+        The wrong suspicion is withdrawn; if the peer was already
+        excluded from the installed view, re-admitting it takes a
+        reconfiguration (the runtime is asked to propose one), and if we
+        paused over a suspicion that has now evaporated, a *confirm*
+        reconfiguration proves the view is still live before we resume.
+        """
+        if not self.config.view_quorum:
+            raise ProtocolError("on_unsuspect requires view_quorum mode")
+        if peer not in self.suspected:
+            return self.drain_replies()
+        self.suspected.discard(peer)
+        if not self.rejoining and (
+            self._suspicion_paused
+            or peer in self.installed_view.dead
+        ):
+            self.reconcile_due = True
+        return self.drain_replies()
+
+    def propose_reconfig(self) -> list[Reply]:
+        """Re-evaluate the view proposal (runtime-called, grace-delayed).
+
+        Compares the detector's suspicion set against the installed
+        view and, when this server is the responsible coordinator and
+        the proposed view retains an ack quorum of the current one,
+        launches the state-merge reconfiguration.  Without quorum the
+        proposal is *refused*: the server stays paused — wrong suspicion
+        costs liveness, never linearizability — until a heal shrinks the
+        suspicion set.  A suspicion-paused server whose suspicions have
+        all evaporated runs a membership-preserving *confirm*
+        reconfiguration: its commit is the proof that the current view
+        (not a successor installed elsewhere) is still live, which a
+        healed minority cannot produce — its stale-epoch token earns a
+        :class:`StaleEpochNotice` and a rejoin instead.
+        """
+        self.reconcile_due = False
+        if not self.config.view_quorum or self.rejoining:
+            return self.drain_replies()
+        if len(self.ring.members) == 1:
+            return self.drain_replies()  # no peers, nothing to suspect
+        if (
+            self._promise is not None
+            and self._promise[0] == self.installed_epoch
+            and self._promise[1] != self.server_id
+        ):
+            # Another coordinator's transition out of this view is in
+            # flight and we forwarded its token; proposing against it
+            # would only be refused.  Its commit (or its coordinator's
+            # suspicion, which releases the promise) re-triggers us.
+            return self.drain_replies()
+        view = self.installed_view
+        members = set(view.members)
+        suspected = self.suspected & members
+        to_exclude = sorted(s for s in suspected if view.is_alive(s))
+        to_readmit = sorted(s for s in view.dead if s not in suspected)
+        # Announced rejoiners that are alive in the installed view but
+        # claim an *older* epoch are stale, not absent: they restarted
+        # before their exclusion installed, or the epoch guard demoted
+        # them, or a commit died mid-circle and left them behind.  They
+        # must traverse the next token as ``revived`` (exempt from the
+        # base-epoch check) to be caught up by the merge — a proposal
+        # that routes through them without the marking dies at their
+        # staleness forever.  Announcers already *at* our epoch pass the
+        # base check unaided and keep their full arbitration role; they
+        # merely need some commit to resume, which the confirm branch
+        # below guarantees exists.
+        announced = [
+            (rid, epoch)
+            for rid, epoch in sorted(self._announced_rejoiners.items())
+            if rid in members
+            and rid != self.server_id
+            and rid not in suspected
+            and view.is_alive(rid)
+        ]
+        stale_members = sorted(
+            rid for rid, epoch in announced if epoch < self.installed_epoch
+        )
+        current_rejoiners = [
+            rid for rid, epoch in announced if epoch >= self.installed_epoch
+        ]
+        if not to_exclude and not to_readmit and not stale_members:
+            if (
+                self._suspicion_paused
+                or self._attempt_nonce is not None
+                or current_rejoiners
+            ):
+                # Confirm: same membership, next epoch.  Also supersedes
+                # a pending attempt of our own whose proposal no longer
+                # matches the detector (e.g. it tried to revive a peer
+                # that has since fallen silent): the stuck token dies by
+                # abandonment and the confirm — which circulates live
+                # members only — unblocks everyone promised to us.
+                self.stats_confirm_reconfigs += 1
+                self._propose_view(set(view.dead), ())
+            return self.drain_replies()
+        proposed_dead = (set(view.dead) | set(to_exclude)) - set(to_readmit)
+        # The ack quorum is counted over the *installed* view's alive
+        # members only: the token's full circle collects an ack from
+        # every proposed-ring member, but revived servers are not part
+        # of the view being superseded (and stale members, though
+        # nominally in it, skip the promise arbitration) — neither may
+        # pad the count, or a minority plus a rejoiner could
+        # out-install the real majority.
+        old_acks = len(set(view.alive()) - proposed_dead - set(stale_members))
+        if old_acks < view.quorum:
+            # No quorum of the current view survives into the proposal:
+            # refuse to install.  Both sides of a partition land here
+            # symmetrically — neither can move the epoch, so neither
+            # can serve, and the first heal re-triggers reconciliation.
+            self.stats_quorum_stalls += 1
+            self.paused = True
+            self._suspicion_paused = True
+            return self.drain_replies()
+        # No coordinator election: *every* member that sees the diff
+        # proposes once its grace timer fires.  A designated coordinator
+        # (say, the suspected server's predecessor) can itself be stale,
+        # rejoining or freshly crashed — electing it would deadlock the
+        # ring — while concurrent proposals are safe by construction:
+        # the per-view promise arbitrates toward the lowest coordinator
+        # id and every outranked attempt is abandoned mid-circle.
+        self.stats_reconfigs += 1
+        self._propose_view(
+            proposed_dead, tuple(sorted(set(to_readmit) | set(stale_members)))
+        )
+        return self.drain_replies()
+
+    def _propose_view(self, proposed_dead, revived: tuple[int, ...]) -> None:
+        """Coordinator side: circulate a token for the proposed view.
+
+        The coordinator adopts the proposed membership *tentatively*
+        (``installed_view``/``installed_epoch`` stay anchored until the
+        commit) and sends the token through the ordinary control
+        pipeline.  Routing through the ring — never directly to the
+        proposal's first hop — is what keeps the happens-before between
+        a just-created commit and a follow-up proposal: the token rides
+        the same FIFO links behind the commit, so no receiver ever sees
+        a proposal based on a view it has not installed yet.
+        """
+        self.paused = True
+        self._reconfig_counter += 1
+        self._attempt_nonce = self._reconfig_counter
+        self._promise = (
+            self.installed_epoch, self.server_id, self._reconfig_counter
+        )
+        self._mark_dirty()
+        token = ReconfigToken(
+            nonce=self._reconfig_counter,
+            epoch=self.installed_epoch + 1,
+            coordinator=self.server_id,
+            dead=tuple(sorted(proposed_dead)),
+            tag=self.tag,
+            value=self.value,
+            pending=self._pending_snapshot(),
+            completed_ops=tuple(sorted(self.completed_ops.items())),
+            revived=tuple(sorted(revived)),
+        )
+        self.ring = self.installed_view.at_epoch(
+            self.installed_epoch + 1, frozenset(proposed_dead)
+        )
+        self.control_queue.append(token)
+        self._maybe_persist()
+
+    def _notify_stale(self, peer: int) -> None:
+        """Queue a StaleEpochNotice to ``peer``, once per installed epoch."""
+        if self._stale_notified.get(peer) == self.installed_epoch:
+            return
+        self._stale_notified[peer] = self.installed_epoch
+        self.outbox.append(
+            (peer, StaleEpochNotice(self.installed_epoch, self.server_id))
+        )
+
+    def _on_stale_epoch(self, message: StaleEpochNotice) -> None:
+        """The ring installed views we never saw: stop and rejoin."""
+        if not self.config.view_quorum:
+            return
+        if message.epoch <= self.installed_epoch or self.rejoining:
+            return
+        self._enter_rejoining()
+
+    def _enter_rejoining(self) -> None:
+        """Demote this live-but-stale server to a rejoiner.
+
+        Same posture as a restarted server: paused, deferring reads,
+        announcing itself until a sponsor's revived reconfiguration
+        commit carries the merged state (including this server's
+        recovered pending writes) back to it.  Nothing is discarded —
+        the fold-in merge is what redistributes the pending set.
+        """
+        self.rejoining = True
+        self.paused = True
+        self._suspicion_paused = False
+        self._rejoin_sponsor = None
+        self._attempt_nonce = None
+        self._promise = None
+
     @property
     def has_ring_work(self) -> bool:
         """Whether :meth:`next_ring_message` would return a message."""
-        if self.control_queue:
+        if self.control_queue or self.outbox:
             return True
         if self.paused or self.alone:
             return False
@@ -484,6 +834,13 @@ class ServerProtocol:
                 # would re-enter it into our pending set as a zombie.
                 if self.op_index.get(prewrite.op) == prewrite.tag:
                     del self.op_index[prewrite.op]
+                self.stats_superseded_dropped += 1
+                return self._next_ring_message()
+            endorsed = self.op_index.get(prewrite.op)
+            if endorsed is not None and endorsed != prewrite.tag:
+                # While this copy sat queued, a lower-tag copy of the
+                # same operation was endorsed; forwarding both would let
+                # two circles race to commit one write.
                 self.stats_superseded_dropped += 1
                 return self._next_ring_message()
             # Line 71: entering pending at *forward* time keeps reads
@@ -597,7 +954,29 @@ class ServerProtocol:
             if tag not in self.pending:
                 self.stats_duplicates_dropped += 1
                 return
-            entry = self.pending.pop(tag)
+            entry = self.pending[tag]
+            if self._op_completed(entry.op):
+                # The operation committed under another tag while our
+                # circle was in flight (a duplicate initiation racing
+                # us).  Committing this copy too would give one write
+                # two write-points; drop it and answer its waiters —
+                # the real commit already made the write durable.
+                del self.pending[tag]
+                if self.op_index.get(entry.op) == tag:
+                    del self.op_index[entry.op]
+                self.stats_superseded_dropped += 1
+                for client, waiting_op in self.ack_waiters.pop(tag, ()):
+                    self._reply(client, WriteAck(waiting_op))
+                self._retarget_read_waiters()
+                return
+            if self.op_index.get(entry.op) != tag:
+                # Our endorsement moved to a lower-tag copy of the same
+                # operation while this circle was out.  Only the
+                # endorsed copy may commit; this one stays pending as a
+                # zombie (the winner's commit answers its waiters).
+                self.stats_superseded_dropped += 1
+                return
+            del self.pending[tag]
             self._install(tag, entry.value)
             self._record_completed(entry.op)
             self.op_index.pop(entry.op, None)
@@ -621,6 +1000,14 @@ class ServerProtocol:
                     self._reply(client, WriteAck(waiting_op))
                 self._retarget_read_waiters()
                 return
+            lower = self.op_index.get(message.op)
+            if lower is not None and lower < tag:
+                # A lower-tag initiation of the same operation is still
+                # in flight; the lowest tag is the one copy allowed to
+                # commit (see _on_pre_write), and its commit will clean
+                # this orphan up as a zombie.
+                self.stats_superseded_dropped += 1
+                return
             self.pending.pop(tag, None)
             self._install(tag, message.value)
             self._record_completed(message.op)
@@ -638,6 +1025,19 @@ class ServerProtocol:
             # original).  Dropping it here breaks the duplicate's circle,
             # so it can never commit; ts_seen was noted above, so our own
             # future initiations still outbid it.
+            self.stats_superseded_dropped += 1
+            return
+        other = self.op_index.get(message.op)
+        if other is not None and other < tag:
+            # Concurrent duplicate initiations of one operation: at most
+            # one may ever commit, or two servers could end up with
+            # different write-points for the same write (the value of
+            # the loser is zombie-dropped at whoever learns of the
+            # winner first, after which a stray commit of the loser can
+            # no longer be installed ring-wide).  The arbitration is
+            # deterministic — the lowest tag wins — so every copy of
+            # the higher circle breaks at the first server holding a
+            # lower one, while the lowest circle passes everywhere.
             self.stats_superseded_dropped += 1
             return
         self.queued_tags.add(tag)
@@ -714,7 +1114,7 @@ class ServerProtocol:
         self._mark_dirty()
         token = ReconfigToken(
             nonce=self._reconfig_counter,
-            epoch=self.ring.epoch,
+            epoch=max(self.ring.epoch, self.installed_epoch + 1),
             coordinator=self.server_id,
             dead=tuple(sorted(self.ring.dead)),
             tag=self.tag,
@@ -751,11 +1151,15 @@ class ServerProtocol:
         for client, seq in self.completed_ops.items():
             completed[client] = max(completed.get(client, -1), seq)
         # A server this token revives must not ride along in the merged
-        # dead set via some receiver's stale view.
+        # dead set via some receiver's stale view.  (In view_quorum mode
+        # the receiver's view was wholesale-adopted from the token, so
+        # the union adds nothing: the proposed membership is fixed by
+        # the coordinator and the token gathers *state*, not exclusions.)
         dead = (frozenset(token.dead) | self.ring.dead) - frozenset(token.revived)
         return ReconfigToken(
             nonce=token.nonce,
-            epoch=len(dead),
+            epoch=max(token.epoch, len(dead)) if not self.config.view_quorum
+            else token.epoch,
             coordinator=token.coordinator,
             dead=tuple(sorted(dead)),
             tag=merged_tag,
@@ -766,9 +1170,26 @@ class ServerProtocol:
         )
 
     def _on_reconfig_token(self, token: ReconfigToken) -> None:
-        self.ring = self.ring.with_dead(token.dead).revive_all(token.revived)
+        if self.config.view_quorum:
+            if not self._admit_token(token):
+                return
+            # Tentative *wholesale* adoption of the proposed membership:
+            # the token's dead set replaces local state (a receiver's
+            # private suspicions must not leak into the proposal), and
+            # routing follows the proposed ring from here on.
+            self.ring = self.ring.at_epoch(
+                token.epoch, frozenset(token.dead) - frozenset(token.revived)
+            )
+        else:
+            self.ring = self.ring.with_dead(token.dead).revive_all(token.revived)
         if token.coordinator == self.server_id:
-            # Token is back with every survivor's state merged in.
+            if self.config.view_quorum and token.nonce != self._attempt_nonce:
+                return  # a superseded/abandoned attempt of our own
+            # Token is back with every survivor's state merged in.  In
+            # view_quorum mode its full circle around the proposed ring
+            # *is* the ack quorum of the old view: the proposal was
+            # quorum-checked against the installed view, and every
+            # proposed member forwarded the token.
             final = self._merge_into_token(token)
             commit = ReconfigCommit(
                 nonce=final.nonce,
@@ -782,6 +1203,8 @@ class ServerProtocol:
                 revived=final.revived,
             )
             self.control_queue.append(commit)
+            if self.config.view_quorum:
+                self._install_view(commit)
             self._apply_merged_state(commit)
             # Re-commit every surviving pending write so no read blocks
             # forever and every origin can ack its client.  The commits
@@ -804,7 +1227,99 @@ class ServerProtocol:
             self.paused = True
             self.control_queue.append(self._merge_into_token(token))
 
+    def _admit_token(self, token: ReconfigToken) -> bool:
+        """Epoch + promise arbitration for one view transition.
+
+        A token is admitted when it is built on exactly this server's
+        installed view (``epoch == installed + 1`` — the ack quorum it
+        collects must anchor to the view it supersedes) and it wins the
+        per-view promise: at most one *admitted* proposal per installed
+        view, ties broken toward the lower coordinator id, with a
+        coordinator's fresh retry replacing its own older promise.
+        Admitting a competitor's token abandons any in-flight attempt of
+        our own — the abandoned token keeps circulating but its return
+        is ignored, so two proposals can never both install.  A token
+        reviving *us* is exempt from the base check: catching a stale
+        server up is the one sanctioned epoch jump, and the rejoiner is
+        deliberately not counted toward the quorum.
+        """
+        if token.coordinator == self.server_id:
+            # Our own token came back: valid only if it is our current
+            # attempt and nothing installed meanwhile.
+            return (
+                token.epoch == self.installed_epoch + 1
+                and token.nonce == self._attempt_nonce
+            )
+        if self.server_id in token.revived:
+            if token.epoch <= self.installed_epoch:
+                self.stats_epoch_rejected_reconfigs += 1
+                return False
+            return True
+        if token.epoch != self.installed_epoch + 1:
+            self.stats_epoch_rejected_reconfigs += 1
+            if token.epoch <= self.installed_epoch:
+                # A healed minority (or superseded attempt) proposing
+                # from a view the ring has left behind: tell it.
+                self._notify_stale(token.coordinator)
+            else:
+                # A proposal from beyond our next epoch is proof the
+                # ring installed views we never saw (a commit can die
+                # mid-circle when a member crashes while it circulates,
+                # leaving us behind): same signal as a StaleEpochNotice.
+                self._enter_rejoining()
+            return False
+        if token.coordinator in self.suspected:
+            # A straggling token from a coordinator we believe gone
+            # (delivered late across a heal, or its sender crashed after
+            # sending): promising it would wedge this view on an attempt
+            # that can never complete.  If the suspicion is wrong the
+            # coordinator simply retries — liveness cost only.
+            self.stats_epoch_rejected_reconfigs += 1
+            return False
+        promise = self._promise
+        if promise is not None and promise[0] == self.installed_epoch:
+            base, promised_coordinator, promised_nonce = promise
+            if token.coordinator == promised_coordinator:
+                if token.nonce < promised_nonce:
+                    self.stats_epoch_rejected_reconfigs += 1
+                    return False  # stale retry of the promised attempt
+            elif token.coordinator > promised_coordinator:
+                self.stats_epoch_rejected_reconfigs += 1
+                return False  # outranked; the promised attempt proceeds
+        self._promise = (self.installed_epoch, token.coordinator, token.nonce)
+        if self._attempt_nonce is not None:
+            # We had our own proposal in flight and just admitted a
+            # higher-priority one: abandon ours (bumping the persisted
+            # counter makes our returning token unrecognisable).
+            self._reconfig_counter += 1
+            self._attempt_nonce = None
+            self._mark_dirty()
+        return True
+
     def _on_reconfig_commit(self, commit: ReconfigCommit) -> None:
+        if self.config.view_quorum:
+            if commit.coordinator == self.server_id:
+                return  # full circle; applied when created
+            if commit.epoch != self.installed_epoch + 1 and (
+                self.server_id not in commit.revived
+                or commit.epoch <= self.installed_epoch
+            ):
+                # Same chain discipline as tokens: a commit installs
+                # only over the view it superseded; the one sanctioned
+                # jump is the fold-in of the stale server it revives.
+                self.stats_epoch_rejected_reconfigs += 1
+                if commit.epoch > self.installed_epoch + 1 and not self.rejoining:
+                    self._enter_rejoining()
+                return
+            key = (commit.coordinator, -commit.nonce)
+            if key in self._seen_reconfigs:
+                return
+            self._seen_reconfigs.add(key)
+            self._install_view(commit)
+            self._apply_merged_state(commit)
+            self.control_queue.append(commit)
+            self._resume()
+            return
         self.ring = self.ring.with_dead(commit.dead).revive_all(commit.revived)
         if commit.coordinator == self.server_id:
             return  # full circle; applied when created
@@ -819,6 +1334,34 @@ class ServerProtocol:
         # else: we know of a crash this commit predates; stay paused
         # until the follow-up reconfiguration's commit arrives.
 
+    def _install_view(self, commit: ReconfigCommit) -> None:
+        """Install the committed view: the epoch transition point.
+
+        From here on, traffic of older epochs is rejected, and newly
+        excluded members that may still be alive are told directly —
+        best-effort fencing that shortens (but cannot on its own close;
+        see docs/reconfiguration.md) the window in which a one-way-
+        partitioned server has not yet noticed its exclusion.
+        """
+        newly_dead = frozenset(commit.dead) - self.installed_view.dead
+        self.ring = self.ring.at_epoch(
+            commit.epoch, frozenset(commit.dead) - frozenset(commit.revived)
+        )
+        self.installed_epoch = commit.epoch
+        self.installed_view = self.ring
+        self.view_log.append((commit.epoch, commit.coordinator, commit.nonce))
+        self._announced_rejoiners.clear()  # still-stale members re-announce
+        self._promise = None  # promises are per installed view
+        if commit.coordinator == self.server_id:
+            self._attempt_nonce = None
+        self._mark_dirty()
+        for peer in sorted(newly_dead):
+            if peer != self.server_id:
+                # Best-effort fence: if the excluded peer is actually
+                # alive (wrong suspicion), the notice demotes it to a
+                # rejoiner; if it is dead, the frame dies in transit.
+                self._notify_stale(peer)
+
     def _apply_merged_state(self, commit: ReconfigCommit) -> None:
         self._note_tag(commit.tag)
         if commit.tag > self.tag:
@@ -832,7 +1375,8 @@ class ServerProtocol:
         self.queued_tags.clear()
         self.fair.reset_counters()
         merged: dict[Tag, PendingEntry] = {}
-        for entry in commit.pending:
+        endorsed: dict[OpId, Tag] = {}
+        for entry in commit.pending:  # ascending tag order by construction
             self._note_tag(entry.tag)
             if self._is_stale(entry.tag):
                 continue
@@ -844,6 +1388,19 @@ class ServerProtocol:
                 # or completed_ops could not name the operation.
                 self.stats_superseded_dropped += 1
                 continue
+            winner = endorsed.get(entry.op)
+            if winner is not None:
+                # Duplicate initiations of one uncommitted operation
+                # survived into the merge; keep only the lowest tag (the
+                # same arbitration the live forward path applies), or
+                # the post-merge re-commit would commit one write twice
+                # under different tags.  Its waiters follow the winner.
+                self.stats_superseded_dropped += 1
+                waiters = self.ack_waiters.pop(entry.tag, None)
+                if waiters:
+                    self.ack_waiters.setdefault(winner, []).extend(waiters)
+                continue
+            endorsed[entry.op] = entry.tag
             merged[entry.tag] = entry
         self.pending = merged
         self.op_index = {entry.op: entry.tag for entry in merged.values()}
@@ -867,12 +1424,27 @@ class ServerProtocol:
 
     def _resume(self) -> None:
         self.paused = False
+        self._suspicion_paused = False
         if self.rejoining:
             # The reconfiguration commit that carries the merged state is
             # the moment a recovering server is caught up: from here on
             # it serves reads and initiates writes like any ring member.
             self.rejoining = False
             self._rejoin_sponsor = None
+        if self.config.view_quorum:
+            # The installed view may not match what the detector says:
+            # leftover suspicions of still-in-view members mean we must
+            # not serve (re-pause, and ask for a new proposal); excluded
+            # members whose heartbeats resumed deserve re-admission.
+            if any(self.ring.is_alive(s) for s in self.suspected):
+                self.paused = True
+                self._suspicion_paused = True
+                self.reconcile_due = True
+            if any(
+                d not in self.suspected and d in set(self.ring.members)
+                for d in self.ring.dead
+            ):
+                self.reconcile_due = True
         deferred, self.deferred_reads = self.deferred_reads, deque()
         for client, message in deferred:
             self._on_client_read(client, message)
@@ -894,6 +1466,30 @@ class ServerProtocol:
         """
         rid = message.server_id
         if rid == self.server_id or rid not in set(self.ring.members):
+            return
+        if self.config.view_quorum:
+            if message.epoch > self.installed_epoch:
+                return  # a confused rejoiner cannot drag the ring back
+            if self.rejoining:
+                return
+            # Sponsorship is folded into the proposal pipeline: record
+            # the announcement and let the grace-delayed reconciliation
+            # carry the rejoiner as ``revived`` in the next proposal.
+            # (Unlike the perfect-detector path, a rejoiner still *in*
+            # the installed view needs this too: it restarted — or was
+            # demoted by the epoch guard — holding stale state, and
+            # only a revived-marked merge catches it up.)  "Down" for a
+            # sponsor under an imperfect detector means no heartbeat
+            # evidence of life: while we still suspect the announcer,
+            # the record stays parked — folding in a server we cannot
+            # hear would bounce straight back out.
+            if rid not in self._announced_rejoiners:
+                # Count rejoiners taken on, not their announcement
+                # retries (the perfect path counts once per splice).
+                self.stats_rejoins_sponsored += 1
+            self._announced_rejoiners[rid] = message.epoch
+            if rid not in self.suspected:
+                self.reconcile_due = True
             return
         if rid not in self.ring.dead:
             return
@@ -957,22 +1553,34 @@ class ServerProtocol:
     # ------------------------------------------------------------------
 
     def _attach_commits(self, message: RingMessage) -> RingMessage:
-        """Piggyback queued commit tags onto an outgoing message."""
-        if not self.commit_queue:
-            return message
+        """Piggyback queued commit tags and stamp the installed epoch."""
         if isinstance(message, (ReconfigToken, ReconfigCommit)):
-            return message  # keep reconfiguration messages canonical
-        if not self.config.piggyback_commits and not isinstance(message, Commit):
-            return message
-        budget = self.config.max_piggybacked_commits
+            return message  # reconfiguration messages carry their own epoch
+        epoch = self.installed_epoch
+        attach = bool(self.commit_queue) and (
+            self.config.piggyback_commits or isinstance(message, Commit)
+        )
         tags: list[Tag] = []
-        while self.commit_queue and len(tags) < budget:
-            tags.append(self.commit_queue.popleft())
+        if attach:
+            budget = self.config.max_piggybacked_commits
+            while self.commit_queue and len(tags) < budget:
+                tags.append(self.commit_queue.popleft())
         if isinstance(message, PreWrite):
-            return PreWrite(message.tag, message.value, message.op, tuple(tags))
+            return PreWrite(
+                message.tag,
+                message.value,
+                message.op,
+                tuple(tags) if tags else message.commits,
+                epoch,
+            )
         if isinstance(message, StateSync):
-            return StateSync(message.tag, message.value, tuple(tags))
-        return Commit(tuple(tags))
+            return StateSync(
+                message.tag,
+                message.value,
+                tuple(tags) if tags else message.commits,
+                epoch,
+            )
+        return Commit(tuple(tags) if tags else message.commits, epoch)
 
     def _install(self, tag: Tag, value: bytes) -> None:
         """Monotone register update (lines 33-35 / 43-45)."""

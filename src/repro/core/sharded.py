@@ -69,11 +69,11 @@ class ShardedServerHost(HostBase):
 
     # -- inbound ------------------------------------------------------
 
-    def receive_ring(self, envelope: ShardEnvelope) -> None:
+    def receive_ring(self, envelope: ShardEnvelope, sender=None) -> None:
         if not self.alive:
             return
         proto = self.protos[envelope.reg]
-        self._post(proto.on_ring_message(envelope.inner))
+        self._post(proto.on_ring_message(envelope.inner, sender))
 
     def receive_client(self, client_id: int, envelope: ShardEnvelope) -> None:
         if not self.alive:

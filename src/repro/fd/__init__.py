@@ -8,13 +8,23 @@ fails, the server on the other side of the connection failed").
 * :mod:`repro.fd.base` — the detector interface;
 * :mod:`repro.fd.perfect` — an oracle-backed perfect detector used by
   the simulator (crash events are known to the simulation);
-* :mod:`repro.fd.heartbeat` — a heartbeat timeout detector for the
-  asyncio runtime, perfect under the synchrony assumption (no false
-  suspicions when the timeout exceeds the worst heartbeat delay).
+* :mod:`repro.fd.heartbeat` — a heartbeat timeout tracker, usable two
+  ways: as a perfect detector under the synchrony assumption (timeout
+  exceeding the worst heartbeat delay, no un-suspect), or as the
+  *imperfect* detector (``imperfect=True``) behind the epoch-guarded
+  reconfiguration mode, where a wrong suspicion is expected, survivable
+  and reversed by a late heartbeat.  Both runtimes wire it in behind
+  their ``fd="heartbeat"`` option; :class:`HeartbeatConfig` holds the
+  timing knobs.
 """
 
 from repro.fd.base import FailureDetector
-from repro.fd.heartbeat import HeartbeatTracker
+from repro.fd.heartbeat import HeartbeatConfig, HeartbeatTracker
 from repro.fd.perfect import PerfectFailureDetector
 
-__all__ = ["FailureDetector", "HeartbeatTracker", "PerfectFailureDetector"]
+__all__ = [
+    "FailureDetector",
+    "HeartbeatConfig",
+    "HeartbeatTracker",
+    "PerfectFailureDetector",
+]

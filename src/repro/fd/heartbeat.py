@@ -4,43 +4,154 @@ The asyncio runtime detects ring-neighbour crashes through TCP connection
 breaks (the paper's primary mechanism); :class:`HeartbeatTracker`
 complements it for peers we hold no connection to.  It is sans-I/O — the
 caller feeds heartbeats and clock readings, the tracker reports suspects
-— so the same logic is testable without a loop and usable from asyncio.
+— so the same logic is testable without a loop and usable from asyncio
+and from the simulator alike.
 
-Under the paper's synchrony assumption (bounded message delay ``d`` and
-heartbeat period ``p``), a timeout of ``p + d`` yields a *perfect*
-detector: no false suspicion, every crash detected within one timeout.
+Two operating modes:
+
+* **perfect** (``imperfect=False``, the default): under the paper's
+  synchrony assumption (bounded message delay ``d`` and heartbeat period
+  ``p``), a timeout of ``p + d`` yields a *perfect* detector — no false
+  suspicion, every crash detected within one timeout.  Suspicion is
+  final: a late heartbeat from a suspect is ignored.
+* **imperfect** (``imperfect=True``): the timeout is a heuristic, not a
+  bound.  A suspected peer whose heartbeat arrives late is *un-suspected*
+  (:meth:`heard_from` returns ``True`` at that transition), which is the
+  signal the epoch-guarded reconfiguration layer uses to fold a wrongly
+  suspected server back into the ring.
+
+Membership is updatable (:meth:`add_peer` / :meth:`remove_peer`) so a
+tracker can follow reconfigured views instead of silently ignoring
+heartbeats from peers it was never told about — ``heard_from`` for an
+unknown peer is still a no-op (returning ``False``), but callers that
+grow the ring can now keep the tracker honest.
+
+Suspicion uses a strict threshold: a peer is suspected when
+``now - last_heard > timeout``; at exactly ``now - last_heard == timeout``
+it is still trusted (the timeout is the *allowed* silence).
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Iterable
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class HeartbeatConfig:
+    """Timing knobs for a heartbeat-based (imperfect) failure detector.
+
+    Attributes
+    ----------
+    period:
+        Interval between heartbeats sent to each peer.
+    timeout:
+        Silence after which a peer is suspected.  A heuristic, not a
+        bound: wrong suspicion is *expected* under partitions, pauses
+        and loss, and costs liveness only (see docs/reconfiguration.md).
+    check_interval:
+        Cadence at which the runtime polls :meth:`HeartbeatTracker.check`.
+    propose_grace:
+        Delay between a suspicion changing and the server acting on it
+        by proposing a new ring view.  Covers the skew between the two
+        sides of a partition noticing each other's silence: a wrongly
+        suspected server has paused (its own detector fired) before the
+        surviving side installs the view that excludes it.  Must exceed
+        ``period + check_interval`` plus delivery jitter.
+    """
+
+    period: float = 0.02
+    timeout: float = 0.12
+    check_interval: float = 0.01
+    propose_grace: float = 0.06
+
+    def validate(self) -> "HeartbeatConfig":
+        for name in ("period", "timeout", "check_interval", "propose_grace"):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"heartbeat {name} must be > 0")
+        if self.timeout <= self.period:
+            raise ConfigurationError(
+                "heartbeat timeout must exceed the period "
+                f"(timeout={self.timeout}, period={self.period})"
+            )
+        if self.propose_grace < self.period + self.check_interval:
+            raise ConfigurationError(
+                "propose_grace must cover at least one period + check "
+                f"interval of suspicion skew (got {self.propose_grace})"
+            )
+        return self
 
 
 class HeartbeatTracker:
     """Tracks last-heard times and derives suspicions."""
 
-    def __init__(self, peers: Iterable[int], timeout: float, now: float = 0.0):
+    def __init__(
+        self,
+        peers: Iterable[int],
+        timeout: float,
+        now: float = 0.0,
+        *,
+        imperfect: bool = False,
+    ):
         if timeout <= 0:
             raise ValueError(f"timeout must be > 0, got {timeout}")
         self.timeout = timeout
+        self.imperfect = imperfect
         self._last_heard: dict[int, float] = {peer: now for peer in peers}
         self._suspected: set[int] = set()
 
-    def heard_from(self, peer: int, now: float) -> None:
-        """Record a heartbeat (or any message) from ``peer``."""
+    def heard_from(self, peer: int, now: float) -> bool:
+        """Record a heartbeat (or any message) from ``peer``.
+
+        Returns ``True`` exactly when this arrival *un-suspects* the
+        peer — possible only in imperfect mode; a perfect detector never
+        un-suspects, and an unknown peer is ignored either way.
+        """
+        if peer not in self._last_heard:
+            return False
         if peer in self._suspected:
-            return  # perfect detectors never un-suspect
-        if peer in self._last_heard:
+            if not self.imperfect:
+                return False  # perfect detectors never un-suspect
+            self._suspected.discard(peer)
             self._last_heard[peer] = max(self._last_heard[peer], now)
+            return True
+        self._last_heard[peer] = max(self._last_heard[peer], now)
+        return False
 
     def check(self, now: float) -> list[int]:
-        """Return peers newly suspected as of ``now``."""
+        """Return peers newly suspected as of ``now``.
+
+        The threshold is strict: silence of exactly ``timeout`` is still
+        within the allowance; suspicion begins strictly beyond it.
+        """
         newly = []
         for peer, last in self._last_heard.items():
             if peer not in self._suspected and now - last > self.timeout:
                 self._suspected.add(peer)
                 newly.append(peer)
         return newly
+
+    def add_peer(self, peer: int, now: float) -> None:
+        """Start monitoring ``peer``, with its silence clock at ``now``.
+
+        Adding an already-known peer is a no-op (its last-heard time and
+        suspicion state are preserved), so callers can idempotently
+        resync membership from a reconfigured view.
+        """
+        if peer not in self._last_heard:
+            self._last_heard[peer] = now
+
+    def remove_peer(self, peer: int) -> None:
+        """Stop monitoring ``peer`` (removed from the ring for good).
+
+        Removing an unknown peer is a no-op.  A removed peer is also
+        dropped from the suspected set, so re-adding it later starts
+        from a clean slate.
+        """
+        self._last_heard.pop(peer, None)
+        self._suspected.discard(peer)
 
     def suspected(self) -> frozenset[int]:
         return frozenset(self._suspected)

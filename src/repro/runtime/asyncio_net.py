@@ -38,7 +38,16 @@ ran over a cluster:
   back into the ring.  Every hello carries the sender's restart
   generation, so a receiver can tell a same-incarnation reconnect (keep
   the ring session; replay the unacked suffix) from a restarted peer
-  (fresh session — the restarted sender's sequence numbers start over).
+  (fresh session — the restarted sender's sequence numbers start over);
+* ``AsyncCluster(fd="heartbeat")`` swaps the perfect detector for the
+  *imperfect* one: every node beacons every other (hello kind ``hb``)
+  and suspects on timeout, a broken ring connection is just a broken
+  connection (the sender redials; the session replays the unacked
+  suffix), and reconfiguration runs in epoch-guarded ``view_quorum``
+  mode — suspicion pauses a server, views install only with an ack
+  quorum of the previous view, stale traffic is rejected by epoch, and
+  a wrongly suspected server is folded back in through a sponsored
+  merge instead of serving stale reads (see docs/reconfiguration.md).
 """
 
 from __future__ import annotations
@@ -50,10 +59,11 @@ from typing import Optional
 from repro.core.client import ClientProtocol
 from repro.core.config import ProtocolConfig
 from repro.core.durable import MemorySnapshotStore, SnapshotStore
-from repro.core.messages import OpId, ReadAck, RejoinRequest, WriteAck
+from repro.core.messages import Heartbeat, OpId, ReadAck, RejoinRequest, WriteAck
 from repro.core.ring import RingView
 from repro.core.server import ServerProtocol
-from repro.errors import StorageUnavailableError
+from repro.errors import ConfigurationError, StorageUnavailableError
+from repro.fd.heartbeat import HeartbeatConfig, HeartbeatTracker
 from repro.runtime.interface import (
     CancelTimer,
     Complete,
@@ -65,23 +75,42 @@ from repro.transport.codec import decode_message, encode_message
 from repro.transport.framing import FrameDecoder, frame
 from repro.transport.reliable import ReliableSession, Segment, decode_segment, encode_segment
 
-#: Connection hello: kind (0 = ring, 1 = client, 2 = rejoin), peer id,
-#: and the peer's restart generation.  The generation gives ring
-#: connections *incarnation* identity: a reconnect from the same peer at
-#: the same generation resumes the persistent ring session (the sender
-#: replays its unacked suffix), while a higher generation means the peer
-#: restarted — its session state is gone, so the receiver starts a fresh
-#: session instead of suppressing the newcomer's restarted sequence
-#: numbers as duplicates.
+#: Connection hello: kind (0 = ring, 1 = client, 2 = control, 3 =
+#: heartbeat), peer id, and the peer's restart generation.  The
+#: generation gives ring connections *incarnation* identity: a reconnect
+#: from the same peer at the same generation resumes the persistent ring
+#: session (the sender replays its unacked suffix), while a higher
+#: generation means the peer restarted — its session state is gone, so
+#: the receiver starts a fresh session instead of suppressing the
+#: newcomer's restarted sequence numbers as duplicates.
 _HELLO = struct.Struct(">BqI")
 _KIND_RING = 0
 _KIND_CLIENT = 1
+#: Out-of-ring-order control traffic: rejoin announcements and
+#: stale-epoch notices, one idempotent raw frame per short-lived
+#: connection.
 _KIND_REJOIN = 2
+#: Persistent heartbeat stream (fd="heartbeat"): raw Heartbeat frames,
+#: no session layer — a retransmitted heartbeat is not freshness.
+_KIND_HB = 3
 
 #: How often a rejoining server re-announces itself (to the next
 #: candidate sponsor, round-robin) until a reconfiguration commit folds
 #: it back into the ring.
 _REJOIN_RETRY = 0.3
+
+#: How long the ring sender waits before redialling an unreachable
+#: successor under the heartbeat detector (where a refused connection is
+#: *not* a crash certificate — the session holds the unacked suffix and
+#: replays it once the dial succeeds).
+_RING_REDIAL = 0.1
+
+#: Default heartbeat timings for real sockets: much coarser than the
+#: simulator's, because an event loop stalled by CI noise must not spray
+#: wrong suspicions (they would be *safe*, but churny).
+DEFAULT_ASYNC_HEARTBEAT = HeartbeatConfig(
+    period=0.1, timeout=0.6, check_interval=0.05, propose_grace=0.25
+)
 
 
 def _segment_frame(segment: Segment) -> bytes:
@@ -113,11 +142,29 @@ class AsyncServerNode:
         addresses: dict[int, tuple[str, int]],
         config: Optional[ProtocolConfig] = None,
         durable: Optional[SnapshotStore] = None,
+        fd: str = "perfect",
+        heartbeat: Optional[HeartbeatConfig] = None,
     ):
         self.server_id = server_id
         # Shared mapping (the cluster may still be filling it in).
         self.addresses = addresses
         self.config = config
+        #: Failure detection mode: "perfect" treats a broken ring
+        #: connection as a crash certificate (the paper's model);
+        #: "heartbeat" runs the imperfect detector — periodic beacons,
+        #: timeout suspicion that may be wrong, epoch-guarded
+        #: quorum-installed views (``config.view_quorum``) — and treats
+        #: a broken connection as just a broken connection.
+        self.fd = fd
+        self.hb_config = (
+            (heartbeat or DEFAULT_ASYNC_HEARTBEAT).validate()
+            if fd == "heartbeat"
+            else None
+        )
+        self._tracker: Optional[HeartbeatTracker] = None
+        self._hb_writers: dict[int, asyncio.StreamWriter] = {}
+        self._reconcile_pending = False
+        self._announcer_task: Optional[asyncio.Task] = None
         #: Durable snapshot store; a restart reloads from it.  Use a
         #: :class:`~repro.core.durable.FileSnapshotStore` for state that
         #: must survive the *process* (the deployment story); the default
@@ -140,6 +187,10 @@ class AsyncServerNode:
         # new channel), one per inbound peer (ring predecessors by
         # ``-peer_id - 1`` to keep them disjoint from client ids).
         self._ring_session = ReliableSession()
+        #: The peer the ring session's stream is addressed to; a
+        #: successor change resets the session *before* new messages
+        #: enter it, so an undialled successor never wipes queued data.
+        self._session_peer: Optional[int] = None
         self._peer_sessions: dict[int, ReliableSession] = {}
         # Last hello generation seen per inbound ring peer: a higher one
         # means the peer restarted, so its persistent session is void.
@@ -158,7 +209,28 @@ class AsyncServerNode:
     async def start(self) -> None:
         host, port = self.addresses[self.server_id]
         self._server = await asyncio.start_server(self._on_connection, host, port)
+        self.spawn_background(trusting=True)
+
+    def spawn_background(self, trusting: bool) -> None:
+        """Start the sender task and, in heartbeat mode, the detector.
+
+        ``trusting`` seeds the tracker's silence clocks: a cold start
+        trusts its peers for one timeout, a restart starts suspect-first
+        (the snapshot carries no liveness information, so nobody is
+        vouched for until a heartbeat actually arrives).
+        """
         self._tasks.append(asyncio.create_task(self._ring_sender()))
+        if self.fd != "heartbeat":
+            return
+        base = _now() if trusting else _now() - self.hb_config.timeout - 1e-9
+        self._tracker = HeartbeatTracker(
+            [sid for sid in sorted(self.addresses) if sid != self.server_id],
+            self.hb_config.timeout,
+            now=base,
+            imperfect=True,
+        )
+        self._tasks.append(asyncio.create_task(self._heartbeat_sender()))
+        self._tasks.append(asyncio.create_task(self._suspicion_checker()))
 
     async def stop(self) -> None:
         """Crash the server: abort every connection immediately."""
@@ -167,7 +239,14 @@ class AsyncServerNode:
             self._server.close()
         for task in self._tasks:
             task.cancel()
-        writers = [self._ring_writer, *self._client_writers.values(), *self._inbound_writers]
+        if self._announcer_task is not None:
+            self._announcer_task.cancel()
+        writers = [
+            self._ring_writer,
+            *self._client_writers.values(),
+            *self._inbound_writers,
+            *self._hb_writers.values(),
+        ]
         for writer in writers:
             if writer is not None:
                 writer.transport.abort()
@@ -189,12 +268,16 @@ class AsyncServerNode:
         self._tasks = []
         self._client_writers = {}
         self._inbound_writers = []
+        self._hb_writers = {}
         self._ring_writer = None
         self._ring_peer = None
         self._ring_wake = asyncio.Event()
         self._ring_session = ReliableSession()
+        self._session_peer: Optional[int] = None
         self._peer_sessions = {}
         self._peer_generations = {}
+        self._reconcile_pending = False
+        self._announcer_task = None
         self.proto = ServerProtocol.restore(
             self.server_id,
             sorted(self.addresses),
@@ -202,11 +285,12 @@ class AsyncServerNode:
             self.config,
             durable=self.durable,
             generation=self.generation,
+            alone=len(self.addresses) == 1,
         )
         host, port = self.addresses[self.server_id]
         self._server = await asyncio.start_server(self._on_connection, host, port)
-        self._tasks.append(asyncio.create_task(self._ring_sender()))
-        self._tasks.append(asyncio.create_task(self._rejoin_announcer()))
+        self.spawn_background(trusting=False)
+        self._ensure_announcer()
 
     async def _rejoin_announcer(self) -> None:
         """Announce this restarted server to candidate sponsors until a
@@ -240,7 +324,11 @@ class AsyncServerNode:
                 writer.write(
                     frame(
                         encode_message(
-                            RejoinRequest(self.server_id, self.generation)
+                            RejoinRequest(
+                                self.server_id,
+                                self.generation,
+                                self.proto.installed_epoch,
+                            )
                         )
                     )
                 )
@@ -249,12 +337,150 @@ class AsyncServerNode:
                 consecutive_refusals = 0
             except (ConnectionError, OSError):
                 consecutive_refusals += 1
-                if consecutive_refusals >= 2 * len(candidates):
+                if (
+                    self.fd != "heartbeat"
+                    and consecutive_refusals >= 2 * len(candidates)
+                ):
+                    # Perfect-detector reasoning only: a refused
+                    # connection *means* the peer is down, so a full
+                    # round of refusals means nobody is alive.  Under
+                    # the heartbeat detector silence could be a
+                    # partition, and resuming alone without quorum
+                    # evidence would fork the register — keep announcing
+                    # instead.
                     self.proto.complete_rejoin_alone()
                     self.proto.drain_replies()  # nobody is waiting across a restart
                     self._ring_wake.set()
                     return
             await asyncio.sleep(_REJOIN_RETRY)
+
+    def _ensure_announcer(self) -> None:
+        """Keep a rejoin announcer running while the protocol rejoins.
+
+        Covers both a restarted server and a live one demoted by the
+        epoch guard (StaleEpochNotice / future-epoch evidence)."""
+        if not self.proto.rejoining or self._stopped:
+            return
+        if self._announcer_task is None or self._announcer_task.done():
+            self._announcer_task = asyncio.create_task(self._rejoin_announcer())
+
+    # ------------------------------------------------------------------
+    # Imperfect failure detector (fd="heartbeat")
+    # ------------------------------------------------------------------
+
+    async def _heartbeat_sender(self) -> None:
+        """Beacon to every peer each period over persistent connections.
+
+        A failed or slow dial simply drops the beat — silence *is* the
+        signal — and the connection is re-attempted next period.  Every
+        await is bounded by the period: one blackholed peer (a firewall
+        that swallows SYNs rather than refusing them) must not suppress
+        the beacons every *other* peer relies on for our liveness.
+        """
+        budget = self.hb_config.period
+        while not self._stopped:
+            for peer in sorted(self.addresses):
+                if peer == self.server_id:
+                    continue
+                writer = self._hb_writers.get(peer)
+                if writer is None or writer.is_closing():
+                    try:
+                        _r, writer = await asyncio.wait_for(
+                            asyncio.open_connection(*self.addresses[peer]),
+                            timeout=budget,
+                        )
+                        writer.write(
+                            _HELLO.pack(_KIND_HB, self.server_id, self.generation)
+                        )
+                        self._hb_writers[peer] = writer
+                    except (ConnectionError, OSError, asyncio.TimeoutError):
+                        self._hb_writers.pop(peer, None)
+                        continue
+                try:
+                    writer.write(frame(encode_message(Heartbeat(self.server_id))))
+                    await asyncio.wait_for(writer.drain(), timeout=budget)
+                except (ConnectionError, OSError, asyncio.TimeoutError):
+                    writer.close()
+                    self._hb_writers.pop(peer, None)
+            await asyncio.sleep(self.hb_config.period)
+
+    async def _suspicion_checker(self) -> None:
+        """Poll the tracker and feed suspicion transitions to the protocol."""
+        while not self._stopped:
+            await asyncio.sleep(self.hb_config.check_interval)
+            if self._stopped:
+                return
+            for peer in self._tracker.check(_now()):
+                await self._dispatch_replies(self.proto.on_suspect(peer))
+                self._after_step()
+
+    async def _on_heartbeat(self, peer: int) -> None:
+        if self._tracker is None:
+            return
+        if self._tracker.heard_from(peer, _now()):
+            await self._dispatch_replies(self.proto.on_unsuspect(peer))
+            self._after_step()
+
+    def _track(self, task: asyncio.Task) -> None:
+        """Register a background task, pruning finished ones.
+
+        Reconcile cycles and watchdog re-arms spawn tasks for the whole
+        life of the node; without pruning, a long partition would grow
+        the list (and its retained coroutine frames) without bound.
+        """
+        self._tasks = [t for t in self._tasks if not t.done()]
+        self._tasks.append(task)
+
+    def _after_step(self) -> None:
+        """Post-handler hook: reconcile timers and the rejoin announcer."""
+        proto = self.proto
+        if not proto.config.view_quorum:
+            return
+        if proto.rejoining:
+            self._ensure_announcer()
+        if proto.reconcile_due:
+            proto.reconcile_due = False
+            if not self._reconcile_pending:
+                self._reconcile_pending = True
+                self._track(
+                    asyncio.create_task(
+                        self._reconcile_later(self.hb_config.propose_grace)
+                    )
+                )
+        self._ring_wake.set()
+
+    async def _reconcile_later(self, delay: float) -> None:
+        await asyncio.sleep(delay)
+        self._reconcile_pending = False
+        if self._stopped:
+            return
+        await self._dispatch_replies(self.proto.propose_reconfig())
+        self._after_step()
+        proto = self.proto
+        if proto.paused and not proto.rejoining and (
+            proto._suspicion_paused or proto._attempt_nonce is not None
+        ):
+            # Watchdog: re-evaluate while blocked (an attempt can die
+            # silently with a crashed hop; a quorum stall heals only
+            # when the detector changes its mind).
+            if not self._reconcile_pending:
+                self._reconcile_pending = True
+                self._track(
+                    asyncio.create_task(
+                        self._reconcile_later(4 * self.hb_config.propose_grace)
+                    )
+                )
+
+    async def _send_control(self, destination: int, message) -> None:
+        """Best-effort out-of-ring-order frame (stale-epoch notices)."""
+        try:
+            _r, writer = await asyncio.open_connection(*self.addresses[destination])
+            writer.write(_HELLO.pack(_KIND_REJOIN, self.server_id, self.generation))
+            writer.write(frame(encode_message(message)))
+            await writer.drain()
+            writer.close()
+        except (ConnectionError, OSError):
+            pass  # advisory traffic; the guard re-triggers it
 
     # ------------------------------------------------------------------
     # Inbound connections
@@ -271,15 +497,33 @@ class AsyncServerNode:
             writer.close()
             return
         kind, peer_id, peer_generation = _HELLO.unpack(hello)
-        if kind == _KIND_REJOIN:
-            # A restarted server announcing itself: raw frames, no
-            # session (one idempotent, retried message per connection).
+        if kind == _KIND_HB:
+            # Peer heartbeat stream: raw frames, no session.
             try:
                 async for payload in _read_frames(reader, decoder):
                     if self._stopped:
                         break
-                    replies = self.proto.on_ring_message(decode_message(payload))
+                    message = decode_message(payload)
+                    if isinstance(message, Heartbeat):
+                        await self._on_heartbeat(message.server_id)
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+            finally:
+                writer.close()
+            return
+        if kind == _KIND_REJOIN:
+            # Out-of-ring-order control traffic (rejoin announcements,
+            # stale-epoch notices): raw frames, no session — each
+            # message is idempotent and retried by its sender.
+            try:
+                async for payload in _read_frames(reader, decoder):
+                    if self._stopped:
+                        break
+                    replies = self.proto.on_ring_message(
+                        decode_message(payload), int(peer_id)
+                    )
                     await self._dispatch_replies(replies)
+                    self._after_step()
                     self._ring_wake.set()
             except (ConnectionError, asyncio.CancelledError):
                 pass
@@ -321,7 +565,8 @@ class AsyncServerNode:
                 segment = decode_segment(payload, decode_message)
                 for message in session.on_segment(segment, _now()):
                     if kind == _KIND_RING:
-                        replies = self.proto.on_ring_message(message)
+                        replies = self.proto.on_ring_message(message, int(peer_id))
+                        self._after_step()
                     else:
                         replies = self.proto.on_client_message(peer_id, message)
                     await self._dispatch_replies(replies)
@@ -361,23 +606,62 @@ class AsyncServerNode:
 
     async def _ring_sender(self) -> None:
         while not self._stopped:
+            directed = self.proto.next_directed_message()
+            if directed is not None:
+                destination, out_of_band = directed
+                await self._send_control(destination, out_of_band)
+                continue
             message = self.proto.next_ring_message()
             if message is None:
+                if (
+                    self.fd == "heartbeat"
+                    and self._ring_session.in_flight
+                    and (self._ring_writer is None or self._ring_writer.is_closing())
+                ):
+                    # Unacked ring traffic but no connection and no new
+                    # work to trigger a dial: keep redialling, or the
+                    # suffix would sit in the session until the next
+                    # outbound message (a final standalone commit could
+                    # otherwise stall forever on a healthy cluster).
+                    # _successor_writer replays the unacked suffix.
+                    try:
+                        await self._successor_writer(self.proto.successor)
+                    except (ConnectionError, OSError):
+                        pass
+                    await asyncio.sleep(_RING_REDIAL)
+                    continue
                 self._ring_wake.clear()
                 if self.proto.has_ring_work:
                     continue
                 await self._ring_wake.wait()
                 continue
             successor = self.proto.successor
+            if self._session_peer != successor:
+                # A different successor is a different channel: fresh
+                # seqs.  Reset happens *before* the message enters the
+                # session, so a retargeted stream never wipes live data.
+                self._ring_session.reset()
+                self._session_peer = successor
+            segment = self._ring_session.send(message, _now())
             try:
                 writer = await self._successor_writer(successor)
-                writer.write(_segment_frame(self._ring_session.send(message, _now())))
+                writer.write(_segment_frame(segment))
                 await writer.drain()
             except (ConnectionError, OSError):
+                self._drop_ring_writer()
+                if self.fd == "heartbeat":
+                    # Not a crash certificate here: the successor may be
+                    # pausing, partitioned, or restarting.  The message
+                    # sits unacked in the session (replayed on the next
+                    # successful dial); suspicion — and with it the
+                    # reconfiguration — is the heartbeat tracker's call.
+                    await asyncio.sleep(_RING_REDIAL)
+                    self._ring_wake.set()
+                    continue
                 # The paper's failure detector: a broken ring connection
                 # means the successor crashed.  Splice and reconfigure.
-                self._drop_ring_writer()
                 self._ring_session.reset()
+                self._session_peer = None
                 if self.proto.ring.is_alive(successor) and self.proto.ring.num_alive > 1:
                     replies = self.proto.on_server_crash(successor)
                     await self._dispatch_replies(replies)
@@ -392,9 +676,6 @@ class AsyncServerNode:
             and not self._ring_writer.is_closing()
         ):
             return self._ring_writer
-        if self._ring_peer is not None and self._ring_peer != successor:
-            # A different successor is a different channel: fresh seqs.
-            self._ring_session.reset()
         self._drop_ring_writer()
         host, port = self.addresses[successor]
         reader, writer = await asyncio.open_connection(host, port)
@@ -440,7 +721,14 @@ class AsyncServerNode:
             # identity is the *connection*, not the peer id.
             return
         self._drop_ring_writer()
+        if self.fd == "heartbeat":
+            # Just a broken connection: keep the session (the unacked
+            # suffix replays on reconnect) and let the tracker decide
+            # whether anyone is actually gone.
+            self._ring_wake.set()
+            return
         self._ring_session.reset()
+        self._session_peer = None
         if self.proto.ring.is_alive(peer) and self.proto.ring.num_alive > 1:
             replies = self.proto.on_server_crash(peer)
             await self._dispatch_replies(replies)
@@ -611,9 +899,24 @@ class AsyncCluster:
         num_servers: int,
         config: Optional[ProtocolConfig] = None,
         durable_dir: Optional[str] = None,
+        fd: str = "perfect",
+        heartbeat: Optional[HeartbeatConfig] = None,
     ):
+        if fd not in ("perfect", "heartbeat"):
+            raise ConfigurationError(f"unknown failure detector {fd!r}")
         self.num_servers = num_servers
         self.config = config or ProtocolConfig()
+        self.fd = fd
+        self.heartbeat = heartbeat
+        if fd == "heartbeat":
+            if not self.config.view_quorum:
+                from dataclasses import replace
+
+                self.config = replace(self.config, view_quorum=True)
+        elif self.config.view_quorum:
+            raise ConfigurationError(
+                "view_quorum requires the heartbeat failure detector"
+            )
         self.durable_dir = durable_dir
         self.nodes: dict[int, AsyncServerNode] = {}
         self.addresses: dict[int, tuple[str, int]] = {}
@@ -638,6 +941,8 @@ class AsyncCluster:
                 self.addresses,
                 self.config,
                 durable=self._make_store(server_id),
+                fd=self.fd,
+                heartbeat=self.heartbeat,
             )
             host, port = "127.0.0.1", 0
             node._server = await asyncio.start_server(node._on_connection, host, port)
@@ -645,7 +950,7 @@ class AsyncCluster:
             self.addresses[server_id] = (actual[0], actual[1])
             self.nodes[server_id] = node
         for node in self.nodes.values():
-            node._tasks.append(asyncio.create_task(node._ring_sender()))
+            node.spawn_background(trusting=True)
 
     async def stop(self) -> None:
         for node in self.nodes.values():

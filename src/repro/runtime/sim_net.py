@@ -30,17 +30,18 @@ wires up:
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Optional
 
 from repro.core.client import ClientProtocol
 from repro.core.config import ProtocolConfig
 from repro.core.durable import MemorySnapshotStore
-from repro.core.messages import ClientMessage, OpId, payload_size
+from repro.core.messages import ClientMessage, Heartbeat, OpId, payload_size
 from repro.core.ring import RingView
 from repro.core.server import ServerProtocol
 from repro.core.tags import Tag
 from repro.errors import ConfigurationError, SimulationError
+from repro.fd.heartbeat import HeartbeatConfig, HeartbeatTracker
 from repro.fd.perfect import PerfectFailureDetector
 from repro.runtime.interface import (
     CancelTimer,
@@ -115,6 +116,15 @@ class ClusterConfig:
     #: polite — useful for unit tests of raw network behaviour.
     reliable: bool = True
     reliable_config: ReliableConfig = field(default_factory=ReliableConfig)
+    #: Failure detector: ``"perfect"`` (the paper's oracle — crash events
+    #: are simulation facts relayed after ``detection_delay``) or
+    #: ``"heartbeat"`` (the imperfect detector: periodic beacons through
+    #: the nemesis-routed network, timeout-based suspicion that can be
+    #: *wrong* and is withdrawn on a late heartbeat).  Heartbeat mode
+    #: forces ``protocol.view_quorum`` on: views become epoch-guarded
+    #: and only install with an ack quorum of the previous view.
+    fd: str = "perfect"
+    heartbeat: HeartbeatConfig = field(default_factory=HeartbeatConfig)
 
     def validate(self) -> "ClusterConfig":
         if self.num_servers < 1:
@@ -123,6 +133,16 @@ class ClusterConfig:
             raise ConfigurationError(f"unknown topology {self.topology!r}")
         if self.detection_delay <= 0:
             raise ConfigurationError("detection_delay must be > 0")
+        if self.fd not in ("perfect", "heartbeat"):
+            raise ConfigurationError(f"unknown failure detector {self.fd!r}")
+        if self.fd == "heartbeat":
+            self.heartbeat.validate()
+            if not self.protocol.view_quorum:
+                self.protocol = replace(self.protocol, view_quorum=True)
+        elif self.protocol.view_quorum:
+            raise ConfigurationError(
+                "view_quorum requires the heartbeat failure detector"
+            )
         self.protocol.validate()
         self.reliable_config.validate()
         return self
@@ -194,6 +214,11 @@ class ServerHost(_HostBase):
         self.proto = proto
         self._reply_queues: dict[str, deque[Reply]] = {}
         self._reply_rr: deque[str] = deque()
+        #: Generation of the running rejoin-announcement pump, if any
+        #: (see :meth:`SimCluster.begin_rejoin`).
+        self._rejoin_pump_gen: Optional[int] = None
+        #: Last-mirrored protocol stats, for trace-counter deltas.
+        self._mirrored_stats: dict[str, int] = {}
 
         nics = cluster.topo.nics[self.name]
         if cluster.config.topology == "dual":
@@ -213,10 +238,11 @@ class ServerHost(_HostBase):
 
     # -- inbound ------------------------------------------------------
 
-    def receive_ring(self, message) -> None:
+    def receive_ring(self, message, sender: Optional[int] = None) -> None:
         if not self.alive:
             return
-        self._post(self.proto.on_ring_message(message))
+        self._post(self.proto.on_ring_message(message, sender))
+        self.cluster.after_protocol_step(self)
 
     def receive_client(self, client_id: int, message: ClientMessage) -> None:
         if not self.alive:
@@ -227,6 +253,20 @@ class ServerHost(_HostBase):
         if not self.alive:
             return
         self._post(self.proto.on_server_crash(crashed_id))
+
+    def notify_suspect(self, peer: int) -> None:
+        """Imperfect-detector suspicion (may be wrong)."""
+        if not self.alive:
+            return
+        self._post(self.proto.on_suspect(peer))
+        self.cluster.after_protocol_step(self)
+
+    def notify_unsuspect(self, peer: int) -> None:
+        """A suspected peer's heartbeat arrived: suspicion withdrawn."""
+        if not self.alive:
+            return
+        self._post(self.proto.on_unsuspect(peer))
+        self.cluster.after_protocol_step(self)
 
     # -- restart (crash recovery) --------------------------------------
 
@@ -245,20 +285,27 @@ class ServerHost(_HostBase):
         super().restart()
         self._reply_queues.clear()
         self._reply_rr.clear()
+        self._rejoin_pump_gen = None
+        self._mirrored_stats = {}
         self.proto = self.cluster.restore_server_protocol(self.server_id, self.restarts)
+        if self.cluster.hb is not None:
+            # Fresh tracker and loops for the new incarnation (the
+            # generation guard retires the old ones).
+            self.cluster.hb.reset_server(self.server_id)
         self.cluster.begin_rejoin(self)
         self.kick()
 
     # -- outbound sources ----------------------------------------------
 
     def _ring_source(self):
-        announce = self.proto.next_rejoin_announce()
-        if announce is not None:
-            # The announcement travels outside ring order: the rejoiner
-            # is not part of anyone's ring yet, so it contacts a sponsor
-            # directly over the server network.
-            sponsor, message = announce
-            return (f"s{sponsor}", message, "ring")
+        directed = self.proto.next_directed_message()
+        if directed is not None:
+            # Out-of-ring-order traffic: rejoin announcements (the
+            # rejoiner is not part of anyone's ring yet), stale-epoch
+            # notices, and view-proposal tokens whose first hop differs
+            # from the installed successor.
+            destination, message = directed
+            return (f"s{destination}", message, "ring")
         message = self.proto.next_ring_message()
         if message is None:
             return None
@@ -626,6 +673,116 @@ class _ReliableLinkLayer:
             handle.cancel()
 
 
+class _HeartbeatDriver:
+    """Imperfect failure detection over the simulated network.
+
+    Every server beacons a :class:`~repro.core.messages.Heartbeat` to
+    every other server each ``period``, *through the nemesis-routed
+    fabric* — partitions hold or drop heartbeats, pauses freeze them and
+    throttles slow them, which is exactly how wrong suspicion arises —
+    and *outside* the reliable session layer, because a retransmitted
+    heartbeat is not a freshness signal.  Each server owns a
+    :class:`~repro.fd.heartbeat.HeartbeatTracker` in imperfect mode; a
+    check loop polls it every ``check_interval`` and feeds suspicion
+    transitions to the server protocol (``on_suspect``/``on_unsuspect``).
+
+    The driver also keeps the score the chaos gate relies on: a
+    suspicion raised against a host that is actually alive increments
+    ``fd.wrong_suspicions`` — in-simulation proof that a run exercised
+    the wrongly-suspected-but-alive scenario.
+    """
+
+    def __init__(self, cluster: "SimCluster", config: HeartbeatConfig):
+        self.cluster = cluster
+        self.env = cluster.env
+        self.config = config
+        self.trackers: dict[int, HeartbeatTracker] = {}
+        for server_id in cluster.servers:
+            self._start(server_id, cluster.servers[server_id].restarts)
+
+    def reset_server(self, server_id: int) -> None:
+        """A server restarted: fresh tracker, fresh loops.
+
+        The fresh tracker starts *suspect-first*: a snapshot carries no
+        liveness information, so until a peer's heartbeat actually
+        arrives the restarted server must not vouch for it — a trusting
+        tracker would let it propose re-admitting a peer that died while
+        it was down, and the token would die at the corpse.  Live peers
+        clear within one heartbeat period.
+        """
+        self._start(
+            server_id, self.cluster.servers[server_id].restarts, trusting=False
+        )
+
+    def _start(self, server_id: int, generation: int, trusting: bool = True) -> None:
+        peers = [sid for sid in self.cluster.servers if sid != server_id]
+        # Suspect-first posture is expressed through the silence clocks:
+        # pre-aged past the timeout, every peer trips the first check,
+        # and only an actual heartbeat rehabilitates it.
+        base = self.env.now if trusting else self.env.now - self.config.timeout - 1e-9
+        self.trackers[server_id] = HeartbeatTracker(
+            peers, self.config.timeout, now=base, imperfect=True
+        )
+        self._send_loop(server_id, generation)
+        self.env.scheduler.schedule(
+            self.config.check_interval, self._check_loop, server_id, generation
+        )
+
+    def _live(self, server_id: int, generation: int):
+        host = self.cluster.servers.get(server_id)
+        if host is None or not host.alive or host.restarts != generation:
+            return None
+        return host
+
+    def _send_loop(self, server_id: int, generation: int) -> None:
+        host = self._live(server_id, generation)
+        if host is None:
+            return
+        for peer in self.cluster.servers:
+            if peer != server_id:
+                self._beacon(server_id, peer)
+        self.env.scheduler.schedule(
+            self.config.period, self._send_loop, server_id, generation
+        )
+
+    def _beacon(self, src: int, dst: int) -> None:
+        message = Heartbeat(src)
+        src_nic, dst_nic, network = self.cluster.topo.nic_for(f"s{src}", f"s{dst}")
+        network.unicast(
+            src_nic,
+            dst_nic,
+            payload_size(message),
+            message,
+            lambda m, dst=dst: self._on_heartbeat(dst, m),
+        )
+
+    def _on_heartbeat(self, dst: int, message: Heartbeat) -> None:
+        host = self.cluster.servers.get(dst)
+        if host is None or not host.alive:
+            return
+        tracker = self.trackers.get(dst)
+        if tracker is None:
+            return
+        if tracker.heard_from(message.server_id, self.env.now):
+            self.env.trace.count("fd.unsuspects")
+            host.notify_unsuspect(message.server_id)
+
+    def _check_loop(self, server_id: int, generation: int) -> None:
+        host = self._live(server_id, generation)
+        if host is None:
+            return
+        tracker = self.trackers[server_id]
+        for peer in tracker.check(self.env.now):
+            self.env.trace.count("fd.suspicions")
+            peer_host = self.cluster.servers.get(peer)
+            if peer_host is not None and peer_host.alive:
+                self.env.trace.count("fd.wrong_suspicions")
+            host.notify_suspect(peer)
+        self.env.scheduler.schedule(
+            self.config.check_interval, self._check_loop, server_id, generation
+        )
+
+
 class SimCluster:
     """A simulated storage cluster: ring servers plus dynamic clients.
 
@@ -667,8 +824,15 @@ class SimCluster:
             else None
         )
         self.ring = RingView.initial(config.num_servers)
-        self.fd = PerfectFailureDetector(self.env, config.detection_delay)
-        self.fd.subscribe(self._fd_notify)
+        #: Perfect-oracle detector (``fd="perfect"``) or None under the
+        #: heartbeat detector, where suspicion comes from missed beacons.
+        self.fd: Optional[PerfectFailureDetector] = None
+        #: Heartbeat driver (``fd="heartbeat"``) or None.
+        self.hb: Optional[_HeartbeatDriver] = None
+        if config.fd == "perfect":
+            self.fd = PerfectFailureDetector(self.env, config.detection_delay)
+            self.fd.subscribe(self._fd_notify)
+        self._reconcile_timers: dict[int, bool] = {}
         self.clients: dict[int, ClientHost] = {}
         self._host_by_client_id: dict[int, ClientHost] = {}
         self._next_client_id = 0
@@ -684,6 +848,8 @@ class SimCluster:
             host = host_factory(self, server_id)
             host.on_crash(self._server_crashed)
             self.servers[server_id] = host
+        if config.fd == "heartbeat":
+            self.hb = _HeartbeatDriver(self, config.heartbeat)
 
     @staticmethod
     def _default_host_factory(cluster: "SimCluster", server_id: int) -> "ServerHost":
@@ -828,7 +994,8 @@ class SimCluster:
         if kind == "ring":
             server = self._server_by_name(dst_name)
             if server is not None:
-                server.receive_ring(message)
+                sender = int(src_name[1:]) if src_name.startswith("s") else None
+                server.receive_ring(message, sender)
         elif kind == "srv":
             # Generic server-to-server delivery (baseline protocols).
             server = self._server_by_name(dst_name)
@@ -859,7 +1026,10 @@ class SimCluster:
             # Track the surviving membership (RingView requires at least
             # one alive member, so the very last crash is not recorded).
             self.ring = self.ring.without(crashed_id)
-        self.fd.report_crash(crashed_id)
+        if self.fd is not None:
+            self.fd.report_crash(crashed_id)
+        # Under the heartbeat detector nothing is relayed: the crash is
+        # observed — or wrongly conjectured — through missed beacons.
 
     def _fd_notify(self, crashed_id: int) -> None:
         if self.reliable is not None:
@@ -896,29 +1066,48 @@ class SimCluster:
         """
         if server_id in self.ring.dead:
             self.ring = self.ring.revived(server_id)
-        self.fd.report_recovery(server_id)
+        if self.fd is not None:
+            self.fd.report_recovery(server_id)
         if self.reliable is not None:
             self.reliable.reopen_peer(f"s{server_id}")
 
     def restore_server_protocol(self, server_id: int, generation: int) -> ServerProtocol:
-        """Rebuild a server's protocol from its durable snapshot."""
+        """Rebuild a server's protocol from its durable snapshot.
+
+        With the perfect detector, "no other host is alive" is a fact
+        the runtime may consult, and a sole survivor restarts straight
+        into serving.  The heartbeat detector has no such oracle: a
+        restarted server always comes back *rejoining* (unless it is the
+        whole cluster) — silence could be a partition, and resuming
+        alone without quorum evidence would fork the register.
+        """
         store = self.durable_stores.setdefault(server_id, MemorySnapshotStore())
-        others_alive = any(
-            sid != server_id and host.alive for sid, host in self.servers.items()
-        )
+        if self.config.fd == "heartbeat":
+            alone = self.config.num_servers == 1
+        else:
+            alone = not any(
+                sid != server_id and host.alive for sid, host in self.servers.items()
+            )
         return ServerProtocol.restore(
             server_id,
             range(self.config.num_servers),
             store.load(),
             self.config.protocol,
             durable=store,
-            alone=not others_alive,
+            alone=alone,
             generation=generation,
         )
 
     def begin_rejoin(self, host: "ServerHost") -> None:
-        """Drive the rejoin handshake for a freshly restarted server."""
-        if host.proto.rejoining:
+        """Drive the rejoin announcements for a rejoining server.
+
+        Started after a restart, and — under the imperfect detector —
+        when a live server demoted by a :class:`StaleEpochNotice` must
+        announce itself back in.  At most one pump runs per host
+        incarnation (``host.restarts``).
+        """
+        if host.proto.rejoining and host._rejoin_pump_gen != host.restarts:
+            host._rejoin_pump_gen = host.restarts
             self._pump_rejoin(host, host.restarts, 0)
 
     def _pump_rejoin(self, host: "ServerHost", generation: int, attempt: int) -> None:
@@ -928,22 +1117,112 @@ class SimCluster:
             return  # crashed again; a future restart drives its own pump
         proto = host.proto
         if not proto.rejoining:
-            return  # folded back in
-        sponsors = [
-            sid
-            for sid, other in self.servers.items()
-            if sid != host.server_id and other.alive
-        ]
-        if not sponsors:
-            # Nobody to rejoin: the restarted server *is* the ring, and
-            # its recovered pending writes resolve locally.
-            proto.complete_rejoin_alone()
-            host._post(proto.drain_replies())
+            host._rejoin_pump_gen = None  # folded back in; pump retired
             return
+        if self.hb is not None:
+            # No aliveness oracle: announce to every other member in
+            # turn; frames to the dead die in transit, and "nobody is
+            # alive" is indistinguishable from a partition, so there is
+            # deliberately no resume-alone shortcut here.
+            sponsors = [
+                sid for sid in sorted(self.servers) if sid != host.server_id
+            ]
+        else:
+            sponsors = [
+                sid
+                for sid, other in self.servers.items()
+                if sid != host.server_id and other.alive
+            ]
+            if not sponsors:
+                # Nobody to rejoin: the restarted server *is* the ring,
+                # and its recovered pending writes resolve locally.
+                proto.complete_rejoin_alone()
+                host._post(proto.drain_replies())
+                host._rejoin_pump_gen = None
+                return
         proto.queue_rejoin_announce(sponsors[attempt % len(sponsors)])
         host.kick()
         delay = min(REJOIN_RETRY_INITIAL * (2 ** attempt), REJOIN_RETRY_MAX)
         self.env.scheduler.schedule(delay, self._pump_rejoin, host, generation, attempt + 1)
+
+    # ------------------------------------------------------------------
+    # Imperfect failure detector plumbing (fd="heartbeat")
+    # ------------------------------------------------------------------
+
+    def after_protocol_step(self, host: "ServerHost") -> None:
+        """Post-handler hook: reconciliation timers, rejoin pumps and
+        trace mirroring for the epoch-guarded mode.  No-op under the
+        perfect detector."""
+        if self.hb is None:
+            return
+        proto = host.proto
+        self._mirror_stat(host, "stats_stale_epoch_dropped", "epoch.stale_dropped")
+        self._mirror_stat(host, "stats_quorum_stalls", "epoch.quorum_stalls")
+        self._mirror_stat(
+            host, "stats_epoch_rejected_reconfigs", "epoch.rejected_reconfigs"
+        )
+        self._mirror_stat(host, "stats_confirm_reconfigs", "epoch.confirms")
+        if proto.reconcile_due:
+            proto.reconcile_due = False
+            self._schedule_reconcile(host)
+        if proto.rejoining:
+            self.begin_rejoin(host)
+
+    def _mirror_stat(self, host: "ServerHost", stat: str, counter: str) -> None:
+        value = getattr(host.proto, stat)
+        delta = value - host._mirrored_stats.get(stat, 0)
+        if delta > 0:
+            self.env.trace.count(counter, delta)
+        host._mirrored_stats[stat] = value
+
+    def _schedule_reconcile(self, host: "ServerHost") -> None:
+        """Run the host's view-proposal evaluation after the grace delay.
+
+        The delay is the detector's ``propose_grace``: it covers the
+        suspicion skew between the two sides of a partition, so a
+        wrongly suspected server has paused (its own detector fired)
+        before anyone proposes the view that excludes it.  One timer per
+        host coalesces bursts of detector events.
+        """
+        key = host.server_id
+        if self._reconcile_timers.get(key):
+            return
+        self._reconcile_timers[key] = True
+        generation = host.restarts
+        self.env.scheduler.schedule(
+            self.config.heartbeat.propose_grace,
+            self._fire_reconcile,
+            host,
+            generation,
+        )
+
+    def _fire_reconcile(self, host: "ServerHost", generation: int) -> None:
+        self._reconcile_timers[host.server_id] = False
+        if not host.alive or host.restarts != generation:
+            return
+        host._post(host.proto.propose_reconfig())
+        self.after_protocol_step(host)
+        host.kick()
+        proto = host.proto
+        if proto.paused and not proto.rejoining and (
+            proto._suspicion_paused or proto._attempt_nonce is not None
+        ):
+            # Watchdog: an attempt can die silently (its token rejected
+            # at a peer whose promise pointed at a coordinator that has
+            # since been cleared, or lost with a crashed hop) and a
+            # quorum stall only heals when the detector changes its
+            # mind.  While this server stays blocked, keep re-evaluating
+            # — a fresh attempt carries a higher nonce and replaces our
+            # own stale promise at every peer.
+            key = host.server_id
+            if not self._reconcile_timers.get(key):
+                self._reconcile_timers[key] = True
+                self.env.scheduler.schedule(
+                    4 * self.config.heartbeat.propose_grace,
+                    self._fire_reconcile,
+                    host,
+                    generation,
+                )
 
     def apply_faults(self, plan: FaultPlan) -> None:
         """Schedule a :class:`~repro.sim.faults.FaultPlan` against this

@@ -18,6 +18,7 @@ from repro.core.messages import (
     ClientRead,
     ClientWrite,
     Commit,
+    Heartbeat,
     OpId,
     PendingEntry,
     PreWrite,
@@ -25,6 +26,7 @@ from repro.core.messages import (
     ReconfigCommit,
     ReconfigToken,
     RejoinRequest,
+    StaleEpochNotice,
     StateSync,
     WriteAck,
 )
@@ -42,6 +44,8 @@ _TYPE_CODES = {
     ReconfigToken: 8,
     ReconfigCommit: 9,
     RejoinRequest: 10,
+    StaleEpochNotice: 11,
+    Heartbeat: 12,
 }
 _BY_CODE = {code: cls for cls, code in _TYPE_CODES.items()}
 
@@ -98,15 +102,17 @@ def encode_message(message: Any) -> bytes:
         body = (
             _tag_bytes(message.tag)
             + _op_bytes(message.op)
+            + struct.pack(">q", message.epoch)
             + struct.pack(">I", len(message.commits))
             + _tags_bytes(message.commits)
             + message.value
         )
     elif isinstance(message, Commit):
-        body = _tags_bytes(message.commits)
+        body = struct.pack(">q", message.epoch) + _tags_bytes(message.commits)
     elif isinstance(message, StateSync):
         body = (
             _tag_bytes(message.tag)
+            + struct.pack(">q", message.epoch)
             + struct.pack(">I", len(message.commits))
             + _tags_bytes(message.commits)
             + message.value
@@ -114,7 +120,13 @@ def encode_message(message: Any) -> bytes:
     elif isinstance(message, (ReconfigToken, ReconfigCommit)):
         body = _encode_reconfig(message)
     elif isinstance(message, RejoinRequest):
-        body = struct.pack(">iI", message.server_id, message.generation)
+        body = struct.pack(
+            ">iIq", message.server_id, message.generation, message.epoch
+        )
+    elif isinstance(message, StaleEpochNotice):
+        body = struct.pack(">qi", message.epoch, message.sender)
+    elif isinstance(message, Heartbeat):
+        body = struct.pack(">i", message.server_id)
     else:  # pragma: no cover - defensive
         raise ProtocolError(f"cannot encode {message!r}")
     return _encode_header(code, len(body)) + body
@@ -148,34 +160,45 @@ def decode_message(data: bytes) -> Any:
     if cls is PreWrite:
         tag, offset = _read_tag(body, 0)
         op, offset = _read_op(body, offset)
+        (epoch,) = struct.unpack_from(">q", body, offset)
+        offset += 8
         (count,) = struct.unpack_from(">I", body, offset)
         offset += 4
         commits = []
         for _ in range(count):
             commit, offset = _read_tag(body, offset)
             commits.append(commit)
-        return PreWrite(tag, bytes(body[offset:]), op, tuple(commits))
+        return PreWrite(tag, bytes(body[offset:]), op, tuple(commits), epoch)
     if cls is Commit:
+        (epoch,) = struct.unpack_from(">q", body, 0)
         commits = []
-        offset = 0
+        offset = 8
         while offset < len(body):
             tag, offset = _read_tag(body, offset)
             commits.append(tag)
-        return Commit(tuple(commits))
+        return Commit(tuple(commits), epoch)
     if cls is StateSync:
         tag, offset = _read_tag(body, 0)
+        (epoch,) = struct.unpack_from(">q", body, offset)
+        offset += 8
         (count,) = struct.unpack_from(">I", body, offset)
         offset += 4
         commits = []
         for _ in range(count):
             commit, offset = _read_tag(body, offset)
             commits.append(commit)
-        return StateSync(tag, bytes(body[offset:]), tuple(commits))
+        return StateSync(tag, bytes(body[offset:]), tuple(commits), epoch)
     if cls in (ReconfigToken, ReconfigCommit):
         return _decode_reconfig(cls, body)
     if cls is RejoinRequest:
-        server_id, generation = struct.unpack_from(">iI", body, 0)
-        return RejoinRequest(server_id, generation)
+        server_id, generation, epoch = struct.unpack_from(">iIq", body, 0)
+        return RejoinRequest(server_id, generation, epoch)
+    if cls is StaleEpochNotice:
+        epoch, sender = struct.unpack_from(">qi", body, 0)
+        return StaleEpochNotice(epoch, sender)
+    if cls is Heartbeat:
+        (server_id,) = struct.unpack_from(">i", body, 0)
+        return Heartbeat(server_id)
     raise ProtocolError(f"cannot decode {cls.__name__}")  # pragma: no cover
 
 

@@ -175,3 +175,109 @@ def test_restart_with_no_survivors_resolves_alone(tmp_path):
         await cluster.stop()
 
     run(scenario())
+
+
+def test_heartbeat_mode_serves_reads_and_writes():
+    """Basic service under the imperfect detector: no faults, no churn."""
+
+    async def scenario():
+        cluster = AsyncCluster(3, fd="heartbeat")
+        await cluster.start()
+        try:
+            a = cluster.client(home_server=0)
+            b = cluster.client(home_server=1)
+            await a.write(b"hb-hello")
+            assert await b.read() == b"hb-hello"
+            await b.write(b"hb-world")
+            assert await a.read() == b"hb-world"
+            await a.close()
+            await b.close()
+        finally:
+            await cluster.stop()
+
+    run(scenario())
+
+
+def test_heartbeat_mode_crash_detected_and_excluded_by_quorum():
+    """A crash under fd="heartbeat" is detected by silence, not by a
+    connection break: the survivors install a quorum-backed view that
+    excludes the dead server (epoch moves) and keep serving."""
+
+    async def scenario():
+        from repro.fd.heartbeat import HeartbeatConfig
+
+        hb = HeartbeatConfig(
+            period=0.05, timeout=0.3, check_interval=0.05, propose_grace=0.15
+        )
+        config = ProtocolConfig(client_timeout=0.5, client_max_retries=30)
+        cluster = AsyncCluster(3, config=config, fd="heartbeat", heartbeat=hb)
+        await cluster.start()
+        try:
+            client = cluster.client(home_server=0)
+            await client.write(b"before-crash")
+            await cluster.crash_server(2)
+
+            async def excluded():
+                survivors = [cluster.nodes[0].proto, cluster.nodes[1].proto]
+                while not all(
+                    p.installed_epoch >= 1 and 2 in p.ring.dead and not p.paused
+                    for p in survivors
+                ):
+                    await asyncio.sleep(0.05)
+
+            await asyncio.wait_for(excluded(), timeout=10.0)
+            await client.write(b"after-crash")
+            assert await client.read() == b"after-crash"
+            await client.close()
+        finally:
+            await cluster.stop()
+
+    run(scenario())
+
+
+def test_heartbeat_mode_restart_rejoins_through_sponsor():
+    """A restarted server under the imperfect detector announces itself
+    and is folded back in by a revived-marked quorum reconfiguration; it
+    then serves the latest committed value, not its stale snapshot."""
+
+    async def scenario():
+        from repro.fd.heartbeat import HeartbeatConfig
+
+        hb = HeartbeatConfig(
+            period=0.05, timeout=0.3, check_interval=0.05, propose_grace=0.15
+        )
+        config = ProtocolConfig(client_timeout=0.5, client_max_retries=30)
+        cluster = AsyncCluster(3, config=config, fd="heartbeat", heartbeat=hb)
+        await cluster.start()
+        try:
+            client = cluster.client(home_server=0)
+            await client.write(b"epoch-0-value")
+            await cluster.crash_server(2)
+
+            async def excluded():
+                while not all(
+                    2 in cluster.nodes[i].proto.ring.dead for i in (0, 1)
+                ):
+                    await asyncio.sleep(0.05)
+
+            await asyncio.wait_for(excluded(), timeout=10.0)
+            await client.write(b"written-while-down")
+            await cluster.restart_server(2)
+
+            async def rejoined():
+                proto = cluster.nodes[2].proto
+                while proto.rejoining or proto.paused:
+                    await asyncio.sleep(0.05)
+
+            await asyncio.wait_for(rejoined(), timeout=10.0)
+            # The rejoiner serves the write it missed, straight away.
+            direct = cluster.client(home_server=2)
+            assert await direct.read() == b"written-while-down"
+            epochs = {cluster.nodes[i].proto.installed_epoch for i in range(3)}
+            assert len(epochs) == 1 and epochs.pop() >= 2
+            await client.close()
+            await direct.close()
+        finally:
+            await cluster.stop()
+
+    run(scenario())

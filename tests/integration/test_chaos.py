@@ -216,3 +216,47 @@ def test_restart_coverage_accumulates_across_acceptance_batch():
         assert result.ok
         exercised |= result.exercised
     assert "restart" in exercised
+
+
+def test_partition_profile_schedules_always_cut_and_run_heartbeat():
+    """Every partition-profile schedule carries at least one partition
+    window, restarts every crash, and runs under the imperfect
+    detector's fd tag."""
+    from repro.chaos import PARTITION_PROFILE, PROFILES
+
+    assert PROFILES["partition"] is PARTITION_PROFILE
+    assert PARTITION_PROFILE.fd == "heartbeat"
+    for index in range(10):
+        schedule = generate_schedule(0, index, 4, PARTITION_PROFILE)
+        assert schedule.plan.partitions, "partition-heavy means always cut"
+        crashed = {c.process_name for c in schedule.plan.crashes}
+        restarted = {r.process_name for r in schedule.plan.restarts}
+        assert crashed == restarted, "every crash restarts in this profile"
+
+
+def test_partition_profile_slice_passes_with_wrong_suspicion_proof():
+    """A slice of the acceptance batch: all runs linearizable, and the
+    wrongly-suspected-but-alive hazard demonstrably exercised in-trace
+    (the fd.wrong_suspicions counter the CLI gate requires)."""
+    from repro.chaos import PARTITION_PROFILE
+
+    wrong = 0
+    exercised = set()
+    for index in range(6):
+        schedule = generate_schedule(0, index, 4, PARTITION_PROFILE)
+        result = run_schedule(schedule, "core")
+        assert result.ok, f"{schedule.describe()}: {result.reason}"
+        wrong += result.wrong_suspicions
+        exercised |= result.exercised
+    assert wrong > 0, "no run wrongly suspected a live server"
+    assert "partition" in exercised
+
+
+def test_partition_profile_mixes_hold_and_drop_modes():
+    from repro.chaos import PARTITION_PROFILE
+
+    modes = set()
+    for index in range(20):
+        schedule = generate_schedule(0, index, 4, PARTITION_PROFILE)
+        modes |= {p.mode for p in schedule.plan.partitions}
+    assert modes == {"hold", "drop"}

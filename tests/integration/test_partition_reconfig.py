@@ -1,0 +1,166 @@
+"""Integration tests: epoch-guarded reconfiguration under partitions.
+
+Scripted (deterministic) scenarios on the simulated cluster with the
+imperfect heartbeat detector: a partitioned-but-alive server is wrongly
+suspected and excluded by a quorum-installed view, keeps *pausing*
+instead of serving possibly-stale reads, and is folded back in after the
+heal — with the history checked linearizable end to end.
+"""
+
+from repro.analysis.history import History
+from repro.analysis.linearizability import check_register_history
+from repro.core.config import ProtocolConfig
+from repro.runtime.sim_net import SimCluster
+from repro.sim.faults import FaultPlan
+
+
+def build_cluster(num_servers=4, seed=7):
+    config = ProtocolConfig(client_timeout=0.25, client_max_retries=40)
+    cluster = SimCluster.build(
+        num_servers, seed=seed, protocol=config, fd="heartbeat"
+    )
+    cluster.history = History()
+    return cluster
+
+
+def closed_loop(cluster, host, kind, count, spacing, start, results):
+    state = {"n": 0}
+
+    def on_complete(result):
+        results.append(result)
+        state["n"] += 1
+        if state["n"] < count:
+            cluster.env.scheduler.schedule(spacing, issue)
+
+    def issue():
+        if kind == "write":
+            host.write(b"%d:%d" % (host.client_id, state["n"]), on_complete)
+        else:
+            host.read(on_complete)
+
+    cluster.env.scheduler.schedule(start, issue)
+
+
+def test_wrongly_suspected_server_is_excluded_and_folded_back():
+    cluster = build_cluster()
+    results = []
+    # Writers on the majority side; a reader bound to the server that
+    # will be wrongly suspected.
+    closed_loop(cluster, cluster.add_client(home_server=0), "write", 20, 0.12, 0.01, results)
+    closed_loop(cluster, cluster.add_client(home_server=3), "read", 20, 0.12, 0.02, results)
+    closed_loop(cluster, cluster.add_client(home_server=1), "write", 20, 0.12, 0.03, results)
+
+    plan = FaultPlan()
+    plan.partition([["s0", "s1", "s2"], ["s3"]], at=0.4, heal_at=1.1)
+    cluster.apply_faults(plan)
+
+    probes = {}
+
+    def probe_mid_partition():
+        probes["majority_dead"] = set(cluster.servers[0].proto.ring.dead)
+        probes["majority_epoch"] = cluster.servers[0].proto.installed_epoch
+        probes["s3_paused"] = cluster.servers[3].proto.paused
+        probes["s3_epoch"] = cluster.servers[3].proto.installed_epoch
+
+    # Past partition start + heartbeat timeout + grace + merge round.
+    cluster.env.scheduler.schedule_at(1.0, probe_mid_partition)
+    cluster.run(until=6.0)
+
+    counters = cluster.env.trace.counters
+    assert counters.get("fd.wrong_suspicions", 0) > 0, (
+        "a live server must have been wrongly suspected"
+    )
+    # Mid-partition: the majority excluded s3 in a new epoch while s3 —
+    # alive, stale, and on the wrong side — was paused, not serving.
+    assert probes["majority_dead"] == {3}
+    assert probes["majority_epoch"] >= 1
+    assert probes["s3_paused"] is True
+    assert probes["s3_epoch"] == 0, "the minority cannot move the epoch"
+
+    # After the heal every server converged on one view, s3 included.
+    epochs = {host.proto.installed_epoch for host in cluster.servers.values()}
+    assert len(epochs) == 1 and epochs.pop() >= 2
+    for host in cluster.servers.values():
+        assert not host.proto.paused
+        assert not host.proto.rejoining
+        assert host.proto.ring.dead == frozenset()
+
+    # Everyone ends with the same committed register state.
+    values = {host.proto.tag for host in cluster.servers.values()}
+    assert len(values) == 1
+
+    cluster.history.close()
+    ok, reason = check_register_history(cluster.history)
+    assert ok, reason
+    completed = len(cluster.history.completed())
+    assert completed >= 40, f"workload largely completed ({completed}/60)"
+
+
+def test_rejoined_server_serves_the_write_it_missed():
+    """Red/green against the epoch guard: a write committed while the
+    wrongly suspected server was excluded must be visible in a read
+    served *by that server* after its fold-in."""
+    cluster = build_cluster(seed=11)
+    outcome = {}
+
+    def write_during_partition():
+        host = cluster.add_client(home_server=0)
+        host.write(b"committed-without-s3", lambda r: outcome.setdefault("write", r))
+
+    def read_at_rejoiner():
+        host = cluster.add_client(home_server=3)
+        host.read(lambda r: outcome.setdefault("read", r))
+
+    plan = FaultPlan()
+    plan.partition([["s0", "s1", "s2"], ["s3"]], at=0.1, heal_at=1.0)
+    cluster.apply_faults(plan)
+    # Well inside the partition, after the exclusion installed.
+    cluster.env.scheduler.schedule_at(0.7, write_during_partition)
+    # After the heal and fold-back settle.
+    cluster.env.scheduler.schedule_at(2.5, read_at_rejoiner)
+    cluster.run(until=4.0)
+
+    assert outcome["write"].ok
+    assert outcome["read"].ok
+    assert outcome["read"].value == b"committed-without-s3"
+    # And the read really could be served locally by a resumed s3.
+    proto = cluster.servers[3].proto
+    assert not proto.paused and not proto.rejoining
+    assert proto.value == b"committed-without-s3"
+
+
+def test_symmetric_partition_stalls_both_sides_then_confirms():
+    """A 2-2 split leaves no quorum anywhere: both sides refuse to
+    install (wrong suspicion costs liveness), and after the heal a
+    confirm reconfiguration proves the old view live and resumes it."""
+    cluster = build_cluster(seed=3)
+    results = []
+    closed_loop(cluster, cluster.add_client(home_server=0), "write", 12, 0.2, 0.01, results)
+    closed_loop(cluster, cluster.add_client(home_server=2), "read", 12, 0.2, 0.02, results)
+
+    plan = FaultPlan()
+    plan.partition([["s0", "s1"], ["s2", "s3"]], at=0.3, heal_at=1.0)
+    cluster.apply_faults(plan)
+
+    probes = {}
+
+    def probe():
+        probes["stalls"] = cluster.env.trace.counters.get("epoch.quorum_stalls", 0)
+        probes["epochs"] = [
+            host.proto.installed_epoch for host in cluster.servers.values()
+        ]
+
+    cluster.env.scheduler.schedule_at(0.95, probe)
+    cluster.run(until=5.0)
+
+    assert probes["stalls"] > 0, "both sides must have refused to install"
+    assert probes["epochs"] == [0, 0, 0, 0], "no side installed mid-partition"
+    for host in cluster.servers.values():
+        assert not host.proto.paused
+        assert host.proto.ring.dead == frozenset()
+    epochs = {host.proto.installed_epoch for host in cluster.servers.values()}
+    assert len(epochs) == 1 and epochs.pop() >= 1, "healed via a confirm install"
+
+    cluster.history.close()
+    ok, reason = check_register_history(cluster.history)
+    assert ok, reason

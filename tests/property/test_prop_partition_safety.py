@@ -1,0 +1,137 @@
+"""Property-based partition tolerance under the imperfect detector.
+
+Hypothesis draws random partition/heal schedules (cut placement, window
+timing, hold vs drop semantics, optional second cut) against clusters
+running the heartbeat failure detector with epoch-guarded,
+quorum-installed views, plus an aggressively-retrying client workload.
+Two properties must hold on every run:
+
+* the recorded history is linearizable — wrong suspicion may stall
+  progress, never break atomicity;
+* epochs are *exclusive*: across all servers, each epoch number is
+  headed by exactly one reconfiguration commit (one ``(coordinator,
+  nonce)``) — two sides of a partition can never both install the same
+  epoch, which is the quorum-intersection claim made concrete.
+"""
+
+from collections import defaultdict
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import History, check_register_history
+from repro.core.config import ProtocolConfig
+from repro.runtime.sim_net import SimCluster
+from repro.sim.faults import FaultPlan
+
+
+def drive_paced(cluster, clients, ops_per_client, span, deadline):
+    """Closed-loop workload paced across ``span``; stop at ``deadline``
+    even if operations are still open (partitions may stall them)."""
+    remaining = {"count": len(clients)}
+    pacing = span / max(1, ops_per_client)
+
+    def spawn(host, kind, stagger):
+        state = {"i": 0}
+
+        def on_complete(_result):
+            state["i"] += 1
+            if state["i"] >= ops_per_client:
+                remaining["count"] -= 1
+                return
+            cluster.env.scheduler.schedule(pacing, issue)
+
+        def issue():
+            if kind == "write":
+                value = b"%d:%d" % (host.client_id, state["i"])
+                host.write(value + b"!" * 8, on_complete)
+            else:
+                host.read(on_complete)
+
+        cluster.env.scheduler.schedule(stagger, issue)
+
+    for index, (host, kind) in enumerate(clients):
+        spawn(host, kind, stagger=pacing * index / max(1, len(clients)))
+
+    scheduler = cluster.env.scheduler
+    while remaining["count"] > 0 and cluster.now < deadline:
+        if not scheduler.step():
+            break
+
+
+def assert_epoch_exclusive(cluster):
+    """No epoch number is ever headed by two different commits."""
+    heads = defaultdict(set)
+    for host in cluster.servers.values():
+        for epoch, coordinator, nonce in host.proto.view_log:
+            heads[epoch].add((coordinator, nonce))
+    for epoch, installs in heads.items():
+        assert len(installs) == 1, (
+            f"epoch {epoch} headed by competing installs {sorted(installs)}"
+        )
+
+
+@given(
+    seed=st.integers(0, 10_000),
+    num_servers=st.integers(3, 5),
+    cut=st.integers(1, 4),
+    start=st.floats(0.1, 0.5),
+    length=st.floats(0.25, 0.6),
+    drop_mode=st.booleans(),
+    second_cut=st.one_of(st.none(), st.integers(1, 4)),
+    num_writers=st.integers(1, 2),
+    num_readers=st.integers(1, 2),
+)
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_random_partitions_stay_linearizable_with_exclusive_epochs(
+    seed, num_servers, cut, start, length, drop_mode, second_cut,
+    num_writers, num_readers,
+):
+    cut = min(cut, num_servers - 1)
+    config = ProtocolConfig(client_timeout=0.25, client_max_retries=40)
+    cluster = SimCluster.build(
+        num_servers, seed=seed, protocol=config, fd="heartbeat"
+    )
+    cluster.history = History()
+
+    servers = [f"s{i}" for i in range(num_servers)]
+    heal = round(start + length, 4)
+    plan = FaultPlan()
+    plan.partition(
+        [servers[:cut], servers[cut:]],
+        at=round(start, 4),
+        heal_at=heal,
+        mode="drop" if drop_mode else "hold",
+    )
+    if second_cut is not None:
+        cut2 = min(second_cut, num_servers - 1)
+        plan.partition(
+            [servers[:cut2], servers[cut2:]],
+            at=round(heal + 0.2, 4),
+            heal_at=round(heal + 0.55, 4),
+            mode="hold" if drop_mode else "drop",
+        )
+
+    clients = []
+    for i in range(num_writers):
+        clients.append((cluster.add_client(home_server=i % num_servers), "write"))
+    for i in range(num_readers):
+        clients.append(
+            (cluster.add_client(home_server=(num_writers + i) % num_servers), "read")
+        )
+    cluster.apply_faults(plan)
+
+    horizon = plan.stall_horizon()
+    drive_paced(
+        cluster, clients, ops_per_client=6, span=horizon + 0.3,
+        deadline=horizon + 4.0,
+    )
+    cluster.history.close()
+
+    ok, reason = check_register_history(cluster.history)
+    assert ok, reason
+    assert_epoch_exclusive(cluster)
+    # Wrong suspicion must have been survivable, not avoided: partitions
+    # longer than the heartbeat timeout suspect live servers.
+    if length > 0.3:
+        assert cluster.env.trace.counters.get("fd.suspicions", 0) > 0

@@ -59,8 +59,10 @@ def test_heartbeat_never_unsuspects():
 
 def test_heartbeat_ignores_unknown_peers():
     tracker = HeartbeatTracker(peers=[1], timeout=1.0)
-    tracker.heard_from(99, now=0.5)
+    assert tracker.heard_from(99, now=0.5) is False
     assert tracker.peers == {1}
+    assert tracker.check(now=5.0) == [1], "unknown peer never becomes a suspect"
+    assert tracker.suspected() == {1}
 
 
 def test_heartbeat_timeout_must_be_positive():
@@ -68,3 +70,77 @@ def test_heartbeat_timeout_must_be_positive():
 
     with pytest.raises(ValueError):
         HeartbeatTracker(peers=[], timeout=0)
+
+
+def test_heartbeat_suspicion_threshold_is_strict():
+    """Silence of exactly ``timeout`` is still within the allowance;
+    suspicion begins strictly beyond it."""
+    tracker = HeartbeatTracker(peers=[1], timeout=1.0, now=0.0)
+    assert tracker.check(now=1.0) == [], "now - last == timeout: still trusted"
+    assert tracker.suspected() == frozenset()
+    assert tracker.check(now=1.0 + 1e-9) == [1], "strictly past the timeout"
+
+
+def test_imperfect_tracker_unsuspects_on_late_heartbeat():
+    tracker = HeartbeatTracker(peers=[1, 2], timeout=1.0, now=0.0, imperfect=True)
+    assert tracker.check(now=1.5) == [1, 2]
+    assert tracker.heard_from(1, now=1.6) is True, "late heartbeat un-suspects"
+    assert tracker.suspected() == {2}
+    assert tracker.heard_from(1, now=1.7) is False, "already trusted again"
+    # The recovered peer's silence clock restarted at the late heartbeat.
+    assert tracker.check(now=2.5) == []
+    assert tracker.check(now=2.7) == [1]
+
+
+def test_perfect_tracker_never_unsuspects():
+    tracker = HeartbeatTracker(peers=[1], timeout=1.0, now=0.0)
+    tracker.check(now=2.0)
+    assert tracker.heard_from(1, now=2.1) is False
+    assert tracker.suspected() == {1}
+
+
+def test_add_peer_starts_monitoring_from_given_time():
+    tracker = HeartbeatTracker(peers=[1], timeout=1.0, now=0.0, imperfect=True)
+    tracker.add_peer(2, now=5.0)
+    assert tracker.peers == {1, 2}
+    assert tracker.heard_from(2, now=5.5) is False, "known and trusted"
+    # Peer 2's clock started at 5.0 (+ the 5.5 heartbeat), not at 0.
+    assert 2 not in tracker.check(now=6.0)
+    assert tracker.check(now=6.6) == [2]
+
+
+def test_add_peer_is_idempotent_for_known_peers():
+    tracker = HeartbeatTracker(peers=[1], timeout=1.0, now=0.0, imperfect=True)
+    tracker.check(now=2.0)
+    tracker.add_peer(1, now=2.0)
+    assert tracker.suspected() == {1}, "re-adding preserves suspicion state"
+
+
+def test_remove_peer_forgets_suspicion():
+    tracker = HeartbeatTracker(peers=[1, 2], timeout=1.0, now=0.0, imperfect=True)
+    tracker.check(now=2.0)
+    assert tracker.suspected() == {1, 2}
+    tracker.remove_peer(1)
+    assert tracker.peers == {2}
+    assert tracker.suspected() == {2}
+    tracker.remove_peer(99)  # unknown: no-op
+    # Re-adding starts from a clean slate at the supplied time.
+    tracker.add_peer(1, now=2.0)
+    assert 1 not in tracker.suspected()
+    assert tracker.check(now=2.5) == []
+    assert tracker.check(now=3.5) == [1]
+
+
+def test_heartbeat_config_validation():
+    import pytest
+
+    from repro.errors import ConfigurationError
+    from repro.fd.heartbeat import HeartbeatConfig
+
+    HeartbeatConfig().validate()
+    with pytest.raises(ConfigurationError):
+        HeartbeatConfig(period=0).validate()
+    with pytest.raises(ConfigurationError):
+        HeartbeatConfig(period=0.2, timeout=0.1).validate()
+    with pytest.raises(ConfigurationError):
+        HeartbeatConfig(propose_grace=0.001).validate()

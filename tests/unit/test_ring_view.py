@@ -112,3 +112,35 @@ def test_revive_all_filters_to_the_dead():
     assert ring.revive_all((0,)) is ring  # nothing dead in the set
     grown = ring.revive_all((1, 3, 0))
     assert grown.dead == frozenset()
+
+
+def test_epoch_grows_monotonically_through_revivals():
+    """Unlike the historic len(dead) rule, the epoch keeps growing when
+    recovery re-grows the ring, so views never repeat an epoch."""
+    ring = RingView.initial(4)
+    assert ring.epoch == 0
+    shrunk = ring.without(1)
+    assert shrunk.epoch == 1
+    grown = shrunk.revived(1)
+    assert grown.dead == frozenset()
+    assert grown.epoch == 2, "reviving bumps the epoch too"
+    assert grown.with_dead((2, 3)).epoch == 3
+    assert grown.with_dead(()).epoch == 2, "no change, no bump"
+    assert shrunk.revive_all((1,)).epoch == 2
+
+
+def test_at_epoch_replaces_dead_set_wholesale():
+    ring = RingView.initial(4).without(1)
+    adopted = ring.at_epoch(7, dead=(2,))
+    assert adopted.epoch == 7
+    assert adopted.dead == {2}
+    assert adopted.is_alive(1), "adoption replaces, never unions"
+    assert ring.at_epoch(ring.epoch) is ring
+
+
+def test_quorum_is_majority_of_alive():
+    ring = RingView.initial(5)
+    assert ring.quorum == 3
+    assert ring.without(0).quorum == 3
+    assert ring.with_dead((0, 1)).quorum == 2
+    assert RingView.initial(1).quorum == 1

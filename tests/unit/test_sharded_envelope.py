@@ -50,7 +50,7 @@ def test_envelope_write_size_breaks_down_exactly():
     commits = (Tag(1, 0), Tag(2, 1), Tag(3, 2))
     pre = ShardEnvelope(1, PreWrite(Tag(4, 0), value, OpId(9, 6), commits))
     assert pre.payload_bytes() == (
-        4 + BASE_WIRE_BYTES + TAG_WIRE_BYTES + OP_ID_WIRE_BYTES + 4
+        4 + BASE_WIRE_BYTES + TAG_WIRE_BYTES + OP_ID_WIRE_BYTES + 8 + 4
         + len(value) + TAG_WIRE_BYTES * len(commits)
     )
 
