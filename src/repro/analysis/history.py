@@ -24,6 +24,9 @@ class Operation:
     reads.  ``end`` is ``None`` for operations that never completed.
     ``tag`` is the protocol tag observed by the operation when the
     runtime recorded one (used by the fast tag-based checker).
+    ``block`` is the block (register) key for multi-register runs — the
+    sharded store records one so the history can be partitioned and
+    checked per block; single-register runs leave it ``None``.
     """
 
     client: int
@@ -32,6 +35,7 @@ class Operation:
     start: float
     end: Optional[float]
     tag: Optional[object] = None
+    block: Optional[int] = None
 
     @property
     def complete(self) -> bool:
@@ -50,15 +54,19 @@ class History:
     """Collects invocation/response pairs keyed by (client, op)."""
 
     def __init__(self) -> None:
-        self._open: dict[tuple, tuple[float, str, Optional[bytes], int]] = {}
+        self._open: dict[tuple, tuple] = {}
         self.operations: list[Operation] = []
 
-    def invoke(self, time: float, client: int, op, kind: str, value) -> None:
-        """Record an invocation.  ``op`` must be unique per client."""
+    def invoke(self, time: float, client: int, op, kind: str, value, block=None) -> None:
+        """Record an invocation.  ``op`` must be unique per client.
+
+        ``block`` keys the operation to a register in multi-register
+        runs (see :meth:`split_by_block`).
+        """
         key = (client, op)
         if key in self._open:
             raise HistoryError(f"duplicate invocation for {key}")
-        self._open[key] = (time, kind, value, client)
+        self._open[key] = (time, kind, value, client, block)
 
     def respond(self, time: float, client: int, op, value, tag=None) -> None:
         """Record the matching response.
@@ -69,15 +77,32 @@ class History:
         key = (client, op)
         if key not in self._open:
             raise HistoryError(f"response without invocation for {key}")
-        start, kind, written, _client = self._open.pop(key)
+        start, kind, written, _client, block = self._open.pop(key)
         recorded = written if kind == "write" else value
-        self.operations.append(Operation(client, kind, recorded, start, time, tag))
+        self.operations.append(
+            Operation(client, kind, recorded, start, time, tag, block)
+        )
 
     def close(self) -> None:
         """Convert still-open invocations into open operations."""
-        for (client, _op), (start, kind, value, _c) in self._open.items():
-            self.operations.append(Operation(client, kind, value, start, None))
+        for (client, _op), (start, kind, value, _c, block) in self._open.items():
+            self.operations.append(
+                Operation(client, kind, value, start, None, None, block)
+            )
         self._open.clear()
+
+    def split_by_block(self) -> dict[Optional[int], "History"]:
+        """Partition the history by block key.
+
+        Every operation lands in exactly one bucket — the block it was
+        pinned to at invocation, or ``None`` for operations recorded
+        without one.  Blocks are independent registers, so each bucket
+        is a complete register history checkable on its own.
+        """
+        buckets: dict[Optional[int], History] = {}
+        for op in self.operations:
+            buckets.setdefault(op.block, History()).operations.append(op)
+        return buckets
 
     def completed(self) -> list[Operation]:
         return [op for op in self.operations if op.complete]

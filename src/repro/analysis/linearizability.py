@@ -253,7 +253,9 @@ def check_register_history_slow(history: History, initial: bytes = b"") -> Check
     return (True, "linearizable") if ok else (False, "no linearization found")
 
 
-def check_tagged_history(history: History) -> CheckResult:
+def check_tagged_history(
+    history: History, require_full_coverage: bool = False
+) -> CheckResult:
     """O(n log n) atomicity check using recorded protocol tags.
 
     Every completed operation must carry a ``tag`` attribute recorded by
@@ -264,8 +266,22 @@ def check_tagged_history(history: History) -> CheckResult:
     * if ``a`` precedes ``b`` in real time, then ``tag(a) <= tag(b)``,
       strictly when ``b`` is a write (tags are unique per write);
     * all operations sharing a tag observe the same value.
+
+    Completed operations without a tag are skipped — they carry no
+    evidence either way — which makes the check *vacuous* against a
+    runtime that simply forgot to record tags.  Gates that rely on this
+    checker must pass ``require_full_coverage=True``: any completed
+    untagged operation then fails the check outright, and the
+    explanation reports the coverage either way.
     """
-    tagged = [op for op in history.operations if op.complete and op.tag is not None]
+    completed = [op for op in history.operations if op.complete]
+    tagged = [op for op in completed if op.tag is not None]
+    coverage = f"{len(tagged)}/{len(completed)} completed ops tagged"
+    if require_full_coverage and len(tagged) < len(completed):
+        return False, (
+            f"tag coverage incomplete ({coverage}): an untagged operation "
+            "proves nothing and must not pass the gate vacuously"
+        )
     by_tag: dict = {}
     writes_by_tag: dict = {}
     for op in tagged:
@@ -301,4 +317,4 @@ def check_tagged_history(history: History) -> CheckResult:
             return False, (
                 f"write tag {op.tag} was observed before the write started"
             )
-    return True, "linearizable (tag order)"
+    return True, f"linearizable (tag order; {coverage})"

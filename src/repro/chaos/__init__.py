@@ -26,6 +26,7 @@ from repro.chaos.schedule import (
     FAULT_KINDS,
     GENTLE_PROFILE,
     PARTITION_PROFILE,
+    SCALE_PROFILE,
     PROFILES,
     ChaosProfile,
     ChaosSchedule,
@@ -37,6 +38,7 @@ __all__ = [
     "FAULT_KINDS",
     "GENTLE_PROFILE",
     "PARTITION_PROFILE",
+    "SCALE_PROFILE",
     "PROFILES",
     "ChaosProfile",
     "ChaosResult",

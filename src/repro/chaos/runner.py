@@ -16,11 +16,13 @@ anomalies rather than failures.
 
 from __future__ import annotations
 
+import random
 import time
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.analysis.history import History
-from repro.analysis.linearizability import check_register_history
+from repro.analysis.linearizability import check_register_history, check_tagged_history
 from repro.baselines import (
     build_abd_cluster,
     build_chain_cluster,
@@ -31,12 +33,15 @@ from repro.chaos.schedule import (
     CORE_PROFILE,
     GENTLE_PROFILE,
     PARTITION_PROFILE,
+    SCALE_PROFILE,
     PROFILES,
     ChaosProfile,
     ChaosSchedule,
 )
+from repro.core.sharded import ShardedServerHost, add_shard_client
 from repro.errors import ConfigurationError
 from repro.runtime.sim_net import SimCluster
+from repro.sim.rng import derive_seed
 
 
 @dataclass(frozen=True)
@@ -55,8 +60,18 @@ def _build_core(num_servers: int, **kwargs) -> SimCluster:
     return SimCluster.build(num_servers=num_servers, **kwargs)
 
 
+def _build_sharded(num_servers: int, num_blocks: int = 8, **kwargs) -> SimCluster:
+    """A cluster whose servers each host one protocol instance per block."""
+
+    def factory(cluster: SimCluster, server_id: int) -> ShardedServerHost:
+        return ShardedServerHost(cluster, server_id, num_blocks)
+
+    return SimCluster.build(num_servers=num_servers, host_factory=factory, **kwargs)
+
+
 TARGETS: dict[str, ProtocolTarget] = {
     "core": ProtocolTarget("core", _build_core, CORE_PROFILE),
+    "sharded": ProtocolTarget("sharded", _build_sharded, SCALE_PROFILE),
     "abd": ProtocolTarget("abd", build_abd_cluster, GENTLE_PROFILE),
     "chain": ProtocolTarget("chain", build_chain_cluster, GENTLE_PROFILE),
     "tob": ProtocolTarget("tob", build_tob_cluster, GENTLE_PROFILE),
@@ -106,6 +121,12 @@ class ChaosResult:
     #: epoch guard rejected as stale.
     wrong_suspicions: int = 0
     stale_epoch_drops: int = 0
+    #: Sharded runs: how many per-block histories passed the tagged
+    #: gate, and the fraction of completed operations carrying a
+    #: protocol tag (the gate demands 1.0 — an untagged op would make
+    #: the tagged check vacuous, not green).
+    blocks_checked: int = 0
+    tag_coverage: Optional[float] = None
     wall_seconds: float = 0.0
 
     @property
@@ -141,11 +162,17 @@ class ChaosResult:
             if self.wrong_suspicions or self.stale_epoch_drops
             else ""
         )
+        sharded = (
+            f"blocks={self.blocks_checked} "
+            f"tagcov={self.tag_coverage:.3f} "
+            if self.tag_coverage is not None
+            else ""
+        )
         return (
             f"{self.protocol:<5} {self.schedule.describe()} "
             f"done={self.ops_completed} open={self.ops_open} "
             f"failed={self.ops_failed} hit={kinds} "
-            f"rtx={self.retransmits} dup={self.dups_suppressed} {imperfect}"
+            f"rtx={self.retransmits} dup={self.dups_suppressed} {imperfect}{sharded}"
             f"-> {verdict} ({self.wall_seconds:.2f}s)"
         )
 
@@ -163,12 +190,19 @@ def run_schedule(schedule: ChaosSchedule, protocol: str = "core") -> ChaosResult
             f"schedules, got a {schedule.profile!r} one (crashes and message "
             "loss are outside the failure-free baselines' model)"
         )
+    if schedule.num_blocks > 1 and protocol != "sharded":
+        raise ConfigurationError(
+            f"schedule targets {schedule.num_blocks} blocks; only the "
+            "'sharded' protocol hosts a multi-register cluster"
+        )
     profile = PROFILES.get(schedule.profile, target.profile)
     builder_kwargs = {}
     if profile.fd != "perfect":
         # Heartbeat schedules run the imperfect detector (and therefore
         # epoch-guarded quorum-installed views) in the cluster.
         builder_kwargs["fd"] = profile.fd
+    if protocol == "sharded":
+        builder_kwargs["num_blocks"] = schedule.num_blocks
     started = time.perf_counter()
     cluster = target.builder(
         schedule.num_servers,
@@ -183,6 +217,67 @@ def run_schedule(schedule: ChaosSchedule, protocol: str = "core") -> ChaosResult
     # workload demonstrably overlaps every scheduled fault window; the
     # stagger desynchronises clients to maximise read/write concurrency.
     pacing = schedule.workload_span / max(1, schedule.ops_per_client)
+
+    if protocol == "sharded":
+        _spawn_sharded_workload(schedule, cluster, progress, pacing)
+    else:
+        _spawn_register_workload(schedule, cluster, progress, pacing)
+
+    # Faults are applied after the clients exist so client-side links
+    # (partitions isolating clients) resolve to real processes.
+    cluster.apply_faults(schedule.plan)
+
+    scheduler = cluster.env.scheduler
+    while progress["left"] > 0 and cluster.now < schedule.deadline:
+        if not scheduler.step():
+            break  # idle: every remaining operation is permanently stalled
+
+    cluster.history.close()
+    blocks_checked = 0
+    tag_coverage = None
+    if protocol == "sharded":
+        ok, reason, blocks_checked, tag_coverage = _gate_sharded(cluster.history)
+    else:
+        ok, reason = check_register_history(cluster.history)
+
+    counters = cluster.env.trace.counters
+    exercised = {
+        kind
+        for kind, names in _KIND_COUNTERS.items()
+        if any(counters.get(name, 0) > 0 for name in names)
+    }
+    completed = len(cluster.history.completed())
+    total_ops = schedule.num_clients * schedule.ops_per_client
+    # Gentle schedules lose nothing, so every operation must complete;
+    # under the full menu, retry exhaustion may legitimately fail a few
+    # ops, but losing more than half the workload is a liveness bug.
+    # The floor follows the *schedule's* profile: a profile-overridden
+    # run (e.g. a gentle batch against the core protocol) is judged by
+    # what its schedule can lose, not by the target's default menu.
+    required = total_ops if not profile.retries else (total_ops + 1) // 2
+    return ChaosResult(
+        schedule=schedule,
+        protocol=protocol,
+        linearizable=ok,
+        reason=reason if not ok else "",
+        ops_completed=completed,
+        ops_open=len(cluster.history) - completed,
+        ops_failed=progress["failed"],
+        ops_required=required,
+        exercised=exercised,
+        retransmits=counters.get("reliable.retransmits", 0),
+        dups_suppressed=counters.get("reliable.dups_suppressed", 0),
+        wrong_suspicions=counters.get("fd.wrong_suspicions", 0),
+        stale_epoch_drops=counters.get("epoch.stale_dropped", 0),
+        blocks_checked=blocks_checked,
+        tag_coverage=tag_coverage,
+        wall_seconds=time.perf_counter() - started,
+    )
+
+
+def _spawn_register_workload(schedule, cluster, progress, pacing) -> None:
+    """Closed-loop workload over the single register: one client machine
+    per logical client, reads and writes paced across the fault span."""
 
     def spawn(host, kind: str, stagger: float) -> None:
         state = {"seq": 0}
@@ -213,43 +308,88 @@ def run_schedule(schedule: ChaosSchedule, protocol: str = "core") -> ChaosResult
         spawn(cluster.add_client(home_server=i % schedule.num_servers), "read",
               stagger=pacing * (schedule.writers + i) / max(1, num_clients))
 
-    # Faults are applied after the clients exist so client-side links
-    # (partitions isolating clients) resolve to real processes.
-    cluster.apply_faults(schedule.plan)
 
-    scheduler = cluster.env.scheduler
-    while progress["left"] > 0 and cluster.now < schedule.deadline:
-        if not scheduler.step():
-            break  # idle: every remaining operation is permanently stalled
+def _spawn_sharded_workload(schedule, cluster, progress, pacing) -> None:
+    """Benchmark-scale workload over the block store.
 
-    cluster.history.close()
-    ok, reason = check_register_history(cluster.history)
-
-    counters = cluster.env.trace.counters
-    exercised = {
-        kind
-        for kind, names in _KIND_COUNTERS.items()
-        if any(counters.get(name, 0) > 0 for name in names)
-    }
-    completed = len(cluster.history.completed())
-    total_ops = schedule.num_clients * schedule.ops_per_client
-    # Gentle schedules lose nothing, so every operation must complete;
-    # under the full menu, retry exhaustion may legitimately fail a few
-    # ops, but losing more than half the workload is a liveness bug.
-    required = total_ops if not target.profile.retries else (total_ops + 1) // 2
-    return ChaosResult(
-        schedule=schedule,
-        protocol=protocol,
-        linearizable=ok,
-        reason=reason if not ok else "",
-        ops_completed=completed,
-        ops_open=len(cluster.history) - completed,
-        ops_failed=progress["failed"],
-        ops_required=required,
-        exercised=exercised,
-        retransmits=counters.get("reliable.retransmits", 0),
-        dups_suppressed=counters.get("reliable.dups_suppressed", 0),
-        wrong_suspicions=counters.get("fd.wrong_suspicions", 0),
-        stale_epoch_drops=counters.get("epoch.stale_dropped", 0),
-        wall_seconds=time.perf_counter() - started,
+    The paper's methodology scaled out by emulating clients: "the client
+    application can emulate multiple clients... a single writing node can
+    saturate the storage."  Likewise here — ``schedule.client_machines``
+    machines multiplex ``writers + readers`` *logical* clients, each
+    pinned to a home block (round-robin, so every block sees writers and
+    readers) with an occasional deterministic hop to a random block.
+    The hops matter: a logical client that times out mid-hop retries
+    an operation started against one block after its machine has issued
+    traffic to others, which is exactly the envelope mis-routing
+    scenario the per-op block pinning in ShardClientHost guards.
+    """
+    rng = random.Random(
+        derive_seed(schedule.seed, f"chaos.workload.{schedule.profile}.{schedule.index}")
     )
+    machines = [
+        add_shard_client(cluster, home_server=i % schedule.num_servers)
+        for i in range(max(1, schedule.client_machines))
+    ]
+    roles = ["write"] * schedule.writers + ["read"] * schedule.readers
+
+    def spawn(host, vid: int, kind: str, home: int, stagger: float) -> None:
+        state = {"seq": 0}
+
+        def on_complete(result) -> None:
+            if not result.ok:
+                progress["failed"] += 1
+            state["seq"] += 1
+            if state["seq"] >= schedule.ops_per_client:
+                progress["left"] -= 1
+                return
+            cluster.env.scheduler.schedule(pacing, issue)
+
+        def issue() -> None:
+            if rng.random() < 0.2:
+                reg = rng.randrange(schedule.num_blocks)
+            else:
+                reg = home
+            if kind == "write":
+                stamp = b"%d:%d" % (vid, state["seq"])
+                host.write_block(
+                    reg, stamp.ljust(schedule.value_size, b"."),
+                    on_complete, client_id=vid,
+                )
+            else:
+                host.read_block(reg, on_complete, client_id=vid)
+
+        cluster.env.scheduler.schedule(stagger, issue)
+
+    for index, kind in enumerate(roles):
+        host = machines[index % len(machines)]
+        vid = host.add_virtual_client()
+        spawn(host, vid, kind, home=index % schedule.num_blocks,
+              stagger=pacing * index / max(1, len(roles)))
+
+
+def _gate_sharded(history: History) -> tuple[bool, str, int, float]:
+    """Per-block tagged gate: split the history by block key and require
+    every block's history to pass ``check_tagged_history`` at full tag
+    coverage.  Returns ``(ok, reason, blocks_checked, coverage)``."""
+    completed = history.completed()
+    tagged = sum(1 for op in completed if op.tag is not None)
+    coverage = tagged / len(completed) if completed else 1.0
+    per_block = history.split_by_block()
+    orphans = per_block.pop(None, None)
+    if orphans is not None:
+        return (
+            False,
+            f"{len(orphans.operations)} operation(s) recorded without a "
+            "block key cannot be gated",
+            0,
+            coverage,
+        )
+    blocks_checked = 0
+    for block in sorted(per_block):
+        ok, reason = check_tagged_history(
+            per_block[block], require_full_coverage=True
+        )
+        blocks_checked += 1
+        if not ok:
+            return False, f"block {block}: {reason}", blocks_checked, coverage
+    return True, "", blocks_checked, coverage

@@ -7,8 +7,11 @@ are pure data — :mod:`repro.chaos.runner` executes them — and are fully
 determined by ``(seed, index, profile, num_servers)``, so any failing run
 can be replayed bit-identically from its coordinates.
 
-Two generation profiles encode which faults a protocol family can be
-expected to survive:
+The generation profiles encode which faults a protocol family can be
+expected to survive (see also ``PARTITION_PROFILE`` — the imperfect
+heartbeat detector under partition-heavy schedules — and
+``SCALE_PROFILE`` — the sharded ``BlockStore`` at multi-thousand-op
+benchmark scale, gated per block by the tagged checker):
 
 ``CORE_PROFILE``
     The full menu for the paper's ring algorithm: crashes (the paper's
@@ -86,6 +89,16 @@ class ChaosProfile:
     #: Fault kinds the batch gate requires to have demonstrably fired
     #: (empty means the harness-wide default applies).
     required_kinds: tuple[str, ...] = ()
+    #: Benchmark-scale sharded generation: the ``(lo, hi)`` draw range
+    #: for the number of blocks — ``(0, 0)`` means unsharded (one
+    #: register, the default) — and the minimum total operations per
+    #: run.  A sharded profile sizes the workload as *logical* clients
+    #: multiplexed over a few client machines (the paper's "a single
+    #: writing node can saturate the storage") and is gated per block by
+    #: the O(n log n) tagged checker, the only one that survives
+    #: multi-thousand-op histories.
+    blocks: tuple[int, int] = (0, 0)
+    min_total_ops: int = 0
 
 
 CORE_PROFILE = ChaosProfile(
@@ -146,11 +159,39 @@ PARTITION_PROFILE = ChaosProfile(
     required_kinds=("crash", "restart", "partition", "drop", "delay", "duplicate"),
 )
 
+#: Chaos at benchmark scale: the sharded ``BlockStore`` under the core
+#: fault envelope — crashes with restarts, partitions, link loss, delay,
+#: duplication, throttles and pauses — with a multi-thousand-operation
+#: concurrent workload (dozens of logical clients over a handful of
+#: client machines, 8–12 blocks).  Every run is gated per block through
+#: ``check_tagged_history`` at 100% tag coverage: the value-based
+#: checker's search is hopeless on histories this size, so the tagged
+#: checker's O(n log n) claim is what makes the gate affordable — and
+#: the harness proves it load-bearing on every run.  At least one crash
+#: per schedule keeps crash/restart coverage dense enough for a 10-run
+#: acceptance batch.
+SCALE_PROFILE = ChaosProfile(
+    name="scale",
+    crash_weights=(1, 1, 2),
+    p_restart=0.85,
+    p_partition=0.7,
+    p_ring_loss=0.55,
+    p_client_loss=0.6,
+    p_duplicate=0.6,
+    p_delay=0.7,
+    p_throttle=0.4,
+    p_pause=0.4,
+    retries=True,
+    blocks=(8, 12),
+    min_total_ops=5000,
+    required_kinds=("crash", "restart", "partition", "drop", "delay", "duplicate"),
+)
+
 #: Generation profiles by name (the runner maps a schedule's profile
 #: string back to its definition, e.g. to pick the failure detector).
 PROFILES: dict[str, ChaosProfile] = {
     profile.name: profile
-    for profile in (CORE_PROFILE, GENTLE_PROFILE, PARTITION_PROFILE)
+    for profile in (CORE_PROFILE, GENTLE_PROFILE, PARTITION_PROFILE, SCALE_PROFILE)
 }
 
 #: Last instant any fault window may still be open.
@@ -183,6 +224,11 @@ class ChaosSchedule:
     value_size: int
     plan: FaultPlan = field(compare=False)
     config: ProtocolConfig = field(compare=False)
+    #: Sharded runs: number of independent registers (1 = unsharded) and
+    #: the number of client *machines* the logical clients multiplex
+    #: over (0 = one machine per logical client, the unsharded layout).
+    num_blocks: int = 1
+    client_machines: int = 0
     deadline: float = 10.0
     #: Simulated time the workload is paced to span.  Without pacing a
     #: few dozen operations finish in single-digit milliseconds — before
@@ -196,8 +242,9 @@ class ChaosSchedule:
 
     def describe(self) -> str:
         kinds = ",".join(sorted(self.plan.fault_kinds())) or "none"
+        shard = f"blocks={self.num_blocks} " if self.num_blocks > 1 else ""
         return (
-            f"[{self.profile}#{self.index}] servers={self.num_servers} "
+            f"[{self.profile}#{self.index}] servers={self.num_servers} {shard}"
             f"clients={self.writers}w+{self.readers}r ops={self.ops_per_client} "
             f"faults={kinds}"
         )
@@ -212,10 +259,27 @@ def generate_schedule(
     """Draw one randomized schedule, deterministic in all arguments."""
     rng = random.Random(derive_seed(seed, f"chaos.{profile.name}.{index}"))
     servers = [f"s{i}" for i in range(num_servers)]
-    writers = rng.randint(2, 3)
-    readers = rng.randint(2, 4)
-    clients = [f"c{i}" for i in range(writers + readers)]
-    ops_per_client = rng.randint(4, 8)
+    num_blocks = 1
+    client_machines = 0
+    if profile.blocks[0] > 0:
+        # Benchmark scale: 8+ blocks, dozens of *logical* clients spread
+        # over a few client machines, enough operations per client that
+        # the total clears the profile's floor.  Writer and reader
+        # counts start at the block count so round-robin assignment
+        # gives every block at least one writer and one reader — no
+        # block's history is checked vacuously.
+        num_blocks = rng.randint(*profile.blocks)
+        client_machines = rng.randint(3, 4)
+        writers = rng.randint(num_blocks, num_blocks + 8)
+        readers = rng.randint(num_blocks + 4, num_blocks + 16)
+        total_clients = writers + readers
+        ops_per_client = -(-profile.min_total_ops // total_clients) + rng.randint(0, 8)
+        clients = [f"c{i}" for i in range(client_machines)]
+    else:
+        writers = rng.randint(2, 3)
+        readers = rng.randint(2, 4)
+        clients = [f"c{i}" for i in range(writers + readers)]
+        ops_per_client = rng.randint(4, 8)
 
     plan = FaultPlan()
     num_crashes = min(rng.choice(profile.crash_weights), num_servers - 1)
@@ -384,7 +448,12 @@ def generate_schedule(
         writers=writers,
         readers=readers,
         ops_per_client=ops_per_client,
-        value_size=rng.choice((32, 128, 512)),
+        # Scale runs push two orders of magnitude more operations
+        # through the simulator; small values keep wire time (and wall
+        # time) proportionate without changing the protocol surface.
+        value_size=rng.choice((32, 128) if num_blocks > 1 else (32, 128, 512)),
+        num_blocks=num_blocks,
+        client_machines=client_machines,
         plan=plan,
         config=config,
         deadline=round(deadline, 4),

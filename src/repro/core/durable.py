@@ -46,7 +46,10 @@ from repro.errors import ProtocolError
 
 #: Snapshot format version, checked on load so a stale on-disk snapshot
 #: from an incompatible build fails loudly instead of corrupting state.
-SNAPSHOT_VERSION = 1
+#: v2 added ``completed_tags`` (the commit tag behind each client's
+#: completed-op watermark, so a restarted server's dedup acks stay
+#: tag-covered).
+SNAPSHOT_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -68,6 +71,10 @@ class ServerSnapshot:
     #: any stale traffic of its previous incarnation, and its sponsor's
     #: fold-in token (strictly higher epoch) is the only way back in.
     epoch: int = 0
+    #: Commit tag behind each client's max completed seq (when known):
+    #: lets a restarted server ack a deduplicated retry with the real
+    #: committed tag instead of an untagged (coverage-breaking) ack.
+    completed_tags: tuple[tuple[int, Tag], ...] = ()
 
     def to_json(self) -> str:
         """Serialise to a JSON document (the file backend's format)."""
@@ -92,6 +99,10 @@ class ServerSnapshot:
                 ],
                 "reconfig_counter": self.reconfig_counter,
                 "epoch": self.epoch,
+                "completed_tags": [
+                    [client, tag.ts, tag.server_id]
+                    for client, tag in self.completed_tags
+                ],
             }
         )
 
@@ -123,6 +134,10 @@ class ServerSnapshot:
                 ),
                 reconfig_counter=data.get("reconfig_counter", 0),
                 epoch=data.get("epoch", 0),
+                completed_tags=tuple(
+                    (client, Tag(ts, sid))
+                    for client, ts, sid in data.get("completed_tags", [])
+                ),
             )
         except ProtocolError:
             raise

@@ -185,6 +185,13 @@ class ReconfigToken:
     pending: tuple[PendingEntry, ...]
     completed_ops: tuple[tuple[int, int], ...]  # (client, max completed seq)
     revived: tuple[int, ...] = ()
+    #: The commit tag behind each client's max completed seq, where the
+    #: merging servers know it: (client, tag) pairs.  Carried so a server
+    #: that learns of a completion only through the merge can still ack a
+    #: retried duplicate *with* the real committed tag — an untagged ack
+    #: would leave a hole in the tag coverage the benchmark-scale checker
+    #: gates on.
+    completed_tags: tuple[tuple[int, Tag], ...] = ()
 
 
 @dataclass(frozen=True)
@@ -200,6 +207,7 @@ class ReconfigCommit:
     pending: tuple[PendingEntry, ...]
     completed_ops: tuple[tuple[int, int], ...]
     revived: tuple[int, ...] = ()
+    completed_tags: tuple[tuple[int, Tag], ...] = ()
 
 
 @dataclass(frozen=True)
@@ -324,6 +332,8 @@ def payload_size(message: Message) -> int:
             + pending_bytes
             + 4  # completed-ops count
             + OP_ID_WIRE_BYTES * len(message.completed_ops)
+            + 4  # completed-tags count
+            + (8 + TAG_WIRE_BYTES) * len(message.completed_tags)
         )
     if isinstance(message, RejoinRequest):
         return BASE_WIRE_BYTES + 4 + 4 + 8  # server id + generation + epoch

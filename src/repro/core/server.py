@@ -213,6 +213,13 @@ class ServerProtocol:
 
         # Client-op bookkeeping.
         self.completed_ops: dict[int, int] = {}  # client -> max committed seq
+        # The commit tag behind each client's max completed seq, where
+        # this server knows it (it processed the commit, resolved the
+        # write locally, or learned it from a merge).  Lets a
+        # deduplicated retry be acked with the *real* committed tag, so
+        # completions stay tagged even when the original ack was lost —
+        # the benchmark-scale gate requires 100% tag coverage.
+        self.completed_tags: dict[int, Tag] = {}
         self.op_index: dict[OpId, Tag] = {}  # in-flight client write -> tag
         self.ack_waiters: dict[Tag, list[tuple[int, OpId]]] = {}
 
@@ -319,6 +326,7 @@ class ServerProtocol:
             pending=tuple(self.pending[tag] for tag in sorted(self.pending)),
             reconfig_counter=self._reconfig_counter,
             epoch=self.installed_epoch,
+            completed_tags=tuple(sorted(self.completed_tags.items())),
         )
 
     @classmethod
@@ -330,13 +338,16 @@ class ServerProtocol:
         config: Optional[ProtocolConfig] = None,
         durable: Optional[SnapshotStore] = None,
         *,
+        initial_value: bytes = b"",
         alone: bool = False,
         generation: int = 1,
     ) -> "ServerProtocol":
         """Rebuild a server from its durable snapshot after a restart.
 
         ``snapshot`` may be ``None`` (the server crashed before it ever
-        persisted); recovery then starts from initial state.  With
+        persisted); recovery then starts from initial state —
+        ``initial_value`` must match what the server was originally
+        built with, or a pre-populated register would restart empty.  With
         ``alone=False`` the server comes back *rejoining*: paused,
         deferring reads, and announcing itself until a reconfiguration
         commit folds it back into the ring with the merged state.  With
@@ -353,7 +364,11 @@ class ServerProtocol:
             dead = frozenset()
         epoch = snapshot.epoch if snapshot is not None else 0
         proto = cls(
-            server_id, RingView(members, dead, epoch), config, durable=durable
+            server_id,
+            RingView(members, dead, epoch),
+            config,
+            initial_value=initial_value,
+            durable=durable,
         )
         proto.installed_epoch = epoch
         proto.installed_view = proto.ring
@@ -363,6 +378,7 @@ class ServerProtocol:
             proto.ts_seen = snapshot.ts_seen
             proto.watermark = dict(snapshot.watermark)
             proto.completed_ops = dict(snapshot.completed_ops)
+            proto.completed_tags = dict(snapshot.completed_tags)
             proto.pending = {entry.tag: entry for entry in snapshot.pending}
             proto.op_index = {entry.op: entry.tag for entry in snapshot.pending}
             proto._reconfig_counter = snapshot.reconfig_counter
@@ -749,6 +765,7 @@ class ServerProtocol:
             pending=self._pending_snapshot(),
             completed_ops=tuple(sorted(self.completed_ops.items())),
             revived=tuple(sorted(revived)),
+            completed_tags=tuple(sorted(self.completed_tags.items())),
         )
         self.ring = self.installed_view.at_epoch(
             self.installed_epoch + 1, frozenset(proposed_dead)
@@ -871,9 +888,10 @@ class ServerProtocol:
 
     def _on_client_write(self, client: int, message: ClientWrite) -> None:
         op = message.op
-        # Duplicate of a committed write (retry after a lost ack).
+        # Duplicate of a committed write (retry after a lost ack):
+        # carry the committed tag so the completion stays tag-covered.
         if self._op_completed(op):
-            self._reply(client, WriteAck(op))
+            self._reply(client, WriteAck(op, self._completed_tag(op)))
             return
         # Duplicate of an in-flight write: join its ack waiters.
         tag = self.op_index.get(op)
@@ -913,7 +931,7 @@ class ServerProtocol:
         op, value, client = self.write_queue.popleft()
         # A queued duplicate may have completed meanwhile.
         if self._op_completed(op):
-            self._reply(client, WriteAck(op))
+            self._reply(client, WriteAck(op, self._completed_tag(op)))
             return None
         if op in self.op_index:
             self.ack_waiters.setdefault(self.op_index[op], []).append((client, op))
@@ -938,7 +956,7 @@ class ServerProtocol:
             self.watermark.get(self.server_id, 0), new_tag.ts
         )
         self._install(new_tag, value)
-        self._record_completed(op)
+        self._record_completed(op, new_tag)
         self.stats_writes_initiated += 1
         self._reply(client, WriteAck(op, new_tag))
         self._wake_readers()
@@ -966,7 +984,9 @@ class ServerProtocol:
                     del self.op_index[entry.op]
                 self.stats_superseded_dropped += 1
                 for client, waiting_op in self.ack_waiters.pop(tag, ()):
-                    self._reply(client, WriteAck(waiting_op))
+                    self._reply(
+                        client, WriteAck(waiting_op, self._completed_tag(waiting_op))
+                    )
                 self._retarget_read_waiters()
                 return
             if self.op_index.get(entry.op) != tag:
@@ -978,7 +998,7 @@ class ServerProtocol:
                 return
             del self.pending[tag]
             self._install(tag, entry.value)
-            self._record_completed(entry.op)
+            self._record_completed(entry.op, tag)
             self.op_index.pop(entry.op, None)
             self.commit_queue.append(tag)
             self._wake_readers()
@@ -997,7 +1017,9 @@ class ServerProtocol:
                 self.pending.pop(tag, None)
                 self.stats_superseded_dropped += 1
                 for client, waiting_op in self.ack_waiters.pop(tag, ()):
-                    self._reply(client, WriteAck(waiting_op))
+                    self._reply(
+                        client, WriteAck(waiting_op, self._completed_tag(waiting_op))
+                    )
                 self._retarget_read_waiters()
                 return
             lower = self.op_index.get(message.op)
@@ -1010,7 +1032,7 @@ class ServerProtocol:
                 return
             self.pending.pop(tag, None)
             self._install(tag, message.value)
-            self._record_completed(message.op)
+            self._record_completed(message.op, tag)
             self.op_index.pop(message.op, None)
             self.commit_queue.append(tag)
             self._wake_readers()
@@ -1068,7 +1090,7 @@ class ServerProtocol:
         entry = self.pending.pop(tag, None)
         if entry is not None:
             self._install(tag, entry.value)
-            self._record_completed(entry.op)
+            self._record_completed(entry.op, tag)
             self.op_index.pop(entry.op, None)
             self._drop_superseded(entry.op, tag)
         elif tag > self.tag:
@@ -1122,6 +1144,7 @@ class ServerProtocol:
             pending=self._pending_snapshot(),
             completed_ops=tuple(sorted(self.completed_ops.items())),
             revived=tuple(sorted(revived)),
+            completed_tags=tuple(sorted(self.completed_tags.items())),
         )
         self.control_queue.append(token)
 
@@ -1148,14 +1171,26 @@ class ServerProtocol:
         for entry in self._pending_snapshot():
             entries.setdefault(entry.tag, entry)
         completed: dict[int, int] = dict(token.completed_ops)
+        completed_tags: dict[int, Tag] = dict(token.completed_tags)
         for client, seq in self.completed_ops.items():
-            completed[client] = max(completed.get(client, -1), seq)
+            self._advance_completed(
+                completed, completed_tags, client, seq,
+                self.completed_tags.get(client),
+            )
         # A server this token revives must not ride along in the merged
         # dead set via some receiver's stale view.  (In view_quorum mode
         # the receiver's view was wholesale-adopted from the token, so
         # the union adds nothing: the proposed membership is fixed by
         # the coordinator and the token gathers *state*, not exclusions.)
-        dead = (frozenset(token.dead) | self.ring.dead) - frozenset(token.revived)
+        # A *rejoining* merger contributes state but no exclusions: its
+        # dead set is its snapshot's — stale by definition — and any
+        # crash it has witnessed since restarting was witnessed by every
+        # live merger too.  Unioning it in re-excluded members that were
+        # folded back while the rejoiner was down, which diverted the
+        # token's circle around them and deadlocked the ring (two
+        # overlapping crash-recovery cycles were enough to hit this).
+        local_dead = frozenset() if self.rejoining else self.ring.dead
+        dead = (frozenset(token.dead) | local_dead) - frozenset(token.revived)
         return ReconfigToken(
             nonce=token.nonce,
             epoch=max(token.epoch, len(dead)) if not self.config.view_quorum
@@ -1167,6 +1202,7 @@ class ServerProtocol:
             pending=tuple(entries[tag] for tag in sorted(entries)),
             completed_ops=tuple(sorted(completed.items())),
             revived=token.revived,
+            completed_tags=tuple(sorted(completed_tags.items())),
         )
 
     def _on_reconfig_token(self, token: ReconfigToken) -> None:
@@ -1179,6 +1215,15 @@ class ServerProtocol:
             # routing follows the proposed ring from here on.
             self.ring = self.ring.at_epoch(
                 token.epoch, frozenset(token.dead) - frozenset(token.revived)
+            )
+        elif self.rejoining:
+            # Wholesale adoption for a rejoiner: its own dead set is its
+            # snapshot's and must not survive into routing — keeping a
+            # long-since-revived member dead would make this server
+            # forward the token (and every later frame) past it.
+            self.ring = self.ring.at_epoch(
+                max(self.ring.epoch + 1, token.epoch),
+                frozenset(token.dead) - frozenset(token.revived),
             )
         else:
             self.ring = self.ring.with_dead(token.dead).revive_all(token.revived)
@@ -1201,6 +1246,7 @@ class ServerProtocol:
                 pending=final.pending,
                 completed_ops=final.completed_ops,
                 revived=final.revived,
+                completed_tags=final.completed_tags,
             )
             self.control_queue.append(commit)
             if self.config.view_quorum:
@@ -1320,7 +1366,15 @@ class ServerProtocol:
             self.control_queue.append(commit)
             self._resume()
             return
-        self.ring = self.ring.with_dead(commit.dead).revive_all(commit.revived)
+        if self.rejoining:
+            # Same wholesale adoption as the token path: the commit's
+            # membership replaces the rejoiner's stale snapshot view.
+            self.ring = self.ring.at_epoch(
+                max(self.ring.epoch + 1, commit.epoch),
+                frozenset(commit.dead) - frozenset(commit.revived),
+            )
+        else:
+            self.ring = self.ring.with_dead(commit.dead).revive_all(commit.revived)
         if commit.coordinator == self.server_id:
             return  # full circle; applied when created
         key = (commit.coordinator, -commit.nonce)
@@ -1366,9 +1420,12 @@ class ServerProtocol:
         self._note_tag(commit.tag)
         if commit.tag > self.tag:
             self._install(commit.tag, commit.value)
+        merged_tags = dict(commit.completed_tags)
         for client, seq in commit.completed_ops:
-            if self.completed_ops.get(client, -1) < seq:
-                self.completed_ops[client] = seq
+            self._advance_completed(
+                self.completed_ops, self.completed_tags, client, seq,
+                merged_tags.get(client),
+            )
         # The merged pending set replaces local pending and every queued
         # pre-write (their tags are all in the merged set by construction).
         self.fair.drain()
@@ -1414,7 +1471,7 @@ class ServerProtocol:
             ]
             for client, op in waiting:
                 if self._op_completed(op):
-                    self._reply(client, WriteAck(op))
+                    self._reply(client, WriteAck(op, self._completed_tag(op)))
             if remaining:
                 self.ack_waiters[tag] = remaining
             else:
@@ -1520,14 +1577,14 @@ class ServerProtocol:
                 # waiters, but do not install a superseded value.
                 self.stats_superseded_dropped += 1
                 for client, op in self.ack_waiters.pop(tag, ()):
-                    self._reply(client, WriteAck(op))
+                    self._reply(client, WriteAck(op, self._completed_tag(op)))
                 continue
             self.watermark[tag.server_id] = max(
                 self.watermark.get(tag.server_id, 0), tag.ts
             )
             self._mark_dirty()
             self._install(tag, entry.value)
-            self._record_completed(entry.op)
+            self._record_completed(entry.op, tag)
             self.op_index.pop(entry.op, None)
             for client, op in self.ack_waiters.pop(tag, ()):
                 self._reply(client, WriteAck(op, tag))
@@ -1544,7 +1601,7 @@ class ServerProtocol:
         queued, self.write_queue = self.write_queue, deque()
         for op, value, client in queued:
             if self._op_completed(op):
-                self._reply(client, WriteAck(op))
+                self._reply(client, WriteAck(op, self._completed_tag(op)))
             else:
                 self._commit_locally(op, value, client)
 
@@ -1593,9 +1650,38 @@ class ServerProtocol:
         """True when ``tag`` is already committed here (duplicate filter)."""
         return tag.ts <= self.watermark.get(tag.server_id, 0)
 
-    def _record_completed(self, op: OpId) -> None:
-        if self.completed_ops.get(op.client, -1) < op.seq:
-            self.completed_ops[op.client] = op.seq
+    @staticmethod
+    def _advance_completed(
+        seqs: dict, tags: dict, client: int, seq: int, tag: Optional[Tag]
+    ) -> bool:
+        """Advance one client's (completed-seq, completed-tag) watermark
+        pair; returns whether anything changed.
+
+        The tag slot always describes the *max* seq: advancing past it
+        replaces the tag — or pops it when the new op's tag is unknown,
+        so the previous op's tag can never masquerade as the new one's —
+        and a seq tie only backfills an empty slot.  Every path that
+        learns of completions (local commits, the reconfiguration token
+        merge, commit application) goes through here, so the invariant
+        lives in one place.
+        """
+        recorded = seqs.get(client, -1)
+        if seq > recorded:
+            seqs[client] = seq
+            if tag is not None:
+                tags[client] = tag
+            else:
+                tags.pop(client, None)
+            return True
+        if seq == recorded and tag is not None and client not in tags:
+            tags[client] = tag
+            return True
+        return False
+
+    def _record_completed(self, op: OpId, tag: Optional[Tag] = None) -> None:
+        if self._advance_completed(
+            self.completed_ops, self.completed_tags, op.client, op.seq, tag
+        ):
             self._mark_dirty()
 
     def _op_completed(self, op: OpId) -> bool:
@@ -1603,6 +1689,18 @@ class ServerProtocol:
         Clients run one operation at a time with monotone sequence
         numbers, so the per-client watermark answers exactly this."""
         return self.completed_ops.get(op.client, -1) >= op.seq
+
+    def _completed_tag(self, op: OpId) -> Optional[Tag]:
+        """The tag ``op`` committed under, if this server knows it.
+
+        Only the client's *latest* completed operation is remembered —
+        a client retries only its one in-flight op, so that is the only
+        seq a dedup ack can be for.  ``None`` for older seqs (the client
+        has long since moved on and discards such acks) or when the
+        completion was learned without its tag."""
+        if self.completed_ops.get(op.client, -1) == op.seq:
+            return self.completed_tags.get(op.client)
+        return None
 
     def _note_tag(self, tag: Tag) -> None:
         """Track the highest timestamp ever seen (duplicates included)."""

@@ -12,14 +12,24 @@ Every ring and client-request message is wrapped in a
 round-robins across the blocks' protocol instances, so blocks share the
 wire fairly.  Because blocks are independent registers, per-block
 operations retain the single-register atomicity guarantees.
+
+The sharded hosts participate fully in the cluster's fault machinery:
+each block's protocol persists a durable snapshot, a crashed server
+restarts from the per-block stores and rejoins every block's ring
+(:meth:`ShardedServerHost.restart`), and under ``fd="heartbeat"`` every
+block runs the epoch-guarded quorum-installed view discipline —
+suspicion, stale-epoch fencing and reconfiguration tokens all travel in
+:class:`ShardEnvelope`\\ s like any other ring traffic.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
-from repro.core.messages import payload_size
+from repro.core.durable import MemorySnapshotStore
+from repro.core.messages import OpId, payload_size
 from repro.core.server import ServerProtocol
 from repro.errors import ConfigurationError, StorageUnavailableError
 from repro.runtime.sim_net import ClientHost, HostBase, OutLoop, SimCluster
@@ -42,19 +52,31 @@ class ShardedServerHost(HostBase):
     def __init__(self, cluster: SimCluster, server_id: int, num_blocks: int):
         super().__init__(cluster, f"s{server_id}")
         self.server_id = server_id
+        #: Per-block durable snapshot stores — this machine's "disk".
+        #: They live on the host (not the protocols) because the host
+        #: object models the machine across crash/restart cycles: the
+        #: protocol instances are volatile and rebuilt by :meth:`restart`,
+        #: the stores survive.
+        self._stores: dict[int, MemorySnapshotStore] = {
+            reg: MemorySnapshotStore() for reg in range(num_blocks)
+        }
         self.protos: dict[int, ServerProtocol] = {
             reg: ServerProtocol(
                 server_id,
                 cluster.ring,
                 cluster.config.protocol,
                 initial_value=cluster.config.initial_value,
+                durable=self._stores[reg],
             )
             for reg in range(num_blocks)
         }
         self._ring_rr = 0
-        from collections import deque
-
-        self._reply_queue = deque()
+        self._reply_queue: deque = deque()
+        #: Generation of the running rejoin-announcement pump, if any
+        #: (see :meth:`SimCluster.begin_rejoin`).
+        self._rejoin_pump_gen: Optional[int] = None
+        #: Last-mirrored protocol stats, for trace-counter deltas.
+        self._mirrored_stats: dict[str, int] = {}
         nics = cluster.topo.nics[self.name]
         if cluster.config.topology == "dual":
             self.nic_ring = nics["srv"]
@@ -67,6 +89,11 @@ class ShardedServerHost(HostBase):
             self.nic_client = nic
             self._loops.append(OutLoop(self, nic, [self._ring_source, self._reply_source]))
 
+    def all_protos(self) -> list[ServerProtocol]:
+        """Every block's protocol instance (cluster machinery iterates
+        these for rejoin pumps, reconcile timers and stat mirroring)."""
+        return list(self.protos.values())
+
     # -- inbound ------------------------------------------------------
 
     def receive_ring(self, envelope: ShardEnvelope, sender=None) -> None:
@@ -74,6 +101,7 @@ class ShardedServerHost(HostBase):
             return
         proto = self.protos[envelope.reg]
         self._post(proto.on_ring_message(envelope.inner, sender))
+        self.cluster.after_protocol_step(self)
 
     def receive_client(self, client_id: int, envelope: ShardEnvelope) -> None:
         if not self.alive:
@@ -87,14 +115,81 @@ class ShardedServerHost(HostBase):
         for proto in self.protos.values():
             self._post(proto.on_server_crash(crashed_id))
 
+    def notify_suspect(self, peer: int) -> None:
+        """Imperfect-detector suspicion (may be wrong): every block's
+        register pauses behind the same server-level suspicion."""
+        if not self.alive:
+            return
+        for proto in self.protos.values():
+            self._post(proto.on_suspect(peer))
+        self.cluster.after_protocol_step(self)
+
+    def notify_unsuspect(self, peer: int) -> None:
+        """A suspected peer's heartbeat arrived: suspicion withdrawn."""
+        if not self.alive:
+            return
+        for proto in self.protos.values():
+            self._post(proto.on_unsuspect(peer))
+        self.cluster.after_protocol_step(self)
+
+    # -- restart (crash recovery) --------------------------------------
+
+    def restart(self) -> None:
+        """Restart this server from its per-block durable snapshots.
+
+        Mirrors :meth:`ServerHost.restart`: volatile state — the protocol
+        instances, the reply queue, NIC queues (purged at crash) — is
+        gone; each block's protocol is rebuilt from its snapshot store,
+        the reliable channels re-open (a restart is a new connection on
+        every link) and one rejoin pump drives every still-rejoining
+        block until reconfiguration commits fold the server back in.
+        """
+        if self._alive:
+            return
+        self.cluster.reopen_server(self.server_id)
+        super().restart()
+        self._reply_queue.clear()
+        self._ring_rr = 0
+        self._rejoin_pump_gen = None
+        self._mirrored_stats = {}
+        alone = self.cluster.restart_resumes_alone(self.server_id)
+        self.protos = {
+            reg: ServerProtocol.restore(
+                self.server_id,
+                range(self.cluster.config.num_servers),
+                store.load(),
+                self.cluster.config.protocol,
+                durable=store,
+                initial_value=self.cluster.config.initial_value,
+                alone=alone,
+                generation=self.restarts,
+            )
+            for reg, store in self._stores.items()
+        }
+        if self.cluster.hb is not None:
+            self.cluster.hb.reset_server(self.server_id)
+        self.cluster.begin_rejoin(self)
+        self.kick()
+
     # -- outbound -------------------------------------------------------
 
     def _ring_source(self):
-        """Round-robin the ring link across blocks with pending work."""
+        """Round-robin the ring link across blocks with pending work.
+
+        Directed out-of-ring-order traffic (rejoin announcements,
+        stale-epoch notices, view-proposal tokens) takes priority within
+        a block's slot, exactly as on the unsharded host — without it a
+        restarted sharded server could never announce itself.
+        """
         num_blocks = len(self.protos)
         for offset in range(num_blocks):
             reg = (self._ring_rr + offset) % num_blocks
             proto = self.protos[reg]
+            directed = proto.next_directed_message()
+            if directed is not None:
+                destination, message = directed
+                self._ring_rr = (reg + 1) % num_blocks
+                return (f"s{destination}", ShardEnvelope(reg, message), "ring")
             message = proto.next_ring_message()
             if message is not None:
                 self._ring_rr = (reg + 1) % num_blocks
@@ -102,13 +197,15 @@ class ShardedServerHost(HostBase):
         return None
 
     def _reply_source(self):
-        if not self._reply_queue:
-            return None
-        reply = self._reply_queue.popleft()
-        machine = self.cluster.client_name(reply.client)
-        if machine is None:
-            return self._reply_source()
-        return (machine, reply.message, "reply")
+        # Iterative on purpose: a burst of replies addressed to departed
+        # clients must be skipped in a loop — one recursive call per
+        # stale entry blew the stack on large backlogs.
+        while self._reply_queue:
+            reply = self._reply_queue.popleft()
+            machine = self.cluster.client_name(reply.client)
+            if machine is not None:
+                return (machine, reply.message, "reply")
+        return None
 
     def _post(self, replies) -> None:
         self._reply_queue.extend(replies)
@@ -116,24 +213,75 @@ class ShardedServerHost(HostBase):
 
 
 class ShardClientHost(ClientHost):
-    """A client machine that targets a specific block per operation."""
+    """A client machine whose logical clients target a block per op.
+
+    The block index is pinned **per operation** when it starts
+    (:meth:`_bind_block`), so a timeout retransmit re-wraps with the
+    originating operation's block even if this machine has since issued
+    operations against other blocks.  (The original implementation kept
+    one machine-wide "current block" read again at retransmit time,
+    which routed a delayed retry into whatever block a concurrent
+    logical client had switched to — corrupting a neighbouring
+    register; see the regression test in
+    ``tests/integration/test_sharded.py``.)
+    """
 
     def __init__(self, cluster, client_id, servers, config):
         super().__init__(cluster, client_id, servers, config)
-        self._current_reg = 0
+        #: Block for the *next* operation, per logical client — consumed
+        #: by :meth:`_bind_block` the moment the operation starts.
+        self._pending_block: dict[int, int] = {}
+        #: In-flight operation -> its pinned block.
+        self._op_blocks: dict[OpId, int] = {}
+        #: Last bound op per logical client (each logical client has at
+        #: most one in flight, so binding a new op retires the old
+        #: entry — the map stays bounded by the client count).
+        self._last_op: dict[int, OpId] = {}
 
     def write_block(
         self, reg: int, value: bytes, callback: Callable, client_id: Optional[int] = None
     ):
-        self._current_reg = reg
+        self._pending_block[self._logical(client_id)] = reg
         return self.write(value, callback, client_id=client_id)
 
     def read_block(self, reg: int, callback: Callable, client_id: Optional[int] = None):
-        self._current_reg = reg
+        self._pending_block[self._logical(client_id)] = reg
         return self.read(callback, client_id=client_id)
 
+    def abort_op(self, client_id: Optional[int] = None):
+        op = super().abort_op(client_id)
+        if op is not None:
+            self._op_blocks.pop(op, None)
+            if self._last_op.get(op.client) == op:
+                del self._last_op[op.client]
+        return op
+
+    def _logical(self, client_id: Optional[int]) -> int:
+        return self.client_id if client_id is None else client_id
+
+    def _bind_block(self, op: OpId) -> int:
+        reg = self._pending_block.pop(op.client, 0)
+        previous = self._last_op.get(op.client)
+        if previous is not None:
+            self._op_blocks.pop(previous, None)
+        self._last_op[op.client] = op
+        self._op_blocks[op] = reg
+        return reg
+
     def _wrap_request(self, message):
-        return ShardEnvelope(self._current_reg, message)
+        return ShardEnvelope(self._op_blocks[message.op], message)
+
+
+def add_shard_client(
+    cluster: SimCluster, home_server: Optional[int] = None
+) -> ShardClientHost:
+    """Attach a new sharded client machine to the client network.
+
+    :meth:`SimCluster.add_client` with a :class:`ShardClientHost`;
+    ``home_server`` binds the machine to a server and retries walk the
+    ring from there.
+    """
+    return cluster.add_client(home_server=home_server, host_cls=ShardClientHost)
 
 
 class BlockStore:
@@ -149,7 +297,7 @@ class BlockStore:
     def __init__(self, cluster: SimCluster, num_blocks: int):
         self.cluster = cluster
         self.num_blocks = num_blocks
-        self._client = self._make_client()
+        self._client = add_shard_client(cluster)
 
     @classmethod
     def build(
@@ -165,20 +313,6 @@ class BlockStore:
             num_servers=num_servers, seed=seed, host_factory=factory, **kwargs
         )
         return cls(cluster, num_blocks)
-
-    def _make_client(self) -> ShardClientHost:
-        cluster = self.cluster
-        client_id = cluster._next_client_id
-        cluster._next_client_id += 1
-        name = f"c{client_id}"
-        nets = ["cli"] if cluster.config.topology == "dual" else ["lan"]
-        cluster.topo.add_process(name, nets, cluster.config.bandwidth_bps)
-        host = ShardClientHost(
-            cluster, client_id, sorted(cluster.servers), cluster.config.protocol
-        )
-        cluster.clients[client_id] = host
-        cluster._host_by_client_id[client_id] = host
-        return host
 
     def _check_block(self, index: int) -> None:
         if not 0 <= index < self.num_blocks:

@@ -236,6 +236,12 @@ class ServerHost(_HostBase):
                 _OutLoop(self, nic, [self._ring_source, self._reply_source])
             )
 
+    def all_protos(self) -> list[ServerProtocol]:
+        """Uniform surface shared with the sharded host (one protocol
+        instance per block there): the cluster's rejoin pump, reconcile
+        timers and stat mirroring iterate this instead of ``.proto``."""
+        return [self.proto]
+
     # -- inbound ------------------------------------------------------
 
     def receive_ring(self, message, sender: Optional[int] = None) -> None:
@@ -389,7 +395,8 @@ class ClientHost(_HostBase):
         proto = self._proto(client_id)
         op, effects = proto.start_write(value)
         self._callbacks[op] = callback
-        self.cluster.record_invoke(proto.client_id, op, "write", value)
+        block = self._bind_block(op)
+        self.cluster.record_invoke(proto.client_id, op, "write", value, block)
         self._execute(proto, effects)
         return op
 
@@ -402,20 +409,32 @@ class ClientHost(_HostBase):
         proto = self._proto(client_id)
         op, effects = proto.start_read()
         self._callbacks[op] = callback
-        self.cluster.record_invoke(proto.client_id, op, "read", None)
+        block = self._bind_block(op)
+        self.cluster.record_invoke(proto.client_id, op, "read", None, block)
         self._execute(proto, effects)
         return op
 
-    def abort_op(self, client_id: Optional[int] = None) -> None:
+    def abort_op(self, client_id: Optional[int] = None) -> Optional[OpId]:
         """Abandon a logical client's in-flight operation (if any):
         reset the protocol's op state, disarm its timer and drop its
         completion callback.  Used by blocking wrappers that give up on
-        an operation the simulation can no longer complete."""
+        an operation the simulation can no longer complete.  Returns the
+        abandoned op id (subclasses clean their own per-op state)."""
         proto = self._proto(client_id)
         op = proto.abandon()
         if op is not None:
             self._cancel_timer(proto.client_id, op.seq)
             self._callbacks.pop(op, None)
+        return op
+
+    def _bind_block(self, op: OpId) -> Optional[int]:
+        """Hook: pin the block an operation targets at start time.
+
+        The base register has no blocks; the sharded client host
+        overrides this (the pin is what keeps a timeout retransmit in
+        the originating op's block) and the returned key lands in the
+        recorded history for per-block checking."""
+        return None
 
     # -- inbound ---------------------------------------------------------
 
@@ -889,11 +908,15 @@ class SimCluster:
             host_factory=host_factory,
         )
 
-    def add_client(self, home_server: Optional[int] = None) -> ClientHost:
+    def add_client(
+        self, home_server: Optional[int] = None, host_cls: type = ClientHost
+    ) -> ClientHost:
         """Attach a new client machine to the client network.
 
         ``home_server`` binds the client to a server (the paper dedicates
         client machines per server); retries walk the ring from there.
+        ``host_cls`` lets variants substitute their client host class
+        (the sharded store attaches a :class:`ShardClientHost`).
         """
         client_id = self._next_client_id
         self._next_client_id += 1
@@ -906,7 +929,7 @@ class SimCluster:
                 raise ConfigurationError(f"unknown home server {home_server}")
             index = order.index(home_server)
             order = order[index:] + order[:index]
-        host = ClientHost(self, client_id, order, self.config.protocol)
+        host = host_cls(self, client_id, order, self.config.protocol)
         self.clients[client_id] = host
         self._host_by_client_id[client_id] = host
         return host
@@ -1071,8 +1094,8 @@ class SimCluster:
         if self.reliable is not None:
             self.reliable.reopen_peer(f"s{server_id}")
 
-    def restore_server_protocol(self, server_id: int, generation: int) -> ServerProtocol:
-        """Rebuild a server's protocol from its durable snapshot.
+    def restart_resumes_alone(self, server_id: int) -> bool:
+        """Whether a restarting server may resume without a rejoin.
 
         With the perfect detector, "no other host is alive" is a fact
         the runtime may consult, and a sole survivor restarts straight
@@ -1081,42 +1104,50 @@ class SimCluster:
         whole cluster) — silence could be a partition, and resuming
         alone without quorum evidence would fork the register.
         """
-        store = self.durable_stores.setdefault(server_id, MemorySnapshotStore())
         if self.config.fd == "heartbeat":
-            alone = self.config.num_servers == 1
-        else:
-            alone = not any(
-                sid != server_id and host.alive for sid, host in self.servers.items()
-            )
+            return self.config.num_servers == 1
+        return not any(
+            sid != server_id and host.alive for sid, host in self.servers.items()
+        )
+
+    def restore_server_protocol(self, server_id: int, generation: int) -> ServerProtocol:
+        """Rebuild a server's protocol from its durable snapshot."""
+        store = self.durable_stores.setdefault(server_id, MemorySnapshotStore())
         return ServerProtocol.restore(
             server_id,
             range(self.config.num_servers),
             store.load(),
             self.config.protocol,
             durable=store,
-            alone=alone,
+            initial_value=self.config.initial_value,
+            alone=self.restart_resumes_alone(server_id),
             generation=generation,
         )
 
-    def begin_rejoin(self, host: "ServerHost") -> None:
+    def begin_rejoin(self, host) -> None:
         """Drive the rejoin announcements for a rejoining server.
 
         Started after a restart, and — under the imperfect detector —
         when a live server demoted by a :class:`StaleEpochNotice` must
         announce itself back in.  At most one pump runs per host
-        incarnation (``host.restarts``).
+        incarnation (``host.restarts``); on a sharded host the one pump
+        announces for every still-rejoining block.
         """
-        if host.proto.rejoining and host._rejoin_pump_gen != host.restarts:
+        if host._rejoin_pump_gen != host.restarts and any(
+            proto.rejoining for proto in host.all_protos()
+        ):
             host._rejoin_pump_gen = host.restarts
             self._pump_rejoin(host, host.restarts, 0)
 
-    def _pump_rejoin(self, host: "ServerHost", generation: int, attempt: int) -> None:
+    def _pump_rejoin(self, host, generation: int, attempt: int) -> None:
         """Announce (and re-announce, with backoff, round-robining over
-        sponsors) until a reconfiguration commit resumes the rejoiner."""
+        sponsors) until a reconfiguration commit resumes the rejoiner —
+        per protocol instance: on a sharded host each block folds back
+        independently and the pump retires when the last one clears."""
         if not host.alive or host.restarts != generation:
             return  # crashed again; a future restart drives its own pump
-        proto = host.proto
-        if not proto.rejoining:
+        pending = [proto for proto in host.all_protos() if proto.rejoining]
+        if not pending:
             host._rejoin_pump_gen = None  # folded back in; pump retired
             return
         if self.hb is not None:
@@ -1136,11 +1167,14 @@ class SimCluster:
             if not sponsors:
                 # Nobody to rejoin: the restarted server *is* the ring,
                 # and its recovered pending writes resolve locally.
-                proto.complete_rejoin_alone()
-                host._post(proto.drain_replies())
+                for proto in pending:
+                    proto.complete_rejoin_alone()
+                    host._post(proto.drain_replies())
                 host._rejoin_pump_gen = None
                 return
-        proto.queue_rejoin_announce(sponsors[attempt % len(sponsors)])
+        sponsor = sponsors[attempt % len(sponsors)]
+        for proto in pending:
+            proto.queue_rejoin_announce(sponsor)
         host.kick()
         delay = min(REJOIN_RETRY_INITIAL * (2 ** attempt), REJOIN_RETRY_MAX)
         self.env.scheduler.schedule(delay, self._pump_rejoin, host, generation, attempt + 1)
@@ -1149,27 +1183,28 @@ class SimCluster:
     # Imperfect failure detector plumbing (fd="heartbeat")
     # ------------------------------------------------------------------
 
-    def after_protocol_step(self, host: "ServerHost") -> None:
+    def after_protocol_step(self, host) -> None:
         """Post-handler hook: reconciliation timers, rejoin pumps and
         trace mirroring for the epoch-guarded mode.  No-op under the
-        perfect detector."""
+        perfect detector.  Iterates ``host.all_protos()``: one protocol
+        on a plain server, one per block on a sharded host."""
         if self.hb is None:
             return
-        proto = host.proto
         self._mirror_stat(host, "stats_stale_epoch_dropped", "epoch.stale_dropped")
         self._mirror_stat(host, "stats_quorum_stalls", "epoch.quorum_stalls")
         self._mirror_stat(
             host, "stats_epoch_rejected_reconfigs", "epoch.rejected_reconfigs"
         )
         self._mirror_stat(host, "stats_confirm_reconfigs", "epoch.confirms")
-        if proto.reconcile_due:
-            proto.reconcile_due = False
-            self._schedule_reconcile(host)
-        if proto.rejoining:
+        for proto in host.all_protos():
+            if proto.reconcile_due:
+                proto.reconcile_due = False
+                self._schedule_reconcile(host)
+        if any(proto.rejoining for proto in host.all_protos()):
             self.begin_rejoin(host)
 
-    def _mirror_stat(self, host: "ServerHost", stat: str, counter: str) -> None:
-        value = getattr(host.proto, stat)
+    def _mirror_stat(self, host, stat: str, counter: str) -> None:
+        value = sum(getattr(proto, stat) for proto in host.all_protos())
         delta = value - host._mirrored_stats.get(stat, 0)
         if delta > 0:
             self.env.trace.count(counter, delta)
@@ -1196,16 +1231,19 @@ class SimCluster:
             generation,
         )
 
-    def _fire_reconcile(self, host: "ServerHost", generation: int) -> None:
+    def _fire_reconcile(self, host, generation: int) -> None:
         self._reconcile_timers[host.server_id] = False
         if not host.alive or host.restarts != generation:
             return
-        host._post(host.proto.propose_reconfig())
+        for proto in host.all_protos():
+            host._post(proto.propose_reconfig())
         self.after_protocol_step(host)
         host.kick()
-        proto = host.proto
-        if proto.paused and not proto.rejoining and (
-            proto._suspicion_paused or proto._attempt_nonce is not None
+        if any(
+            proto.paused and not proto.rejoining and (
+                proto._suspicion_paused or proto._attempt_nonce is not None
+            )
+            for proto in host.all_protos()
         ):
             # Watchdog: an attempt can die silently (its token rejected
             # at a peer whose promise pointed at a coordinator that has
@@ -1240,9 +1278,11 @@ class SimCluster:
     # History hooks (filled in by the workload/bench layers)
     # ------------------------------------------------------------------
 
-    def record_invoke(self, client_id: int, op: OpId, kind: str, value) -> None:
+    def record_invoke(
+        self, client_id: int, op: OpId, kind: str, value, block: Optional[int] = None
+    ) -> None:
         if self.history is not None:
-            self.history.invoke(self.env.now, client_id, op, kind, value)
+            self.history.invoke(self.env.now, client_id, op, kind, value, block=block)
 
     def record_response(self, client_id: int, op: OpId, result: OpResult) -> None:
         if self.history is not None:

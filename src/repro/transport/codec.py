@@ -227,6 +227,10 @@ def _encode_reconfig(message) -> bytes:
     parts.append(struct.pack(">I", len(message.completed_ops)))
     for client, seq in message.completed_ops:
         parts.append(struct.pack(">qi", client, seq))
+    parts.append(struct.pack(">I", len(message.completed_tags)))
+    for client, tag in message.completed_tags:
+        parts.append(struct.pack(">q", client))
+        parts.append(_tag_bytes(tag))
     return b"".join(parts)
 
 
@@ -268,6 +272,14 @@ def _decode_reconfig(cls, body: memoryview):
         client, seq = struct.unpack_from(">qi", body, offset)
         completed.append((client, seq))
         offset += struct.calcsize(">qi")
+    (tagged_count,) = struct.unpack_from(">I", body, offset)
+    offset += 4
+    completed_tags = []
+    for _ in range(tagged_count):
+        (client,) = struct.unpack_from(">q", body, offset)
+        offset += 8
+        client_tag, offset = _read_tag(body, offset)
+        completed_tags.append((client, client_tag))
     return cls(
         nonce=nonce,
         epoch=epoch,
@@ -278,4 +290,5 @@ def _decode_reconfig(cls, body: memoryview):
         pending=tuple(pending),
         completed_ops=tuple(completed),
         revived=tuple(revived),
+        completed_tags=tuple(completed_tags),
     )

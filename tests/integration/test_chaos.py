@@ -260,3 +260,13 @@ def test_partition_profile_mixes_hold_and_drop_modes():
         schedule = generate_schedule(0, index, 4, PARTITION_PROFILE)
         modes |= {p.mode for p in schedule.plan.partitions}
     assert modes == {"hold", "drop"}
+
+
+def test_required_ops_floor_follows_the_schedules_profile():
+    """The liveness floor is the *schedule's*: a loss-free gentle batch
+    run against the core protocol must require every operation to
+    complete, not inherit the core profile's lossy half-floor."""
+    schedule = generate_schedule(seed=1, index=0, profile=GENTLE_PROFILE)
+    result = run_schedule(schedule, "core")
+    assert result.ops_required == schedule.num_clients * schedule.ops_per_client
+    assert result.ok, result.describe()

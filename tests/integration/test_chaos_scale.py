@@ -1,0 +1,114 @@
+"""Chaos at benchmark scale: the sharded block store under the core
+fault envelope, gated per block by the tagged checker.
+
+These pin the acceptance behaviour of ``--profile scale``: schedules are
+benchmark-sized (8+ blocks, thousands of operations), runs are gated
+through ``check_tagged_history`` per block at 100% tag coverage, and the
+gate is *not* vacuous — untagged completions and blockless operations
+fail it.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.history import History, Operation
+from repro.chaos import PROFILES, SCALE_PROFILE, generate_schedule, run_schedule
+from repro.chaos.runner import _gate_sharded
+from repro.core.tags import Tag
+from repro.errors import ConfigurationError
+
+
+def test_scale_profile_schedules_are_benchmark_sized():
+    assert PROFILES["scale"] is SCALE_PROFILE
+    assert SCALE_PROFILE.fd == "perfect", "scale runs the core fault envelope"
+    for index in range(10):
+        schedule = generate_schedule(0, index, 4, SCALE_PROFILE)
+        assert schedule.num_blocks >= 8
+        assert schedule.num_clients * schedule.ops_per_client >= 5000
+        assert schedule.client_machines >= 1
+        assert schedule.plan.crashes, "every scale schedule crashes a server"
+        # Round-robin home assignment covers every block with writers
+        # and readers, so no per-block history is checked vacuously.
+        assert schedule.writers >= schedule.num_blocks
+        assert schedule.readers >= schedule.num_blocks
+
+
+def test_scale_run_gates_every_block_at_full_coverage():
+    """A shrunken scale run (same machinery, smaller totals, for suite
+    speed): passes, checks every block, and proves 100% tag coverage."""
+    base = generate_schedule(0, 0, 4, SCALE_PROFILE)
+    small = dataclasses.replace(base, writers=4, readers=6, ops_per_client=12)
+    result = run_schedule(small, "sharded")
+    assert result.ok, result.describe()
+    assert result.blocks_checked == small.num_blocks
+    assert result.tag_coverage == 1.0
+    assert result.ops_completed > 0
+
+
+def test_sharded_schedules_rejected_for_single_register_protocols():
+    schedule = generate_schedule(0, 0, 4, SCALE_PROFILE)
+    with pytest.raises(ConfigurationError):
+        run_schedule(schedule, "core")
+
+
+def test_sharded_gate_fails_on_untagged_completion():
+    """The vacuous-pass hazard, end to end: one completed untagged op
+    fails its block's gate even though the tag order alone is clean."""
+    history = History.of([
+        Operation(1, "write", b"a", 0, 1, tag=Tag(1, 0), block=0),
+        Operation(2, "read", b"a", 2, 3, tag=None, block=0),
+        Operation(3, "write", b"b", 0, 1, tag=Tag(1, 0), block=1),
+    ])
+    ok, reason, blocks_checked, coverage = _gate_sharded(history)
+    assert not ok
+    assert "block 0" in reason and "coverage" in reason
+    assert coverage == pytest.approx(2 / 3)
+
+
+def test_sharded_gate_fails_on_blockless_operation():
+    history = History.of([
+        Operation(1, "write", b"a", 0, 1, tag=Tag(1, 0), block=None),
+    ])
+    ok, reason, blocks_checked, coverage = _gate_sharded(history)
+    assert not ok and "block key" in reason
+
+
+def test_sharded_gate_checks_blocks_independently():
+    """A tag inversion confined to block 1 is reported against block 1."""
+    history = History.of([
+        Operation(1, "write", b"a", 0, 1, tag=Tag(1, 0), block=0),
+        Operation(2, "read", b"a", 2, 3, tag=Tag(1, 0), block=0),
+        Operation(3, "read", b"y", 0, 1, tag=Tag(2, 0), block=1),
+        Operation(4, "read", b"x", 2, 3, tag=Tag(1, 0), block=1),
+    ])
+    ok, reason, blocks_checked, coverage = _gate_sharded(history)
+    assert not ok and reason.startswith("block 1")
+    assert blocks_checked == 2  # block 0 passed, block 1 failed
+
+
+def test_scale_profile_cli_batch_exits_zero():
+    from repro.chaos.__main__ import main as chaos_main
+
+    assert chaos_main(["--profile", "scale", "--runs", "1", "--seed", "0",
+                       "-q"]) == 0
+
+
+def test_empty_sharded_history_is_trivially_covered():
+    ok, reason, blocks_checked, coverage = _gate_sharded(History())
+    assert ok and blocks_checked == 0 and coverage == 1.0
+
+
+def test_explicit_sharded_protocol_with_scale_profile_is_accepted():
+    from repro.chaos.__main__ import main as chaos_main
+
+    assert chaos_main(["--protocols", "sharded", "--profile", "scale",
+                       "--runs", "1", "--seed", "0", "-q"]) == 0
+
+
+def test_sharded_protocol_rejects_non_scale_profiles():
+    from repro.chaos.__main__ import main as chaos_main
+
+    with pytest.raises(SystemExit):
+        chaos_main(["--protocols", "sharded", "--profile", "partition",
+                    "--runs", "1", "-q"])

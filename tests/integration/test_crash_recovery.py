@@ -181,3 +181,60 @@ def test_restart_of_live_server_is_a_noop():
 def test_plan_rejects_restart_of_never_crashed_server():
     with pytest.raises(ConfigurationError):
         FaultPlan().restart("s0", at=0.5)
+
+
+def test_overlapping_crash_recovery_cycles_stay_live():
+    """Regression: two overlapping crash-recovery cycles deadlocked the
+    ring.
+
+    s3 crashes while s0 is down, so s3's durable snapshot names s0 dead;
+    s0 is folded back in before s3 restarts.  Pre-fix, s3's fold-in
+    merge unioned its stale snapshot view into the token's dead set and
+    kept routing past the long-since-revived s0, so the token's circle
+    never closed: every server stayed paused, s3 announced forever, and
+    all client operations exhausted their retries.  A rejoiner now
+    adopts the token's membership wholesale and contributes no
+    exclusions of its own.
+    """
+    cluster = SimCluster.build(num_servers=4, seed=29, protocol=fast_retry())
+    cluster.history = History()
+    storage = AtomicStorage.over(cluster, home_server=1)
+    storage.write(b"seed")
+    cluster.crash_server(0)
+    settle(cluster, 0.3)
+    cluster.crash_server(3)  # while s0 is down: s3's snapshot has s0 dead
+    settle(cluster, 0.3)
+    cluster.restart_server(0)
+    settle(cluster)  # s0 is folded back in before s3 returns
+    for sid in (0, 1, 2):
+        assert cluster.servers[sid].proto.ring.is_alive(0)
+    cluster.restart_server(3)
+    settle(cluster, 1.5)
+
+    for sid, host in cluster.servers.items():
+        proto = host.proto
+        assert not proto.rejoining, f"s{sid} stuck rejoining"
+        assert not proto.paused, f"s{sid} stuck paused"
+        assert proto.ring.is_alive(0) and proto.ring.is_alive(3)
+    storage.write(b"after-heal")
+    assert storage.read() == b"after-heal"
+
+    cluster.history.close()
+    ok, reason = check_register_history(cluster.history)
+    assert ok, reason
+
+
+def test_restart_before_first_persist_keeps_initial_value():
+    """A server that crashes before anything dirtied its snapshot store
+    restores from ``None`` — and must come back with the cluster's
+    configured ``initial_value``, not an empty register (reads before
+    and after the restart would otherwise disagree)."""
+    cluster = SimCluster.build(
+        num_servers=1, seed=30, protocol=fast_retry(), initial_value=b"preloaded"
+    )
+    storage = AtomicStorage.over(cluster)
+    assert storage.read() == b"preloaded"
+    cluster.crash_server(0)
+    cluster.restart_server(0)
+    settle(cluster, 0.2)
+    assert storage.read() == b"preloaded"

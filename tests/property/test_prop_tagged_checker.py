@@ -1,0 +1,116 @@
+"""Property-based cross-validation of the tagged checker.
+
+``check_tagged_history`` trusts protocol tags: it accepts exactly when
+the tag order is a valid linearization witness.  Two properties pin it
+against the value-based search on random small multi-client histories:
+
+* **soundness** — whenever the tagged checker accepts a fully-tagged
+  history with unique written values, the value-based checker must
+  accept too (the tag order *is* a witness the search must find);
+  contrapositively, any history the value search rejects must also be
+  rejected by the tag order.
+* **completeness on real executions** — histories generated from a
+  random valid linearization (operations placed at ordered points
+  inside their intervals, tags taken from the committing write) pass
+  both checkers.
+
+The reverse of soundness is deliberately not a property: a history can
+be value-linearizable through an order *different* from what its tags
+claim — that is precisely the protocol bug the tagged checker exists to
+catch.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.history import History, Operation
+from repro.analysis.linearizability import (
+    check_register_history,
+    check_tagged_history,
+)
+from repro.core.tags import Tag
+
+
+@st.composite
+def tagged_histories(draw):
+    """Random fully-tagged histories with unique written values.
+
+    Write tags are drawn from a small pool (collisions possible — the
+    tagged checker must reject those); each read copies the (value, tag)
+    of some write, or the initial value with the zero tag.  Intervals
+    overlap arbitrarily, so legal and illegal histories both occur.
+    """
+    num_writes = draw(st.integers(1, 4))
+    num_reads = draw(st.integers(0, 4))
+    operations = []
+    writes = []
+    for i in range(num_writes):
+        start = draw(st.integers(0, 20))
+        length = draw(st.integers(0, 10))
+        tag = Tag(draw(st.integers(1, 5)), draw(st.integers(0, 1)))
+        value = bytes([65 + i])
+        writes.append((value, tag))
+        operations.append(
+            Operation(i, "write", value, start, start + length, tag=tag)
+        )
+    for j in range(num_reads):
+        start = draw(st.integers(0, 20))
+        length = draw(st.integers(0, 10))
+        value, tag = draw(st.sampled_from(writes + [(b"", Tag(0, 0))]))
+        operations.append(
+            Operation(100 + j, "read", value, start, start + length, tag=tag)
+        )
+    return History.of(operations)
+
+
+@given(tagged_histories())
+@settings(max_examples=400, deadline=None)
+def test_tagged_acceptance_implies_value_acceptance(history):
+    tagged_ok, tagged_reason = check_tagged_history(
+        history, require_full_coverage=True
+    )
+    if not tagged_ok:
+        return
+    value_ok, value_reason = check_register_history(history)
+    assert value_ok, (
+        f"tag order accepted ({tagged_reason}) but the value search "
+        f"rejected ({value_reason}); ops={history.operations}"
+    )
+
+
+@st.composite
+def valid_execution_histories(draw):
+    """Histories read off a random valid linearization.
+
+    Operations take effect at strictly increasing points; each op's
+    interval is drawn to contain its point, so arbitrary concurrency
+    arises while a witness order exists by construction.  Tags follow
+    the committing write, exactly as the runtimes record them.
+    """
+    num_ops = draw(st.integers(1, 8))
+    operations = []
+    value, tag = b"", Tag(0, 0)
+    writes = 0
+    point = 0
+    for i in range(num_ops):
+        point += draw(st.integers(1, 3))
+        start = point - draw(st.integers(0, 2))
+        end = point + draw(st.integers(0, 2))
+        if draw(st.booleans()):
+            writes += 1
+            value, tag = bytes([65 + writes]), Tag(writes, 0)
+            operations.append(Operation(i, "write", value, start, end, tag=tag))
+        else:
+            operations.append(Operation(i, "read", value, start, end, tag=tag))
+    return History.of(operations)
+
+
+@given(valid_execution_histories())
+@settings(max_examples=300, deadline=None)
+def test_histories_from_valid_executions_pass_both_checkers(history):
+    tagged_ok, tagged_reason = check_tagged_history(
+        history, require_full_coverage=True
+    )
+    assert tagged_ok, f"{tagged_reason}; ops={history.operations}"
+    value_ok, value_reason = check_register_history(history)
+    assert value_ok, f"{value_reason}; ops={history.operations}"

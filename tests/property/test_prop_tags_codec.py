@@ -69,6 +69,10 @@ message_strategy = st.one_of(
         values,
         st.lists(st.builds(PendingEntry, tags, values, ops), max_size=3).map(tuple),
         st.lists(st.tuples(st.integers(0, 2**40), st.integers(0, 2**30)), max_size=3).map(tuple),
+        revived=st.lists(st.integers(0, 100), max_size=2).map(tuple),
+        completed_tags=st.lists(
+            st.tuples(st.integers(0, 2**40), tags), max_size=3
+        ).map(tuple),
     ),
     st.builds(
         ReconfigCommit,
@@ -80,6 +84,10 @@ message_strategy = st.one_of(
         values,
         st.lists(st.builds(PendingEntry, tags, values, ops), max_size=3).map(tuple),
         st.lists(st.tuples(st.integers(0, 2**40), st.integers(0, 2**30)), max_size=3).map(tuple),
+        revived=st.lists(st.integers(0, 100), max_size=2).map(tuple),
+        completed_tags=st.lists(
+            st.tuples(st.integers(0, 2**40), tags), max_size=3
+        ).map(tuple),
     ),
 )
 

@@ -43,6 +43,11 @@ OP = OpId(11, 5)
         ReconfigToken(6, 1, 0, (3,), Tag(9, 0), b"rv",
                       (), ((11, 5),), revived=(2,)),
         ReconfigCommit(6, 1, 0, (), Tag(9, 0), b"rv", (), (), revived=(1, 2)),
+        ReconfigToken(7, 3, 2, (1,), Tag(10, 2), b"t",
+                      (), ((11, 5), (12, 2)),
+                      completed_tags=((11, Tag(9, 0)), (12, Tag(10, 2)))),
+        ReconfigCommit(7, 3, 2, (1,), Tag(10, 2), b"t", (), ((11, 5),),
+                       completed_tags=((11, Tag(9, 0)),)),
         RejoinRequest(2),
         RejoinRequest(3, generation=7),
     ],

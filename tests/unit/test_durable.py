@@ -9,6 +9,7 @@ pending set — so no acknowledged operation is forgotten across a crash.
 import pytest
 
 from repro.core.durable import (
+    SNAPSHOT_VERSION,
     FileSnapshotStore,
     MemorySnapshotStore,
     ServerSnapshot,
@@ -35,6 +36,7 @@ def sample_snapshot() -> ServerSnapshot:
             PendingEntry(Tag(9, 3), b"", OpId(12, 0)),
         ),
         reconfig_counter=5,
+        completed_tags=((10, Tag(7, 1)),),
     )
 
 
@@ -46,7 +48,9 @@ def test_json_round_trip_is_identity():
 def test_from_json_rejects_garbage_and_wrong_version():
     with pytest.raises(ProtocolError):
         ServerSnapshot.from_json("{}")
-    document = sample_snapshot().to_json().replace('"version": 1', '"version": 99')
+    document = sample_snapshot().to_json().replace(
+        f'"version": {SNAPSHOT_VERSION}', '"version": 99'
+    )
     with pytest.raises(ProtocolError, match="version"):
         ServerSnapshot.from_json(document)
 

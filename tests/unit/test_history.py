@@ -64,3 +64,51 @@ def test_overlaps():
     assert a.overlaps(b) and b.overlaps(a)
     assert not a.overlaps(c) and not c.overlaps(a)
     assert open_op.overlaps(c), "open operations overlap everything after them"
+
+
+def test_invoke_records_block_key_through_respond_and_close():
+    h = History()
+    h.invoke(0.0, 1, "w0", "write", b"x", block=3)
+    h.respond(1.0, 1, "w0", None, tag="t")
+    h.invoke(2.0, 2, "r0", "read", None, block=5)
+    h.close()  # r0 stays open but keeps its block
+    by_client = {op.client: op for op in h.operations}
+    assert by_client[1].block == 3 and by_client[1].complete
+    assert by_client[2].block == 5 and not by_client[2].complete
+
+
+def test_split_by_block_puts_every_op_in_exactly_one_bucket():
+    ops = [
+        Operation(1, "write", b"a", 0, 1, tag="t1", block=0),
+        Operation(2, "read", b"a", 2, 3, tag="t1", block=0),
+        Operation(3, "write", b"b", 0, 1, tag="t2", block=1),
+        Operation(4, "read", b"c", 0, 1, tag="t3"),  # no block key
+    ]
+    h = History.of(ops)
+    buckets = h.split_by_block()
+    assert set(buckets) == {0, 1, None}
+    assert sum(len(bucket) for bucket in buckets.values()) == len(ops)
+    assert [op.client for op in buckets[0].operations] == [1, 2]
+    assert [op.client for op in buckets[1].operations] == [3]
+    assert [op.client for op in buckets[None].operations] == [4]
+    for block, bucket in buckets.items():
+        assert all(op.block == block for op in bucket.operations)
+
+
+def test_split_by_block_checks_are_independent():
+    """A violation confined to one block fails only that block's check."""
+    from repro.analysis.linearizability import check_tagged_history
+
+    good = [
+        Operation(1, "write", b"a", 0, 1, tag=1, block=0),
+        Operation(2, "read", b"a", 2, 3, tag=1, block=0),
+    ]
+    inverted = [
+        Operation(3, "read", b"y", 0, 1, tag=2, block=1),
+        Operation(4, "read", b"x", 2, 3, tag=1, block=1),
+    ]
+    buckets = History.of(good + inverted).split_by_block()
+    ok0, reason0 = check_tagged_history(buckets[0], require_full_coverage=True)
+    ok1, _ = check_tagged_history(buckets[1], require_full_coverage=True)
+    assert ok0, reason0
+    assert not ok1

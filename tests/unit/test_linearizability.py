@@ -183,3 +183,46 @@ def test_tagged_write_observed_before_it_started():
     ])
     ok, reason = check_tagged_history(history)
     assert not ok
+
+
+def test_tagged_checker_reports_coverage_and_skips_untagged_by_default():
+    history = History.of([
+        Operation(1, "write", b"a", 0, 1, tag=Tag(1, 0)),
+        Operation(2, "read", b"a", 2, 3),  # completed, never tagged
+    ])
+    ok, reason = check_tagged_history(history)
+    assert ok, "untagged ops are skipped (and the check is vacuous for them)"
+    assert "1/2" in reason
+
+
+def test_tagged_checker_full_coverage_mode_rejects_untagged_completions():
+    """The vacuous-pass hazard: a runtime that forgets to record tags
+    must not check green.  require_full_coverage fails any completed
+    untagged operation and names the coverage."""
+    history = History.of([
+        Operation(1, "write", b"a", 0, 1, tag=Tag(1, 0)),
+        Operation(2, "read", b"a", 2, 3),
+    ])
+    ok, reason = check_tagged_history(history, require_full_coverage=True)
+    assert not ok
+    assert "coverage" in reason and "1/2" in reason
+
+
+def test_tagged_checker_full_coverage_ignores_open_operations():
+    """Open operations carry no response, so they owe no tag."""
+    history = History.of([
+        Operation(1, "write", b"a", 0, 1, tag=Tag(1, 0)),
+        Operation(2, "write", b"b", 2, None),  # open: client never heard back
+    ])
+    ok, reason = check_tagged_history(history, require_full_coverage=True)
+    assert ok, reason
+    assert "1/1" in reason
+
+
+def test_tagged_checker_full_coverage_passes_and_reports_on_clean_history():
+    history = History.of([
+        Operation(1, "write", b"a", 0, 1, tag=Tag(1, 0)),
+        Operation(2, "read", b"a", 2, 3, tag=Tag(1, 0)),
+    ])
+    ok, reason = check_tagged_history(history, require_full_coverage=True)
+    assert ok and "2/2" in reason

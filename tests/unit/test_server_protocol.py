@@ -201,3 +201,43 @@ def test_read_reply_carries_tag():
     read_op = h.client_read(1)
     ack = h.acks_for(read_op)[0].message
     assert ack.tag == Tag(1, 0)
+
+
+def test_duplicate_write_retry_is_acked_with_the_committed_tag():
+    """A retry of an already-committed write (its original ack was lost)
+    is deduplicated — and the dedup ack must carry the tag the write
+    committed under.  An untagged ack would complete the client's
+    operation with no tag evidence, punching a hole in the 100% tag
+    coverage the benchmark-scale chaos gate requires."""
+    h = RingHarness(3)
+    op = h.client_write(0, b"v1")
+    h.pump_until_quiet()
+    (original,) = h.acks_for(op)
+    assert original.message.tag is not None
+
+    # The retry lands at the origin server (the common lost-ack path).
+    h.replies.extend(h.server(0).on_client_message(900, ClientWrite(op, b"v1")))
+    retry_acks = h.acks_for(op)[1:]
+    assert len(retry_acks) == 1
+    assert retry_acks[0].message.tag == original.message.tag
+
+    # A retry at a *different* server — which learned of the commit by
+    # processing it — also answers with the committed tag.
+    h.replies.extend(h.server(2).on_client_message(900, ClientWrite(op, b"v1")))
+    far_acks = h.acks_for(op)[2:]
+    assert len(far_acks) == 1
+    assert far_acks[0].message.tag == original.message.tag
+
+
+def test_completed_tag_tracks_only_the_latest_op_per_client():
+    h = RingHarness(2)
+    first = h.client_write(0, b"one", client=77)
+    h.pump_until_quiet()
+    second = h.client_write(0, b"two", client=77)
+    h.pump_until_quiet()
+    server = h.server(0)
+    tags = [ack.message.tag for ack in h.acks_for(second)]
+    assert server._completed_tag(second) == tags[0]
+    assert server._completed_tag(first) is None, (
+        "an ancient seq must not be answered with the newer op's tag"
+    )

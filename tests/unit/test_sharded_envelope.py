@@ -77,6 +77,9 @@ class _StubProto:
         self.backlog = backlog
         self.successor = 1
 
+    def next_directed_message(self):
+        return None
+
     def next_ring_message(self):
         if self.backlog == 0:
             return None
@@ -131,3 +134,24 @@ def test_block_store_round_trip_still_works_end_to_end():
         store.write_block(block, b"block-%d" % block)
     for block in range(4):
         assert store.read_block(block) == b"block-%d" % block
+
+
+# ----------------------------------------------------------------------
+# Reply pump: stale entries are skipped iteratively
+# ----------------------------------------------------------------------
+
+
+def test_reply_source_skips_stale_entries_without_recursing():
+    """A burst of replies addressed to departed clients must be skipped
+    in a loop: the old implementation recursed once per stale entry and
+    blew the stack on backlogs past the interpreter's recursion limit."""
+    from repro.runtime.interface import Reply
+
+    store = BlockStore.build(num_servers=2, num_blocks=1, seed=5)
+    host = store.cluster.servers[0]
+    known = store._client.client_id
+    host._reply_queue.extend(Reply(known + 1000, "gone") for _ in range(5000))
+    host._reply_queue.append(Reply(known, "kept"))
+    assert host._reply_source() == (store._client.name, "kept", "reply")
+    assert not host._reply_queue
+    assert host._reply_source() is None
