@@ -6,13 +6,13 @@ scalable."  The chain's tail NIC caps total read throughput at one
 server's worth regardless of n; the ring's reads scale linearly.
 """
 
-from conftest import column, run_experiment
+from conftest import BENCH_SEED, column, run_experiment
 
 from repro.bench.experiments import run_ablation_chain
 
 
 def test_ablation_chain_reads_flat(benchmark):
-    _headers, rows = run_experiment(benchmark, run_ablation_chain, servers=(2, 4, 8))
+    _headers, rows = run_experiment(benchmark, run_ablation_chain, servers=(2, 4, 8), seed=BENCH_SEED)
     ring_reads = column(rows, 1)
     chain_reads = column(rows, 2)
 

@@ -9,13 +9,13 @@ write operations."  The ring never multicasts, so its write throughput
 is immune to the collapse.
 """
 
-from conftest import column, run_experiment
+from conftest import BENCH_SEED, column, run_experiment
 
 from repro.bench.experiments import run_ablation_collisions
 
 
 def test_ablation_multicast_collapse(benchmark):
-    _headers, rows = run_experiment(benchmark, run_ablation_collisions, servers=(2, 4, 8))
+    _headers, rows = run_experiment(benchmark, run_ablation_collisions, servers=(2, 4, 8), seed=BENCH_SEED)
     ns = column(rows, 0)
     ring = column(rows, 1)
     multicast = column(rows, 3)

@@ -11,13 +11,13 @@ Design claims from the paper this ablation quantifies:
   clients widens.
 """
 
-from conftest import run_experiment
+from conftest import BENCH_SEED, run_experiment
 
 from repro.bench.experiments import run_ablation_fairness
 
 
 def test_ablation_fairness_and_piggyback(benchmark):
-    _headers, rows = run_experiment(benchmark, run_ablation_fairness, num_servers=4)
+    _headers, rows = run_experiment(benchmark, run_ablation_fairness, num_servers=4, seed=BENCH_SEED)
     by_label = {row[0]: row for row in rows}
 
     default = by_label["default"]

@@ -6,13 +6,13 @@ throughput is constant; and the ring does all this while tolerating
 n-1 crashes versus the quorum's minority.
 """
 
-from conftest import column, run_experiment
+from conftest import BENCH_SEED, column, run_experiment
 
 from repro.bench.experiments import run_ablation_quorum
 
 
 def test_ablation_ring_vs_quorum(benchmark):
-    _headers, rows = run_experiment(benchmark, run_ablation_quorum, servers=(2, 4, 8))
+    _headers, rows = run_experiment(benchmark, run_ablation_quorum, servers=(2, 4, 8), seed=BENCH_SEED)
     ns = column(rows, 0)
     ring_reads = column(rows, 1)
     abd_reads = column(rows, 2)

@@ -4,7 +4,7 @@ Paper claim: "the total read throughput increases linearly and is equal
 to 90 MBit/s per server" on 100 Mbit/s NICs (2..8 servers).
 """
 
-from conftest import column, run_experiment
+from conftest import BENCH_SEED, column, run_experiment
 
 from repro.analysis.stats import linear_fit, r_squared
 from repro.bench.experiments import run_fig3a
@@ -12,7 +12,7 @@ from repro.bench.experiments import run_fig3a
 
 def test_fig3a_read_scaling_is_linear(benchmark, servers_small):
     _headers, rows = run_experiment(
-        benchmark, run_fig3a, servers=servers_small, quick=True
+        benchmark, run_fig3a, servers=servers_small, quick=True, seed=BENCH_SEED
     )
     ns = column(rows, 0)
     totals = column(rows, 1)

@@ -6,14 +6,14 @@ client machine roughly observed the same write throughput, i.e. 80
 Mbit/s divided by the number of [writer machines]".
 """
 
-from conftest import column, run_experiment
+from conftest import BENCH_SEED, column, run_experiment
 
 from repro.bench.experiments import run_fig3b
 
 
 def test_fig3b_write_throughput_constant(benchmark, servers_small):
     _headers, rows = run_experiment(
-        benchmark, run_fig3b, servers=servers_small, quick=True
+        benchmark, run_fig3b, servers=servers_small, quick=True, seed=BENCH_SEED
     )
     totals = column(rows, 1)
 

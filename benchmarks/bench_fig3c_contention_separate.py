@@ -8,7 +8,7 @@ smaller (a few percent); the shape — constant writes, linear reads —
 is the claim under test.
 """
 
-from conftest import column, run_experiment
+from conftest import BENCH_SEED, column, run_experiment
 
 from repro.analysis.stats import r_squared
 from repro.bench.experiments import run_fig3c
@@ -16,7 +16,7 @@ from repro.bench.experiments import run_fig3c
 
 def test_fig3c_contention_separate_networks(benchmark, servers_small):
     _headers, rows = run_experiment(
-        benchmark, run_fig3c, servers=servers_small, quick=True
+        benchmark, run_fig3c, servers=servers_small, quick=True, seed=BENCH_SEED
     )
     ns = column(rows, 0)
     reads = column(rows, 1)

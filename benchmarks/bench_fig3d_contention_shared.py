@@ -15,7 +15,7 @@ overheads our simulator does not model); the shape and the saturation
 statement hold.
 """
 
-from conftest import column, run_experiment
+from conftest import BENCH_SEED, column, run_experiment
 
 from repro.analysis.stats import linear_fit
 from repro.bench.experiments import run_fig3d
@@ -23,7 +23,7 @@ from repro.bench.experiments import run_fig3d
 
 def test_fig3d_contention_shared_network(benchmark, servers_small):
     _headers, rows = run_experiment(
-        benchmark, run_fig3d, servers=servers_small, quick=True
+        benchmark, run_fig3d, servers=servers_small, quick=True, seed=BENCH_SEED
     )
     ns = column(rows, 0)
     reads = column(rows, 1)

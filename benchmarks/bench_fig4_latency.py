@@ -6,14 +6,14 @@ since it involves only a single round-trip between the client and a
 server."
 """
 
-from conftest import column, run_experiment
+from conftest import BENCH_SEED, column, run_experiment
 
 from repro.analysis.stats import linear_fit, r_squared
 from repro.bench.experiments import run_fig4
 
 
 def test_fig4_latency_shapes(benchmark):
-    _headers, rows = run_experiment(benchmark, run_fig4, servers=(2, 3, 4, 5, 6, 7, 8))
+    _headers, rows = run_experiment(benchmark, run_fig4, servers=(2, 3, 4, 5, 6, 7, 8), seed=BENCH_SEED)
     ns = column(rows, 0)
     read_ms = column(rows, 1)
     write_ms = column(rows, 2)

@@ -9,15 +9,34 @@ what is constant, what scales linearly).
 
 from __future__ import annotations
 
+import random
+
 import pytest
 
 from repro.bench.report import render_table
 
+#: The benchmark suite's explicit seed.  Every simulator-backed
+#: experiment takes it as a keyword — nothing here may depend on
+#: wall-clock time or the process-global RNG, or two runs of the same
+#: commit would disagree.
+BENCH_SEED = 0
+
 
 def run_experiment(benchmark, experiment, **kwargs):
-    """Time one experiment function and print its table."""
+    """Time one experiment function and print its table.
+
+    Guards determinism: an experiment that draws from the process-global
+    ``random`` stream (instead of its cluster's seeded registry) would
+    make run-to-run tables diverge; the state check turns that leak into
+    a test failure.
+    """
+    rng_state = random.getstate()
     result = benchmark.pedantic(
         lambda: experiment(**kwargs), rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert random.getstate() == rng_state, (
+        f"{getattr(experiment, '__name__', experiment)} touched the global "
+        "random stream; all randomness must flow through seeded cluster RNGs"
     )
     headers, rows = result
     print()

@@ -146,12 +146,12 @@ def run_fig3d(servers: Sequence[int] = DEFAULT_SERVERS, quick: bool = False, see
 # ----------------------------------------------------------------------
 
 
-def run_fig4(servers: Sequence[int] = DEFAULT_SERVERS, samples: int = 10):
+def run_fig4(servers: Sequence[int] = DEFAULT_SERVERS, samples: int = 10, seed: int = 0):
     """Write latency linear in n (two ring traversals); read constant."""
     headers = ["servers", "read ms", "write ms"]
     rows = []
     for n in servers:
-        p = run_latency_point(n, samples=samples)
+        p = run_latency_point(n, samples=samples, seed=seed)
         rows.append([n, p.read_ms, p.write_ms])
     return headers, rows
 
@@ -161,30 +161,30 @@ def run_fig4(servers: Sequence[int] = DEFAULT_SERVERS, samples: int = 10):
 # ----------------------------------------------------------------------
 
 
-def run_ablation_quorum(servers: Sequence[int] = (2, 4, 8), quick: bool = True):
+def run_ablation_quorum(servers: Sequence[int] = (2, 4, 8), quick: bool = True, seed: int = 0):
     """ABL1: ring vs ABD quorum — read scaling and write behaviour."""
     warmup, window = _windows(quick)
     ro, wo = read_only_scenario(), write_only_scenario()
     headers = ["servers", "ring read", "abd read", "ring write", "abd write"]
     rows = []
     for n in servers:
-        ring_r = run_throughput_point(n, ro, warmup=warmup, window=window)
-        abd_r = run_baseline_throughput_point(build_abd_cluster, n, ro, warmup=warmup, window=window)
-        ring_w = run_throughput_point(n, wo, warmup=warmup, window=window)
-        abd_w = run_baseline_throughput_point(build_abd_cluster, n, wo, warmup=warmup, window=window)
+        ring_r = run_throughput_point(n, ro, warmup=warmup, window=window, seed=seed)
+        abd_r = run_baseline_throughput_point(build_abd_cluster, n, ro, warmup=warmup, window=window, seed=seed)
+        ring_w = run_throughput_point(n, wo, warmup=warmup, window=window, seed=seed)
+        abd_w = run_baseline_throughput_point(build_abd_cluster, n, wo, warmup=warmup, window=window, seed=seed)
         rows.append([n, ring_r.read_mbps, abd_r.read_mbps, ring_w.write_mbps, abd_w.write_mbps])
     return headers, rows
 
 
-def run_ablation_chain(servers: Sequence[int] = (2, 4, 8), quick: bool = True):
+def run_ablation_chain(servers: Sequence[int] = (2, 4, 8), quick: bool = True, seed: int = 0):
     """ABL2: chain replication reads are tail-bound (flat)."""
     warmup, window = _windows(quick)
     ro = read_only_scenario()
     headers = ["servers", "ring read", "chain read"]
     rows = []
     for n in servers:
-        ring = run_throughput_point(n, ro, warmup=warmup, window=window)
-        chain = run_baseline_throughput_point(build_chain_cluster, n, ro, warmup=warmup, window=window)
+        ring = run_throughput_point(n, ro, warmup=warmup, window=window, seed=seed)
+        chain = run_baseline_throughput_point(build_chain_cluster, n, ro, warmup=warmup, window=window, seed=seed)
         rows.append([n, ring.read_mbps, chain.read_mbps])
     return headers, rows
 
@@ -201,7 +201,7 @@ def run_ablation_tob(servers: Sequence[int] = (2, 4, 8), quick: bool = True):
     return headers, rows
 
 
-def run_ablation_fairness(num_servers: int = 4, quick: bool = True):
+def run_ablation_fairness(num_servers: int = 4, quick: bool = True, seed: int = 0):
     """ABL4: fairness and piggybacking switches.
 
     * ``fair_forwarding=False`` lets servers prefer their own clients'
@@ -220,7 +220,8 @@ def run_ablation_fairness(num_servers: int = 4, quick: bool = True):
         ("no piggyback", ProtocolConfig(piggyback_commits=False)),
     ]:
         p = run_throughput_point(
-            num_servers, spec, warmup=warmup, window=window, protocol=config
+            num_servers, spec, warmup=warmup, window=window, protocol=config,
+            seed=seed,
         )
         spread = (
             p.write_latency.p99 / p.write_latency.p50
@@ -230,23 +231,24 @@ def run_ablation_fairness(num_servers: int = 4, quick: bool = True):
     return headers, rows
 
 
-def run_ablation_collisions(servers: Sequence[int] = (2, 4, 8), quick: bool = True):
+def run_ablation_collisions(servers: Sequence[int] = (2, 4, 8), quick: bool = True, seed: int = 0):
     """ABL5: multicast write-all collapses under collisions; ring doesn't."""
     warmup, window = _windows(quick)
     wo = write_only_scenario()
     headers = ["servers", "ring write", "naive unicast", "naive multicast"]
     rows = []
     for n in servers:
-        ring = run_throughput_point(n, wo, warmup=warmup, window=window)
-        uni = run_baseline_throughput_point(build_naive_cluster, n, wo, warmup=warmup, window=window)
+        ring = run_throughput_point(n, wo, warmup=warmup, window=window, seed=seed)
+        uni = run_baseline_throughput_point(build_naive_cluster, n, wo, warmup=warmup, window=window, seed=seed)
         mc = run_baseline_throughput_point(
-            build_naive_cluster, n, wo, warmup=warmup, window=window, use_multicast=True
+            build_naive_cluster, n, wo, warmup=warmup, window=window,
+            use_multicast=True, seed=seed,
         )
         rows.append([n, ring.write_mbps, uni.write_mbps, mc.write_mbps])
     return headers, rows
 
 
-def run_ablation_tob_wire(servers: Sequence[int] = (2, 4, 8), quick: bool = True):
+def run_ablation_tob_wire(servers: Sequence[int] = (2, 4, 8), quick: bool = True, seed: int = 0):
     """Companion to ABL3 in the wire model: small read tokens let TOB
     reads scale further than the round model suggests — an honest note
     recorded in EXPERIMENTS.md."""
@@ -255,8 +257,8 @@ def run_ablation_tob_wire(servers: Sequence[int] = (2, 4, 8), quick: bool = True
     headers = ["servers", "ours read", "tob read (wire model)"]
     rows = []
     for n in servers:
-        ours = run_throughput_point(n, ro, warmup=warmup, window=window)
-        tob = run_baseline_throughput_point(build_tob_cluster, n, ro, warmup=warmup, window=window)
+        ours = run_throughput_point(n, ro, warmup=warmup, window=window, seed=seed)
+        tob = run_baseline_throughput_point(build_tob_cluster, n, ro, warmup=warmup, window=window, seed=seed)
         rows.append([n, ours.read_mbps, tob.read_mbps])
     return headers, rows
 

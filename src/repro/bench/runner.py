@@ -1,0 +1,313 @@
+"""Repeatable perf harness: seeded snapshots, committed as BENCH_<tag>.json.
+
+``python -m repro.bench.experiments`` regenerates the paper's figures;
+this module answers a different question: *did this commit make the
+implementation faster or slower?*  It runs a small, fixed, fully-seeded
+scenario set and records everything a regression hunt needs:
+
+* **simulated** throughput (ops/s and payload Mbit/s over the measured
+  window) — bit-deterministic for a given seed, so two snapshots of the
+  same code are byte-comparable and CI can gate on them;
+* **wall-clock** throughput (simulated ops completed per real second of
+  runner CPU) — the number that moves when the hot path gets cheaper,
+  even when the simulated result is unchanged (e.g. ring-frame batching
+  coalesces wire frames without changing what the virtual network
+  delivers per virtual second);
+* latency percentiles, wire bytes/op and messages/op from the trace
+  counters, and the batching counters.
+
+Usage::
+
+    python -m repro.bench.runner --tag baseline --no-batch   # batch=1
+    python -m repro.bench.runner --tag batched               # default knob
+    python -m repro.bench.runner --tag pr --check-regression BENCH_batched.json
+
+``--check-regression`` exits non-zero if any scenario's *simulated*
+ops/s fell more than 20 % below the baseline snapshot (wall-clock
+numbers are machine-dependent and are reported, not gated).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Optional
+
+from repro.analysis.stats import LatencyStats, mbit_per_s
+from repro.core.config import ProtocolConfig
+from repro.runtime.sim_net import SimCluster
+from repro.workload.generator import LoadDriver
+from repro.workload.scenarios import (
+    contention_scenario,
+    read_only_scenario,
+    write_only_scenario,
+)
+
+#: Bump when the JSON layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+#: Default regression tolerance for --check-regression (fraction lost).
+REGRESSION_THRESHOLD = 0.20
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One fixed measurement point of the snapshot suite."""
+
+    name: str
+    spec_factory: Callable
+    servers: int
+    topology: str = "dual"
+    #: Per-scenario seed offset so scenarios never share RNG streams.
+    seed_offset: int = 0
+
+
+#: The snapshot suite.  ``fig3b_write_4`` is the headline workload of
+#: the batching work (the paper's write-throughput regime: 2 writer
+#: machines per server, 4 KiB values, concurrency 16).
+SCENARIOS = (
+    Scenario("fig3b_write_4", write_only_scenario, servers=4, seed_offset=0),
+    Scenario("fig3b_write_8", write_only_scenario, servers=8, seed_offset=1),
+    Scenario("fig3a_read_4", read_only_scenario, servers=4, seed_offset=2),
+    Scenario("fig3c_mixed_4", contention_scenario, servers=4, seed_offset=3),
+    Scenario(
+        "fig3d_shared_4", contention_scenario, servers=4,
+        topology="shared", seed_offset=4,
+    ),
+)
+
+
+def _windows(quick: bool) -> tuple[float, float]:
+    # Mirrors repro.bench.experiments._windows so snapshot numbers are
+    # directly comparable to the figure tables.
+    return (0.15, 0.3) if quick else (0.3, 1.0)
+
+
+def _kind_record(stats, window: float) -> dict:
+    latency = LatencyStats.from_samples(stats.latencies)
+    return {
+        "ops": stats.operations,
+        "sim_ops_per_s": stats.operations / window,
+        "mbps": mbit_per_s(stats.payload_bytes, window),
+        "p50_ms": latency.p50 * 1e3 if latency.count else None,
+        "p95_ms": latency.p95 * 1e3 if latency.count else None,
+        "p99_ms": latency.p99 * 1e3 if latency.count else None,
+    }
+
+
+def run_scenario(
+    scenario: Scenario,
+    seed: int,
+    quick: bool,
+    protocol: Optional[ProtocolConfig] = None,
+) -> dict:
+    """Measure one scenario; returns its JSON-ready record.
+
+    The trace counters are zeroed at the start of the measurement
+    window, so the wire accounting (bytes/op, messages/op, batched
+    frames) covers exactly the window the throughput numbers do.
+    """
+    warmup, window = _windows(quick)
+    spec = scenario.spec_factory()
+    cluster = SimCluster.build(
+        num_servers=scenario.servers,
+        topology=scenario.topology,
+        seed=seed + scenario.seed_offset,
+        protocol=protocol,
+        initial_value=b"\xa5" * spec.value_size,
+    )
+    driver = LoadDriver(cluster, spec)
+    wall_start = time.perf_counter()
+    driver.start()
+    cluster.run(until=cluster.now + warmup)
+    cluster.env.trace.reset_counters()
+    driver.begin_measurement()
+    cluster.run(until=cluster.now + window)
+    driver.end_measurement()
+    driver.stop()
+    wall_seconds = time.perf_counter() - wall_start
+
+    counters = cluster.env.trace.counters
+    wire_bytes = sum(
+        amount for name, amount in counters.items() if name.endswith(".wire_bytes")
+    )
+    unicasts = sum(
+        amount for name, amount in counters.items() if name.endswith(".unicasts")
+    )
+    reads = driver.stats["read"]
+    writes = driver.stats["write"]
+    ops = reads.operations + writes.operations
+    return {
+        "name": scenario.name,
+        "servers": scenario.servers,
+        "topology": scenario.topology,
+        "seed": seed + scenario.seed_offset,
+        "warmup_s": warmup,
+        "window_s": window,
+        "read": _kind_record(reads, window),
+        "write": _kind_record(writes, window),
+        "wall_seconds": round(wall_seconds, 4),
+        "wall_ops_per_s": round(ops / wall_seconds, 1) if wall_seconds > 0 else None,
+        "wire": {
+            "bytes_per_op": round(wire_bytes / ops, 1) if ops else None,
+            "messages_per_op": round(unicasts / ops, 2) if ops else None,
+            "batched_frames": counters.get("reliable.batched_frames", 0),
+            "batched_messages": counters.get("reliable.batched_messages", 0),
+            "retransmits": counters.get("reliable.retransmits", 0),
+        },
+    }
+
+
+def run_suite(
+    tag: str,
+    seed: int = 7,
+    quick: bool = True,
+    batch_max_messages: Optional[int] = None,
+) -> dict:
+    """Run every scenario and assemble the snapshot document."""
+    protocol = (
+        None
+        if batch_max_messages is None
+        else ProtocolConfig(batch_max_messages=batch_max_messages)
+    )
+    effective = (protocol or ProtocolConfig()).batch_max_messages
+    scenarios = [
+        run_scenario(scenario, seed, quick, protocol) for scenario in SCENARIOS
+    ]
+    return {
+        "schema": SCHEMA_VERSION,
+        "tag": tag,
+        "quick": quick,
+        "base_seed": seed,
+        "batch_max_messages": effective,
+        "python": platform.python_version(),
+        "scenarios": scenarios,
+    }
+
+
+# ----------------------------------------------------------------------
+# Regression gate
+# ----------------------------------------------------------------------
+
+
+def check_regression(
+    current: dict, baseline: dict, threshold: float = REGRESSION_THRESHOLD
+) -> list[str]:
+    """Compare simulated ops/s per scenario and kind; return failures.
+
+    Only scenarios present in both snapshots are compared, and only op
+    kinds the baseline actually measured (ops > 0).  Wall-clock numbers
+    are never gated — they move with the host machine.
+    """
+    failures: list[str] = []
+    baseline_by_name = {s["name"]: s for s in baseline.get("scenarios", ())}
+    for scenario in current.get("scenarios", ()):
+        base = baseline_by_name.get(scenario["name"])
+        if base is None:
+            continue
+        for kind in ("read", "write"):
+            base_rate = base[kind]["sim_ops_per_s"]
+            if not base_rate:
+                continue
+            rate = scenario[kind]["sim_ops_per_s"]
+            ratio = rate / base_rate
+            if ratio < 1.0 - threshold:
+                failures.append(
+                    f"{scenario['name']}/{kind}: {rate:.1f} sim ops/s is "
+                    f"{(1.0 - ratio) * 100:.1f}% below baseline {base_rate:.1f} "
+                    f"(tolerance {threshold * 100:.0f}%)"
+                )
+    return failures
+
+
+def _summarise(snapshot: dict) -> str:
+    lines = [
+        f"tag={snapshot['tag']} quick={snapshot['quick']} "
+        f"batch_max_messages={snapshot['batch_max_messages']} "
+        f"base_seed={snapshot['base_seed']}"
+    ]
+    for s in snapshot["scenarios"]:
+        parts = [f"  {s['name']:>14}:"]
+        for kind in ("read", "write"):
+            if s[kind]["ops"]:
+                parts.append(
+                    f"{kind} {s[kind]['sim_ops_per_s']:.0f} ops/s "
+                    f"({s[kind]['mbps']:.1f} Mbit/s)"
+                )
+        parts.append(f"wall {s['wall_ops_per_s']:.0f} ops/s")
+        if s["wire"]["batched_frames"]:
+            parts.append(
+                f"batched {s['wire']['batched_messages']}m/"
+                f"{s['wire']['batched_frames']}f"
+            )
+        lines.append("  ".join(parts))
+    return "\n".join(lines)
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.runner",
+        description="seeded perf snapshots (BENCH_<tag>.json) with a "
+                    "regression gate",
+    )
+    parser.add_argument("--tag", default="local",
+                        help="snapshot tag; output file is BENCH_<tag>.json")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="base seed; each scenario derives its own "
+                             "(default 7, the committed snapshots' seed)")
+    parser.add_argument("--full", action="store_true",
+                        help="full windows (0.3s warmup / 1.0s window) "
+                             "instead of the quick CI windows")
+    parser.add_argument("--no-batch", action="store_true",
+                        help="run with batch_max_messages=1 (the unbatched "
+                             "wire path; used for the committed baseline)")
+    parser.add_argument("--batch", type=int, default=None, metavar="K",
+                        help="override batch_max_messages explicitly")
+    parser.add_argument("--out", default=".",
+                        help="directory for BENCH_<tag>.json (default: cwd)")
+    parser.add_argument("--check-regression", metavar="BASELINE",
+                        help="compare against a committed snapshot; exit "
+                             "non-zero on >20%% simulated ops/s regression")
+    parser.add_argument("--threshold", type=float, default=REGRESSION_THRESHOLD,
+                        help="regression tolerance as a fraction "
+                             "(default 0.20)")
+    args = parser.parse_args(argv)
+
+    if args.no_batch and args.batch is not None:
+        parser.error("--no-batch and --batch are mutually exclusive")
+    batch = 1 if args.no_batch else args.batch
+    if batch is not None and batch < 1:
+        parser.error(f"--batch must be >= 1, got {batch}")
+
+    snapshot = run_suite(
+        args.tag, seed=args.seed, quick=not args.full, batch_max_messages=batch
+    )
+    print(_summarise(snapshot))
+
+    out_path = Path(args.out) / f"BENCH_{args.tag}.json"
+    out_path.write_text(json.dumps(snapshot, indent=2) + "\n")
+    print(f"wrote {out_path}")
+
+    if args.check_regression:
+        baseline = json.loads(Path(args.check_regression).read_text())
+        if baseline.get("quick") != snapshot["quick"]:
+            print(f"FAIL: window mismatch — baseline quick="
+                  f"{baseline.get('quick')} vs current quick={snapshot['quick']}")
+            return 1
+        failures = check_regression(snapshot, baseline, args.threshold)
+        if failures:
+            print("FAIL: simulated throughput regressed:")
+            for failure in failures:
+                print(f"  {failure}")
+            return 1
+        print(f"regression gate: ok vs {args.check_regression}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 from typing import Optional
 
 from repro.chaos.runner import TARGETS, ChaosResult, run_schedule
@@ -55,12 +56,20 @@ def run_batch(
     num_servers: int,
     verbose: bool = True,
     profile: Optional[ChaosProfile] = None,
+    batching: bool = True,
 ) -> list[ChaosResult]:
     if profile is None:
         profile = TARGETS[protocol].profile
     results = []
     for index in range(runs):
         schedule = generate_schedule(seed, index, num_servers, profile)
+        if not batching:
+            # Same schedule (plan/seeds compare equal; config is
+            # compare=False), one message per frame.
+            schedule = replace(
+                schedule,
+                config=replace(schedule.config, batch_max_messages=1),
+            )
         result = run_schedule(schedule, protocol)
         results.append(result)
         if verbose:
@@ -91,6 +100,10 @@ def main(argv: list[str] | None = None) -> int:
                              "scale, gated per block by the tagged checker")
     parser.add_argument("--smoke", action="store_true",
                         help="fixed quick pass over the whole zoo (CI)")
+    parser.add_argument("--no-batch", action="store_true",
+                        help="disable ring-frame batching (one message per "
+                             "wire frame; the default gates the batched "
+                             "path, which is also what benchmarks run)")
     parser.add_argument("-q", "--quiet", action="store_true")
     args = parser.parse_args(argv)
 
@@ -134,6 +147,8 @@ def main(argv: list[str] | None = None) -> int:
     anomalies = 0
     retransmits = 0
     dups_suppressed = 0
+    batched_frames = 0
+    batched_messages = 0
     wrong_suspicions = 0
     sharded_blocks = 0
     sharded_min_coverage = None
@@ -149,7 +164,8 @@ def main(argv: list[str] | None = None) -> int:
             print(f"== {protocol}: {runs} randomized {profile_name!r} schedules "
                   f"(seed {args.seed}) ==")
         results = run_batch(protocol, runs, args.seed, args.servers,
-                            verbose=not args.quiet, profile=batch_profile)
+                            verbose=not args.quiet, profile=batch_profile,
+                            batching=not args.no_batch)
         passed = sum(1 for result in results if result.ok)
         failures += sum(1 for result in results if not result.ok)
         anomalies += sum(1 for result in results if result.anomaly)
@@ -157,6 +173,8 @@ def main(argv: list[str] | None = None) -> int:
             exercised |= result.exercised
             retransmits += result.retransmits
             dups_suppressed += result.dups_suppressed
+            batched_frames += result.batched_frames
+            batched_messages += result.batched_messages
             wrong_suspicions += result.wrong_suspicions
             if protocol in ("core", "sharded"):
                 gated_exercised |= result.exercised
@@ -174,6 +192,9 @@ def main(argv: list[str] | None = None) -> int:
           f"{', '.join(kind for kind in FAULT_KINDS if kind in exercised) or 'none'}")
     print(f"reliable transport: {retransmits} retransmission(s), "
           f"{dups_suppressed} duplicate(s) suppressed")
+    if batched_frames:
+        print(f"ring-frame batching: {batched_messages} message(s) shared "
+              f"{batched_frames} batch frame(s)")
     if anomalies:
         print(f"expected anomalies observed (naive baseline): {anomalies}")
     if sharded_min_coverage is not None:

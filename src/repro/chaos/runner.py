@@ -115,6 +115,12 @@ class ChaosResult:
     #: kept the run inside the protocol's reliable-FIFO model.
     retransmits: int = 0
     dups_suppressed: int = 0
+    #: Ring-frame batching activity: frames that carried more than one
+    #: session segment, and the segments they carried.  Nonzero proves a
+    #: batched run actually exercised the batched wire path rather than
+    #: degenerating to one-message frames.
+    batched_frames: int = 0
+    batched_messages: int = 0
     #: Imperfect-detector activity (fd="heartbeat" profiles): suspicions
     #: raised against servers that were actually alive — the in-trace
     #: proof that a run exercised wrong suspicion — and data frames the
@@ -168,11 +174,17 @@ class ChaosResult:
             if self.tag_coverage is not None
             else ""
         )
+        batching = (
+            f"batched={self.batched_frames}f/{self.batched_messages}m "
+            if self.batched_frames
+            else ""
+        )
         return (
             f"{self.protocol:<5} {self.schedule.describe()} "
             f"done={self.ops_completed} open={self.ops_open} "
             f"failed={self.ops_failed} hit={kinds} "
-            f"rtx={self.retransmits} dup={self.dups_suppressed} {imperfect}{sharded}"
+            f"rtx={self.retransmits} dup={self.dups_suppressed} {batching}"
+            f"{imperfect}{sharded}"
             f"-> {verdict} ({self.wall_seconds:.2f}s)"
         )
 
@@ -267,6 +279,8 @@ def run_schedule(schedule: ChaosSchedule, protocol: str = "core") -> ChaosResult
         exercised=exercised,
         retransmits=counters.get("reliable.retransmits", 0),
         dups_suppressed=counters.get("reliable.dups_suppressed", 0),
+        batched_frames=counters.get("reliable.batched_frames", 0),
+        batched_messages=counters.get("reliable.batched_messages", 0),
         wrong_suspicions=counters.get("fd.wrong_suspicions", 0),
         stale_epoch_drops=counters.get("epoch.stale_dropped", 0),
         blocks_checked=blocks_checked,

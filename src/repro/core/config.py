@@ -9,6 +9,11 @@ ablation benchmarks flip:
 * ``fair_forwarding`` — the nb_msg fairness scheduler.  Turning it off
   makes each server prioritise its own clients' writes, which starves
   forwarding under load and lets write latencies diverge (ABL4).
+* ``batch_max_messages`` — ring-frame batching: successive successor-
+  bound ring messages coalesce into one session-layer wire frame,
+  amortising per-frame overhead (and, in the simulator, per-frame
+  events).  ``1`` disables batching (every message is its own frame,
+  the seed-state behaviour the BENCH_baseline.json snapshot records).
 """
 
 from __future__ import annotations
@@ -44,6 +49,27 @@ class ProtocolConfig:
     client_max_retries:
         Retries before the client raises
         :class:`~repro.errors.StorageUnavailableError`.
+    batch_max_messages:
+        Maximum successor-bound ring messages coalesced into one wire
+        frame (:func:`repro.transport.reliable.encode_batch`).  Each
+        message keeps its own session sequence number, so FIFO order,
+        cumulative acks and duplicate suppression are untouched; the
+        batch only changes how many segments share a frame.  ``1``
+        disables batching.  Pulls stop early when the successor changes
+        mid-drain (a queued reconfiguration message may retarget the
+        ring) so a frame never mixes destinations.  The default of 4 is
+        the measured sweet spot: per-frame overhead amortises with no
+        visible store-and-forward latency cost, whereas deep batches
+        (16) inflate per-hop latency enough to cost ~8 % simulated
+        throughput at 4 KiB values (see docs/perf.md).  Runtimes apply
+        the knob on *dedicated* ring links only: on the shared topology
+        (one NIC for ring and client traffic) a k-message frame would
+        take a k-fold share of the frame-granular round-robin and
+        starve read replies, so the limit degenerates to 1 there.  The
+        simulator additionally bounds the effective depth by ring size
+        (``k*n <= 16``): frames store-and-forward whole per hop, so
+        deep batches on long rings delay commits enough to sag
+        contended read throughput (figure 3c at n=8).
     view_quorum:
         Epoch-guarded, quorum-installed ring views — the operating mode
         for clusters running the *imperfect* (heartbeat) failure
@@ -60,6 +86,7 @@ class ProtocolConfig:
     piggyback_commits: bool = True
     max_piggybacked_commits: int = 64
     fair_forwarding: bool = True
+    batch_max_messages: int = 4
     client_timeout: float = 5.0
     client_max_retries: int = 16
     view_quorum: bool = False
@@ -68,6 +95,8 @@ class ProtocolConfig:
         """Raise :class:`ConfigurationError` on nonsensical settings."""
         if self.max_piggybacked_commits < 1:
             raise ConfigurationError("max_piggybacked_commits must be >= 1")
+        if self.batch_max_messages < 1:
+            raise ConfigurationError("batch_max_messages must be >= 1")
         if self.client_timeout <= 0:
             raise ConfigurationError("client_timeout must be > 0")
         if self.client_max_retries < 0:

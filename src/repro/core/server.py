@@ -314,6 +314,11 @@ class ServerProtocol:
         redistributes it.  Session-layer state is likewise excluded — a
         restart is a new channel.
         """
+        # The dict-valued fields are captured in insertion order rather
+        # than sorted: ``restore`` rebuilds dicts from them, so ordering
+        # is semantically irrelevant, and this method runs once per ring
+        # send (write-ahead persistence) — sorting here was ~a third of
+        # the write hot path.
         return ServerSnapshot(
             server_id=self.server_id,
             members=tuple(self.ring.members),
@@ -321,12 +326,12 @@ class ServerProtocol:
             tag=self.tag,
             value=self.value,
             ts_seen=self.ts_seen,
-            watermark=tuple(sorted(self.watermark.items())),
-            completed_ops=tuple(sorted(self.completed_ops.items())),
-            pending=tuple(self.pending[tag] for tag in sorted(self.pending)),
+            watermark=tuple(self.watermark.items()),
+            completed_ops=tuple(self.completed_ops.items()),
+            pending=tuple(self.pending.values()),
             reconfig_counter=self._reconfig_counter,
             epoch=self.installed_epoch,
-            completed_tags=tuple(sorted(self.completed_tags.items())),
+            completed_tags=tuple(self.completed_tags.items()),
         )
 
     @classmethod
@@ -824,6 +829,30 @@ class ServerProtocol:
         self._maybe_persist()
         return message
 
+    def next_ring_batch(self, limit: int) -> list[RingMessage]:
+        """Pull up to ``limit`` successor-bound messages for one wire
+        frame (:attr:`ProtocolConfig.batch_max_messages`).
+
+        Persistence stays write-ahead — the single :meth:`_maybe_persist`
+        below runs before the runtime puts any of these messages on the
+        wire — but is amortised over the whole batch instead of paid per
+        message.  The drain stops early if the successor changes between
+        pulls (a control message may retarget the ring) so one frame
+        never mixes destinations.
+        """
+        batch: list[RingMessage] = []
+        successor = self.successor
+        while len(batch) < limit:
+            message = self._next_ring_message()
+            if message is None:
+                break
+            batch.append(message)
+            if self.successor != successor:
+                break
+        if batch:
+            self._maybe_persist()
+        return batch
+
     def _next_ring_message(self) -> Optional[RingMessage]:
         if self.control_queue:
             return self._attach_commits(self.control_queue.popleft())
@@ -869,8 +898,15 @@ class ServerProtocol:
             self.op_index[prewrite.op] = prewrite.tag
             self.stats_forwards += 1
             self._mark_dirty()
-            return self._attach_commits(
-                PreWrite(prewrite.tag, prewrite.value, prewrite.op)
+            # Build the outgoing pre-write directly with its piggybacked
+            # commits rather than routing through _attach_commits, which
+            # would construct the PreWrite twice.
+            return PreWrite(
+                prewrite.tag,
+                prewrite.value,
+                prewrite.op,
+                self._pull_commit_tags(carrier_is_commit=False),
+                self.installed_epoch,
             )
 
         if self.commit_queue:
@@ -1609,35 +1645,40 @@ class ServerProtocol:
     # Internals
     # ------------------------------------------------------------------
 
+    def _pull_commit_tags(self, carrier_is_commit: bool) -> tuple:
+        """Drain up to the piggyback budget of queued commit tags."""
+        if not self.commit_queue:
+            return ()
+        if not (self.config.piggyback_commits or carrier_is_commit):
+            return ()
+        budget = self.config.max_piggybacked_commits
+        tags: list[Tag] = []
+        while self.commit_queue and len(tags) < budget:
+            tags.append(self.commit_queue.popleft())
+        return tuple(tags)
+
     def _attach_commits(self, message: RingMessage) -> RingMessage:
         """Piggyback queued commit tags and stamp the installed epoch."""
         if isinstance(message, (ReconfigToken, ReconfigCommit)):
             return message  # reconfiguration messages carry their own epoch
         epoch = self.installed_epoch
-        attach = bool(self.commit_queue) and (
-            self.config.piggyback_commits or isinstance(message, Commit)
-        )
-        tags: list[Tag] = []
-        if attach:
-            budget = self.config.max_piggybacked_commits
-            while self.commit_queue and len(tags) < budget:
-                tags.append(self.commit_queue.popleft())
+        tags = self._pull_commit_tags(carrier_is_commit=isinstance(message, Commit))
         if isinstance(message, PreWrite):
             return PreWrite(
                 message.tag,
                 message.value,
                 message.op,
-                tuple(tags) if tags else message.commits,
+                tags if tags else message.commits,
                 epoch,
             )
         if isinstance(message, StateSync):
             return StateSync(
                 message.tag,
                 message.value,
-                tuple(tags) if tags else message.commits,
+                tags if tags else message.commits,
                 epoch,
             )
-        return Commit(tuple(tags) if tags else message.commits, epoch)
+        return Commit(tags if tags else message.commits, epoch)
 
     def _install(self, tag: Tag, value: bytes) -> None:
         """Monotone register update (lines 33-35 / 43-45)."""

@@ -173,6 +173,15 @@ class ShardedServerHost(HostBase):
 
     # -- outbound -------------------------------------------------------
 
+    @property
+    def ring_batch_limit(self) -> int:
+        """Batch only on a dedicated ring NIC (see the unsharded host):
+        on a shared port a k-message frame would out-share client
+        replies k-fold in the frame-granular round-robin."""
+        if self.nic_ring is self.nic_client:
+            return 1
+        return self.cluster.batch_limit
+
     def _ring_source(self):
         """Round-robin the ring link across blocks with pending work.
 
@@ -190,6 +199,20 @@ class ShardedServerHost(HostBase):
                 destination, message = directed
                 self._ring_rr = (reg + 1) % num_blocks
                 return (f"s{destination}", ShardEnvelope(reg, message), "ring")
+            limit = self.ring_batch_limit
+            if limit > 1:
+                # Batch within one block's slot only: blocks hold
+                # independent ring views, so their successors may
+                # diverge and a cross-block frame could mix
+                # destinations.  Fairness across blocks is unchanged —
+                # the slot still advances by one block per frame.
+                batch = proto.next_ring_batch(limit)
+                if batch:
+                    self._ring_rr = (reg + 1) % num_blocks
+                    wrapped = [ShardEnvelope(reg, m) for m in batch]
+                    payload = wrapped[0] if len(wrapped) == 1 else wrapped
+                    return (f"s{proto.successor}", payload, "ring")
+                continue
             message = proto.next_ring_message()
             if message is not None:
                 self._ring_rr = (reg + 1) % num_blocks

@@ -73,7 +73,13 @@ from repro.runtime.interface import (
 )
 from repro.transport.codec import decode_message, encode_message
 from repro.transport.framing import FrameDecoder, frame
-from repro.transport.reliable import ReliableSession, Segment, decode_segment, encode_segment
+from repro.transport.reliable import (
+    ReliableSession,
+    Segment,
+    decode_frame,
+    encode_batch,
+    encode_segment,
+)
 
 #: Connection hello: kind (0 = ring, 1 = client, 2 = control, 3 =
 #: heartbeat), peer id, and the peer's restart generation.  The
@@ -116,6 +122,15 @@ DEFAULT_ASYNC_HEARTBEAT = HeartbeatConfig(
 def _segment_frame(segment: Segment) -> bytes:
     """One wire frame carrying a session-layer segment."""
     return frame(encode_segment(segment, encode_message))
+
+
+def _segments_frame(segments: list) -> bytes:
+    """One wire frame carrying one or more segments: the plain encoding
+    for a single segment, the batch container for several.  Receivers
+    decode both through :func:`repro.transport.reliable.decode_frame`."""
+    if len(segments) == 1:
+        return _segment_frame(segments[0])
+    return frame(encode_batch(segments, encode_message))
 
 
 def _now() -> float:
@@ -562,15 +577,15 @@ class AsyncServerNode:
             async for payload in _read_frames(reader, decoder):
                 if self._stopped:
                     break
-                segment = decode_segment(payload, decode_message)
-                for message in session.on_segment(segment, _now()):
-                    if kind == _KIND_RING:
-                        replies = self.proto.on_ring_message(message, int(peer_id))
-                        self._after_step()
-                    else:
-                        replies = self.proto.on_client_message(peer_id, message)
-                    await self._dispatch_replies(replies)
-                    self._ring_wake.set()
+                for segment in decode_frame(payload, decode_message):
+                    for message in session.on_segment(segment, _now()):
+                        if kind == _KIND_RING:
+                            replies = self.proto.on_ring_message(message, int(peer_id))
+                            self._after_step()
+                        else:
+                            replies = self.proto.on_client_message(peer_id, message)
+                        await self._dispatch_replies(replies)
+                        self._ring_wake.set()
                 if session.ack_owed:
                     # No reverse traffic carried the ack (ring links are
                     # one-directional; client requests may defer their
@@ -611,8 +626,13 @@ class AsyncServerNode:
                 destination, out_of_band = directed
                 await self._send_control(destination, out_of_band)
                 continue
-            message = self.proto.next_ring_message()
-            if message is None:
+            limit = self.proto.config.batch_max_messages
+            if limit > 1:
+                batch = self.proto.next_ring_batch(limit)
+            else:
+                message = self.proto.next_ring_message()
+                batch = [] if message is None else [message]
+            if not batch:
                 if (
                     self.fd == "heartbeat"
                     and self._ring_session.in_flight
@@ -642,10 +662,11 @@ class AsyncServerNode:
                 # session, so a retargeted stream never wipes live data.
                 self._ring_session.reset()
                 self._session_peer = successor
-            segment = self._ring_session.send(message, _now())
+            now = _now()
+            segments = [self._ring_session.send(m, now) for m in batch]
             try:
                 writer = await self._successor_writer(successor)
-                writer.write(_segment_frame(segment))
+                writer.write(_segments_frame(segments))
                 await writer.drain()
             except (ConnectionError, OSError):
                 self._drop_ring_writer()
@@ -665,8 +686,8 @@ class AsyncServerNode:
                 if self.proto.ring.is_alive(successor) and self.proto.ring.num_alive > 1:
                     replies = self.proto.on_server_crash(successor)
                     await self._dispatch_replies(replies)
-                # The undelivered message's state is covered by the
-                # reconfiguration merge; do not retransmit it verbatim.
+                # The undelivered messages' state is covered by the
+                # reconfiguration merge; do not retransmit them verbatim.
                 continue
 
     async def _successor_writer(self, successor: int) -> asyncio.StreamWriter:
@@ -684,9 +705,12 @@ class AsyncServerNode:
         # connection may or may not have reached it — retransmit the
         # unacked suffix and let receive-side dedup resolve the
         # ambiguity.  This is the session layer doing for connection
-        # seams what TCP does within one connection.
-        for segment in self._ring_session.unacked_segments():
-            writer.write(_segment_frame(segment))
+        # seams what TCP does within one connection.  The replay is
+        # chunked into batch frames like a fresh burst would be.
+        unacked = list(self._ring_session.unacked_segments())
+        chunk_size = max(1, self.proto.config.batch_max_messages)
+        for start in range(0, len(unacked), chunk_size):
+            writer.write(_segments_frame(unacked[start : start + chunk_size]))
         await writer.drain()
         self._ring_writer = writer
         self._ring_peer = successor
@@ -709,9 +733,8 @@ class AsyncServerNode:
             async for payload in _read_frames(reader, decoder):
                 if self._ring_writer is not writer:
                     break
-                self._ring_session.on_segment(
-                    decode_segment(payload, decode_message), _now()
-                )
+                for segment in decode_frame(payload, decode_message):
+                    self._ring_session.on_segment(segment, _now())
         except (ConnectionError, OSError, asyncio.CancelledError):
             pass
         if self._stopped or self._ring_writer is not writer:
@@ -846,10 +869,10 @@ class AsyncClient:
         session = self._session(server)
         try:
             async for payload in _read_frames(reader, decoder):
-                segment = decode_segment(payload, decode_message)
-                for message in session.on_segment(segment, _now()):
-                    if isinstance(message, (ReadAck, WriteAck)):
-                        await self._execute(self.proto.on_reply(message))
+                for segment in decode_frame(payload, decode_message):
+                    for message in session.on_segment(segment, _now()):
+                        if isinstance(message, (ReadAck, WriteAck)):
+                            await self._execute(self.proto.on_reply(message))
                 if session.ack_owed:
                     # Acknowledge replies even when no further request is
                     # imminent, so the server's send window stays clean.

@@ -226,8 +226,13 @@ class ReliableSession:
     def _on_ack(self, ack: int, now: float) -> None:
         if ack <= 0 or not self._unacked:
             return
+        # ``_unacked`` is insertion-ordered and seqs are assigned
+        # monotonically, so the acked prefix is the dict's front.
         advanced = False
-        for seq in [s for s in self._unacked if s <= ack]:
+        while self._unacked:
+            seq = next(iter(self._unacked))
+            if seq > ack:
+                break
             del self._unacked[seq]
             advanced = True
         if not advanced:
@@ -260,3 +265,90 @@ def decode_segment(data: bytes, decode_payload) -> Segment:
     seq, ack = _SEGMENT_HEADER.unpack_from(data)
     payload = decode_payload(data[SEGMENT_HEADER_BYTES:]) if seq > 0 else None
     return Segment(seq, ack, payload)
+
+
+# ----------------------------------------------------------------------
+# Batch frames (ring-frame batching, ProtocolConfig.batch_max_messages)
+# ----------------------------------------------------------------------
+
+#: Reserved value in a frame's first header slot marking a batch
+#: container.  A data segment's ``seq`` starts at 1 and increments by
+#: one per message; reaching 2**32 - 1 would overflow the u32 header
+#: long before, so the sentinel can never collide with a real segment.
+BATCH_SENTINEL = 0xFFFFFFFF
+
+#: Wire overhead of a batch container: the 8-byte ``(sentinel, count)``
+#: header plus a u32 length prefix per enclosed segment.  The simulator
+#: charges exactly these bytes for a batched frame, so simulated and
+#: real transports keep agreeing on wire cost with batching on.
+BATCH_HEADER_BYTES = SEGMENT_HEADER_BYTES
+BATCH_ENTRY_BYTES = 4
+
+_BATCH_ENTRY = struct.Struct(">I")
+
+
+def batch_wire_bytes(segment_bytes) -> int:
+    """Wire bytes of a batch frame enclosing segments of the given
+    individual sizes (each already including its segment header)."""
+    total = BATCH_HEADER_BYTES
+    for size in segment_bytes:
+        total += BATCH_ENTRY_BYTES + size
+    return total
+
+
+def encode_batch(segments, encode_payload) -> bytes:
+    """Encode several segments as one wire frame.
+
+    Layout: ``(BATCH_SENTINEL, count)`` in the 8-byte segment-header
+    slot, then each segment's :func:`encode_segment` bytes behind a u32
+    length prefix.  Each enclosed segment keeps its own sequence number
+    and cumulative ack — the container changes framing only, never
+    session semantics.
+    """
+    if not segments:
+        raise ProtocolError("cannot encode an empty batch")
+    parts = [_SEGMENT_HEADER.pack(BATCH_SENTINEL, len(segments))]
+    for segment in segments:
+        encoded = encode_segment(segment, encode_payload)
+        parts.append(_BATCH_ENTRY.pack(len(encoded)))
+        parts.append(encoded)
+    return b"".join(parts)
+
+
+def decode_batch(data: bytes, decode_payload) -> list[Segment]:
+    """Inverse of :func:`encode_batch`."""
+    view = memoryview(data)
+    if len(view) < BATCH_HEADER_BYTES:
+        raise ProtocolError(f"batch too short: {len(view)} bytes")
+    sentinel, count = _SEGMENT_HEADER.unpack_from(view)
+    if sentinel != BATCH_SENTINEL:
+        raise ProtocolError("not a batch frame")
+    offset = BATCH_HEADER_BYTES
+    segments = []
+    for _ in range(count):
+        if offset + BATCH_ENTRY_BYTES > len(view):
+            raise ProtocolError("truncated batch entry header")
+        (length,) = _BATCH_ENTRY.unpack_from(view, offset)
+        offset += BATCH_ENTRY_BYTES
+        if offset + length > len(view):
+            raise ProtocolError("truncated batch entry")
+        segments.append(
+            decode_segment(bytes(view[offset : offset + length]), decode_payload)
+        )
+        offset += length
+    if offset != len(view):
+        raise ProtocolError(
+            f"batch length mismatch: {len(view) - offset} trailing byte(s)"
+        )
+    return segments
+
+
+def decode_frame(data: bytes, decode_payload) -> list[Segment]:
+    """Decode one wire frame into its segments, whether it is a plain
+    segment (one-element list) or a batch container.  Receivers use
+    this uniformly, so a sender may batch or not per frame."""
+    if len(data) >= SEGMENT_HEADER_BYTES:
+        (first,) = _BATCH_ENTRY.unpack_from(data)
+        if first == BATCH_SENTINEL:
+            return decode_batch(data, decode_payload)
+    return [decode_segment(data, decode_payload)]

@@ -1,0 +1,158 @@
+"""Session guarantees across batch-frame boundaries.
+
+Batching shares a wire frame between segments but must not weaken any
+session-layer guarantee.  These regression tests drive a sender/receiver
+session pair through frame-granularity fault plans — whole batch frames
+dropped, duplicated and reordered, the way a TCP-like transport loses
+frames — and assert FIFO delivery, cumulative acknowledgement and
+duplicate suppression hold exactly as they do unbatched.
+"""
+
+from repro.core.messages import Commit, OpId, PreWrite
+from repro.core.tags import Tag
+from repro.transport.codec import decode_message, encode_message
+from repro.transport.reliable import (
+    ReliableSession,
+    decode_frame,
+    encode_batch,
+    encode_segment,
+)
+
+
+def _messages(n: int) -> list:
+    return [
+        PreWrite(Tag(i + 1, 0), b"v%03d" % i, OpId(7, i)) for i in range(n)
+    ]
+
+
+def _frame(segments) -> bytes:
+    if len(segments) == 1:
+        return encode_segment(segments[0], encode_message)
+    return encode_batch(segments, encode_message)
+
+
+def _receive(receiver: ReliableSession, wire: bytes, now: float = 0.0) -> list:
+    delivered = []
+    for segment in decode_frame(wire, decode_message):
+        delivered.extend(receiver.on_segment(segment, now))
+    return delivered
+
+
+def test_fifo_holds_when_batch_frames_reorder():
+    """Frame 2 arriving before frame 1 must stall delivery until the gap
+    fills, then release everything in send order."""
+    sender, receiver = ReliableSession(), ReliableSession()
+    mix = _messages(6)
+    segs = [sender.send(m, 0.0) for m in mix]
+    frame1 = _frame(segs[0:3])
+    frame2 = _frame(segs[3:6])
+    assert _receive(receiver, frame2) == []  # buffered: seqs 4-6 early
+    assert receiver.stats.reorders_buffered == 3
+    assert _receive(receiver, frame1) == mix  # gap filled: all six, in order
+    assert receiver.make_ack().ack == 6
+
+
+def test_duplicated_batch_frame_is_fully_suppressed():
+    sender, receiver = ReliableSession(), ReliableSession()
+    mix = _messages(4)
+    segs = [sender.send(m, 0.0) for m in mix]
+    wire = _frame(segs)
+    assert _receive(receiver, wire) == mix
+    assert _receive(receiver, wire) == []  # exact duplicate of the frame
+    assert receiver.stats.dups_suppressed == 4
+    assert receiver.make_ack().ack == 4  # re-acked so the sender converges
+
+
+def test_one_cumulative_ack_covers_a_whole_batch():
+    sender, receiver = ReliableSession(), ReliableSession()
+    mix = _messages(5)
+    segs = [sender.send(m, 0.0) for m in mix]
+    _receive(receiver, _frame(segs))
+    assert sender.in_flight == 5
+    sender.on_segment(receiver.make_ack(), 0.1)
+    assert sender.in_flight == 0
+    assert sender.retransmit_deadline is None
+
+
+def test_dropped_batch_retransmits_and_interleaves_with_fresh_batch():
+    """The regression scenario from the issue: a batch frame is lost,
+    the sender keeps sending fresh batches, and the retransmitted batch
+    later interleaves with them — delivery must come out exactly once,
+    in order, across the seam."""
+    sender, receiver = ReliableSession(), ReliableSession()
+    first = _messages(3)
+    segs_first = [sender.send(m, 0.0) for m in first]
+    _frame(segs_first)  # the nemesis drops this frame on the floor
+
+    # Fresh traffic while the loss is undetected.
+    fresh = [
+        PreWrite(Tag(100 + i, 1), b"f%03d" % i, OpId(9, i)) for i in range(3)
+    ]
+    segs_fresh = [sender.send(m, 0.2) for m in fresh]
+    assert _receive(receiver, _frame(segs_fresh), now=0.2) == []  # seqs 4-6 early
+
+    # The retransmit timer fires; poll returns everything unacked (the
+    # lost batch *and* the buffered fresh one) chunked by the caller.
+    due = sender.poll(sender.retransmit_deadline)
+    assert [s.seq for s in due] == [1, 2, 3, 4, 5, 6]
+    retx_frame = _frame(due[0:3])  # runtime chunks; first chunk = lost batch
+    delivered = _receive(receiver, retx_frame, now=0.3)
+    assert delivered == first + fresh  # gap filled; FIFO across the seam
+
+    # The second retransmitted chunk arrives late: pure duplicates.
+    assert _receive(receiver, _frame(due[3:6]), now=0.3) == []
+    assert receiver.stats.dups_suppressed == 3
+    assert receiver.stats.delivered == 6
+
+    # One ack covers everything, including the retransmissions.
+    sender.on_segment(receiver.make_ack(), 0.4)
+    assert sender.in_flight == 0
+
+
+def test_retransmitted_batch_after_partial_delivery():
+    """Drop only the second of two batch frames: the ack for the first
+    must trim the retransmission to the lost suffix."""
+    sender, receiver = ReliableSession(), ReliableSession()
+    mix = _messages(6)
+    segs = [sender.send(m, 0.0) for m in mix]
+    assert _receive(receiver, _frame(segs[0:3])) == mix[0:3]
+    # frame 2 dropped; receiver acks what it has.
+    sender.on_segment(receiver.make_ack(), 0.1)
+    assert sender.in_flight == 3
+    due = sender.poll(sender.retransmit_deadline)
+    assert [s.seq for s in due] == [4, 5, 6]
+    assert _receive(receiver, _frame(due), now=0.3) == mix[3:6]
+    sender.on_segment(receiver.make_ack(), 0.4)
+    assert sender.in_flight == 0
+
+
+def test_mixed_plain_and_batched_frames_on_one_link():
+    """A sender may batch opportunistically — singletons travel as plain
+    segments, bursts as batches — and the receiver cannot tell."""
+    sender, receiver = ReliableSession(), ReliableSession()
+    mix = _messages(7)
+    segs = [sender.send(m, 0.0) for m in mix]
+    delivered = []
+    delivered += _receive(receiver, _frame(segs[0:1]))  # plain
+    delivered += _receive(receiver, _frame(segs[1:5]))  # batch of 4
+    delivered += _receive(receiver, _frame(segs[5:6]))  # plain
+    delivered += _receive(receiver, _frame(segs[6:7]))  # plain
+    assert delivered == mix
+    assert receiver.make_ack().ack == 7
+
+
+def test_pure_ack_rides_inside_a_batch():
+    """A batch may carry a pure-ack segment (e.g. chunked replay after
+    reconnect); its cumulative ack must take effect."""
+    a, b = ReliableSession(), ReliableSession()
+    outbound = [a.send(m, 0.0) for m in _messages(2)]
+    for seg in outbound:
+        b.on_segment(seg, 0.0)
+    # b replies with one data segment batched together with a pure ack.
+    reply = b.send(Commit((Tag(1, 0),)), 0.1)
+    wire = encode_batch([reply, b.make_ack()], encode_message)
+    delivered = []
+    for seg in decode_frame(wire, decode_message):
+        delivered.extend(a.on_segment(seg, 0.2))
+    assert delivered == [Commit((Tag(1, 0),))]
+    assert a.in_flight == 0  # the ack (on both segments) cleared our sends

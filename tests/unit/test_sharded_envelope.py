@@ -86,14 +86,29 @@ class _StubProto:
         self.backlog -= 1
         return "msg"
 
+    def next_ring_batch(self, limit: int):
+        batch = []
+        while len(batch) < limit:
+            message = self.next_ring_message()
+            if message is None:
+                break
+            batch.append(message)
+        return batch
 
-def _sharded_host(num_blocks: int):
-    store = BlockStore.build(num_servers=2, num_blocks=num_blocks, seed=0)
+
+def _sharded_host(num_blocks: int, **kwargs):
+    store = BlockStore.build(num_servers=2, num_blocks=num_blocks, seed=0, **kwargs)
     return store.cluster.servers[0]
 
 
+def _unbatched():
+    from repro.core.config import ProtocolConfig
+
+    return ProtocolConfig(batch_max_messages=1)
+
+
 def test_ring_source_round_robins_across_blocks():
-    host = _sharded_host(3)
+    host = _sharded_host(3, protocol=_unbatched())
     host.protos = {0: _StubProto(2), 1: _StubProto(2), 2: _StubProto(2)}
     order = []
     for _ in range(6):
@@ -107,10 +122,31 @@ def test_ring_source_round_robins_across_blocks():
 def test_ring_source_skips_empty_blocks_without_starving_others():
     """Mixed load: block 1 idle, block 0 loaded, block 2 trickling.  The
     loaded block must not starve the trickle."""
-    host = _sharded_host(3)
+    host = _sharded_host(3, protocol=_unbatched())
     host.protos = {0: _StubProto(4), 1: _StubProto(0), 2: _StubProto(2)}
     order = [host._ring_source()[1].reg for _ in range(6)]
     assert order == [0, 2, 0, 2, 0, 0]
+
+
+def test_ring_source_batches_within_one_block_slot():
+    """With batching on, one frame drains up to the limit from a single
+    block — never mixing blocks (their ring views are independent) — and
+    the slot still advances one block per frame."""
+    from repro.core.config import ProtocolConfig
+
+    host = _sharded_host(3, protocol=ProtocolConfig(batch_max_messages=4))
+    host.protos = {0: _StubProto(6), 1: _StubProto(1), 2: _StubProto(2)}
+    frames = []
+    while True:
+        item = host._ring_source()
+        if item is None:
+            break
+        dst, payload, kind = item
+        assert (dst, kind) == ("s1", "ring")
+        envelopes = payload if isinstance(payload, list) else [payload]
+        assert len({env.reg for env in envelopes}) == 1, "one block per frame"
+        frames.append((envelopes[0].reg, len(envelopes)))
+    assert frames == [(0, 4), (1, 1), (2, 2), (0, 2)]
 
 
 def test_ring_source_resumes_after_idle_at_next_block():
