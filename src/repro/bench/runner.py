@@ -41,6 +41,14 @@ from typing import Callable, Optional
 from repro.analysis.stats import LatencyStats, mbit_per_s
 from repro.core.config import ProtocolConfig
 from repro.runtime.sim_net import SimCluster
+from repro.sim.counters import (
+    NET_UNICASTS,
+    NET_WIRE_BYTES,
+    RELIABLE_BATCHED_FRAMES,
+    RELIABLE_BATCHED_MESSAGES,
+    RELIABLE_RETRANSMITS,
+    net_suffix,
+)
 from repro.workload.generator import LoadDriver
 from repro.workload.scenarios import (
     contention_scenario,
@@ -134,10 +142,10 @@ def run_scenario(
 
     counters = cluster.env.trace.counters
     wire_bytes = sum(
-        amount for name, amount in counters.items() if name.endswith(".wire_bytes")
+        amount for name, amount in counters.items() if name.endswith(net_suffix(NET_WIRE_BYTES))
     )
     unicasts = sum(
-        amount for name, amount in counters.items() if name.endswith(".unicasts")
+        amount for name, amount in counters.items() if name.endswith(net_suffix(NET_UNICASTS))
     )
     reads = driver.stats["read"]
     writes = driver.stats["write"]
@@ -156,9 +164,9 @@ def run_scenario(
         "wire": {
             "bytes_per_op": round(wire_bytes / ops, 1) if ops else None,
             "messages_per_op": round(unicasts / ops, 2) if ops else None,
-            "batched_frames": counters.get("reliable.batched_frames", 0),
-            "batched_messages": counters.get("reliable.batched_messages", 0),
-            "retransmits": counters.get("reliable.retransmits", 0),
+            "batched_frames": counters.get(RELIABLE_BATCHED_FRAMES, 0),
+            "batched_messages": counters.get(RELIABLE_BATCHED_MESSAGES, 0),
+            "retransmits": counters.get(RELIABLE_RETRANSMITS, 0),
         },
     }
 

@@ -38,6 +38,23 @@ from repro.chaos.schedule import (
     ChaosProfile,
     ChaosSchedule,
 )
+from repro.sim.counters import (
+    EPOCH_STALE_DROPPED,
+    FD_WRONG_SUSPICIONS,
+    NEMESIS_CUT_DROPS,
+    NEMESIS_DELAYED,
+    NEMESIS_DROPS,
+    NEMESIS_DUP_DELIVERIES,
+    NEMESIS_HELD,
+    NEMESIS_PAUSES,
+    NEMESIS_THROTTLES,
+    PROCESS_CRASHES,
+    PROCESS_RESTARTS,
+    RELIABLE_BATCHED_FRAMES,
+    RELIABLE_BATCHED_MESSAGES,
+    RELIABLE_DUPS_SUPPRESSED,
+    RELIABLE_RETRANSMITS,
+)
 from repro.core.sharded import ShardedServerHost, add_shard_client
 from repro.errors import ConfigurationError
 from repro.runtime.sim_net import SimCluster
@@ -83,14 +100,14 @@ TARGETS: dict[str, ProtocolTarget] = {
 #: exercised when it held or dropped a frame, not merely when its cut
 #: was installed.
 _KIND_COUNTERS = {
-    "crash": ("process.crashes",),
-    "restart": ("process.restarts",),
-    "partition": ("nemesis.held", "nemesis.cut_drops"),
-    "drop": ("nemesis.drops",),
-    "delay": ("nemesis.delayed",),
-    "duplicate": ("nemesis.dup_deliveries",),
-    "throttle": ("nemesis.throttles",),
-    "pause": ("nemesis.pauses",),
+    "crash": (PROCESS_CRASHES,),
+    "restart": (PROCESS_RESTARTS,),
+    "partition": (NEMESIS_HELD, NEMESIS_CUT_DROPS),
+    "drop": (NEMESIS_DROPS,),
+    "delay": (NEMESIS_DELAYED,),
+    "duplicate": (NEMESIS_DUP_DELIVERIES,),
+    "throttle": (NEMESIS_THROTTLES,),
+    "pause": (NEMESIS_PAUSES,),
 }
 
 
@@ -215,7 +232,7 @@ def run_schedule(schedule: ChaosSchedule, protocol: str = "core") -> ChaosResult
         builder_kwargs["fd"] = profile.fd
     if protocol == "sharded":
         builder_kwargs["num_blocks"] = schedule.num_blocks
-    started = time.perf_counter()
+    started = time.perf_counter()  # staticheck: allow(determinism.wall-clock) -- wall_seconds is diagnostic reporting only; nothing simulated reads it
     cluster = target.builder(
         schedule.num_servers,
         seed=schedule.cluster_seed,
@@ -277,15 +294,15 @@ def run_schedule(schedule: ChaosSchedule, protocol: str = "core") -> ChaosResult
         ops_failed=progress["failed"],
         ops_required=required,
         exercised=exercised,
-        retransmits=counters.get("reliable.retransmits", 0),
-        dups_suppressed=counters.get("reliable.dups_suppressed", 0),
-        batched_frames=counters.get("reliable.batched_frames", 0),
-        batched_messages=counters.get("reliable.batched_messages", 0),
-        wrong_suspicions=counters.get("fd.wrong_suspicions", 0),
-        stale_epoch_drops=counters.get("epoch.stale_dropped", 0),
+        retransmits=counters.get(RELIABLE_RETRANSMITS, 0),
+        dups_suppressed=counters.get(RELIABLE_DUPS_SUPPRESSED, 0),
+        batched_frames=counters.get(RELIABLE_BATCHED_FRAMES, 0),
+        batched_messages=counters.get(RELIABLE_BATCHED_MESSAGES, 0),
+        wrong_suspicions=counters.get(FD_WRONG_SUSPICIONS, 0),
+        stale_epoch_drops=counters.get(EPOCH_STALE_DROPPED, 0),
         blocks_checked=blocks_checked,
         tag_coverage=tag_coverage,
-        wall_seconds=time.perf_counter() - started,
+        wall_seconds=time.perf_counter() - started,  # staticheck: allow(determinism.wall-clock) -- wall_seconds is diagnostic reporting only; nothing simulated reads it
     )
 
 

@@ -516,10 +516,13 @@ class ServerProtocol:
             # reordered seams) and must not process writes we cannot
             # place.
             if message.epoch != self.installed_epoch:
+                # This path touches only stats and the outbox — nothing
+                # the snapshot covers — so no persist is needed here
+                # (the writeahead staticheck rule proves every handler
+                # leaves covered state clean).
                 self.stats_stale_epoch_dropped += 1
                 if message.epoch < self.installed_epoch and sender is not None:
                     self._notify_stale(sender)
-                self._maybe_persist()
                 return self.drain_replies()
         if isinstance(message, PreWrite):
             self._process_commits(message.commits)
@@ -556,6 +559,7 @@ class ServerProtocol:
             # considers this server dead); the announcement retry brings
             # us in through a live sponsor instead.
             self.ring = self.ring.without(crashed)
+            self._maybe_persist()
             return self.drain_replies()
 
         was_successor = self.successor == crashed
@@ -849,8 +853,11 @@ class ServerProtocol:
             batch.append(message)
             if self.successor != successor:
                 break
-        if batch:
-            self._maybe_persist()
+        # Unconditional: a drain that yields no message may still have
+        # mutated covered state (e.g. a duplicate write absorbed during
+        # initiation), and _maybe_persist is a no-op when nothing is
+        # dirty anyway.
+        self._maybe_persist()
         return batch
 
     def _next_ring_message(self) -> Optional[RingMessage]:

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import total_ordering
+from typing import Iterable
 
 
 @total_ordering
@@ -48,7 +49,7 @@ class Tag:
 Tag.ZERO = Tag(0, -1)
 
 
-def max_tag(tags) -> Tag:
+def max_tag(tags: Iterable[Tag]) -> Tag:
     """Largest tag in ``tags``; ``Tag.ZERO`` when empty.
 
     Mirrors the pseudocode's ``maxlex(pending_write_set)`` which is used

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Callable
 
+from repro.sim.counters import FD_DETECTIONS, FD_RECOVERIES
 from repro.sim.env import SimEnv
 
 
@@ -47,9 +48,9 @@ class PerfectFailureDetector:
         """
         if server_id in self._suspected:
             self._suspected.discard(server_id)
-            self.env.trace.count("fd.recoveries")
+            self.env.trace.count(FD_RECOVERIES)
 
     def _notify(self, crashed_id: int) -> None:
-        self.env.trace.count("fd.detections")
+        self.env.trace.count(FD_DETECTIONS)
         for listener in list(self._listeners):
             listener(crashed_id)

@@ -781,6 +781,10 @@ class AsyncClient:
         self._futures: dict[OpId, asyncio.Future] = {}
         self._timers: dict[int, asyncio.TimerHandle] = {}
         self._reader_tasks: dict[int, asyncio.Task] = {}
+        # Strong references to in-flight timeout handlers: the loop only
+        # holds weak ones, so an untracked task can be collected
+        # mid-retry and its exceptions silently dropped.
+        self._timeout_tasks: set[asyncio.Task] = set()
         # One reliable session per live server connection.  Sessions are
         # connection-scoped (dropped with the connection, matching the
         # server side): requests lost at a connection seam are recovered
@@ -806,6 +810,8 @@ class AsyncClient:
     async def close(self) -> None:
         for timer in self._timers.values():
             timer.cancel()
+        for task in self._timeout_tasks:
+            task.cancel()
         for task in self._reader_tasks.values():
             task.cancel()
         for _reader, writer in self._connections.values():
@@ -887,7 +893,9 @@ class AsyncClient:
 
     def _timeout(self, timer_id: int) -> None:
         self._timers.pop(timer_id, None)
-        asyncio.ensure_future(self._execute(self.proto.on_timeout(timer_id)))
+        task = asyncio.ensure_future(self._execute(self.proto.on_timeout(timer_id)))
+        self._timeout_tasks.add(task)
+        task.add_done_callback(self._timeout_tasks.discard)
 
     def _cancel(self, timer_id: int) -> None:
         timer = self._timers.pop(timer_id, None)

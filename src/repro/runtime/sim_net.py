@@ -51,6 +51,22 @@ from repro.runtime.interface import (
     SendTo,
     SetTimer,
 )
+from repro.sim.counters import (
+    EPOCH_CONFIRMS,
+    EPOCH_QUORUM_STALLS,
+    EPOCH_REJECTED_RECONFIGS,
+    EPOCH_STALE_DROPPED,
+    FD_SUSPICIONS,
+    FD_UNSUSPECTS,
+    FD_WRONG_SUSPICIONS,
+    RELIABLE_ABANDONED,
+    RELIABLE_ACKS,
+    RELIABLE_BATCHED_FRAMES,
+    RELIABLE_BATCHED_MESSAGES,
+    RELIABLE_DUPS_SUPPRESSED,
+    RELIABLE_RETRANSMITS,
+    RELIABLE_STALE_DROPPED,
+)
 from repro.sim.env import SimEnv
 from repro.sim.faults import FaultPlan
 from repro.sim.nemesis import Nemesis
@@ -594,7 +610,7 @@ class _ReliableLinkLayer:
         payloads = session.on_segment(segment, self.env.now)
         dups = session.stats.dups_suppressed - dups_before
         if dups:
-            self.env.trace.count("reliable.dups_suppressed", dups)
+            self.env.trace.count(RELIABLE_DUPS_SUPPRESSED, dups)
         # The piggybacked ack may have advanced our own send window.
         self._sync_retx_timer(dst_name, src_name)
         for kind, message in payloads:
@@ -616,7 +632,7 @@ class _ReliableLinkLayer:
         is one :class:`Segment` or a batch of them; either way the whole
         frame shares one connection stamp (and one nemesis fate)."""
         if stamp != self.channel_stamp(src_name, dst_name):
-            self.env.trace.count("reliable.stale_dropped")
+            self.env.trace.count(RELIABLE_STALE_DROPPED)
             return
         if isinstance(frame, list):
             for segment in frame:
@@ -636,7 +652,7 @@ class _ReliableLinkLayer:
             if name not in key:
                 continue
             if session.in_flight:
-                self.env.trace.count("reliable.abandoned", session.in_flight)
+                self.env.trace.count(RELIABLE_ABANDONED, session.in_flight)
             session.reset()
             self._cancel(self._retx_timers, key)
             self._cancel(self._ack_timers, key)
@@ -677,12 +693,12 @@ class _ReliableLinkLayer:
             # the void forever would keep the scheduler from ever going
             # idle; reset instead — TCP to a dead host errors out too.
             if session.in_flight:
-                self.env.trace.count("reliable.abandoned", session.in_flight)
+                self.env.trace.count(RELIABLE_ABANDONED, session.in_flight)
             session.reset()
             return
         segments = session.poll(self.env.now)
         if segments:
-            self.env.trace.count("reliable.retransmits", len(segments))
+            self.env.trace.count(RELIABLE_RETRANSMITS, len(segments))
         limit = self.cluster.batch_limit
         if limit > 1 and len(segments) > 1:
             # Chunk retransmissions into batch frames too — a recovering
@@ -713,7 +729,7 @@ class _ReliableLinkLayer:
         session = self.sessions.get((local, peer))
         if session is None or not session.ack_owed or not self._alive(local):
             return
-        self.env.trace.count("reliable.acks")
+        self.env.trace.count(RELIABLE_ACKS)
         self._send_segment(local, peer, session.make_ack())
 
     # -- plumbing ------------------------------------------------------
@@ -730,8 +746,8 @@ class _ReliableLinkLayer:
         wire_bytes = BATCH_HEADER_BYTES + sum(
             BATCH_ENTRY_BYTES + self._segment_bytes(s) for s in segments
         )
-        self.env.trace.count("reliable.batched_frames")
-        self.env.trace.count("reliable.batched_messages", len(segments))
+        self.env.trace.count(RELIABLE_BATCHED_FRAMES)
+        self.env.trace.count(RELIABLE_BATCHED_MESSAGES, len(segments))
         network.unicast(
             src_nic, dst_nic, wire_bytes, list(segments),
             self.cluster._segment_deliver(peer, local),
@@ -847,7 +863,7 @@ class _HeartbeatDriver:
         if tracker is None:
             return
         if tracker.heard_from(message.server_id, self.env.now):
-            self.env.trace.count("fd.unsuspects")
+            self.env.trace.count(FD_UNSUSPECTS)
             host.notify_unsuspect(message.server_id)
 
     def _check_loop(self, server_id: int, generation: int) -> None:
@@ -856,10 +872,10 @@ class _HeartbeatDriver:
             return
         tracker = self.trackers[server_id]
         for peer in tracker.check(self.env.now):
-            self.env.trace.count("fd.suspicions")
+            self.env.trace.count(FD_SUSPICIONS)
             peer_host = self.cluster.servers.get(peer)
             if peer_host is not None and peer_host.alive:
-                self.env.trace.count("fd.wrong_suspicions")
+                self.env.trace.count(FD_WRONG_SUSPICIONS)
             host.notify_suspect(peer)
         self.env.scheduler.schedule(
             self.config.check_interval, self._check_loop, server_id, generation
@@ -1064,8 +1080,8 @@ class SimCluster:
                 )
                 segments.append(segment)
                 wire_bytes += BATCH_ENTRY_BYTES + seg_bytes
-            self.env.trace.count("reliable.batched_frames")
-            self.env.trace.count("reliable.batched_messages", len(segments))
+            self.env.trace.count(RELIABLE_BATCHED_FRAMES)
+            self.env.trace.count(RELIABLE_BATCHED_MESSAGES, len(segments))
             network.unicast(
                 src_nic, dst_nic, wire_bytes, segments,
                 self._segment_deliver(dst_name, host.name),
@@ -1294,12 +1310,12 @@ class SimCluster:
         on a plain server, one per block on a sharded host."""
         if self.hb is None:
             return
-        self._mirror_stat(host, "stats_stale_epoch_dropped", "epoch.stale_dropped")
-        self._mirror_stat(host, "stats_quorum_stalls", "epoch.quorum_stalls")
+        self._mirror_stat(host, "stats_stale_epoch_dropped", EPOCH_STALE_DROPPED)
+        self._mirror_stat(host, "stats_quorum_stalls", EPOCH_QUORUM_STALLS)
         self._mirror_stat(
-            host, "stats_epoch_rejected_reconfigs", "epoch.rejected_reconfigs"
+            host, "stats_epoch_rejected_reconfigs", EPOCH_REJECTED_RECONFIGS
         )
-        self._mirror_stat(host, "stats_confirm_reconfigs", "epoch.confirms")
+        self._mirror_stat(host, "stats_confirm_reconfigs", EPOCH_CONFIRMS)
         for proto in host.all_protos():
             if proto.reconcile_due:
                 proto.reconcile_due = False

@@ -1,0 +1,141 @@
+"""Central registry of trace counter names.
+
+Every counter the simulator emits through :meth:`TraceRecorder.count`
+has one constant here, and every consumer (the chaos gate's coverage
+tables, the bench runner's wire accounting) refers to the same constant.
+The ``counters`` staticheck rule enforces both directions: a counter
+name may not appear as a string literal outside this module, and every
+constant a gate consumes must be referenced by at least one emitting
+module — so renaming an emit site can never again make a coverage gate
+vacuously pass (the PR 5 bug this registry exists to prevent).
+
+The constants' *values* are the wire format: they appear verbatim in
+trace logs and in the committed BENCH_*.json snapshots.  Renaming a
+counter therefore needs a deprecation alias (see :data:`_ALIASES` and
+:func:`canonical`) so external scripts reading old snapshots keep
+working; the string values below must never change silently.
+"""
+
+from __future__ import annotations
+
+# -- process lifecycle (sim/process.py) --------------------------------
+PROCESS_CRASHES = "process.crashes"
+PROCESS_RESTARTS = "process.restarts"
+
+# -- nemesis fault injection (sim/nemesis.py) --------------------------
+NEMESIS_CUTS = "nemesis.cuts"
+NEMESIS_CUT_DROPS = "nemesis.cut_drops"
+NEMESIS_DELAYED = "nemesis.delayed"
+NEMESIS_DROPS = "nemesis.drops"
+NEMESIS_DUP_DELIVERIES = "nemesis.dup_deliveries"
+NEMESIS_HEALS = "nemesis.heals"
+NEMESIS_HELD = "nemesis.held"
+NEMESIS_HELD_DELIVERED = "nemesis.held_delivered"
+NEMESIS_PARTITIONS = "nemesis.partitions"
+NEMESIS_PAUSES = "nemesis.pauses"
+NEMESIS_POSTHUMOUS_DROPS = "nemesis.posthumous_drops"
+NEMESIS_RULES = "nemesis.rules"
+NEMESIS_THROTTLES = "nemesis.throttles"
+
+# -- reliable session layer (runtime/sim_net.py) -----------------------
+RELIABLE_ABANDONED = "reliable.abandoned"
+RELIABLE_ACKS = "reliable.acks"
+RELIABLE_BATCHED_FRAMES = "reliable.batched_frames"
+RELIABLE_BATCHED_MESSAGES = "reliable.batched_messages"
+RELIABLE_DUPS_SUPPRESSED = "reliable.dups_suppressed"
+RELIABLE_RETRANSMITS = "reliable.retransmits"
+RELIABLE_STALE_DROPPED = "reliable.stale_dropped"
+
+# -- failure detectors (fd/perfect.py, runtime/sim_net.py) -------------
+FD_DETECTIONS = "fd.detections"
+FD_RECOVERIES = "fd.recoveries"
+FD_SUSPICIONS = "fd.suspicions"
+FD_UNSUSPECTS = "fd.unsuspects"
+FD_WRONG_SUSPICIONS = "fd.wrong_suspicions"
+
+# -- epoch-guarded reconfiguration (runtime/sim_net.py stat mirrors) ---
+EPOCH_CONFIRMS = "epoch.confirms"
+EPOCH_QUORUM_STALLS = "epoch.quorum_stalls"
+EPOCH_REJECTED_RECONFIGS = "epoch.rejected_reconfigs"
+EPOCH_STALE_DROPPED = "epoch.stale_dropped"
+
+#: Every fixed-name counter above.  The staticheck ``counters`` rule
+#: treats any of these values appearing as a literal outside this
+#: module as a violation.
+REGISTERED_COUNTERS = frozenset(
+    {
+        PROCESS_CRASHES,
+        PROCESS_RESTARTS,
+        NEMESIS_CUTS,
+        NEMESIS_CUT_DROPS,
+        NEMESIS_DELAYED,
+        NEMESIS_DROPS,
+        NEMESIS_DUP_DELIVERIES,
+        NEMESIS_HEALS,
+        NEMESIS_HELD,
+        NEMESIS_HELD_DELIVERED,
+        NEMESIS_PARTITIONS,
+        NEMESIS_PAUSES,
+        NEMESIS_POSTHUMOUS_DROPS,
+        NEMESIS_RULES,
+        NEMESIS_THROTTLES,
+        RELIABLE_ABANDONED,
+        RELIABLE_ACKS,
+        RELIABLE_BATCHED_FRAMES,
+        RELIABLE_BATCHED_MESSAGES,
+        RELIABLE_DUPS_SUPPRESSED,
+        RELIABLE_RETRANSMITS,
+        RELIABLE_STALE_DROPPED,
+        FD_DETECTIONS,
+        FD_RECOVERIES,
+        FD_SUSPICIONS,
+        FD_UNSUSPECTS,
+        FD_WRONG_SUSPICIONS,
+        EPOCH_CONFIRMS,
+        EPOCH_QUORUM_STALLS,
+        EPOCH_REJECTED_RECONFIGS,
+        EPOCH_STALE_DROPPED,
+    }
+)
+
+# -- per-network scoped counters (sim/network.py) ----------------------
+# Networks emit under a dynamic "<net_name>." prefix; consumers match by
+# suffix (the bench runner sums ".wire_bytes" across all networks).
+
+NET_COLLISIONS = "collisions"
+NET_MULTICASTS = "multicasts"
+NET_MULTICAST_DROPS = "multicast_drops"
+NET_UNICASTS = "unicasts"
+NET_WIRE_BYTES = "wire_bytes"
+
+NET_KINDS = frozenset(
+    {NET_COLLISIONS, NET_MULTICASTS, NET_MULTICAST_DROPS, NET_UNICASTS, NET_WIRE_BYTES}
+)
+
+
+def scoped(prefix: str, kind: str) -> str:
+    """Counter name for a per-network statistic, e.g. ``lan0.wire_bytes``."""
+    if kind not in NET_KINDS:
+        raise ValueError(f"unknown scoped counter kind: {kind!r}")
+    return f"{prefix}.{kind}"
+
+
+def net_suffix(kind: str) -> str:
+    """Suffix that matches every network's ``kind`` counter (consumers
+    sum ``name.endswith(net_suffix(NET_WIRE_BYTES))`` across nets)."""
+    if kind not in NET_KINDS:
+        raise ValueError(f"unknown scoped counter kind: {kind!r}")
+    return f".{kind}"
+
+
+# -- deprecation shim --------------------------------------------------
+#: Old counter name -> current name.  Empty today: the registry was
+#: introduced without renaming anything, so committed BENCH_*.json
+#: snapshots and external scripts keep reading the same keys.  A future
+#: rename must keep the old spelling here for one release.
+_ALIASES: dict[str, str] = {}
+
+
+def canonical(name: str) -> str:
+    """Resolve a possibly-deprecated counter name to its current form."""
+    return _ALIASES.get(name, name)

@@ -39,6 +39,21 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Callable, Iterable
 
 from repro.errors import ConfigurationError
+from repro.sim.counters import (
+    NEMESIS_CUTS,
+    NEMESIS_CUT_DROPS,
+    NEMESIS_DELAYED,
+    NEMESIS_DROPS,
+    NEMESIS_DUP_DELIVERIES,
+    NEMESIS_HEALS,
+    NEMESIS_HELD,
+    NEMESIS_HELD_DELIVERED,
+    NEMESIS_PARTITIONS,
+    NEMESIS_PAUSES,
+    NEMESIS_POSTHUMOUS_DROPS,
+    NEMESIS_RULES,
+    NEMESIS_THROTTLES,
+)
 from repro.sim.env import SimEnv
 from repro.sim.nic import Nic
 from repro.sim.wire import LinkProfile
@@ -115,17 +130,17 @@ class Nemesis:
         elif state.cut:
             if state.hold_mode:
                 state.held.append((network, src, dst, wire_bytes, message, deliver))
-                self.env.trace.count("nemesis.held")
+                self.env.trace.count(NEMESIS_HELD)
             else:
                 # Counted separately from probabilistic drops so coverage
                 # reports can attribute the loss to the cut.
-                self.env.trace.count("nemesis.cut_drops")
+                self.env.trace.count(NEMESIS_CUT_DROPS)
             return
         else:
             extra, copies = 0.0, 1
             for profile in state.rules.values():
                 if profile.drop_p and self._rng.random() < profile.drop_p:
-                    self.env.trace.count("nemesis.drops")
+                    self.env.trace.count(NEMESIS_DROPS)
                     return
                 extra += profile.extra_delay
                 if profile.jitter:
@@ -133,13 +148,13 @@ class Nemesis:
                 if profile.dup_p and self._rng.random() < profile.dup_p:
                     copies += 1
         if extra > 0.0:
-            self.env.trace.count("nemesis.delayed")
+            self.env.trace.count(NEMESIS_DELAYED)
         arrival = self.env.now + network.propagation_delay + extra
         self._deliver_at(link, network, src, dst, wire_bytes, message, deliver, arrival)
         for _ in range(copies - 1):
             # The duplicate trails the original by at least one more
             # fabric hop; the FIFO clamp keeps it behind the original.
-            self.env.trace.count("nemesis.dup_deliveries")
+            self.env.trace.count(NEMESIS_DUP_DELIVERIES)
             self._deliver_at(
                 link, network, src, dst, wire_bytes, message, deliver,
                 arrival + network.propagation_delay,
@@ -161,7 +176,7 @@ class Nemesis:
 
         def fire() -> None:
             if src.owner is not None and not src.owner.alive:
-                self.env.trace.count("nemesis.posthumous_drops")
+                self.env.trace.count(NEMESIS_POSTHUMOUS_DROPS)
                 return
             network.deliver_now(dst, wire_bytes, message, deliver)
 
@@ -178,7 +193,7 @@ class Nemesis:
         state = self._state((src, dst))
         state.cut = True
         state.hold_mode = mode == "hold"
-        self.env.trace.count("nemesis.cuts")
+        self.env.trace.count(NEMESIS_CUTS)
         self.env.trace.emit(self.env.now, "nemesis.cut", src, dst, mode)
 
     def heal(self, src: str, dst: str) -> None:
@@ -190,7 +205,7 @@ class Nemesis:
         state.cut = False
         held, state.held = state.held, []
         for network, src_nic, dst_nic, wire_bytes, message, deliver in held:
-            self.env.trace.count("nemesis.held_delivered")
+            self.env.trace.count(NEMESIS_HELD_DELIVERED)
             self._deliver_at(
                 link, network, src_nic, dst_nic, wire_bytes, message, deliver,
                 self.env.now + network.propagation_delay,
@@ -201,13 +216,13 @@ class Nemesis:
     def partition(self, groups: Iterable[Iterable[str]], mode: str = "hold") -> None:
         """Cut every link between processes in different groups (both
         directions).  Processes not listed in any group are unaffected."""
-        self.env.trace.count("nemesis.partitions")
+        self.env.trace.count(NEMESIS_PARTITIONS)
         for a, b in self._cross_links(groups):
             self.cut(a, b, mode)
 
     def heal_partition(self, groups: Iterable[Iterable[str]]) -> None:
         """Undo :meth:`partition` for the same groups."""
-        self.env.trace.count("nemesis.heals")
+        self.env.trace.count(NEMESIS_HEALS)
         for a, b in self._cross_links(groups):
             self.heal(a, b)
 
@@ -238,7 +253,7 @@ class Nemesis:
         self._state((src, dst)).rules[rule_id] = profile
         if symmetric:
             self._state((dst, src)).rules[rule_id] = profile
-        self.env.trace.count("nemesis.rules")
+        self.env.trace.count(NEMESIS_RULES)
         return rule_id
 
     def remove_link_rule(self, src: str, dst: str, rule_id: int) -> None:
@@ -255,7 +270,7 @@ class Nemesis:
 
     def throttle(self, process: str, factor: float) -> None:
         """Run every NIC of ``process`` at ``1/factor`` of its rate."""
-        self.env.trace.count("nemesis.throttles")
+        self.env.trace.count(NEMESIS_THROTTLES)
         for nic in self._nics_of(process):
             nic.throttle(factor)
 
@@ -266,7 +281,7 @@ class Nemesis:
 
     def pause(self, process: str) -> None:
         """Stop all NIC I/O of ``process`` (a stop-the-world pause)."""
-        self.env.trace.count("nemesis.pauses")
+        self.env.trace.count(NEMESIS_PAUSES)
         self.env.trace.emit(self.env.now, "nemesis.pause", process)
         for nic in self._nics_of(process):
             nic.pause()

@@ -24,6 +24,14 @@ from __future__ import annotations
 from typing import Any, Callable
 
 from repro.errors import SimulationError
+from repro.sim.counters import (
+    NET_COLLISIONS,
+    NET_MULTICASTS,
+    NET_MULTICAST_DROPS,
+    NET_UNICASTS,
+    NET_WIRE_BYTES,
+    scoped,
+)
 from repro.sim.env import SimEnv
 from repro.sim.nic import Nic
 from repro.sim.wire import WireModel
@@ -124,8 +132,8 @@ class Network:
         self._check_attached(src)
         self._check_attached(dst)
         wire_bytes = self.wire.wire_bytes(payload_bytes)
-        self.env.trace.count(f"{self.name}.unicasts")
-        self.env.trace.count(f"{self.name}.wire_bytes", wire_bytes)
+        self.env.trace.count(scoped(self.name, NET_UNICASTS))
+        self.env.trace.count(scoped(self.name, NET_WIRE_BYTES), wire_bytes)
 
         def tx_done() -> None:
             if src.owner is not None and not src.owner.alive:
@@ -214,7 +222,7 @@ class Network:
             # Ethernet gives up after 16 attempts and drops the frame.
             # Under heavy concurrent-multicast load this is the norm —
             # the collision collapse the paper's introduction describes.
-            self.env.trace.count(f"{self.name}.multicast_drops")
+            self.env.trace.count(scoped(self.name, NET_MULTICAST_DROPS))
             return
         wire_bytes = self.wire.wire_bytes(payload_bytes)
         frame = _McastFrame()
@@ -229,7 +237,7 @@ class Network:
                 for other in self._mcast_in_air:
                     other.dead = True
                 frame.dead = True
-                self.env.trace.count(f"{self.name}.collisions")
+                self.env.trace.count(scoped(self.name, NET_COLLISIONS))
             self._mcast_in_air.append(frame)
 
         def tx_done() -> None:
@@ -251,8 +259,8 @@ class Network:
                     attempt + 1,
                 )
                 return
-            self.env.trace.count(f"{self.name}.multicasts")
-            self.env.trace.count(f"{self.name}.wire_bytes", wire_bytes)
+            self.env.trace.count(scoped(self.name, NET_MULTICASTS))
+            self.env.trace.count(scoped(self.name, NET_WIRE_BYTES), wire_bytes)
             if on_sent is not None:
                 on_sent()
             for dst in dsts:

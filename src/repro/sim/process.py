@@ -27,6 +27,7 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.errors import CrashedProcessError
+from repro.sim.counters import PROCESS_CRASHES, PROCESS_RESTARTS
 from repro.sim.env import SimEnv
 
 
@@ -60,7 +61,7 @@ class SimProcess:
         if not self._alive:
             return
         self._alive = False
-        self.env.trace.count("process.crashes")
+        self.env.trace.count(PROCESS_CRASHES)
         self.env.trace.emit(self.env.now, "crash", self.name)
         for listener in list(self._crash_listeners):
             listener(self)
@@ -74,7 +75,7 @@ class SimProcess:
             return
         self._alive = True
         self.restarts += 1
-        self.env.trace.count("process.restarts")
+        self.env.trace.count(PROCESS_RESTARTS)
         self.env.trace.emit(self.env.now, "restart", self.name)
         for listener in list(self._restart_listeners):
             listener(self)

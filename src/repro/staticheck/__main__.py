@@ -1,0 +1,68 @@
+"""CLI: ``python -m repro.staticheck [--json|--github] [paths...]``.
+
+Exit status 0 means the analyzed tree satisfies every protocol
+invariant the rules encode (and carries no unjustified or unused
+pragmas); 1 means violations; 2 means usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional
+
+from repro.staticheck.base import all_rules, run_paths
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.staticheck",
+        description="AST-based protocol-invariant checks "
+                    "(see docs/static-analysis.md)",
+    )
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to analyze (default: src)")
+    parser.add_argument("--json", action="store_true",
+                        help="machine-readable output (one JSON document)")
+    parser.add_argument("--github", action="store_true",
+                        help="GitHub Actions ::error annotations")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print registered rule families and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for name in all_rules():
+            print(name)
+        return 0
+
+    violations = run_paths(args.paths or ["src"])
+
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "violations": [v.to_json() for v in violations],
+                    "count": len(violations),
+                },
+                indent=2,
+            )
+        )
+    elif args.github:
+        for v in violations:
+            # GitHub matches annotation paths against the checkout root.
+            path = f"src/{v.path}" if v.path.startswith("repro/") else v.path
+            print(
+                f"::error file={path},line={v.line},"
+                f"title=staticheck({v.rule})::{v.message}"
+            )
+        print(f"{len(violations)} violation(s)")
+    else:
+        for v in violations:
+            print(f"{v.path}:{v.line}:{v.col}: [{v.rule}] {v.message}")
+        print(f"{len(violations)} violation(s)")
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,185 @@
+"""asynchygiene.* — the asyncio runtime stays non-blocking and race-free.
+
+The asyncio transport (``runtime/asyncio_net.py``) multiplexes every
+ring/client connection on one loop.  Three repo-specific hazards:
+
+* ``asynchygiene.blocking-call`` — a synchronous sleep or file/socket
+  call inside a coroutine stalls *every* connection (heartbeats included,
+  so it manufactures false suspicions);
+* ``asynchygiene.orphaned-task`` — a ``create_task``/``ensure_future``
+  result that nobody keeps is garbage-collectable mid-flight (CPython
+  only holds a weak reference), and its exceptions vanish;
+* ``asynchygiene.await-yield`` — reading a protocol-state attribute
+  (``self.proto.*``), awaiting, then writing it back is a lost-update
+  race: any other coroutine may run at the await point.  Re-read after
+  the await or mutate through a handler call.
+
+The rule applies to any ``repro/`` module that defines coroutines.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from repro.staticheck.base import (
+    ImportMap,
+    Project,
+    SourceFile,
+    Violation,
+    attr_chain,
+    file_rule,
+)
+
+_BLOCKING_CALLS = frozenset(
+    {
+        "time.sleep",
+        "os.fsync",
+        "os.replace",
+        "socket.socket",
+        "socket.create_connection",
+        "subprocess.run",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "urllib.request.urlopen",
+    }
+)
+
+_TASK_FACTORIES = frozenset({"asyncio.create_task", "asyncio.ensure_future"})
+
+
+@file_rule("asynchygiene")
+def check(sf: SourceFile, project: Project) -> list[Violation]:
+    if sf.tree is None or not sf.rel.startswith("repro/"):
+        return []
+    imports = ImportMap(sf.tree)
+    out: list[Violation] = []
+    for node in ast.walk(sf.tree):
+        if isinstance(node, ast.AsyncFunctionDef):
+            out.extend(_check_coroutine(sf, imports, node))
+    out.extend(_check_orphaned_tasks(sf, imports))
+    return out
+
+
+def _own_nodes(fn: ast.AsyncFunctionDef):
+    """Walk ``fn`` without descending into nested function definitions
+    (a sync helper defined inside a coroutine runs elsewhere)."""
+    stack: list[ast.AST] = list(ast.iter_child_nodes(fn))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _check_coroutine(
+    sf: SourceFile, imports: ImportMap, fn: ast.AsyncFunctionDef
+) -> list[Violation]:
+    out: list[Violation] = []
+    events: list[tuple[str, str, ast.AST]] = []  # (kind, attr, node)
+    for node in _own_nodes(fn):
+        if isinstance(node, ast.Call):
+            qualified = imports.resolve(node.func)
+            if qualified in _BLOCKING_CALLS:
+                out.append(
+                    Violation(
+                        sf.rel, node.lineno, node.col_offset,
+                        "asynchygiene.blocking-call",
+                        f"{qualified}() blocks the event loop inside "
+                        f"coroutine {fn.name}(); use the asyncio "
+                        "equivalent (e.g. await asyncio.sleep)",
+                    )
+                )
+            elif (
+                isinstance(node.func, ast.Name)
+                and node.func.id == "open"
+                and node.func.id not in imports.aliases
+            ):
+                out.append(
+                    Violation(
+                        sf.rel, node.lineno, node.col_offset,
+                        "asynchygiene.blocking-call",
+                        f"open() performs blocking file I/O inside "
+                        f"coroutine {fn.name}(); do it before the loop "
+                        "starts or in a thread executor",
+                    )
+                )
+        if isinstance(node, ast.Await):
+            events.append(("await", "", node))
+        elif isinstance(node, ast.Attribute):
+            chain = attr_chain(node)
+            if chain is None:
+                continue
+            parts = chain.split(".")
+            # Protocol state: self.proto.<attr> (or <anything>.proto.<attr>).
+            if len(parts) >= 3 and parts[-2] == "proto":
+                kind = "store" if isinstance(node.ctx, ast.Store) else (
+                    "load" if isinstance(node.ctx, ast.Load) else "other"
+                )
+                if kind != "other":
+                    events.append((kind, chain, node))
+    out.extend(_check_await_yield(sf, fn, events))
+    return out
+
+
+def _check_await_yield(
+    sf: SourceFile,
+    fn: ast.AsyncFunctionDef,
+    events: list[tuple[str, str, ast.AST]],
+) -> list[Violation]:
+    """Flag load -> await -> store sequences on one protocol attribute.
+
+    Source order approximates execution order; this errs toward flagging
+    (the pragma escape exists for deliberate, re-validated writes).
+    """
+    events.sort(key=lambda e: (e[2].lineno, e[2].col_offset))  # type: ignore[attr-defined]
+    out: list[Violation] = []
+    loads: dict[str, int] = {}  # attr -> index of first load
+    awaited_after_load: set[str] = set()
+    flagged: set[str] = set()
+    for kind, attr, node in events:
+        if kind == "await":
+            awaited_after_load |= set(loads)
+        elif kind == "load":
+            loads.setdefault(attr, node.lineno)  # type: ignore[attr-defined]
+        elif kind == "store" and attr in awaited_after_load and attr not in flagged:
+            flagged.add(attr)
+            out.append(
+                Violation(
+                    sf.rel,
+                    node.lineno,  # type: ignore[attr-defined]
+                    node.col_offset,  # type: ignore[attr-defined]
+                    "asynchygiene.await-yield",
+                    f"{fn.name}() reads {attr} (line {loads[attr]}), awaits, "
+                    "then writes it back: another coroutine may have "
+                    "changed it at the await point; re-read after the "
+                    "await or mutate via a handler call",
+                )
+            )
+    return out
+
+
+def _check_orphaned_tasks(sf: SourceFile, imports: ImportMap) -> list[Violation]:
+    out: list[Violation] = []
+    for node in ast.walk(sf.tree):  # type: ignore[arg-type]
+        if not isinstance(node, ast.Expr) or not isinstance(node.value, ast.Call):
+            continue
+        call = node.value
+        qualified = imports.resolve(call.func)
+        is_factory = qualified in _TASK_FACTORIES or (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr in ("create_task", "ensure_future")
+        )
+        if is_factory:
+            out.append(
+                Violation(
+                    sf.rel, node.lineno, node.col_offset,
+                    "asynchygiene.orphaned-task",
+                    "task result discarded: the event loop holds only a "
+                    "weak reference, so the task can be garbage-collected "
+                    "mid-flight and its exceptions are silently lost; "
+                    "keep a reference (track it and discard on done)",
+                )
+            )
+    return out

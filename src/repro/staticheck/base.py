@@ -1,0 +1,337 @@
+"""Analyzer infrastructure: source model, pragma handling, rule registry.
+
+Paths are normalised to a ``repro/...``-relative form so rules can scope
+themselves to subsystems (``repro/core/``, ``repro/sim/``, ...) without
+caring where the tree is checked out — which also lets the fixture tests
+run rules against snippets in a tmp directory.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Optional
+
+#: Pragma grammar: ``# staticheck: allow(<rule>) -- <justification>``.
+#: The justification is mandatory (enforced as its own violation) — a
+#: suppression nobody can defend in review is a rotting invariant.
+_PRAGMA_RE = re.compile(
+    r"#\s*staticheck:\s*allow\(([A-Za-z0-9_.-]+)\)\s*(?:--\s*(\S.*?))?\s*$"
+)
+
+#: Minimum justification length; "ok" is not a justification.
+_MIN_JUSTIFICATION = 10
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding, addressable by file position and rule id."""
+
+    path: str  # repro-relative, e.g. "repro/core/server.py"
+    line: int
+    col: int
+    rule: str  # dotted id, e.g. "determinism.wall-clock"
+    message: str
+
+    def to_json(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+@dataclass
+class Pragma:
+    line: int
+    rule: str
+    justification: str
+    used: bool = False
+
+    def allows(self, rule_id: str) -> bool:
+        """A pragma allows a rule id exactly or by family prefix
+        (``allow(determinism)`` covers ``determinism.wall-clock``)."""
+        return rule_id == self.rule or rule_id.startswith(self.rule + ".")
+
+
+@dataclass
+class SourceFile:
+    """One parsed source file plus its suppression pragmas."""
+
+    path: Path
+    rel: str
+    text: str
+    tree: Optional[ast.Module]
+    pragmas: dict[int, Pragma] = field(default_factory=dict)
+    parse_error: Optional[SyntaxError] = None
+
+    @classmethod
+    def load(cls, path: Path, rel: str) -> "SourceFile":
+        text = path.read_text(encoding="utf-8")
+        tree: Optional[ast.Module] = None
+        parse_error: Optional[SyntaxError] = None
+        try:
+            tree = ast.parse(text, filename=str(path))
+        except SyntaxError as exc:  # pragma: no cover - defensive
+            parse_error = exc
+        sf = cls(path=path, rel=rel, text=text, tree=tree, parse_error=parse_error)
+        # Pragmas are recognised only in real comment tokens, so a
+        # docstring *describing* the pragma syntax is not itself one.
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+            for token in tokens:
+                if token.type != tokenize.COMMENT:
+                    continue
+                match = _PRAGMA_RE.search(token.string)
+                if match:
+                    lineno = token.start[0]
+                    sf.pragmas[lineno] = Pragma(
+                        line=lineno,
+                        rule=match.group(1),
+                        justification=match.group(2) or "",
+                    )
+        except tokenize.TokenError:  # pragma: no cover - defensive
+            pass
+        return sf
+
+    def pragma_for(self, line: int, rule_id: str) -> Optional[Pragma]:
+        """The pragma covering ``line`` for ``rule_id``, if any.
+
+        A pragma covers its own line, or — when written as a standalone
+        comment — the first following line (so long lines can carry the
+        pragma just above them).
+        """
+        pragma = self.pragmas.get(line)
+        if pragma is not None and pragma.allows(rule_id):
+            return pragma
+        above = self.pragmas.get(line - 1)
+        if above is not None and above.allows(rule_id):
+            source_line = self.text.splitlines()[above.line - 1]
+            if source_line.lstrip().startswith("#"):
+                return above
+        return None
+
+
+class Project:
+    """The set of files under analysis, addressable by repro-relative path."""
+
+    def __init__(self, files: list[SourceFile]):
+        self.files = files
+        self._by_rel = {sf.rel: sf for sf in files}
+
+    def find(self, rel: str) -> Optional[SourceFile]:
+        return self._by_rel.get(rel)
+
+    @classmethod
+    def from_paths(cls, paths: Iterable[Path]) -> "Project":
+        files: list[SourceFile] = []
+        seen: set[Path] = set()
+        for path in paths:
+            for py in sorted(_iter_py_files(path)):
+                resolved = py.resolve()
+                if resolved in seen:
+                    continue
+                seen.add(resolved)
+                files.append(SourceFile.load(py, _relativize(py)))
+        return cls(files)
+
+
+def _iter_py_files(path: Path):
+    if path.is_file() and path.suffix == ".py":
+        yield path
+    elif path.is_dir():
+        yield from path.rglob("*.py")
+
+
+def _relativize(path: Path) -> str:
+    """Path relative to the ``repro`` package root, e.g.
+    ``repro/core/server.py``.  Files outside a ``repro`` tree keep
+    their name — no rule will scope to them, but pragma hygiene and
+    project-wide rules still see them."""
+    parts = path.parts
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            return "/".join(parts[index:])
+    return path.name
+
+
+# ----------------------------------------------------------------------
+# Rule registry
+# ----------------------------------------------------------------------
+
+#: A per-file rule: (source_file, project) -> violations.
+FileRule = Callable[[SourceFile, "Project"], list[Violation]]
+#: A whole-project rule: (project) -> violations.
+ProjectRule = Callable[["Project"], list[Violation]]
+
+_FILE_RULES: dict[str, FileRule] = {}
+_PROJECT_RULES: dict[str, ProjectRule] = {}
+
+
+def file_rule(name: str):
+    """Register a per-file rule family under ``name``."""
+
+    def register(fn: FileRule) -> FileRule:
+        _FILE_RULES[name] = fn
+        return fn
+
+    return register
+
+
+def project_rule(name: str):
+    """Register a whole-project rule family under ``name``."""
+
+    def register(fn: ProjectRule) -> ProjectRule:
+        _PROJECT_RULES[name] = fn
+        return fn
+
+    return register
+
+
+def all_rules() -> tuple[str, ...]:
+    return tuple(sorted((*_FILE_RULES, *_PROJECT_RULES)))
+
+
+# ----------------------------------------------------------------------
+# Engine
+# ----------------------------------------------------------------------
+
+
+def run_project(project: Project) -> list[Violation]:
+    """Run every registered rule, then apply pragma suppression.
+
+    Pragma semantics: a matching pragma suppresses the finding but must
+    carry a justification (else ``pragma.unjustified`` fires at the
+    pragma); a pragma that suppresses nothing is ``pragma.unused``.
+    """
+    raw: list[Violation] = []
+    for sf in project.files:
+        if sf.parse_error is not None:
+            raw.append(
+                Violation(
+                    sf.rel,
+                    sf.parse_error.lineno or 1,
+                    (sf.parse_error.offset or 1) - 1,
+                    "parse.error",
+                    f"syntax error: {sf.parse_error.msg}",
+                )
+            )
+            continue
+        for fn in _FILE_RULES.values():
+            raw.extend(fn(sf, project))
+    for fn in _PROJECT_RULES.values():
+        raw.extend(fn(project))
+
+    kept: list[Violation] = []
+    for violation in raw:
+        sf = project.find(violation.path)
+        pragma = (
+            sf.pragma_for(violation.line, violation.rule) if sf is not None else None
+        )
+        if pragma is None:
+            kept.append(violation)
+        else:
+            pragma.used = True
+
+    for sf in project.files:
+        for pragma in sf.pragmas.values():
+            if pragma.used and len(pragma.justification) < _MIN_JUSTIFICATION:
+                kept.append(
+                    Violation(
+                        sf.rel,
+                        pragma.line,
+                        0,
+                        "pragma.unjustified",
+                        f"pragma allow({pragma.rule}) needs a justification: "
+                        '"# staticheck: allow(rule) -- why this is safe"',
+                    )
+                )
+            elif not pragma.used:
+                kept.append(
+                    Violation(
+                        sf.rel,
+                        pragma.line,
+                        0,
+                        "pragma.unused",
+                        f"pragma allow({pragma.rule}) suppresses nothing; remove it",
+                    )
+                )
+    kept.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return kept
+
+
+def run_paths(paths: Iterable[str]) -> list[Violation]:
+    """Analyze ``paths`` (files or directories) and return violations."""
+    return run_project(Project.from_paths(Path(p) for p in paths))
+
+
+# ----------------------------------------------------------------------
+# Shared AST helpers
+# ----------------------------------------------------------------------
+
+
+class ImportMap:
+    """Resolves names in one module to dotted qualified names.
+
+    Tracks ``import x [as y]`` and ``from x import y [as z]`` so a rule
+    can ask what ``t.monotonic`` or a bare ``randint`` refers to.
+    """
+
+    def __init__(self, tree: ast.Module):
+        self.aliases: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.aliases[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name if alias.asname else alias.name.split(".")[0]
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    self.aliases[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+
+    def resolve(self, node: ast.expr) -> Optional[str]:
+        """Dotted qualified name of ``node`` (a Name or Attribute chain
+        rooted at an imported name), or None."""
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self.aliases.get(node.id)
+        if root is None:
+            return None
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+
+def build_parents(tree: ast.AST) -> dict[ast.AST, ast.AST]:
+    """Child -> parent map (rules use it for consumption context)."""
+    parents: dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+def attr_chain(node: ast.expr) -> Optional[str]:
+    """Dotted source form of a Name/Attribute chain (``self.proto.tag``),
+    or None when the chain is rooted in a call or subscript."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))

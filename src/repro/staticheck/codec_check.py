@@ -1,0 +1,366 @@
+"""codec.* — the wire codec and the message catalogue stay in lockstep.
+
+PR 6 rewrote the codec hot path around dict dispatch; the cost of that
+shape is that *nothing* fails at import time when a new message class
+misses a table entry — it fails at runtime, on the first message of that
+type, possibly only under chaos.  This rule cross-checks, purely from
+the ASTs of ``core/messages.py``, ``transport/codec.py`` and
+``transport/reliable.py``:
+
+* every message class (the ``RingMessage``/``ClientMessage``/
+  ``ServerReply`` unions plus ``Heartbeat``) has a ``_TYPE_CODES`` code,
+  an ``_ENCODERS`` entry, a ``_DECODERS`` entry under that code, and an
+  ``isinstance`` arm in ``payload_size``;
+* type codes are unique;
+* declared byte-accounting constants match the struct formats that
+  actually produce the bytes (``TAG_WIRE_BYTES`` == sizeof ``">qi"``,
+  ``BASE_WIRE_BYTES`` == sizeof ``">B3xI"``, segment/batch header
+  constants == their struct sizes);
+* every ring message carries an ``epoch`` field (the epoch guard drops
+  unstamped cross-view traffic — a ring type without the stamp would be
+  rejected by every receiver after the first reconfiguration);
+* the batch sentinel is the u32 maximum and data seqs start far below
+  it (``_next_seq`` initialisers), so a batch container can never be
+  mistaken for a data segment.
+"""
+
+from __future__ import annotations
+
+import ast
+import struct
+from typing import Optional
+
+from repro.staticheck.base import Project, SourceFile, Violation, project_rule
+
+_MESSAGES = "repro/core/messages.py"
+_CODEC = "repro/transport/codec.py"
+_RELIABLE = "repro/transport/reliable.py"
+
+#: messages.py constant -> struct format that must produce its width.
+_WIDTH_CONSTANTS = {
+    "TAG_WIRE_BYTES": ">qi",
+    "OP_ID_WIRE_BYTES": ">qi",
+    "BASE_WIRE_BYTES": ">B3xI",
+}
+
+
+def _module_constants(tree: ast.Module) -> dict[str, ast.expr]:
+    out: dict[str, ast.expr] = {}
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name):
+                out[target.id] = node.value
+    return out
+
+
+def _int_value(node: Optional[ast.expr]) -> Optional[int]:
+    if node is None:
+        return None
+    try:
+        value = ast.literal_eval(node)
+    except (ValueError, SyntaxError):
+        return None
+    return value if isinstance(value, int) else None
+
+
+def _union_members(node: ast.expr) -> list[str]:
+    """Class names in a ``Union[...]`` subscript or ``A | B`` chain."""
+    if isinstance(node, ast.Subscript):
+        inner = node.slice
+        elements = inner.elts if isinstance(inner, ast.Tuple) else [inner]
+        names = []
+        for element in elements:
+            names.extend(_union_members(element))
+        return names
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        return _union_members(node.left) + _union_members(node.right)
+    if isinstance(node, ast.Name):
+        return [node.id]
+    return []
+
+
+def _dataclass_fields(node: ast.ClassDef) -> set[str]:
+    return {
+        item.target.id
+        for item in node.body
+        if isinstance(item, ast.AnnAssign) and isinstance(item.target, ast.Name)
+    }
+
+
+@project_rule("codec")
+def check(project: Project) -> list[Violation]:
+    messages = project.find(_MESSAGES)
+    codec = project.find(_CODEC)
+    if messages is None or messages.tree is None:
+        return []
+    out: list[Violation] = []
+
+    classes: dict[str, ast.ClassDef] = {
+        node.name: node
+        for node in messages.tree.body
+        if isinstance(node, ast.ClassDef)
+    }
+    constants = _module_constants(messages.tree)
+
+    ring_members = _union_members(constants.get("RingMessage", ast.Tuple(elts=[])))
+    encodable = list(
+        dict.fromkeys(
+            ring_members
+            + _union_members(constants.get("ClientMessage", ast.Tuple(elts=[])))
+            + _union_members(constants.get("ServerReply", ast.Tuple(elts=[])))
+            + (["Heartbeat"] if "Heartbeat" in classes else [])
+        )
+    )
+    if not encodable:
+        out.append(
+            Violation(
+                _MESSAGES, 1, 0, "codec.catalogue",
+                "could not find the RingMessage/ClientMessage/ServerReply "
+                "unions; the codec rule has nothing to check against",
+            )
+        )
+        return out
+
+    # -- epoch stamps on ring messages ---------------------------------
+    for name in ring_members:
+        node = classes.get(name)
+        if node is None:
+            continue
+        if "epoch" not in _dataclass_fields(node):
+            out.append(
+                Violation(
+                    _MESSAGES, node.lineno, node.col_offset, "codec.epoch-stamp",
+                    f"ring message {name} has no 'epoch' field; the epoch "
+                    "guard will reject it after any reconfiguration",
+                )
+            )
+
+    # -- payload_size coverage -----------------------------------------
+    size_fn = next(
+        (
+            node
+            for node in messages.tree.body
+            if isinstance(node, ast.FunctionDef) and node.name == "payload_size"
+        ),
+        None,
+    )
+    if size_fn is None:
+        out.append(
+            Violation(
+                _MESSAGES, 1, 0, "codec.payload-size",
+                "payload_size() not found in core/messages.py",
+            )
+        )
+    else:
+        sized: set[str] = set()
+        for node in ast.walk(size_fn):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "isinstance"
+                and len(node.args) == 2
+            ):
+                kind = node.args[1]
+                elements = kind.elts if isinstance(kind, ast.Tuple) else [kind]
+                sized |= {e.id for e in elements if isinstance(e, ast.Name)}
+        for name in encodable:
+            if name not in sized:
+                out.append(
+                    Violation(
+                        _MESSAGES, size_fn.lineno, size_fn.col_offset,
+                        "codec.payload-size",
+                        f"payload_size() has no isinstance arm for {name}; "
+                        "the simulator cannot charge its wire cost",
+                    )
+                )
+
+    # -- dispatch tables -----------------------------------------------
+    if codec is None or codec.tree is None:
+        out.append(
+            Violation(
+                _MESSAGES, 1, 0, "codec.dispatch",
+                f"{_CODEC} not in the analyzed paths; cannot check the "
+                "dispatch tables",
+            )
+        )
+        return out
+    codec_constants = _module_constants(codec.tree)
+
+    type_codes: dict[str, Optional[int]] = {}
+    codes_node = codec_constants.get("_TYPE_CODES")
+    if isinstance(codes_node, ast.Dict):
+        for key, value in zip(codes_node.keys, codes_node.values):
+            if isinstance(key, ast.Name):
+                type_codes[key.id] = _int_value(value)
+    encoder_keys: set[str] = set()
+    encoders_node = codec_constants.get("_ENCODERS")
+    if isinstance(encoders_node, ast.Dict):
+        encoder_keys = {k.id for k in encoders_node.keys if isinstance(k, ast.Name)}
+    decoder_keys: set[str] = set()
+    decoders_node = codec_constants.get("_DECODERS")
+    if isinstance(decoders_node, ast.Dict):
+        for key in decoders_node.keys:
+            # Keys are written _TYPE_CODES[ClassName] so the code lives
+            # in exactly one place.
+            if (
+                isinstance(key, ast.Subscript)
+                and isinstance(key.value, ast.Name)
+                and key.value.id == "_TYPE_CODES"
+                and isinstance(key.slice, ast.Name)
+            ):
+                decoder_keys.add(key.slice.id)
+
+    line = codes_node.lineno if codes_node is not None else 1
+    for name in encodable:
+        if name not in type_codes:
+            out.append(
+                Violation(
+                    _CODEC, line, 0, "codec.dispatch",
+                    f"message class {name} has no _TYPE_CODES entry",
+                )
+            )
+        if name not in encoder_keys:
+            out.append(
+                Violation(
+                    _CODEC,
+                    encoders_node.lineno if encoders_node is not None else 1,
+                    0,
+                    "codec.dispatch",
+                    f"message class {name} has no _ENCODERS entry",
+                )
+            )
+        if name not in decoder_keys:
+            out.append(
+                Violation(
+                    _CODEC,
+                    decoders_node.lineno if decoders_node is not None else 1,
+                    0,
+                    "codec.dispatch",
+                    f"message class {name} has no _DECODERS entry",
+                )
+            )
+
+    seen_codes: dict[int, str] = {}
+    for name, code in type_codes.items():
+        if code is None:
+            continue
+        if code in seen_codes:
+            out.append(
+                Violation(
+                    _CODEC, line, 0, "codec.dispatch",
+                    f"type code {code} assigned to both {seen_codes[code]} "
+                    f"and {name}",
+                )
+            )
+        seen_codes[code] = name
+
+    # -- byte-accounting constants -------------------------------------
+    for const, fmt in _WIDTH_CONSTANTS.items():
+        declared = _int_value(constants.get(const))
+        if declared is None:
+            out.append(
+                Violation(
+                    _MESSAGES, 1, 0, "codec.byte-accounting",
+                    f"constant {const} not found or not a literal int",
+                )
+            )
+        elif declared != struct.calcsize(fmt):
+            out.append(
+                Violation(
+                    _MESSAGES, 1, 0, "codec.byte-accounting",
+                    f"{const} = {declared} but its wire format {fmt!r} "
+                    f"packs {struct.calcsize(fmt)} bytes",
+                )
+            )
+
+    out.extend(_check_reliable(project))
+    return out
+
+
+def _struct_format(node: Optional[ast.expr]) -> Optional[str]:
+    """The format string of a ``struct.Struct("...")`` initialiser."""
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "Struct"
+        and node.args
+        and isinstance(node.args[0], ast.Constant)
+        and isinstance(node.args[0].value, str)
+    ):
+        return node.args[0].value
+    return None
+
+
+def _check_reliable(project: Project) -> list[Violation]:
+    reliable = project.find(_RELIABLE)
+    if reliable is None or reliable.tree is None:
+        return []
+    out: list[Violation] = []
+    constants = _module_constants(reliable.tree)
+
+    header_fmt = _struct_format(constants.get("_SEGMENT_HEADER"))
+    declared_header = _int_value(constants.get("SEGMENT_HEADER_BYTES"))
+    if header_fmt is not None and declared_header is not None:
+        if struct.calcsize(header_fmt) != declared_header:
+            out.append(
+                Violation(
+                    _RELIABLE, 1, 0, "codec.byte-accounting",
+                    f"SEGMENT_HEADER_BYTES = {declared_header} but "
+                    f"_SEGMENT_HEADER {header_fmt!r} packs "
+                    f"{struct.calcsize(header_fmt)} bytes",
+                )
+            )
+    entry_fmt = _struct_format(constants.get("_BATCH_ENTRY"))
+    declared_entry = _int_value(constants.get("BATCH_ENTRY_BYTES"))
+    if entry_fmt is not None and declared_entry is not None:
+        if struct.calcsize(entry_fmt) != declared_entry:
+            out.append(
+                Violation(
+                    _RELIABLE, 1, 0, "codec.byte-accounting",
+                    f"BATCH_ENTRY_BYTES = {declared_entry} but _BATCH_ENTRY "
+                    f"{entry_fmt!r} packs {struct.calcsize(entry_fmt)} bytes",
+                )
+            )
+
+    sentinel = _int_value(constants.get("BATCH_SENTINEL"))
+    if sentinel is None:
+        out.append(
+            Violation(
+                _RELIABLE, 1, 0, "codec.batch-sentinel",
+                "BATCH_SENTINEL not found in transport/reliable.py",
+            )
+        )
+        return out
+    # The sentinel occupies a data segment's seq slot; it is safe only
+    # as the u32 maximum (seqs count up from 1 and overflow the header
+    # long before), and only if every _next_seq initialiser starts far
+    # below it.
+    if sentinel != 0xFFFFFFFF:
+        out.append(
+            Violation(
+                _RELIABLE, 1, 0, "codec.batch-sentinel",
+                f"BATCH_SENTINEL = {sentinel:#x}; it must be the u32 "
+                "maximum 0xFFFFFFFF so no assignable seq collides",
+            )
+        )
+    for node in ast.walk(reliable.tree):  # type: ignore[arg-type]
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and target.attr == "_next_seq"
+                    and isinstance(node.value, ast.Constant)
+                    and isinstance(node.value.value, int)
+                    and node.value.value >= sentinel
+                ):
+                    out.append(
+                        Violation(
+                            _RELIABLE, node.lineno, node.col_offset,
+                            "codec.batch-sentinel",
+                            f"_next_seq initialised to {node.value.value}, "
+                            "at or above BATCH_SENTINEL — a data segment "
+                            "would decode as a batch container",
+                        )
+                    )
+    return out

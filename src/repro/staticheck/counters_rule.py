@@ -1,0 +1,176 @@
+"""counters.* — trace counter names flow through the central registry.
+
+PR 5 found the chaos gate passing vacuously because a counter consumed
+by ``_KIND_COUNTERS`` no longer matched what the emit site spelled.
+The fix is structural: every counter name lives once, in
+``repro/sim/counters.py``, and this rule enforces:
+
+* ``counters.literal`` — a registered counter name appearing as a
+  string literal anywhere else (emit site, gate table, bench reader)
+  must be replaced by the registry constant, so both sides rename
+  together or not at all;
+* ``counters.unregistered`` — ``trace.count("some.literal")`` with a
+  dotted name the registry does not know: either register it or it is
+  a typo;
+* ``counters.consumed-not-emitted`` — a registry constant referenced by
+  a consumer module (chaos gate, bench accounting) but by no emitting
+  module: the gate would read an eternally-zero counter and pass
+  vacuously — exactly the PR 5 failure, now caught at diff time.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Optional
+
+from repro.staticheck.base import (
+    ImportMap,
+    Project,
+    SourceFile,
+    Violation,
+    build_parents,
+    project_rule,
+)
+
+_REGISTRY = "repro/sim/counters.py"
+
+#: Modules that legitimately *emit* counters (call trace.count).
+_EMITTER_SCOPES = ("repro/sim/", "repro/runtime/", "repro/fd/", "repro/transport/")
+#: Modules that *consume* counters (gates, accounting, reports).
+_CONSUMER_SCOPES = ("repro/chaos/", "repro/bench/", "repro/analysis/")
+
+_DOTTED_NAME = re.compile(r"^[a-z][a-z0-9_]*\.[a-z][a-z0-9_]*$")
+
+
+def _registry_constants(sf: SourceFile) -> dict[str, str]:
+    """NAME -> value for the registry's fixed counter constants."""
+    out: dict[str, str] = {}
+    if sf.tree is None:
+        return out
+    for node in sf.tree.body:
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if (
+                isinstance(target, ast.Name)
+                and target.id.isupper()
+                and isinstance(node.value, ast.Constant)
+                and isinstance(node.value.value, str)
+                and "." in node.value.value
+            ):
+                out[target.id] = node.value.value
+    return out
+
+
+def _is_docstring(node: ast.AST, parents: dict[ast.AST, ast.AST]) -> bool:
+    parent = parents.get(node)
+    if not isinstance(parent, ast.Expr):
+        return False
+    grand = parents.get(parent)
+    if not isinstance(
+        grand, (ast.Module, ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+    ):
+        return False
+    return grand.body and grand.body[0] is parent
+
+
+def _count_arg(node: ast.Call) -> Optional[ast.expr]:
+    """The name argument of a ``<x>.count(name, ...)`` call."""
+    func = node.func
+    if isinstance(func, ast.Attribute) and func.attr == "count" and node.args:
+        return node.args[0]
+    return None
+
+
+@project_rule("counters")
+def check(project: Project) -> list[Violation]:
+    registry = project.find(_REGISTRY)
+    if registry is None:
+        # Nothing to enforce against (e.g. a fixture tree without the
+        # registry); the tree meta-test guarantees the real tree has it.
+        return []
+    constants = _registry_constants(registry)
+    registered = set(constants.values())
+    out: list[Violation] = []
+
+    #: registry constant name -> set of referencing modules, split by role.
+    emitted: set[str] = set()
+    consumed: dict[str, tuple[str, int]] = {}
+
+    for sf in project.files:
+        if sf.tree is None or sf.rel == _REGISTRY:
+            continue
+        if not sf.rel.startswith("repro/") or sf.rel.startswith("repro/staticheck/"):
+            continue
+        imports = ImportMap(sf.tree)
+        aliases_to_const = {
+            alias: qualified.rsplit(".", 1)[1]
+            for alias, qualified in imports.aliases.items()
+            if qualified.startswith("repro.sim.counters.")
+            and qualified.rsplit(".", 1)[1] in constants
+        }
+        parents = build_parents(sf.tree)
+        is_emitter = any(sf.rel.startswith(s) for s in _EMITTER_SCOPES)
+        is_consumer = any(sf.rel.startswith(s) for s in _CONSUMER_SCOPES)
+
+        for node in ast.walk(sf.tree):
+            if isinstance(node, ast.Constant) and isinstance(node.value, str):
+                if node.value in registered and not _is_docstring(node, parents):
+                    out.append(
+                        Violation(
+                            sf.rel, node.lineno, node.col_offset,
+                            "counters.literal",
+                            f'counter name "{node.value}" spelled as a '
+                            "literal; use the repro.sim.counters constant "
+                            "so emit sites and gates rename together",
+                        )
+                    )
+            elif isinstance(node, ast.Name) and node.id in aliases_to_const:
+                const = aliases_to_const[node.id]
+                if is_emitter:
+                    emitted.add(const)
+                if is_consumer and const not in consumed:
+                    consumed[const] = (sf.rel, node.lineno)
+            elif isinstance(node, ast.Attribute):
+                # ``counters.PROCESS_CRASHES`` module-attribute style.
+                qualified = imports.resolve(node)
+                if qualified is not None and qualified.startswith(
+                    "repro.sim.counters."
+                ):
+                    const = qualified.rsplit(".", 1)[1]
+                    if const in constants:
+                        if is_emitter:
+                            emitted.add(const)
+                        if is_consumer and const not in consumed:
+                            consumed[const] = (sf.rel, node.lineno)
+            elif isinstance(node, ast.Call):
+                arg = _count_arg(node)
+                if (
+                    arg is not None
+                    and isinstance(arg, ast.Constant)
+                    and isinstance(arg.value, str)
+                    and _DOTTED_NAME.match(arg.value)
+                    and arg.value not in registered
+                ):
+                    out.append(
+                        Violation(
+                            sf.rel, node.lineno, node.col_offset,
+                            "counters.unregistered",
+                            f'trace counter "{arg.value}" is not in '
+                            "repro/sim/counters.py; register it (or fix "
+                            "the typo) so gates can rely on it",
+                        )
+                    )
+
+    for const, (rel, line) in sorted(consumed.items()):
+        if const not in emitted:
+            out.append(
+                Violation(
+                    rel, line, 0, "counters.consumed-not-emitted",
+                    f"registry constant {const} is consumed here but no "
+                    "emitting module (repro/sim, repro/runtime, repro/fd, "
+                    "repro/transport) references it — the gate reads an "
+                    "eternally-zero counter",
+                )
+            )
+    return out

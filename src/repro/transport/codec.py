@@ -12,7 +12,7 @@ charges.
 from __future__ import annotations
 
 import struct
-from typing import Any
+from typing import Any, Callable, Iterable, TypeVar
 
 from repro.core.messages import (
     ClientRead,
@@ -75,7 +75,7 @@ def _read_op(view: memoryview, offset: int) -> tuple[OpId, int]:
     return OpId(client, seq), offset + _OP.size
 
 
-def _tags_bytes(tags) -> bytes:
+def _tags_bytes(tags: Iterable[Tag]) -> bytes:
     return b"".join(_tag_bytes(t) for t in tags)
 
 
@@ -237,7 +237,7 @@ def decode_message(data: bytes) -> Any:
     return decoder(body)
 
 
-def _encode_reconfig(message) -> bytes:
+def _encode_reconfig(message: ReconfigToken | ReconfigCommit) -> bytes:
     parts = [
         struct.pack(
             ">qqiI",
@@ -269,7 +269,10 @@ def _encode_reconfig(message) -> bytes:
     return b"".join(parts)
 
 
-def _decode_reconfig(cls, body: memoryview):
+_ReconfigT = TypeVar("_ReconfigT", ReconfigToken, ReconfigCommit)
+
+
+def _decode_reconfig(cls: Callable[..., _ReconfigT], body: memoryview) -> _ReconfigT:
     nonce, epoch, coordinator, dead_count = struct.unpack_from(">qqiI", body, 0)
     offset = struct.calcsize(">qqiI")
     dead = []

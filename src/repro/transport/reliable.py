@@ -45,7 +45,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Callable, Iterable, Optional, Sequence
 
 from repro.errors import ConfigurationError, ProtocolError
 
@@ -252,13 +252,13 @@ class ReliableSession:
 # ----------------------------------------------------------------------
 
 
-def encode_segment(segment: Segment, encode_payload) -> bytes:
+def encode_segment(segment: Segment, encode_payload: Callable[[Any], bytes]) -> bytes:
     """Encode a segment: 8-byte header + encoded payload (data only)."""
     body = encode_payload(segment.payload) if segment.is_data else b""
     return _SEGMENT_HEADER.pack(segment.seq, segment.ack) + body
 
 
-def decode_segment(data: bytes, decode_payload) -> Segment:
+def decode_segment(data: bytes, decode_payload: Callable[[bytes], Any]) -> Segment:
     """Inverse of :func:`encode_segment`."""
     if len(data) < SEGMENT_HEADER_BYTES:
         raise ProtocolError(f"segment too short: {len(data)} bytes")
@@ -287,7 +287,7 @@ BATCH_ENTRY_BYTES = 4
 _BATCH_ENTRY = struct.Struct(">I")
 
 
-def batch_wire_bytes(segment_bytes) -> int:
+def batch_wire_bytes(segment_bytes: Iterable[int]) -> int:
     """Wire bytes of a batch frame enclosing segments of the given
     individual sizes (each already including its segment header)."""
     total = BATCH_HEADER_BYTES
@@ -296,7 +296,9 @@ def batch_wire_bytes(segment_bytes) -> int:
     return total
 
 
-def encode_batch(segments, encode_payload) -> bytes:
+def encode_batch(
+    segments: Sequence[Segment], encode_payload: Callable[[Any], bytes]
+) -> bytes:
     """Encode several segments as one wire frame.
 
     Layout: ``(BATCH_SENTINEL, count)`` in the 8-byte segment-header
@@ -315,7 +317,7 @@ def encode_batch(segments, encode_payload) -> bytes:
     return b"".join(parts)
 
 
-def decode_batch(data: bytes, decode_payload) -> list[Segment]:
+def decode_batch(data: bytes, decode_payload: Callable[[bytes], Any]) -> list[Segment]:
     """Inverse of :func:`encode_batch`."""
     view = memoryview(data)
     if len(view) < BATCH_HEADER_BYTES:
@@ -343,7 +345,7 @@ def decode_batch(data: bytes, decode_payload) -> list[Segment]:
     return segments
 
 
-def decode_frame(data: bytes, decode_payload) -> list[Segment]:
+def decode_frame(data: bytes, decode_payload: Callable[[bytes], Any]) -> list[Segment]:
     """Decode one wire frame into its segments, whether it is a plain
     segment (one-element list) or a batch container.  Receivers use
     this uniformly, so a sender may batch or not per frame."""

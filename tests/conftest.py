@@ -2,10 +2,29 @@
 
 from __future__ import annotations
 
+import random
+
 import pytest
 
 from repro.core.ring import RingView
 from tests.helpers import RingHarness
+
+
+@pytest.fixture(autouse=True)
+def _global_rng_guard():
+    """Fail any test that draws from the process-global ``random`` stream.
+
+    Same guard as ``benchmarks/conftest.py``: all randomness in the tree
+    must flow through seeded per-cluster RNG registries, or run-to-run
+    results diverge.  A test that *wants* process-global randomness should
+    seed and restore the state itself (none currently do).
+    """
+    state = random.getstate()
+    yield
+    assert random.getstate() == state, (
+        "test touched the process-global random stream; use the seeded "
+        "cluster RNG registry (env.rng.stream(...)) instead"
+    )
 
 
 @pytest.fixture

@@ -1,0 +1,26 @@
+"""Helpers for the staticheck fixture tests.
+
+Snippets are written under ``tmp_path/repro/...`` because the analyzer
+relativises paths to the last ``repro`` segment — a fixture at
+``tmp/repro/sim/foo.py`` is scoped exactly like the real
+``src/repro/sim/foo.py``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.staticheck import run_paths
+
+
+def run_tree(tmp_path: Path, files: dict[str, str]):
+    """Write ``files`` (repro-relative path -> source) and analyze them."""
+    for rel, source in files.items():
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source, encoding="utf-8")
+    return run_paths([str(tmp_path)])
+
+
+def rules_of(violations) -> list[str]:
+    return sorted({violation.rule for violation in violations})

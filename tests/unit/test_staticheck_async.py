@@ -1,0 +1,159 @@
+"""Red/green/pragma fixtures for the asynchygiene.* rule family."""
+
+from __future__ import annotations
+
+from tests.staticheck_helpers import rules_of, run_tree
+
+
+def test_blocking_sleep_in_coroutine_flagged(tmp_path):
+    violations = run_tree(
+        tmp_path,
+        {
+            "repro/runtime/aio.py": (
+                "import time\n"
+                "\n"
+                "async def run():\n"
+                "    time.sleep(0.1)\n"
+            )
+        },
+    )
+    assert rules_of(violations) == ["asynchygiene.blocking-call"]
+
+
+def test_bare_open_in_coroutine_flagged(tmp_path):
+    violations = run_tree(
+        tmp_path,
+        {
+            "repro/runtime/aio.py": (
+                "async def load(path):\n"
+                "    with open(path) as fh:\n"
+                "        return fh.read()\n"
+            )
+        },
+    )
+    assert rules_of(violations) == ["asynchygiene.blocking-call"]
+
+
+def test_blocking_call_outside_coroutine_allowed(tmp_path):
+    violations = run_tree(
+        tmp_path,
+        {
+            "repro/runtime/aio.py": (
+                "import time\n"
+                "\n"
+                "def warmup():\n"
+                "    time.sleep(0.1)\n"
+            )
+        },
+    )
+    assert violations == []
+
+
+def test_sync_helper_nested_in_coroutine_allowed(tmp_path):
+    violations = run_tree(
+        tmp_path,
+        {
+            "repro/runtime/aio.py": (
+                "import time\n"
+                "\n"
+                "async def run(executor, loop):\n"
+                "    def blocking():\n"
+                "        time.sleep(0.1)\n"
+                "    await loop.run_in_executor(executor, blocking)\n"
+            )
+        },
+    )
+    assert violations == []
+
+
+def test_discarded_task_flagged(tmp_path):
+    violations = run_tree(
+        tmp_path,
+        {
+            "repro/runtime/aio.py": (
+                "import asyncio\n"
+                "\n"
+                "async def go(work):\n"
+                "    asyncio.create_task(work())\n"
+            )
+        },
+    )
+    assert rules_of(violations) == ["asynchygiene.orphaned-task"]
+
+
+def test_discarded_loop_method_task_flagged(tmp_path):
+    violations = run_tree(
+        tmp_path,
+        {
+            "repro/runtime/aio.py": (
+                "def go(loop, work):\n"
+                "    loop.create_task(work())\n"
+            )
+        },
+    )
+    assert rules_of(violations) == ["asynchygiene.orphaned-task"]
+
+
+def test_retained_task_allowed(tmp_path):
+    violations = run_tree(
+        tmp_path,
+        {
+            "repro/runtime/aio.py": (
+                "import asyncio\n"
+                "\n"
+                "async def go(self, work):\n"
+                "    task = asyncio.create_task(work())\n"
+                "    self.tasks.add(task)\n"
+                "    task.add_done_callback(self.tasks.discard)\n"
+            )
+        },
+    )
+    assert violations == []
+
+
+def test_read_await_write_on_protocol_state_flagged(tmp_path):
+    violations = run_tree(
+        tmp_path,
+        {
+            "repro/runtime/aio.py": (
+                "async def tick(self, io):\n"
+                "    seen = self.proto.cursor\n"
+                "    await io.flush()\n"
+                "    self.proto.cursor = seen + 1\n"
+            )
+        },
+    )
+    assert rules_of(violations) == ["asynchygiene.await-yield"]
+    assert "cursor" in violations[0].message
+
+
+def test_reread_after_await_allowed(tmp_path):
+    violations = run_tree(
+        tmp_path,
+        {
+            "repro/runtime/aio.py": (
+                "async def tick(self, io):\n"
+                "    await io.flush()\n"
+                "    seen = self.proto.cursor\n"
+                "    self.proto.cursor = seen + 1\n"
+            )
+        },
+    )
+    assert violations == []
+
+
+def test_pragma_suppresses_async_finding(tmp_path):
+    violations = run_tree(
+        tmp_path,
+        {
+            "repro/runtime/aio.py": (
+                "import time\n"
+                "\n"
+                "async def run():\n"
+                "    # staticheck: allow(asynchygiene.blocking-call)"
+                " -- startup path, loop not serving connections yet\n"
+                "    time.sleep(0.1)\n"
+            )
+        },
+    )
+    assert violations == []

@@ -1,0 +1,155 @@
+"""Red/green/pragma fixtures for the codec.* rule family.
+
+Each fixture is a miniature messages.py/codec.py/reliable.py trio laid
+out at the real repro-relative paths, so the project rule cross-checks
+them exactly as it does the committed tree.
+"""
+
+from __future__ import annotations
+
+from tests.staticheck_helpers import rules_of, run_tree
+
+_MESSAGES_OK = (
+    "from dataclasses import dataclass\n"
+    "from typing import Union\n"
+    "\n"
+    "TAG_WIRE_BYTES = 12\n"
+    "OP_ID_WIRE_BYTES = 12\n"
+    "BASE_WIRE_BYTES = 8\n"
+    "\n"
+    "@dataclass(frozen=True)\n"
+    "class PreWrite:\n"
+    "    epoch: int\n"
+    "\n"
+    "@dataclass(frozen=True)\n"
+    "class Commit:\n"
+    "    epoch: int\n"
+    "\n"
+    "RingMessage = Union[PreWrite, Commit]\n"
+    "\n"
+    "def payload_size(message):\n"
+    "    if isinstance(message, (PreWrite, Commit)):\n"
+    "        return 4\n"
+    "    raise TypeError(message)\n"
+)
+
+_CODEC_OK = (
+    "from repro.core.messages import Commit, PreWrite\n"
+    "\n"
+    "_TYPE_CODES = {PreWrite: 1, Commit: 2}\n"
+    "_ENCODERS = {PreWrite: None, Commit: None}\n"
+    "_DECODERS = {_TYPE_CODES[PreWrite]: None, _TYPE_CODES[Commit]: None}\n"
+)
+
+_RELIABLE_OK = (
+    "import struct\n"
+    "\n"
+    "SEGMENT_HEADER_BYTES = 13\n"
+    "_SEGMENT_HEADER = struct.Struct('>BIII')\n"
+    "BATCH_ENTRY_BYTES = 4\n"
+    "_BATCH_ENTRY = struct.Struct('>I')\n"
+    "BATCH_SENTINEL = 0xFFFFFFFF\n"
+    "\n"
+    "class Channel:\n"
+    "    def __init__(self):\n"
+    "        self._next_seq = 1\n"
+)
+
+
+def _tree(messages=_MESSAGES_OK, codec=_CODEC_OK, reliable=_RELIABLE_OK):
+    return {
+        "repro/core/messages.py": messages,
+        "repro/transport/codec.py": codec,
+        "repro/transport/reliable.py": reliable,
+    }
+
+
+def test_conforming_trio_passes(tmp_path):
+    assert run_tree(tmp_path, _tree()) == []
+
+
+def test_ring_message_without_epoch_flagged(tmp_path):
+    messages = _MESSAGES_OK.replace(
+        "class Commit:\n    epoch: int\n", "class Commit:\n    seq: int\n"
+    )
+    violations = run_tree(tmp_path, _tree(messages=messages))
+    assert rules_of(violations) == ["codec.epoch-stamp"]
+    assert "Commit" in violations[0].message
+
+
+def test_missing_payload_size_arm_flagged(tmp_path):
+    messages = _MESSAGES_OK.replace("(PreWrite, Commit)", "(PreWrite,)")
+    violations = run_tree(tmp_path, _tree(messages=messages))
+    assert rules_of(violations) == ["codec.payload-size"]
+    assert "Commit" in violations[0].message
+
+
+def test_missing_dispatch_entries_flagged(tmp_path):
+    codec = (
+        "from repro.core.messages import Commit, PreWrite\n"
+        "\n"
+        "_TYPE_CODES = {PreWrite: 1}\n"
+        "_ENCODERS = {PreWrite: None}\n"
+        "_DECODERS = {_TYPE_CODES[PreWrite]: None}\n"
+    )
+    violations = run_tree(tmp_path, _tree(codec=codec))
+    assert rules_of(violations) == ["codec.dispatch"]
+    # Commit misses all three tables.
+    assert len(violations) == 3
+
+
+def test_duplicate_type_code_flagged(tmp_path):
+    codec = _CODEC_OK.replace("Commit: 2", "Commit: 1")
+    violations = run_tree(tmp_path, _tree(codec=codec))
+    assert rules_of(violations) == ["codec.dispatch"]
+    assert "assigned to both" in violations[0].message
+
+
+def test_width_constant_mismatch_flagged(tmp_path):
+    messages = _MESSAGES_OK.replace("TAG_WIRE_BYTES = 12", "TAG_WIRE_BYTES = 16")
+    violations = run_tree(tmp_path, _tree(messages=messages))
+    assert rules_of(violations) == ["codec.byte-accounting"]
+    assert "TAG_WIRE_BYTES" in violations[0].message
+
+
+def test_segment_header_mismatch_flagged(tmp_path):
+    reliable = _RELIABLE_OK.replace(
+        "SEGMENT_HEADER_BYTES = 13", "SEGMENT_HEADER_BYTES = 12"
+    )
+    violations = run_tree(tmp_path, _tree(reliable=reliable))
+    assert rules_of(violations) == ["codec.byte-accounting"]
+
+
+def test_non_maximal_sentinel_flagged(tmp_path):
+    reliable = _RELIABLE_OK.replace(
+        "BATCH_SENTINEL = 0xFFFFFFFF", "BATCH_SENTINEL = 0x7FFFFFFF"
+    )
+    violations = run_tree(tmp_path, _tree(reliable=reliable))
+    assert rules_of(violations) == ["codec.batch-sentinel"]
+
+
+def test_seq_initialised_at_sentinel_flagged(tmp_path):
+    reliable = _RELIABLE_OK.replace(
+        "self._next_seq = 1", "self._next_seq = 0xFFFFFFFF"
+    )
+    violations = run_tree(tmp_path, _tree(reliable=reliable))
+    assert rules_of(violations) == ["codec.batch-sentinel"]
+    assert "_next_seq" in violations[0].message
+
+
+def test_fixture_tree_without_catalogue_is_skipped(tmp_path):
+    # A tree with no core/messages.py (every per-rule fixture in this
+    # suite) must not trip the codec rule.
+    violations = run_tree(tmp_path, {"repro/sim/other.py": "x = 1\n"})
+    assert violations == []
+
+
+def test_pragma_suppresses_codec_finding(tmp_path):
+    messages = _MESSAGES_OK.replace(
+        "class Commit:\n    epoch: int\n",
+        "# staticheck: allow(codec.epoch-stamp) -- local-only control frame,"
+        " never crosses a view change\n"
+        "class Commit:\n    seq: int\n",
+    )
+    violations = run_tree(tmp_path, _tree(messages=messages))
+    assert violations == []

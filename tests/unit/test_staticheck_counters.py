@@ -1,0 +1,143 @@
+"""Red/green/pragma fixtures for the counters.* rule family."""
+
+from __future__ import annotations
+
+from tests.staticheck_helpers import rules_of, run_tree
+
+_REGISTRY = (
+    'FOO_EVENTS = "foo.events"\n'
+    'BAR_TICKS = "bar.ticks"\n'
+)
+
+
+def test_registered_name_as_literal_flagged(tmp_path):
+    violations = run_tree(
+        tmp_path,
+        {
+            "repro/sim/counters.py": _REGISTRY,
+            "repro/sim/emit.py": (
+                "def fire(trace):\n"
+                '    trace.count("foo.events")\n'
+            ),
+        },
+    )
+    assert "counters.literal" in rules_of(violations)
+
+
+def test_unregistered_dotted_count_flagged(tmp_path):
+    violations = run_tree(
+        tmp_path,
+        {
+            "repro/sim/counters.py": _REGISTRY,
+            "repro/sim/emit.py": (
+                "def fire(trace):\n"
+                '    trace.count("foo.eventz")\n'
+            ),
+        },
+    )
+    assert rules_of(violations) == ["counters.unregistered"]
+
+
+def test_consumed_but_never_emitted_flagged(tmp_path):
+    violations = run_tree(
+        tmp_path,
+        {
+            "repro/sim/counters.py": _REGISTRY,
+            "repro/chaos/gate.py": (
+                "from repro.sim.counters import FOO_EVENTS\n"
+                "\n"
+                "def gate(counters):\n"
+                "    return counters.get(FOO_EVENTS, 0) > 0\n"
+            ),
+        },
+    )
+    assert rules_of(violations) == ["counters.consumed-not-emitted"]
+    assert "FOO_EVENTS" in violations[0].message
+
+
+def test_emitted_and_consumed_constant_passes(tmp_path):
+    violations = run_tree(
+        tmp_path,
+        {
+            "repro/sim/counters.py": _REGISTRY,
+            "repro/sim/emit.py": (
+                "from repro.sim.counters import FOO_EVENTS\n"
+                "\n"
+                "def fire(trace):\n"
+                "    trace.count(FOO_EVENTS)\n"
+            ),
+            "repro/chaos/gate.py": (
+                "from repro.sim.counters import FOO_EVENTS\n"
+                "\n"
+                "def gate(counters):\n"
+                "    return counters.get(FOO_EVENTS, 0) > 0\n"
+            ),
+        },
+    )
+    assert violations == []
+
+
+def test_module_attribute_reference_counts_as_emission(tmp_path):
+    violations = run_tree(
+        tmp_path,
+        {
+            "repro/sim/counters.py": _REGISTRY,
+            "repro/sim/emit.py": (
+                "from repro.sim import counters\n"
+                "\n"
+                "def fire(trace):\n"
+                "    trace.count(counters.BAR_TICKS)\n"
+            ),
+            "repro/bench/reader.py": (
+                "from repro.sim.counters import BAR_TICKS\n"
+                "\n"
+                "def read(counters_map):\n"
+                "    return counters_map.get(BAR_TICKS, 0)\n"
+            ),
+        },
+    )
+    assert violations == []
+
+
+def test_registry_and_docstrings_are_exempt(tmp_path):
+    violations = run_tree(
+        tmp_path,
+        {
+            "repro/sim/counters.py": _REGISTRY,
+            "repro/sim/emit.py": (
+                "def fire():\n"
+                '    "foo.events"\n'
+                "    pass\n"
+            ),
+        },
+    )
+    assert violations == []
+
+
+def test_tree_without_registry_is_skipped(tmp_path):
+    violations = run_tree(
+        tmp_path,
+        {
+            "repro/sim/emit.py": (
+                "def fire(trace):\n"
+                '    trace.count("foo.events")\n'
+            )
+        },
+    )
+    assert violations == []
+
+
+def test_pragma_suppresses_counter_literal(tmp_path):
+    violations = run_tree(
+        tmp_path,
+        {
+            "repro/sim/counters.py": _REGISTRY,
+            "repro/sim/emit.py": (
+                "def fire(trace):\n"
+                '    trace.count("foo.events")  # staticheck:'
+                " allow(counters.literal) -- golden-file fixture must spell"
+                " the wire name\n"
+            ),
+        },
+    )
+    assert violations == []

@@ -1,0 +1,82 @@
+"""Meta-tests: the committed tree is violation-free, and the checker
+actually guards the invariants the acceptance criteria name — deleting
+any persist call, un-registering any codec dispatch entry, or renaming a
+gated trace counter must each turn the checker red."""
+
+from __future__ import annotations
+
+import re
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.staticheck import run_paths
+from tests.staticheck_helpers import rules_of
+
+_SRC = Path(__file__).resolve().parents[2] / "src"
+_PERSIST_LINE = re.compile(r"^\s*(?:self|proto)\._maybe_persist\(\)\s*$")
+
+
+def test_committed_tree_is_violation_free():
+    assert run_paths([str(_SRC)]) == []
+
+
+def _persist_line_indexes() -> list[int]:
+    lines = (_SRC / "repro/core/server.py").read_text().splitlines()
+    return [i for i, line in enumerate(lines) if _PERSIST_LINE.match(line)]
+
+
+def test_server_has_persist_calls_to_mutate():
+    assert len(_persist_line_indexes()) >= 5
+
+
+@pytest.mark.parametrize("index", range(len(_persist_line_indexes())))
+def test_deleting_any_persist_call_is_caught(tmp_path, index):
+    source = _SRC / "repro/core/server.py"
+    lines = source.read_text().splitlines(keepends=True)
+    del lines[_persist_line_indexes()[index]]
+    mutated = tmp_path / "repro/core/server.py"
+    mutated.parent.mkdir(parents=True)
+    mutated.write_text("".join(lines))
+    violations = run_paths([str(tmp_path)])
+    assert "writeahead.persist-before-output" in rules_of(violations)
+
+
+def test_unregistering_codec_entry_is_caught(tmp_path):
+    for rel in (
+        "repro/core/messages.py",
+        "repro/transport/codec.py",
+        "repro/transport/reliable.py",
+    ):
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text((_SRC / rel).read_text())
+    codec = tmp_path / "repro/transport/codec.py"
+    lines = codec.read_text().splitlines(keepends=True)
+    index = next(
+        i
+        for i, line in enumerate(lines)
+        if re.match(r"^    PreWrite: _encode_pre_write,\s*$", line)
+    )
+    del lines[index]
+    codec.write_text("".join(lines))
+    violations = run_paths([str(tmp_path)])
+    assert "codec.dispatch" in rules_of(violations)
+    assert any("PreWrite" in v.message for v in violations)
+
+
+def test_renaming_gated_counter_emit_site_is_caught(tmp_path):
+    shutil.copytree(_SRC / "repro", tmp_path / "repro")
+    sim_net = tmp_path / "repro/runtime/sim_net.py"
+    text = sim_net.read_text()
+    assert "count(FD_WRONG_SUSPICIONS)" in text
+    sim_net.write_text(
+        text.replace('count(FD_WRONG_SUSPICIONS)', 'count("fd.wrong_suspicionz")')
+    )
+    violations = run_paths([str(tmp_path)])
+    rules = rules_of(violations)
+    # The typo'd emit site is unregistered, and the chaos gate now
+    # consumes a counter nothing emits — both fire.
+    assert "counters.unregistered" in rules
+    assert "counters.consumed-not-emitted" in rules
