@@ -34,19 +34,23 @@ import json
 import platform
 import sys
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Callable, Optional
 
 from repro.analysis.stats import LatencyStats, mbit_per_s
 from repro.core.config import ProtocolConfig
+from repro.fd.heartbeat import HeartbeatConfig
 from repro.runtime.sim_net import SimCluster
 from repro.sim.counters import (
+    LEASE_FALLBACKS,
+    LEASE_LOCAL_READS,
     NET_UNICASTS,
     NET_WIRE_BYTES,
     RELIABLE_BATCHED_FRAMES,
     RELIABLE_BATCHED_MESSAGES,
     RELIABLE_RETRANSMITS,
+    RING_MESSAGES,
     net_suffix,
 )
 from repro.workload.generator import LoadDriver
@@ -73,6 +77,15 @@ class Scenario:
     topology: str = "dual"
     #: Per-scenario seed offset so scenarios never share RNG streams.
     seed_offset: int = 0
+    #: Failure detector the cluster runs ("perfect" or "heartbeat").
+    fd: str = "perfect"
+    #: Epoch-scoped read leases (implies heartbeat + view_quorum): reads
+    #: are served locally under a valid lease, zero ring messages.
+    read_leases: bool = False
+    #: With ``read_leases`` but no grants, every read takes the fence
+    #: fallback around the ring — the measured circulating baseline the
+    #: leased scenario's win is quoted against.
+    grant_leases: bool = True
 
 
 #: The snapshot suite.  ``fig3b_write_4`` is the headline workload of
@@ -86,6 +99,20 @@ SCENARIOS = (
     Scenario(
         "fig3d_shared_4", contention_scenario, servers=4,
         topology="shared", seed_offset=4,
+    ),
+    # The leased-read pair: identical read-heavy workload and detector,
+    # differing only in whether leases are granted.  Leased steady state
+    # serves every read locally (0 ring messages/op); the no-grant
+    # baseline fences every read around the ring — the messages/op
+    # collapse and the wall-clock read-throughput multiple between the
+    # two is the headline number of the leased read path.
+    Scenario(
+        "read_leased_16", read_only_scenario, servers=16, seed_offset=5,
+        fd="heartbeat", read_leases=True,
+    ),
+    Scenario(
+        "read_circulating_16", read_only_scenario, servers=16, seed_offset=6,
+        fd="heartbeat", read_leases=True, grant_leases=False,
     ),
 )
 
@@ -122,12 +149,33 @@ def run_scenario(
     """
     warmup, window = _windows(quick)
     spec = scenario.spec_factory()
+    build_kwargs = {}
+    if scenario.read_leases:
+        protocol = replace(
+            protocol or ProtocolConfig(), view_quorum=True, read_leases=True
+        )
+        # A calmer beacon cadence than the chaos default: the bench
+        # cluster is failure-free, so the detector only needs to renew
+        # leases, and n^2 beacon traffic would otherwise dominate the
+        # event count the wall-clock numbers measure.
+        build_kwargs["heartbeat"] = HeartbeatConfig(
+            period=0.05,
+            timeout=0.3,
+            check_interval=0.025,
+            propose_grace=0.08,
+            lease_duration=0.2,
+            clock_drift_bound=0.02,
+            grant_leases=scenario.grant_leases,
+        )
+    if scenario.fd != "perfect":
+        build_kwargs["fd"] = scenario.fd
     cluster = SimCluster.build(
         num_servers=scenario.servers,
         topology=scenario.topology,
         seed=seed + scenario.seed_offset,
         protocol=protocol,
         initial_value=b"\xa5" * spec.value_size,
+        **build_kwargs,
     )
     driver = LoadDriver(cluster, spec)
     wall_start = time.perf_counter()
@@ -164,10 +212,21 @@ def run_scenario(
         "wire": {
             "bytes_per_op": round(wire_bytes / ops, 1) if ops else None,
             "messages_per_op": round(unicasts / ops, 2) if ops else None,
+            "ring_messages_per_op": (
+                round(counters.get(RING_MESSAGES, 0) / ops, 2) if ops else None
+            ),
             "batched_frames": counters.get(RELIABLE_BATCHED_FRAMES, 0),
             "batched_messages": counters.get(RELIABLE_BATCHED_MESSAGES, 0),
             "retransmits": counters.get(RELIABLE_RETRANSMITS, 0),
         },
+        "leases": (
+            {
+                "local_reads": counters.get(LEASE_LOCAL_READS, 0),
+                "fallbacks": counters.get(LEASE_FALLBACKS, 0),
+            }
+            if scenario.read_leases
+            else None
+        ),
     }
 
 
@@ -252,6 +311,12 @@ def _summarise(snapshot: dict) -> str:
             parts.append(
                 f"batched {s['wire']['batched_messages']}m/"
                 f"{s['wire']['batched_frames']}f"
+            )
+        if s.get("leases"):
+            parts.append(
+                f"ring/op {s['wire']['ring_messages_per_op']}  "
+                f"lease {s['leases']['local_reads']}lo/"
+                f"{s['leases']['fallbacks']}fb"
             )
         lines.append("  ".join(parts))
     return "\n".join(lines)

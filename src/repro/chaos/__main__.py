@@ -95,9 +95,12 @@ def main(argv: list[str] | None = None) -> int:
                         help="generation profile override for the core "
                              f"protocol (choices: {','.join(PROFILES)}); "
                              "'partition' runs the imperfect heartbeat "
-                             "detector with epoch-guarded views; 'scale' "
-                             "runs the sharded block store at benchmark "
-                             "scale, gated per block by the tagged checker")
+                             "detector with epoch-guarded views; 'lease' "
+                             "adds epoch-scoped read leases and clock-skew "
+                             "faults on top of the partition envelope; "
+                             "'scale' runs the sharded block store at "
+                             "benchmark scale, gated per block by the "
+                             "tagged checker")
     parser.add_argument("--smoke", action="store_true",
                         help="fixed quick pass over the whole zoo (CI)")
     parser.add_argument("--no-batch", action="store_true",
@@ -150,6 +153,9 @@ def main(argv: list[str] | None = None) -> int:
     batched_frames = 0
     batched_messages = 0
     wrong_suspicions = 0
+    lease_local_reads = 0
+    lease_fallbacks = 0
+    lease_waitouts = 0
     sharded_blocks = 0
     sharded_min_coverage = None
     exercised: set[str] = set()
@@ -176,6 +182,9 @@ def main(argv: list[str] | None = None) -> int:
             batched_frames += result.batched_frames
             batched_messages += result.batched_messages
             wrong_suspicions += result.wrong_suspicions
+            lease_local_reads += result.lease_local_reads
+            lease_fallbacks += result.lease_fallbacks
+            lease_waitouts += result.lease_waitouts
             if protocol in ("core", "sharded"):
                 gated_exercised |= result.exercised
             if result.tag_coverage is not None:
@@ -213,6 +222,10 @@ def main(argv: list[str] | None = None) -> int:
     if gate_profile.fd == "heartbeat":
         print(f"imperfect detector: {wrong_suspicions} wrong suspicion(s) "
               "of live servers, all runs gated through the checker")
+    if gate_profile.read_leases:
+        print(f"read leases: {lease_local_reads} read(s) served locally, "
+              f"{lease_fallbacks} fence fallback(s), "
+              f"{lease_waitouts} old-epoch wait-out(s)")
 
     code = 0
     if failures:
@@ -231,6 +244,10 @@ def main(argv: list[str] | None = None) -> int:
     if gate_profile.fd == "heartbeat" and gated_runs >= 10 and not wrong_suspicions:
         print("FAIL: no run wrongly suspected a live server — the batch "
               "never exercised the imperfect detector's defining hazard")
+        code = 1
+    if gate_profile.read_leases and gated_runs >= 10 and not lease_local_reads:
+        print("FAIL: no read was served locally under a lease — the batch "
+              "fenced everything and never exercised the leased path")
         code = 1
     if code == 0:
         print("chaos: all gates green")

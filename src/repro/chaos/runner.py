@@ -16,6 +16,7 @@ anomalies rather than failures.
 
 from __future__ import annotations
 
+import multiprocessing
 import random
 import time
 from dataclasses import dataclass, field
@@ -32,6 +33,7 @@ from repro.baselines import (
 from repro.chaos.schedule import (
     CORE_PROFILE,
     GENTLE_PROFILE,
+    LEASE_PROFILE,
     PARTITION_PROFILE,
     SCALE_PROFILE,
     PROFILES,
@@ -41,6 +43,10 @@ from repro.chaos.schedule import (
 from repro.sim.counters import (
     EPOCH_STALE_DROPPED,
     FD_WRONG_SUSPICIONS,
+    LEASE_FALLBACKS,
+    LEASE_LOCAL_READS,
+    LEASE_WAITOUTS,
+    NEMESIS_CLOCK_SKEWS,
     NEMESIS_CUT_DROPS,
     NEMESIS_DELAYED,
     NEMESIS_DROPS,
@@ -108,6 +114,7 @@ _KIND_COUNTERS = {
     "duplicate": (NEMESIS_DUP_DELIVERIES,),
     "throttle": (NEMESIS_THROTTLES,),
     "pause": (NEMESIS_PAUSES,),
+    "clock_skew": (NEMESIS_CLOCK_SKEWS,),
 }
 
 
@@ -144,6 +151,14 @@ class ChaosResult:
     #: epoch guard rejected as stale.
     wrong_suspicions: int = 0
     stale_epoch_drops: int = 0
+    #: Leased-read activity (``read_leases`` profiles): reads served
+    #: locally under a valid lease, reads that fell back to a ring
+    #: fence, and old-epoch wait-outs honoured at view installs — the
+    #: in-trace proof that a run exercised the leased path and its
+    #: safety machinery rather than silently fencing everything.
+    lease_local_reads: int = 0
+    lease_fallbacks: int = 0
+    lease_waitouts: int = 0
     #: Sharded runs: how many per-block histories passed the tagged
     #: gate, and the fraction of completed operations carrying a
     #: protocol tag (the gate demands 1.0 — an untagged op would make
@@ -185,6 +200,12 @@ class ChaosResult:
             if self.wrong_suspicions or self.stale_epoch_drops
             else ""
         )
+        leases = (
+            f"lease={self.lease_local_reads}lo/{self.lease_fallbacks}fb/"
+            f"{self.lease_waitouts}wo "
+            if self.lease_local_reads or self.lease_fallbacks
+            else ""
+        )
         sharded = (
             f"blocks={self.blocks_checked} "
             f"tagcov={self.tag_coverage:.3f} "
@@ -201,7 +222,7 @@ class ChaosResult:
             f"done={self.ops_completed} open={self.ops_open} "
             f"failed={self.ops_failed} hit={kinds} "
             f"rtx={self.retransmits} dup={self.dups_suppressed} {batching}"
-            f"{imperfect}{sharded}"
+            f"{imperfect}{leases}{sharded}"
             f"-> {verdict} ({self.wall_seconds:.2f}s)"
         )
 
@@ -300,6 +321,9 @@ def run_schedule(schedule: ChaosSchedule, protocol: str = "core") -> ChaosResult
         batched_messages=counters.get(RELIABLE_BATCHED_MESSAGES, 0),
         wrong_suspicions=counters.get(FD_WRONG_SUSPICIONS, 0),
         stale_epoch_drops=counters.get(EPOCH_STALE_DROPPED, 0),
+        lease_local_reads=counters.get(LEASE_LOCAL_READS, 0),
+        lease_fallbacks=counters.get(LEASE_FALLBACKS, 0),
+        lease_waitouts=counters.get(LEASE_WAITOUTS, 0),
         blocks_checked=blocks_checked,
         tag_coverage=tag_coverage,
         wall_seconds=time.perf_counter() - started,  # staticheck: allow(determinism.wall-clock) -- wall_seconds is diagnostic reporting only; nothing simulated reads it
@@ -398,10 +422,31 @@ def _spawn_sharded_workload(schedule, cluster, progress, pacing) -> None:
               stagger=pacing * index / max(1, len(roles)))
 
 
+#: Below this many blocks the per-block gate runs inline: worker startup
+#: costs more than the checks themselves on small splits.
+_GATE_PARALLEL_MIN_BLOCKS = 4
+
+
+def _check_block(item: tuple) -> tuple:
+    """Worker: gate one block's history (module-level for pickling)."""
+    block, block_history = item
+    ok, reason = check_tagged_history(block_history, require_full_coverage=True)
+    return block, ok, reason
+
+
 def _gate_sharded(history: History) -> tuple[bool, str, int, float]:
     """Per-block tagged gate: split the history by block key and require
     every block's history to pass ``check_tagged_history`` at full tag
-    coverage.  Returns ``(ok, reason, blocks_checked, coverage)``."""
+    coverage.  Returns ``(ok, reason, blocks_checked, coverage)``.
+
+    The per-block checks are independent, so benchmark-scale splits
+    (8+ blocks, thousands of operations each) fan out over a process
+    pool.  The verdict is deterministic either way: blocks are checked
+    in sorted key order and the *first* failing block in that order is
+    reported, regardless of which worker finished first — and
+    ``blocks_checked`` keeps the sequential meaning (blocks up to and
+    including the first failure).
+    """
     completed = history.completed()
     tagged = sum(1 for op in completed if op.tag is not None)
     coverage = tagged / len(completed) if completed else 1.0
@@ -415,11 +460,17 @@ def _gate_sharded(history: History) -> tuple[bool, str, int, float]:
             0,
             coverage,
         )
+    items = [(block, per_block[block]) for block in sorted(per_block)]
+    if len(items) < _GATE_PARALLEL_MIN_BLOCKS:
+        verdicts = [_check_block(item) for item in items]
+    else:
+        workers = min(len(items), multiprocessing.cpu_count())
+        with multiprocessing.Pool(processes=workers) as pool:
+            # Pool.map preserves input order, so the fan-out cannot
+            # reorder which failure wins.
+            verdicts = pool.map(_check_block, items)
     blocks_checked = 0
-    for block in sorted(per_block):
-        ok, reason = check_tagged_history(
-            per_block[block], require_full_coverage=True
-        )
+    for block, ok, reason in verdicts:
         blocks_checked += 1
         if not ok:
             return False, f"block {block}: {reason}", blocks_checked, coverage

@@ -47,14 +47,17 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
+from dataclasses import replace
+
 from repro.core.config import ProtocolConfig
+from repro.fd.heartbeat import HeartbeatConfig
 from repro.sim.faults import FaultPlan
 from repro.sim.rng import derive_seed
 
 #: Fault types the harness knows how to schedule and count.
 FAULT_KINDS = (
     "crash", "restart", "partition", "drop", "delay", "duplicate",
-    "throttle", "pause",
+    "throttle", "pause", "clock_skew",
 )
 
 
@@ -75,6 +78,12 @@ class ChaosProfile:
     p_delay: float = 0.0
     p_throttle: float = 0.0
     p_pause: float = 0.0
+    #: Per-server probability of an absolute clock-skew fault, drawn
+    #: within the declared ``clock_drift_bound`` — the adversary the
+    #: lease arithmetic's ``2*drift`` charge is provably sound against.
+    #: (Offsets beyond the declared bound would break the *assumption*,
+    #: not the implementation, so the generator stays inside it.)
+    p_clock_skew: float = 0.0
     retries: bool = True
     #: Failure detector the cluster runs under this profile: "perfect"
     #: (the oracle the paper assumes) or "heartbeat" (the imperfect
@@ -86,6 +95,11 @@ class ChaosProfile:
     #: *permanent* crash so the surviving side always keeps an ack
     #: quorum of the current view and the run stays live.
     partition_heavy: bool = False
+    #: Epoch-scoped read leases (``ProtocolConfig.read_leases``): reads
+    #: are served locally under a valid lease and fence through the ring
+    #: otherwise.  Implies quorum-installed views; only meaningful with
+    #: ``fd="heartbeat"``.
+    read_leases: bool = False
     #: Fault kinds the batch gate requires to have demonstrably fired
     #: (empty means the harness-wide default applies).
     required_kinds: tuple[str, ...] = ()
@@ -159,6 +173,38 @@ PARTITION_PROFILE = ChaosProfile(
     required_kinds=("crash", "restart", "partition", "drop", "delay", "duplicate"),
 )
 
+#: Leased local reads under the partition envelope.  Same guaranteed
+#: partition windows and imperfect-detector churn as ``partition`` —
+#: wrong suspicion is exactly the hazard a lease must die *before* —
+#: plus ``read_leases`` on and guaranteed per-server clock-skew faults
+#: drawn within the declared drift bound, attacking the lease
+#: freshness/wait-out arithmetic (a skewed holder ages grants faster or
+#: slower than their grantors intended; the ``2*drift`` charge must
+#: absorb it).  The batch gate additionally demands in-trace leased
+#: local reads: a batch that silently fenced every read would pass the
+#: checker without ever exercising the path under test.
+LEASE_PROFILE = ChaosProfile(
+    name="lease",
+    fd="heartbeat",
+    partition_heavy=True,
+    read_leases=True,
+    crash_weights=(0, 1, 1, 2),
+    p_restart=1.0,
+    p_partition=1.0,
+    p_ring_loss=0.45,
+    p_client_loss=0.5,
+    p_duplicate=0.5,
+    p_delay=0.6,
+    p_throttle=0.4,
+    p_pause=0.4,
+    p_clock_skew=0.6,
+    retries=True,
+    required_kinds=(
+        "crash", "restart", "partition", "drop", "delay", "duplicate",
+        "clock_skew",
+    ),
+)
+
 #: Chaos at benchmark scale: the sharded ``BlockStore`` under the core
 #: fault envelope — crashes with restarts, partitions, link loss, delay,
 #: duplication, throttles and pauses — with a multi-thousand-operation
@@ -191,7 +237,13 @@ SCALE_PROFILE = ChaosProfile(
 #: string back to its definition, e.g. to pick the failure detector).
 PROFILES: dict[str, ChaosProfile] = {
     profile.name: profile
-    for profile in (CORE_PROFILE, GENTLE_PROFILE, PARTITION_PROFILE, SCALE_PROFILE)
+    for profile in (
+        CORE_PROFILE,
+        GENTLE_PROFILE,
+        PARTITION_PROFILE,
+        LEASE_PROFILE,
+        SCALE_PROFILE,
+    )
 }
 
 #: Last instant any fault window may still be open.
@@ -416,6 +468,20 @@ def generate_schedule(
         plan.pause(rng.choice(servers), at=at,
                    resume_at=round(at + rng.uniform(0.02, 0.12), 4))
 
+    if profile.p_clock_skew > 0:
+        # Absolute per-server clock offsets within the *declared* drift
+        # bound (the assumption under which the lease arithmetic is
+        # proved; beyond it the contract — not the code — is broken).
+        # Skews land before or during the fault span so skewed clocks
+        # age lease grants through partitions, suspicion and wait-outs.
+        bound = HeartbeatConfig().clock_drift_bound
+        for server in servers:
+            if rng.random() < profile.p_clock_skew:
+                magnitude = rng.uniform(0.2 * bound, bound)
+                sign = 1.0 if rng.random() < 0.5 else -1.0
+                plan.clock_skew(server, offset=round(sign * magnitude, 5),
+                                at=round(rng.uniform(0.0, 0.4), 4))
+
     horizon = plan.stall_horizon()
     if profile.retries:
         # The timeout is deliberately below the stall horizon: retries
@@ -428,6 +494,11 @@ def generate_schedule(
         # Nothing in the gentle menu loses a frame, so every operation
         # completes without retries; an enormous timeout documents that.
         config = ProtocolConfig(client_timeout=1e9, client_max_retries=0)
+    if profile.read_leases:
+        # Leased local reads ride on epoch-guarded quorum installs;
+        # view_quorum is set here (rather than trusting the builder's
+        # fd-driven default) because read_leases validates against it.
+        config = replace(config, view_quorum=True, read_leases=True)
 
     last_crash = max((crash.time for crash in plan.crashes), default=0.0)
     span = max(horizon, last_crash) + 0.3

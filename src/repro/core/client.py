@@ -18,6 +18,7 @@ from typing import Optional
 
 from repro.core.config import ProtocolConfig
 from repro.core.messages import ClientRead, ClientWrite, OpId, ReadAck, WriteAck
+from repro.core.tags import Tag
 from repro.errors import ProtocolError
 from repro.runtime.interface import (
     CancelTimer,
@@ -62,6 +63,10 @@ class ClientProtocol:
         self._kind: Optional[str] = None
         self._message = None
         self._retries = 0
+        #: Largest tag observed across this client's completed ops.  Sent
+        #: with reads so a lease-holding server only serves locally when
+        #: its state covers everything this client has already seen.
+        self._session: Optional[Tag] = None
 
         # Statistics.
         self.stats_ops_completed = 0
@@ -89,7 +94,7 @@ class ClientProtocol:
     def start_read(self) -> tuple[OpId, list[Effect]]:
         """Begin a read; returns the op id and the effects to execute."""
         op = self._begin("read")
-        self._message = ClientRead(op)
+        self._message = ClientRead(op, self._session)
         return op, self._issue()
 
     # ------------------------------------------------------------------
@@ -108,8 +113,10 @@ class ClientProtocol:
         self._retries = 0
         self.stats_ops_completed += 1
         if isinstance(message, WriteAck):
+            self._advance_session(message.tag)
             return [CancelTimer(op.seq), Complete(op, kind="write", tag=message.tag)]
         if isinstance(message, ReadAck):
+            self._advance_session(message.tag)
             return [
                 CancelTimer(op.seq),
                 Complete(op, kind="read", value=message.value, tag=message.tag),
@@ -159,6 +166,10 @@ class ClientProtocol:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+
+    def _advance_session(self, tag: Optional[Tag]) -> None:
+        if tag is not None and (self._session is None or tag > self._session):
+            self._session = tag
 
     def _begin(self, kind: str) -> OpId:
         if self._outstanding is not None:

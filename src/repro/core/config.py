@@ -81,6 +81,16 @@ class ProtocolConfig:
         possibly-stale reads.  Runtimes enable this automatically when
         built with ``fd="heartbeat"``; with the perfect detector the
         flag stays off and suspicion remains a crash certificate.
+    read_leases:
+        Epoch-scoped read leases (docs/leases.md).  The heartbeat
+        detector grants per-server leases bounded below the suspicion
+        timeout; a server holding a valid lease for its installed epoch
+        serves reads locally with zero ring messages, and falls back to
+        a full-circle :class:`~repro.core.messages.ReadFence` otherwise.
+        Requires ``view_quorum`` (the lease safety argument leans on
+        epoch-guarded installs and their wait-out); runtimes reject the
+        flag under the perfect detector, where reads already serve
+        locally whenever no write is pending.
     """
 
     piggyback_commits: bool = True
@@ -90,6 +100,7 @@ class ProtocolConfig:
     client_timeout: float = 5.0
     client_max_retries: int = 16
     view_quorum: bool = False
+    read_leases: bool = False
 
     def validate(self) -> "ProtocolConfig":
         """Raise :class:`ConfigurationError` on nonsensical settings."""
@@ -101,4 +112,9 @@ class ProtocolConfig:
             raise ConfigurationError("client_timeout must be > 0")
         if self.client_max_retries < 0:
             raise ConfigurationError("client_max_retries must be >= 0")
+        if self.read_leases and not self.view_quorum:
+            raise ConfigurationError(
+                "read_leases requires view_quorum: lease safety rests on "
+                "epoch-guarded installs and the old-epoch wait-out"
+            )
         return self

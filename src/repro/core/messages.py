@@ -80,9 +80,19 @@ class WriteAck:
 
 @dataclass(frozen=True)
 class ClientRead:
-    """``<read>`` from a client to any server (pseudocode line 7)."""
+    """``<read>`` from a client to any server (pseudocode line 7).
+
+    ``session`` is the largest tag the client has observed complete (its
+    own writes' commit tags and prior reads' tags).  A server serving
+    the read from a lease-held local copy must cover this tag — the
+    client's session order is visible even if the server's local state
+    lags behind other servers it talked to earlier.  ``None`` means the
+    client has no session history (or predates the lease path); servers
+    treat it as "any state covers it".
+    """
 
     op: OpId
+    session: Optional[Tag] = None
 
 
 @dataclass(frozen=True)
@@ -233,6 +243,28 @@ class RejoinRequest:
 
 
 @dataclass(frozen=True)
+class ReadFence:
+    """One full ring circulation proving the origin's epoch is live.
+
+    The fallback read path when a server cannot serve locally (no valid
+    lease, or the lease epoch lags the installed view): the origin
+    enqueues a fence and serves the read only once the fence returns.
+    Every hop applies the same epoch guard as data traffic, so a fence
+    completing a circle proves the origin's installed view was the
+    ring's view for the whole circulation — a server partitioned out of
+    a newer epoch can never complete one, which is what makes the
+    fallback safe where an unconditional local read would not be.
+    ``nonce`` identifies the fence so the origin can match the returning
+    token to its waiting reads; fences carry no data (state moved during
+    the writes' own circulations).
+    """
+
+    nonce: int
+    origin: int
+    epoch: int = 0
+
+
+@dataclass(frozen=True)
 class StaleEpochNotice:
     """Tells a stale sender that the ring has moved on without it.
 
@@ -261,6 +293,47 @@ class Heartbeat:
     server_id: int
 
 
+@dataclass(frozen=True)
+class LeaseGrant:
+    """Grantor ``grantor`` extends ``holder``'s read lease under ``epoch``.
+
+    Rides the heartbeat channel (outside the reliable session layer, for
+    the same freshness reason), and is only *sent* while the grantor
+    currently trusts the holder and shares its installed epoch.  The
+    holder's lease is valid while it holds a fresh grant from every
+    other alive member of its installed view — see
+    :class:`repro.fd.heartbeat.ReadLease`.
+
+    Freshness is measured from ``sent_at`` — the *grantor's* clock at
+    send time — not from receipt: a grant held in a partition (TCP
+    buffering) and flushed at heal must arrive already-expired, or a
+    holder cut off from the ring would revive a lease its grantor wrote
+    off an epoch ago.  Cross-clock comparison is sound because the
+    deployment declares ``clock_drift_bound`` and the epoch wait-out
+    charges twice it.
+    """
+
+    grantor: int
+    epoch: int = 0
+    sent_at: float = 0.0
+
+
+@dataclass(frozen=True)
+class LeaseRevoke:
+    """Grantor ``grantor`` withdraws its lease grant early.
+
+    Best-effort latency optimisation: a grantor that newly suspects a
+    holder (or installs a view excluding it) revokes so the holder stops
+    serving locally before its grant would have expired.  Safety never
+    rests on delivery — an undelivered revoke just means the holder
+    serves until ``lease_duration`` runs out, which the epoch wait-out
+    already accounts for.
+    """
+
+    grantor: int
+    epoch: int = 0
+
+
 RingMessage = Union[
     PreWrite,
     Commit,
@@ -269,6 +342,7 @@ RingMessage = Union[
     ReconfigCommit,
     RejoinRequest,
     StaleEpochNotice,
+    ReadFence,
 ]
 ClientMessage = Union[ClientWrite, ClientRead]
 ServerReply = Union[WriteAck, ReadAck]
@@ -287,7 +361,7 @@ def payload_size(message: Message) -> int:
     if isinstance(message, WriteAck):
         return BASE_WIRE_BYTES + OP_ID_WIRE_BYTES + TAG_WIRE_BYTES
     if isinstance(message, ClientRead):
-        return BASE_WIRE_BYTES + OP_ID_WIRE_BYTES
+        return BASE_WIRE_BYTES + OP_ID_WIRE_BYTES + TAG_WIRE_BYTES  # session tag
     if isinstance(message, ReadAck):
         return BASE_WIRE_BYTES + OP_ID_WIRE_BYTES + TAG_WIRE_BYTES + len(message.value)
     if isinstance(message, PreWrite):
@@ -339,6 +413,12 @@ def payload_size(message: Message) -> int:
         return BASE_WIRE_BYTES + 4 + 4 + 8  # server id + generation + epoch
     if isinstance(message, StaleEpochNotice):
         return BASE_WIRE_BYTES + 8 + 4  # epoch + sender id
+    if isinstance(message, ReadFence):
+        return BASE_WIRE_BYTES + 8 + 4 + 8  # nonce + origin + epoch
     if isinstance(message, Heartbeat):
         return BASE_WIRE_BYTES + 4  # server id
+    if isinstance(message, LeaseGrant):
+        return BASE_WIRE_BYTES + 4 + 8 + 8  # grantor + epoch + sent_at
+    if isinstance(message, LeaseRevoke):
+        return BASE_WIRE_BYTES + 4 + 8  # grantor + epoch
     raise TypeError(f"unknown message type: {type(message).__name__}")

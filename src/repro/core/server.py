@@ -129,6 +129,7 @@ from repro.core.messages import (
     PendingEntry,
     PreWrite,
     ReadAck,
+    ReadFence,
     ReconfigCommit,
     ReconfigToken,
     RejoinRequest,
@@ -284,6 +285,35 @@ class ServerProtocol:
         self._stale_notified: dict[int, int] = {}  # peer -> epoch notified at
         self.view_log: list[tuple[int, int, int]] = []  # (epoch, coordinator, nonce)
 
+        # Epoch-scoped read leases (``config.read_leases``; docs/leases.md).
+        # The runtime owns every clock — grant receipt, expiry, the
+        # old-epoch wait-out — and pushes the results in
+        # (:meth:`on_lease_update`, :meth:`lease_waitout_elapsed`), so
+        # the state machine stays clockless.  None of this state is
+        # snapshotted: a restarted server re-earns its lease from
+        # scratch, which is what makes excluding leases from durable
+        # state a safety feature rather than an omission.
+        self.lease_valid = False
+        self.lease_epoch = -1
+        #: Fences awaiting transmission to the successor (ours and
+        #: forwarded), drained behind commit traffic when not paused.
+        self.fence_queue: deque[ReadFence] = deque()
+        self._fence_nonce = 0
+        #: Fence nonce -> reads served when that fence completes its circle.
+        self._fence_waiters: dict[int, list[tuple[int, ClientRead]]] = {}
+        #: While true (set at a view install that excluded members), new
+        #: write initiations are gated until every lease granted under
+        #: the old epoch has provably expired (HeartbeatConfig.waitout).
+        self._lease_waitout = False
+        #: Set by :meth:`_install_view` when a wait-out starts; the
+        #: runtime consumes it (clearing it) and arms the wait-out timer,
+        #: mirroring the ``reconcile_due`` handshake.
+        self.lease_waitout_due = False
+        #: Coordinator's post-merge re-commit tags, stashed while the
+        #: wait-out runs (re-committing them sooner could complete a
+        #: write an old-epoch leaseholder has never seen).
+        self._waitout_commit_tags: list[Tag] = []
+
         self._replies: list[Reply] = []
 
         # Statistics (read by the benchmark harness and tests).
@@ -301,6 +331,9 @@ class ServerProtocol:
         self.stats_quorum_stalls = 0
         self.stats_epoch_rejected_reconfigs = 0
         self.stats_confirm_reconfigs = 0
+        self.stats_lease_local_reads = 0
+        self.stats_lease_fallbacks = 0
+        self.stats_lease_waitouts = 0
 
     # ------------------------------------------------------------------
     # Durable state (crash recovery)
@@ -506,7 +539,7 @@ class ServerProtocol:
         moved on without it.
         """
         if self.config.view_quorum and isinstance(
-            message, (PreWrite, Commit, StateSync)
+            message, (PreWrite, Commit, StateSync, ReadFence)
         ):
             # Epoch guard: data traffic is valid only within the sender's
             # and receiver's *common* installed view.  Traffic from an
@@ -540,6 +573,8 @@ class ServerProtocol:
             self._on_rejoin_request(message)
         elif isinstance(message, StaleEpochNotice):
             self._on_stale_epoch(message)
+        elif isinstance(message, ReadFence):
+            self._on_read_fence(message)
         else:
             raise ProtocolError(f"unexpected ring message: {message!r}")
         self._maybe_persist()
@@ -636,6 +671,63 @@ class ServerProtocol:
             or peer in self.installed_view.dead
         ):
             self.reconcile_due = True
+        return self.drain_replies()
+
+    # ------------------------------------------------------------------
+    # Read leases (config.read_leases; docs/leases.md)
+    # ------------------------------------------------------------------
+
+    def on_lease_update(self, valid: bool, epoch: int) -> list[Reply]:
+        """Runtime-pushed lease validity transition.
+
+        ``epoch`` is the epoch the runtime's :class:`~repro.fd.heartbeat.
+        ReadLease` found every required grant stamped with; serving
+        additionally requires it to equal :attr:`installed_epoch` at
+        read time (checked per read, so a view install between updates
+        cannot be served against).
+        """
+        self.lease_valid = valid
+        self.lease_epoch = epoch if valid else -1
+        return self.drain_replies()
+
+    def may_grant_lease(self, peer: int) -> bool:
+        """Grantor-side gate: may this server extend ``peer``'s lease?
+
+        Grants flow only toward peers the grantor currently believes
+        are full, caught-up members of its installed view: never to a
+        suspect (suspicion and a live grant would let the detector's
+        two hands disagree), never to an announced rejoiner (it holds
+        stale state until the revived merge catches it up — a lease
+        would let it serve that state), and never while this server is
+        itself paused, rejoining, or mid-proposal (its own view may be
+        about to move).
+        """
+        if not (self.config.read_leases and self.config.view_quorum):
+            return False
+        if self.rejoining or self.paused:
+            return False
+        if peer == self.server_id or not self.installed_view.is_alive(peer):
+            return False
+        if peer in self.suspected or peer in self._announced_rejoiners:
+            return False
+        return True
+
+    def lease_waitout_elapsed(self, epoch: int) -> list[Reply]:
+        """The old-epoch lease wait-out for ``epoch`` ran its course.
+
+        Every lease granted under the superseded view has now provably
+        expired on its holder's clock (drift bound included), so the new
+        epoch may complete writes: initiation un-gates, and the
+        coordinator's stashed post-merge re-commits flow.  A stale
+        timer — a newer view installed meanwhile — is ignored; that
+        install started its own wait-out.
+        """
+        if epoch != self.installed_epoch or not self._lease_waitout:
+            return self.drain_replies()
+        self._lease_waitout = False
+        for tag in self._waitout_commit_tags:
+            self.commit_queue.append(tag)
+        self._waitout_commit_tags = []
         return self.drain_replies()
 
     def propose_reconfig(self) -> list[Reply]:
@@ -814,6 +906,15 @@ class ServerProtocol:
         self._rejoin_sponsor = None
         self._attempt_nonce = None
         self._promise = None
+        if self.config.read_leases:
+            # A rejoiner must re-earn its lease after the fold-in merge;
+            # until then nothing may be served locally, and any fence in
+            # flight died with our ring membership.
+            self.lease_valid = False
+            self.lease_epoch = -1
+            self._lease_waitout = False
+            self._waitout_commit_tags = []
+            self._requeue_fence_waiters()
 
     @property
     def has_ring_work(self) -> bool:
@@ -822,7 +923,12 @@ class ServerProtocol:
             return True
         if self.paused or self.alone:
             return False
-        return bool(self.commit_queue or self.write_queue or not self.fair.empty)
+        return bool(
+            self.commit_queue
+            or self.write_queue
+            or self.fence_queue
+            or not self.fair.empty
+        )
 
     def next_ring_message(self) -> Optional[RingMessage]:
         """Pull the next message for the successor (the ``queue handler``
@@ -866,7 +972,12 @@ class ServerProtocol:
         if self.paused or self.alone:
             return None
 
-        choice = self.fair.choose(want_initiate=bool(self.write_queue))
+        choice = self.fair.choose(
+            # Initiation is gated while an old-epoch lease wait-out runs:
+            # a write completing before every old lease died could be
+            # invisible to a leaseholder still serving reads.
+            want_initiate=bool(self.write_queue) and not self._lease_waitout
+        )
         if choice == INITIATE_OWN:
             message = self._initiate_write()
             if message is not None:
@@ -918,6 +1029,11 @@ class ServerProtocol:
 
         if self.commit_queue:
             return self._attach_commits(Commit(()))
+        if self.fence_queue:
+            # Behind commit traffic, never ahead of it: a fence must not
+            # delay the commits whose arrival answers threshold-waiting
+            # reads, and the commit queue fully drains into one carrier.
+            return self.fence_queue.popleft()
         return None
 
     def drain_replies(self) -> list[Reply]:
@@ -941,7 +1057,7 @@ class ServerProtocol:
         if tag is not None:
             self.ack_waiters.setdefault(tag, []).append((client, op))
             return
-        if self.alone and not self.paused:
+        if self.alone and not self.paused and not self._lease_waitout:
             self._commit_locally(op, message.value, client)
             return
         self.write_queue.append((op, message.value, client))
@@ -951,6 +1067,25 @@ class ServerProtocol:
             # During reconfiguration the pending set is in flux; defer.
             self.deferred_reads.append((client, message))
             return
+        if self.config.read_leases:
+            # Leased read path: serve locally only while the lease is
+            # valid *for the installed epoch* and local state covers the
+            # client's session; otherwise prove epoch liveness with a
+            # full-circle fence before serving.
+            if (
+                self.lease_valid
+                and self.lease_epoch == self.installed_epoch
+                and self._session_covered(message.session)
+            ):
+                self.stats_lease_local_reads += 1
+                self._serve_read_locally(client, message)
+            else:
+                self.stats_lease_fallbacks += 1
+                self._fence_read(client, message)
+            return
+        self._serve_read_locally(client, message)
+
+    def _serve_read_locally(self, client: int, message: ClientRead) -> None:
         if not self.pending:
             # Lines 77-78: reads are local and immediate when there is no
             # write in progress.
@@ -962,6 +1097,80 @@ class ServerProtocol:
         threshold = max_tag(self.pending.keys())
         self.stats_reads_waited += 1
         self.read_waiters.append((threshold, client, message.op))
+
+    def _session_covered(self, session: Optional[Tag]) -> bool:
+        """Whether local state covers the client's session tag.
+
+        Every tag a client observed belongs to a *completed* write, and
+        completion requires the pre-write's full circle — so a current
+        ring member has the tag installed or pending.  A gap means this
+        server's state predates something the client already saw (a
+        lease valid for a stale epoch is excluded before this check, so
+        in practice: a sharded client whose session tag belongs to
+        another block); the fence fallback covers it.
+        """
+        if session is None or session <= self.tag:
+            return True
+        return bool(self.pending) and session <= max_tag(self.pending.keys())
+
+    def _fence_read(self, client: int, message: ClientRead) -> None:
+        """Fallback read: circulate a fence; serve when it returns.
+
+        One fence per read (not batched): the fence *is* the read's ring
+        cost, and the circulating baseline the lease win is measured
+        against must genuinely pay it.
+        """
+        if self.alone:
+            # A sole survivor has no circle to prove and nobody whose
+            # view could move without it; local state is the register.
+            self._serve_read_locally(client, message)
+            return
+        self._fence_nonce += 1
+        self._fence_waiters[self._fence_nonce] = [(client, message)]
+        self.fence_queue.append(
+            ReadFence(self._fence_nonce, self.server_id, self.installed_epoch)
+        )
+
+    def _on_read_fence(self, message: ReadFence) -> None:
+        """A fence arrived from the predecessor (epoch guard already ran)."""
+        if message.origin == self.server_id:
+            self._complete_fence(message)
+            return
+        self.fence_queue.append(message)
+
+    def _complete_fence(self, message: ReadFence) -> None:
+        """Our fence closed its circle under the installed epoch: every
+        ring member forwarded it, so this view was live for the whole
+        circulation and local committed state covers every write
+        completed before the fence left.  Serve the waiting reads from
+        local state — without the lease check, and without the session
+        check (the full circle pulled every completed write's pre-write
+        through us; a session tag from another shard's block is the one
+        thing left uncovered, and the fence is exactly the proof that
+        serving current local state is linearizable for *this* block)."""
+        waiters = self._fence_waiters.pop(message.nonce, None)
+        if waiters is None:
+            return  # superseded at a view change; the reads were re-queued
+        for client, read in waiters:
+            if self.paused:
+                self.deferred_reads.append((client, read))
+            else:
+                self._serve_read_locally(client, read)
+
+    def _requeue_fence_waiters(self) -> None:
+        """Route every fence-waiting read back through ``_on_client_read``.
+
+        Called when in-flight fences can no longer complete (a view
+        install obsoleted their epoch stamp, or this server was demoted
+        to a rejoiner): the reads re-enter via the deferred queue, so
+        after resume they re-evaluate the lease and re-fence under the
+        new epoch instead of waiting for a circle that will never close.
+        """
+        if not self._fence_waiters:
+            return
+        waiters, self._fence_waiters = self._fence_waiters, {}
+        for nonce in sorted(waiters):
+            self.deferred_reads.extend(waiters[nonce])
 
     # ------------------------------------------------------------------
     # Write path
@@ -1303,8 +1512,14 @@ class ServerProtocol:
             # apply-time filtering has already dropped stale entries and
             # zombies of operations the merged completed_ops says are
             # done, which must not be re-committed (resurrection).
-            for tag in sorted(self.pending):
-                self.commit_queue.append(tag)
+            # While an old-epoch lease wait-out runs, the re-commits are
+            # stashed instead: completing a merged write before every
+            # old lease died could hide it from a leaseholder's reads.
+            if self._lease_waitout:
+                self._waitout_commit_tags = sorted(self.pending)
+            else:
+                for tag in sorted(self.pending):
+                    self.commit_queue.append(tag)
             self._resume()
         else:
             key = (token.coordinator, token.nonce)
@@ -1435,10 +1650,16 @@ class ServerProtocol:
         """Install the committed view: the epoch transition point.
 
         From here on, traffic of older epochs is rejected, and newly
-        excluded members that may still be alive are told directly —
-        best-effort fencing that shortens (but cannot on its own close;
-        see docs/reconfiguration.md) the window in which a one-way-
-        partitioned server has not yet noticed its exclusion.
+        excluded members that may still be alive are told directly.
+        With ``read_leases`` the notice is backed by an invariant: an
+        install that excludes members also starts the old-epoch lease
+        *wait-out* — no new-epoch write may complete until every lease
+        granted under the superseded view has provably expired on its
+        holder's clock — so even an excluded server that hears nothing
+        (the one-way-partition case the notices cannot reach) stops
+        serving leased reads before any conflicting write exists.
+        Without leases the notices remain best-effort (see
+        docs/reconfiguration.md).
         """
         newly_dead = frozenset(commit.dead) - self.installed_view.dead
         self.ring = self.ring.at_epoch(
@@ -1451,6 +1672,32 @@ class ServerProtocol:
         self._promise = None  # promises are per installed view
         if commit.coordinator == self.server_id:
             self._attempt_nonce = None
+        if self.config.read_leases:
+            # Our own lease was granted under the superseded epoch; the
+            # per-read epoch check already refuses it, but dropping the
+            # flag keeps the runtime's next push authoritative.
+            self.lease_valid = False
+            self.lease_epoch = -1
+            # In-flight fences carry the old epoch stamp and can never
+            # close their circle; re-route their reads through the
+            # deferred queue so they re-fence under the new epoch.
+            self._requeue_fence_waiters()
+            # A stashed re-commit from a previous wait-out is obsolete:
+            # this install's merge carried those pending writes and the
+            # coordinator re-commits them afresh.
+            self._waitout_commit_tags = []
+            if newly_dead - {self.server_id}:
+                # Members were excluded: their leases (and any lease the
+                # old view granted) may live up to the full duration
+                # plus drift; gate new-epoch writes until that horizon
+                # passes.  Confirm/revive installs exclude nobody and
+                # need no wait — the commit itself circulates ahead of
+                # any new-epoch data on FIFO links.
+                self._lease_waitout = True
+                self.lease_waitout_due = True
+                self.stats_lease_waitouts += 1
+            else:
+                self._lease_waitout = False
         self._mark_dirty()
         for peer in sorted(newly_dead):
             if peer != self.server_id:
@@ -1668,6 +1915,11 @@ class ServerProtocol:
         """Piggyback queued commit tags and stamp the installed epoch."""
         if isinstance(message, (ReconfigToken, ReconfigCommit)):
             return message  # reconfiguration messages carry their own epoch
+        if isinstance(message, ReadFence):
+            # A fence keeps its origin's epoch stamp end to end (the
+            # circle proves that epoch's liveness) and carries no
+            # commits — it must stay exactly one read's ring cost.
+            return message
         epoch = self.installed_epoch
         tags = self._pull_commit_tags(carrier_is_commit=isinstance(message, Commit))
         if isinstance(message, PreWrite):

@@ -108,6 +108,10 @@ class ShardedServerHost(HostBase):
             return
         proto = self.protos[envelope.reg]
         self._post(proto.on_client_message(client_id, envelope.inner))
+        # Leased reads complete with zero ring traffic; without this the
+        # lease stat mirror would wait for a ring receipt that may never
+        # come (see ServerHost.receive_client).
+        self.cluster.after_protocol_step(self)
 
     def notify_crash(self, crashed_id: int) -> None:
         if not self.alive:

@@ -34,7 +34,7 @@ it is still trusted (the timeout is the *allowed* silence).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Iterable, Optional
 
 from repro.errors import ConfigurationError
 
@@ -60,12 +60,37 @@ class HeartbeatConfig:
         suspected server has paused (its own detector fired) before the
         surviving side installs the view that excludes it.  Must exceed
         ``period + check_interval`` plus delivery jitter.
+    lease_duration:
+        How long one :class:`~repro.core.messages.LeaseGrant` stays
+        fresh, measured against the holder's clock from the grant's
+        grantor-stamped send time.  Grants ride every heartbeat, so a
+        stable ring renews well within the duration; the duration only
+        binds when grants stop arriving.  Must satisfy
+        ``lease_duration + 2*clock_drift_bound < timeout`` *strictly*:
+        a grantor stops granting the moment it stops hearing the holder,
+        so the holder's last grant expires (even under worst-case drift,
+        measured on the grantor's clock) before the grantor's suspicion
+        can install a view excluding the holder — the lease dies before
+        the epoch that would conflict with it can act.
+    clock_drift_bound:
+        Declared bound on the absolute offset between any two servers'
+        clocks.  The lease math charges ``2 *`` this bound (holder fast
+        and grantor slow, or vice versa).  The nemesis ``clock_skew``
+        fault injects offsets up to this bound to attack the arithmetic.
+    grant_leases:
+        Whether this detector hands out read leases at all.  Off, every
+        read falls back to ring circulation (the measured baseline for
+        the leased read win); lease *validity checking* stays on so the
+        protocol path is identical, just never taken.
     """
 
     period: float = 0.02
     timeout: float = 0.12
     check_interval: float = 0.01
     propose_grace: float = 0.06
+    lease_duration: float = 0.08
+    clock_drift_bound: float = 0.01
+    grant_leases: bool = True
 
     def validate(self) -> "HeartbeatConfig":
         for name in ("period", "timeout", "check_interval", "propose_grace"):
@@ -81,7 +106,35 @@ class HeartbeatConfig:
                 "propose_grace must cover at least one period + check "
                 f"interval of suspicion skew (got {self.propose_grace})"
             )
+        if self.lease_duration <= 0:
+            raise ConfigurationError("lease_duration must be > 0")
+        if self.clock_drift_bound < 0:
+            raise ConfigurationError("clock_drift_bound must be >= 0")
+        if self.lease_duration <= self.period:
+            raise ConfigurationError(
+                "lease_duration must exceed the heartbeat period or every "
+                f"grant expires before its renewal (got {self.lease_duration})"
+            )
+        if not self.lease_duration + 2 * self.clock_drift_bound < self.timeout:
+            raise ConfigurationError(
+                "lease_duration + 2*clock_drift_bound must be strictly below "
+                f"the suspicion timeout (got {self.lease_duration} + "
+                f"2*{self.clock_drift_bound} vs timeout={self.timeout}): a "
+                "lease must provably die before the suspicion that would "
+                "exclude its holder can fire"
+            )
         return self
+
+    def waitout(self) -> float:
+        """Old-epoch lease wait-out applied at view install.
+
+        A server that installs a view excluding members must wait this
+        long before initiating new-epoch writes: any lease grant it (or
+        any other new-view member) issued under the old epoch — sent at
+        the latest at install time — has expired on every holder's
+        clock, worst-case drift included.
+        """
+        return self.lease_duration + 2 * self.clock_drift_bound
 
 
 class HeartbeatTracker:
@@ -159,3 +212,97 @@ class HeartbeatTracker:
     @property
     def peers(self) -> frozenset[int]:
         return frozenset(self._last_heard)
+
+
+class ReadLease:
+    """Holder-side read-lease validity, sans-I/O.
+
+    A server's lease is valid when it holds a *fresh* grant — one whose
+    grantor-stamped send time lies within ``duration`` of the holder's
+    clock (sound across machines because the deployment declares a
+    clock-drift bound, and the epoch wait-out charges twice it; measured
+    from *send* rather than receipt so a grant buffered in a partition
+    and flushed at heal arrives already-expired) — from **every**
+    required grantor (the other alive members of its installed view),
+    all stamped with the holder's current epoch.  The conjunction is the
+    point: one
+    grantor falling silent (crash, partition, or having moved to a new
+    epoch) kills the lease within ``duration`` even if the rest of the
+    ring keeps granting, so a holder cut off from *any* member stops
+    serving locally before that member's suspicion can act on it.
+
+    Freshness uses the same strictness convention as
+    :class:`HeartbeatTracker`: a grant aged exactly ``duration`` is
+    still fresh; strictly beyond, it has expired.  An empty required
+    set (a single-server ring) is vacuously valid at any epoch — there
+    is no one whose suspicion could conflict.
+
+    Lease state is deliberately *not* part of any durable snapshot: a
+    restarted server starts with :meth:`reset` state and re-earns grants
+    only after rejoining, so stale pre-crash grants can never revive.
+    """
+
+    def __init__(self, duration: float):
+        if duration <= 0:
+            raise ValueError(f"lease duration must be > 0, got {duration}")
+        self.duration = duration
+        self._required: frozenset[int] = frozenset()
+        #: grantor -> (epoch, holder-clock receipt time) of the latest grant.
+        self._grants: dict[int, tuple[int, float]] = {}
+
+    def set_required(self, grantors: Iterable[int]) -> None:
+        """Declare the grantor set the lease needs (view change).
+
+        Grants already held from grantors leaving the set are dropped —
+        a stale grant from a server no longer in the view must not be
+        able to satisfy a *future* view that re-includes it.
+        """
+        self._required = frozenset(grantors)
+        for grantor in [g for g in self._grants if g not in self._required]:
+            del self._grants[grantor]
+
+    def grant(self, grantor: int, epoch: int, now: float) -> bool:
+        """Record a grant timestamped ``now`` (the grantor's clock at
+        send time); returns ``True`` if it *newly* covers the grantor
+        (first grant, a changed epoch, or renewal of an expired grant)
+        rather than refreshing a live one."""
+        if grantor not in self._required:
+            return False
+        previous = self._grants.get(grantor)
+        self._grants[grantor] = (epoch, now)
+        if previous is None:
+            return True
+        old_epoch, old_at = previous
+        return old_epoch != epoch or now - old_at > self.duration
+
+    def revoke(self, grantor: int) -> None:
+        """Drop ``grantor``'s grant immediately (explicit revocation)."""
+        self._grants.pop(grantor, None)
+
+    def reset(self) -> None:
+        """Forget every grant (restart, pause, or defensive view install)."""
+        self._grants.clear()
+
+    def valid(self, now: float, epoch: int) -> bool:
+        """Whether the lease covers serving a local read right now."""
+        for grantor in sorted(self._required):
+            held = self._grants.get(grantor)
+            if held is None:
+                return False
+            grant_epoch, granted_at = held
+            if grant_epoch != epoch or now - granted_at > self.duration:
+                return False
+        return True
+
+    def expires_at(self, epoch: int) -> Optional[float]:
+        """Earliest holder-clock time the currently-held grants stop
+        covering ``epoch`` — for scheduling an expiry check — or
+        ``None`` if the lease is not even potentially valid (a required
+        grant missing or stamped with another epoch)."""
+        deadlines: list[float] = []
+        for grantor in sorted(self._required):
+            held = self._grants.get(grantor)
+            if held is None or held[0] != epoch:
+                return None
+            deadlines.append(held[1] + self.duration)
+        return min(deadlines) if deadlines else None

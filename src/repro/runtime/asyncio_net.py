@@ -59,11 +59,19 @@ from typing import Optional
 from repro.core.client import ClientProtocol
 from repro.core.config import ProtocolConfig
 from repro.core.durable import MemorySnapshotStore, SnapshotStore
-from repro.core.messages import Heartbeat, OpId, ReadAck, RejoinRequest, WriteAck
+from repro.core.messages import (
+    Heartbeat,
+    LeaseGrant,
+    LeaseRevoke,
+    OpId,
+    ReadAck,
+    RejoinRequest,
+    WriteAck,
+)
 from repro.core.ring import RingView
 from repro.core.server import ServerProtocol
 from repro.errors import ConfigurationError, StorageUnavailableError
-from repro.fd.heartbeat import HeartbeatConfig, HeartbeatTracker
+from repro.fd.heartbeat import HeartbeatConfig, HeartbeatTracker, ReadLease
 from repro.runtime.interface import (
     CancelTimer,
     Complete,
@@ -115,7 +123,8 @@ _RING_REDIAL = 0.1
 #: simulator's, because an event loop stalled by CI noise must not spray
 #: wrong suspicions (they would be *safe*, but churny).
 DEFAULT_ASYNC_HEARTBEAT = HeartbeatConfig(
-    period=0.1, timeout=0.6, check_interval=0.05, propose_grace=0.25
+    period=0.1, timeout=0.6, check_interval=0.05, propose_grace=0.25,
+    lease_duration=0.4, clock_drift_bound=0.05,
 )
 
 
@@ -178,6 +187,12 @@ class AsyncServerNode:
         )
         self._tracker: Optional[HeartbeatTracker] = None
         self._hb_writers: dict[int, asyncio.StreamWriter] = {}
+        #: Holder-side read lease (``config.read_leases`` under the
+        #: heartbeat detector).  Deliberately volatile: a restart
+        #: rebuilds it empty in :meth:`spawn_background`, so a rejoining
+        #: incarnation re-earns grants instead of reviving pre-crash ones.
+        self._lease: Optional[ReadLease] = None
+        self._lease_pushed: Optional[tuple[bool, int]] = None
         self._reconcile_pending = False
         self._announcer_task: Optional[asyncio.Task] = None
         #: Durable snapshot store; a restart reloads from it.  Use a
@@ -237,6 +252,12 @@ class AsyncServerNode:
         self._tasks.append(asyncio.create_task(self._ring_sender()))
         if self.fd != "heartbeat":
             return
+        self._lease = (
+            ReadLease(self.hb_config.lease_duration)
+            if self.proto.config.read_leases
+            else None
+        )
+        self._lease_pushed = None
         base = _now() if trusting else _now() - self.hb_config.timeout - 1e-9
         self._tracker = HeartbeatTracker(
             [sid for sid in sorted(self.addresses) if sid != self.server_id],
@@ -413,11 +434,35 @@ class AsyncServerNode:
                         continue
                 try:
                     writer.write(frame(encode_message(Heartbeat(self.server_id))))
+                    if self._lease_granting and self.proto.may_grant_lease(peer):
+                        # Grants ride the raw heartbeat stream (no
+                        # session layer): a retransmitted grant must not
+                        # count as fresh, and the sent_at stamp makes a
+                        # delayed one expire on the holder's clock.
+                        writer.write(
+                            frame(
+                                encode_message(
+                                    LeaseGrant(
+                                        self.server_id,
+                                        self.proto.installed_epoch,
+                                        _now(),
+                                    )
+                                )
+                            )
+                        )
                     await asyncio.wait_for(writer.drain(), timeout=budget)
                 except (ConnectionError, OSError, asyncio.TimeoutError):
                     writer.close()
                     self._hb_writers.pop(peer, None)
             await asyncio.sleep(self.hb_config.period)
+
+    @property
+    def _lease_granting(self) -> bool:
+        return (
+            self.proto.config.read_leases
+            and self.hb_config is not None
+            and self.hb_config.grant_leases
+        )
 
     async def _suspicion_checker(self) -> None:
         """Poll the tracker and feed suspicion transitions to the protocol."""
@@ -426,8 +471,13 @@ class AsyncServerNode:
             if self._stopped:
                 return
             for peer in self._tracker.check(_now()):
+                if self._lease_granting:
+                    self._send_lease_revoke(peer)
                 await self._dispatch_replies(self.proto.on_suspect(peer))
                 self._after_step()
+            # Periodic validity recheck: grants expire by clock, not by
+            # any arriving message, so the checker is what notices.
+            await self._sync_lease()
 
     async def _on_heartbeat(self, peer: int) -> None:
         if self._tracker is None:
@@ -435,6 +485,61 @@ class AsyncServerNode:
         if self._tracker.heard_from(peer, _now()):
             await self._dispatch_replies(self.proto.on_unsuspect(peer))
             self._after_step()
+
+    # ------------------------------------------------------------------
+    # Read leases (fd="heartbeat" + config.read_leases)
+    # ------------------------------------------------------------------
+
+    def _send_lease_revoke(self, peer: int) -> None:
+        """Best-effort immediate revoke on new suspicion.
+
+        Rides the existing heartbeat connection if one survives; when it
+        does not (the usual case — the peer is silent because the link
+        is gone), the grant's own expiry bounds the holder's exposure.
+        """
+        writer = self._hb_writers.get(peer)
+        if writer is None or writer.is_closing():
+            return
+        try:
+            writer.write(
+                frame(
+                    encode_message(
+                        LeaseRevoke(self.server_id, self.proto.installed_epoch)
+                    )
+                )
+            )
+        except (ConnectionError, OSError):
+            self._hb_writers.pop(peer, None)
+
+    async def _sync_lease(self) -> None:
+        """Re-derive lease validity and push transitions to the protocol."""
+        if self._lease is None:
+            return
+        proto = self.proto
+        self._lease.set_required(
+            [sid for sid in proto.installed_view.alive() if sid != self.server_id]
+        )
+        epoch = proto.installed_epoch
+        valid = self._lease.valid(_now(), epoch)
+        if self._lease_pushed == (valid, epoch):
+            return
+        self._lease_pushed = (valid, epoch)
+        await self._dispatch_replies(proto.on_lease_update(valid, epoch))
+        self._ring_wake.set()
+
+    def _schedule_lease_waitout(self, epoch: int) -> None:
+        self._track(
+            asyncio.create_task(self._lease_waitout(epoch, self.generation))
+        )
+
+    async def _lease_waitout(self, epoch: int, generation: int) -> None:
+        """Fire the old-epoch lease wait-out after its provable bound."""
+        await asyncio.sleep(self.hb_config.waitout())
+        if self._stopped or self.generation != generation:
+            return
+        await self._dispatch_replies(self.proto.lease_waitout_elapsed(epoch))
+        self._after_step()
+        self._ring_wake.set()
 
     def _track(self, task: asyncio.Task) -> None:
         """Register a background task, pruning finished ones.
@@ -453,6 +558,9 @@ class AsyncServerNode:
             return
         if proto.rejoining:
             self._ensure_announcer()
+        if proto.lease_waitout_due:
+            proto.lease_waitout_due = False
+            self._schedule_lease_waitout(proto.installed_epoch)
         if proto.reconcile_due:
             proto.reconcile_due = False
             if not self._reconcile_pending:
@@ -521,6 +629,17 @@ class AsyncServerNode:
                     message = decode_message(payload)
                     if isinstance(message, Heartbeat):
                         await self._on_heartbeat(message.server_id)
+                    elif isinstance(message, LeaseGrant) and self._lease is not None:
+                        # Freshness runs from the grantor's sent_at, so
+                        # a grant that sat in a dead link arrives
+                        # already-expired instead of reviving a lease.
+                        self._lease.grant(
+                            message.grantor, message.epoch, message.sent_at
+                        )
+                        await self._sync_lease()
+                    elif isinstance(message, LeaseRevoke) and self._lease is not None:
+                        self._lease.revoke(message.grantor)
+                        await self._sync_lease()
             except (ConnectionError, asyncio.CancelledError):
                 pass
             finally:

@@ -36,12 +36,19 @@ from typing import Callable, Optional
 from repro.core.client import ClientProtocol
 from repro.core.config import ProtocolConfig
 from repro.core.durable import MemorySnapshotStore
-from repro.core.messages import ClientMessage, Heartbeat, OpId, payload_size
+from repro.core.messages import (
+    ClientMessage,
+    Heartbeat,
+    LeaseGrant,
+    LeaseRevoke,
+    OpId,
+    payload_size,
+)
 from repro.core.ring import RingView
 from repro.core.server import ServerProtocol
 from repro.core.tags import Tag
 from repro.errors import ConfigurationError, SimulationError
-from repro.fd.heartbeat import HeartbeatConfig, HeartbeatTracker
+from repro.fd.heartbeat import HeartbeatConfig, HeartbeatTracker, ReadLease
 from repro.fd.perfect import PerfectFailureDetector
 from repro.runtime.interface import (
     CancelTimer,
@@ -59,6 +66,13 @@ from repro.sim.counters import (
     FD_SUSPICIONS,
     FD_UNSUSPECTS,
     FD_WRONG_SUSPICIONS,
+    LEASE_EXPIRED,
+    LEASE_FALLBACKS,
+    LEASE_GRANTED,
+    LEASE_LOCAL_READS,
+    LEASE_RENEWED,
+    LEASE_REVOKED,
+    LEASE_WAITOUTS,
     RELIABLE_ABANDONED,
     RELIABLE_ACKS,
     RELIABLE_BATCHED_FRAMES,
@@ -66,6 +80,7 @@ from repro.sim.counters import (
     RELIABLE_DUPS_SUPPRESSED,
     RELIABLE_RETRANSMITS,
     RELIABLE_STALE_DROPPED,
+    RING_MESSAGES,
 )
 from repro.sim.env import SimEnv
 from repro.sim.faults import FaultPlan
@@ -279,6 +294,10 @@ class ServerHost(_HostBase):
         if not self.alive:
             return
         self._post(self.proto.on_client_message(client_id, message))
+        # A leased read completes with zero ring traffic, so the stat
+        # mirror cannot wait for the next ring receipt — under heartbeat
+        # mode the trace would undercount local reads forever.
+        self.cluster.after_protocol_step(self)
 
     def notify_crash(self, crashed_id: int) -> None:
         if not self.alive:
@@ -796,6 +815,14 @@ class _HeartbeatDriver:
         self.env = cluster.env
         self.config = config
         self.trackers: dict[int, HeartbeatTracker] = {}
+        #: Read-lease mode (config.protocol.read_leases): grants ride the
+        #: heartbeat beacons, each server holds a :class:`ReadLease`, and
+        #: validity transitions are pushed into the protocol(s).
+        self.lease_mode = cluster.config.protocol.read_leases
+        self.leases: dict[int, ReadLease] = {}
+        #: Last (valid, epoch) pushed per server, so only transitions —
+        #: not every periodic check — reach the state machines.
+        self._lease_pushed: dict[int, tuple[bool, int]] = {}
         for server_id in cluster.servers:
             self._start(server_id, cluster.servers[server_id].restarts)
 
@@ -817,11 +844,19 @@ class _HeartbeatDriver:
         peers = [sid for sid in self.cluster.servers if sid != server_id]
         # Suspect-first posture is expressed through the silence clocks:
         # pre-aged past the timeout, every peer trips the first check,
-        # and only an actual heartbeat rehabilitates it.
-        base = self.env.now if trusting else self.env.now - self.config.timeout - 1e-9
+        # and only an actual heartbeat rehabilitates it.  All of this
+        # server's clock readings go through its (possibly nemesis-
+        # skewed) local clock, heartbeat receipt and lease checks alike.
+        local = self._local_now(server_id)
+        base = local if trusting else local - self.config.timeout - 1e-9
         self.trackers[server_id] = HeartbeatTracker(
             peers, self.config.timeout, now=base, imperfect=True
         )
+        if self.lease_mode:
+            # Lease state is volatile by design (docs/leases.md): a new
+            # incarnation re-earns every grant from scratch.
+            self.leases[server_id] = ReadLease(self.config.lease_duration)
+            self._lease_pushed.pop(server_id, None)
         self._send_loop(server_id, generation)
         self.env.scheduler.schedule(
             self.config.check_interval, self._check_loop, server_id, generation
@@ -837,9 +872,14 @@ class _HeartbeatDriver:
         host = self._live(server_id, generation)
         if host is None:
             return
+        granting = self.lease_mode and self.config.grant_leases
         for peer in self.cluster.servers:
             if peer != server_id:
                 self._beacon(server_id, peer)
+                if granting and all(
+                    proto.may_grant_lease(peer) for proto in host.all_protos()
+                ):
+                    self._send_lease(host, peer, LeaseGrant)
         self.env.scheduler.schedule(
             self.config.period, self._send_loop, server_id, generation
         )
@@ -862,7 +902,7 @@ class _HeartbeatDriver:
         tracker = self.trackers.get(dst)
         if tracker is None:
             return
-        if tracker.heard_from(message.server_id, self.env.now):
+        if tracker.heard_from(message.server_id, self._local_now(dst)):
             self.env.trace.count(FD_UNSUSPECTS)
             host.notify_unsuspect(message.server_id)
 
@@ -871,15 +911,92 @@ class _HeartbeatDriver:
         if host is None:
             return
         tracker = self.trackers[server_id]
-        for peer in tracker.check(self.env.now):
+        for peer in tracker.check(self._local_now(server_id)):
             self.env.trace.count(FD_SUSPICIONS)
             peer_host = self.cluster.servers.get(peer)
             if peer_host is not None and peer_host.alive:
                 self.env.trace.count(FD_WRONG_SUSPICIONS)
             host.notify_suspect(peer)
+            if self.lease_mode and self.config.grant_leases:
+                # Best-effort prompt revocation: the holder's freshness
+                # clock is the safety mechanism; this only shortens the
+                # serving window when the revoke gets through.
+                self._send_lease(host, peer, LeaseRevoke)
+        if self.lease_mode:
+            self._sync_lease(host, count_expiry=True)
         self.env.scheduler.schedule(
             self.config.check_interval, self._check_loop, server_id, generation
         )
+
+    # -- read leases ---------------------------------------------------
+
+    def _local_now(self, server_id: int) -> float:
+        """This server's local clock: fabric time plus any nemesis skew."""
+        return self.env.now + self.cluster.nemesis.clock_offset(f"s{server_id}")
+
+    def _send_lease(self, host, peer: int, message_cls) -> None:
+        """Send a grant or revoke to ``peer`` — outside the reliable
+        layer (a retransmitted grant would be a forged freshness signal)
+        but through the nemesis-routed fabric, so partitions, drops and
+        pauses attack lease traffic like everything else."""
+        epoch = min(proto.installed_epoch for proto in host.all_protos())
+        if message_cls is LeaseGrant:
+            message = LeaseGrant(host.server_id, epoch, self._local_now(host.server_id))
+        else:
+            message = LeaseRevoke(host.server_id, epoch)
+        src_nic, dst_nic, network = self.cluster.topo.nic_for(host.name, f"s{peer}")
+        network.unicast(
+            src_nic,
+            dst_nic,
+            payload_size(message),
+            message,
+            lambda m, dst=peer: self._on_lease_message(dst, m),
+        )
+
+    def _on_lease_message(self, dst: int, message) -> None:
+        host = self.cluster.servers.get(dst)
+        lease = self.leases.get(dst)
+        if host is None or not host.alive or lease is None:
+            return
+        required = self._required_grantors(host)
+        lease.set_required(required)
+        if isinstance(message, LeaseRevoke):
+            lease.revoke(message.grantor)
+            self.env.trace.count(LEASE_REVOKED)
+        elif message.grantor in required:
+            newly = lease.grant(message.grantor, message.epoch, message.sent_at)
+            self.env.trace.count(LEASE_GRANTED if newly else LEASE_RENEWED)
+        self._sync_lease(host)
+
+    def _required_grantors(self, host) -> set[int]:
+        """Grantors the holder's lease needs: every other alive member
+        of its installed view(s) — the union across blocks on a sharded
+        host, which can only over-require (strictly safe)."""
+        required: set[int] = set()
+        for proto in host.all_protos():
+            required.update(proto.installed_view.alive())
+        required.discard(host.server_id)
+        return required
+
+    def _sync_lease(self, host, count_expiry: bool = False) -> None:
+        """Re-evaluate the holder's lease and push transitions into the
+        protocol(s).  ``count_expiry`` marks the periodic path, where a
+        valid-to-invalid flip means grants aged out."""
+        lease = self.leases.get(host.server_id)
+        if lease is None:
+            return
+        lease.set_required(self._required_grantors(host))
+        epoch = min(proto.installed_epoch for proto in host.all_protos())
+        valid = lease.valid(self._local_now(host.server_id), epoch)
+        last = self._lease_pushed.get(host.server_id)
+        if last == (valid, epoch):
+            return
+        if count_expiry and last is not None and last[0] and not valid:
+            self.env.trace.count(LEASE_EXPIRED)
+        self._lease_pushed[host.server_id] = (valid, epoch)
+        for proto in host.all_protos():
+            host._post(proto.on_lease_update(valid, epoch))
+        host.kick()
 
 
 class SimCluster:
@@ -1061,6 +1178,13 @@ class SimCluster:
             raise SimulationError(
                 f"route from {host.name} to {dst_name} uses {route_src.name}, "
                 f"but the out-loop pumped {src_nic.name}"
+            )
+        if kind == "ring":
+            # Ring-layer traffic volume, independent of wire framing: the
+            # bench divides this by completed ops to show a leased read
+            # costing zero ring messages where a fenced one costs n.
+            self.env.trace.count(
+                RING_MESSAGES, len(message) if isinstance(message, list) else 1
             )
         if self.reliable is None:
             deliver = self._make_deliver(dst_name, kind, host.name)
@@ -1316,10 +1440,17 @@ class SimCluster:
             host, "stats_epoch_rejected_reconfigs", EPOCH_REJECTED_RECONFIGS
         )
         self._mirror_stat(host, "stats_confirm_reconfigs", EPOCH_CONFIRMS)
+        if self.config.protocol.read_leases:
+            self._mirror_stat(host, "stats_lease_local_reads", LEASE_LOCAL_READS)
+            self._mirror_stat(host, "stats_lease_fallbacks", LEASE_FALLBACKS)
+            self._mirror_stat(host, "stats_lease_waitouts", LEASE_WAITOUTS)
         for proto in host.all_protos():
             if proto.reconcile_due:
                 proto.reconcile_due = False
                 self._schedule_reconcile(host)
+            if proto.lease_waitout_due:
+                proto.lease_waitout_due = False
+                self._schedule_lease_waitout(host, proto)
         if any(proto.rejoining for proto in host.all_protos()):
             self.begin_rejoin(host)
 
@@ -1329,6 +1460,28 @@ class SimCluster:
         if delta > 0:
             self.env.trace.count(counter, delta)
         host._mirrored_stats[stat] = value
+
+    def _schedule_lease_waitout(self, host, proto: ServerProtocol) -> None:
+        """Arm the old-epoch lease wait-out for ``proto``'s just-installed
+        view: after ``heartbeat.waitout()`` every grant issued under the
+        superseded epoch has expired on its holder's clock (drift bound
+        charged), so the new epoch may start completing writes."""
+        self.env.scheduler.schedule(
+            self.config.heartbeat.waitout(),
+            self._fire_lease_waitout,
+            host,
+            proto,
+            proto.installed_epoch,
+            host.restarts,
+        )
+
+    def _fire_lease_waitout(
+        self, host, proto: ServerProtocol, epoch: int, generation: int
+    ) -> None:
+        if not host.alive or host.restarts != generation:
+            return
+        host._post(proto.lease_waitout_elapsed(epoch))
+        host.kick()
 
     def _schedule_reconcile(self, host: "ServerHost") -> None:
         """Run the host's view-proposal evaluation after the grace delay.

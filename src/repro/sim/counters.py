@@ -36,6 +36,7 @@ NEMESIS_PAUSES = "nemesis.pauses"
 NEMESIS_POSTHUMOUS_DROPS = "nemesis.posthumous_drops"
 NEMESIS_RULES = "nemesis.rules"
 NEMESIS_THROTTLES = "nemesis.throttles"
+NEMESIS_CLOCK_SKEWS = "nemesis.clock_skews"
 
 # -- reliable session layer (runtime/sim_net.py) -----------------------
 RELIABLE_ABANDONED = "reliable.abandoned"
@@ -59,6 +60,21 @@ EPOCH_QUORUM_STALLS = "epoch.quorum_stalls"
 EPOCH_REJECTED_RECONFIGS = "epoch.rejected_reconfigs"
 EPOCH_STALE_DROPPED = "epoch.stale_dropped"
 
+# -- epoch-scoped read leases (runtime/sim_net.py, runtime/asyncio_net.py)
+LEASE_GRANTED = "lease.granted"
+LEASE_RENEWED = "lease.renewed"
+LEASE_REVOKED = "lease.revoked"
+LEASE_EXPIRED = "lease.expired"
+LEASE_LOCAL_READS = "lease.local_reads"
+LEASE_FALLBACKS = "lease.fallbacks"
+LEASE_WAITOUTS = "lease.waitouts"
+
+# -- ring traffic (runtime/sim_net.py) ---------------------------------
+#: Ring-layer messages transmitted (PreWrite/Commit/fence/reconfig).
+#: The bench runner divides by completed ops to record the ring
+#: messages/op collapse the leased read path buys.
+RING_MESSAGES = "ring.messages"
+
 #: Every fixed-name counter above.  The staticheck ``counters`` rule
 #: treats any of these values appearing as a literal outside this
 #: module as a violation.
@@ -79,6 +95,7 @@ REGISTERED_COUNTERS = frozenset(
         NEMESIS_POSTHUMOUS_DROPS,
         NEMESIS_RULES,
         NEMESIS_THROTTLES,
+        NEMESIS_CLOCK_SKEWS,
         RELIABLE_ABANDONED,
         RELIABLE_ACKS,
         RELIABLE_BATCHED_FRAMES,
@@ -95,6 +112,14 @@ REGISTERED_COUNTERS = frozenset(
         EPOCH_QUORUM_STALLS,
         EPOCH_REJECTED_RECONFIGS,
         EPOCH_STALE_DROPPED,
+        LEASE_GRANTED,
+        LEASE_RENEWED,
+        LEASE_REVOKED,
+        LEASE_EXPIRED,
+        LEASE_LOCAL_READS,
+        LEASE_FALLBACKS,
+        LEASE_WAITOUTS,
+        RING_MESSAGES,
     }
 )
 

@@ -125,6 +125,18 @@ class ThrottleAt:
 
 
 @dataclass(frozen=True)
+class ClockSkewAt:
+    """Set ``process_name``'s local-clock offset to ``offset`` seconds at
+    ``time`` (absolute, not cumulative; ``0.0`` restores honesty).  The
+    fabric is untouched — only clock-reading runtimes (the heartbeat
+    trackers, lease freshness and expiry) see the skewed time."""
+
+    time: float
+    process_name: str
+    offset: float
+
+
+@dataclass(frozen=True)
 class PauseAt:
     """Freeze ``process_name``'s NIC I/O during ``[time, resume_time)``
     (models a stop-the-world pause; nothing is lost, everything queues)."""
@@ -144,6 +156,7 @@ class FaultPlan:
     throttles: list[ThrottleAt] = field(default_factory=list)
     pauses: list[PauseAt] = field(default_factory=list)
     restarts: list[RestartAt] = field(default_factory=list)
+    clock_skews: list[ClockSkewAt] = field(default_factory=list)
 
     # -- builders ------------------------------------------------------
 
@@ -316,6 +329,30 @@ class FaultPlan:
         self.pauses.append(PauseAt(at, resume_at, process_name))
         return self
 
+    def clock_skew(self, process_name: str, offset: float, at: float) -> "FaultPlan":
+        """Skew ``process_name``'s local clock by ``offset`` seconds from
+        ``at`` onward (negative offsets run the clock slow).  Unlike the
+        windowed faults a skew is a state change, not an interval: it
+        persists until another ``clock_skew`` replaces it, and two skews
+        of one process must therefore sit at distinct times."""
+        at = _check_time(at, "clock skew time")
+        if (
+            isinstance(offset, bool)
+            or not isinstance(offset, (int, float))
+            or not math.isfinite(offset)
+        ):
+            raise ConfigurationError(
+                f"clock skew offset must be a finite number, got {offset!r}"
+            )
+        for other in self.clock_skews:
+            if other.process_name == process_name and other.time == at:
+                raise ConfigurationError(
+                    f"{process_name!r} has two clock skews at the same time; "
+                    "which offset wins would depend on scheduling order"
+                )
+        self.clock_skews.append(ClockSkewAt(at, process_name, float(offset)))
+        return self
+
     @staticmethod
     def sequential(
         process_names: list[str], first_at: float, spacing: float
@@ -341,6 +378,7 @@ class FaultPlan:
         return (
             len(self.crashes) + len(self.partitions) + len(self.link_faults)
             + len(self.throttles) + len(self.pauses) + len(self.restarts)
+            + len(self.clock_skews)
         )
 
     def fault_kinds(self) -> set[str]:
@@ -363,6 +401,8 @@ class FaultPlan:
             kinds.add("throttle")
         if self.pauses:
             kinds.add("pause")
+        if self.clock_skews:
+            kinds.add("clock_skew")
         return kinds
 
     def stall_horizon(self) -> float:
@@ -422,6 +462,7 @@ class FaultPlan:
             named.update((fault.src, fault.dst))
         named.update(throttle.process_name for throttle in self.throttles)
         named.update(pause.process_name for pause in self.pauses)
+        named.update(skew.process_name for skew in self.clock_skews)
         unknown = named - set(processes)
         if unknown:
             raise ConfigurationError(
@@ -465,6 +506,10 @@ class FaultPlan:
             env.scheduler.schedule_at(pause.time, nemesis.pause, pause.process_name)
             env.scheduler.schedule_at(
                 pause.resume_time, nemesis.resume, pause.process_name
+            )
+        for skew in self.clock_skews:
+            env.scheduler.schedule_at(
+                skew.time, nemesis.clock_skew, skew.process_name, skew.offset
             )
 
     @staticmethod

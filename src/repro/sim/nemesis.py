@@ -40,6 +40,7 @@ from typing import TYPE_CHECKING, Any, Callable, Iterable
 
 from repro.errors import ConfigurationError
 from repro.sim.counters import (
+    NEMESIS_CLOCK_SKEWS,
     NEMESIS_CUTS,
     NEMESIS_CUT_DROPS,
     NEMESIS_DELAYED,
@@ -101,6 +102,12 @@ class Nemesis:
         self._fifo: dict[Link, float] = {}
         self._rng = env.rng.stream("nemesis")
         self._rule_seq = 0
+        #: Per-process local-clock offsets (seconds added to the fabric
+        #: clock).  Consumed by clock-reading runtimes — the heartbeat
+        #: driver's trackers and lease freshness checks — never by the
+        #: fabric itself: frames still travel on simulated time; only
+        #: what a process *believes* the time to be is skewed.
+        self._clock_offsets: dict[str, float] = {}
 
     # ------------------------------------------------------------------
     # Frame routing (called by Network for every transmitted frame)
@@ -291,6 +298,28 @@ class Nemesis:
         self.env.trace.emit(self.env.now, "nemesis.resume", process)
         for nic in self._nics_of(process):
             nic.resume()
+
+    # ------------------------------------------------------------------
+    # Clock faults
+    # ------------------------------------------------------------------
+
+    def clock_skew(self, process: str, offset: float) -> None:
+        """Offset ``process``'s local clock by ``offset`` seconds.
+
+        Positive offsets run the clock fast (timeouts and lease expiries
+        fire early — the wrong-suspicion attack), negative offsets run
+        it slow (leases appear fresh longer — the attack on the
+        ``2*clock_drift_bound`` charge in the wait-out arithmetic).
+        The offset is absolute, not cumulative: a second call replaces
+        the first, and ``0.0`` restores an honest clock.
+        """
+        self.env.trace.count(NEMESIS_CLOCK_SKEWS)
+        self.env.trace.emit(self.env.now, "nemesis.clock_skew", process, offset)
+        self._clock_offsets[process] = offset
+
+    def clock_offset(self, process: str) -> float:
+        """Current local-clock offset of ``process`` (0.0 if honest)."""
+        return self._clock_offsets.get(process, 0.0)
 
     # ------------------------------------------------------------------
     # Internals

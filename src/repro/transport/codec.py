@@ -19,10 +19,13 @@ from repro.core.messages import (
     ClientWrite,
     Commit,
     Heartbeat,
+    LeaseGrant,
+    LeaseRevoke,
     OpId,
     PendingEntry,
     PreWrite,
     ReadAck,
+    ReadFence,
     ReconfigCommit,
     ReconfigToken,
     RejoinRequest,
@@ -46,6 +49,9 @@ _TYPE_CODES = {
     RejoinRequest: 10,
     StaleEpochNotice: 11,
     Heartbeat: 12,
+    LeaseGrant: 13,
+    LeaseRevoke: 14,
+    ReadFence: 15,
 }
 #: Tag encoded as 8-byte ts + 4-byte server id (signed: Tag.ZERO is -1).
 _TAG = struct.Struct(">qi")
@@ -97,7 +103,8 @@ def _encode_write_ack(message: WriteAck) -> bytes:
 
 
 def _encode_client_read(message: ClientRead) -> bytes:
-    return _op_bytes(message.op)
+    session = message.session if message.session is not None else Tag.ZERO
+    return _op_bytes(message.op) + _tag_bytes(session)
 
 
 def _encode_read_ack(message: ReadAck) -> bytes:
@@ -141,6 +148,18 @@ def _encode_heartbeat(message: Heartbeat) -> bytes:
     return struct.pack(">i", message.server_id)
 
 
+def _encode_lease_grant(message: LeaseGrant) -> bytes:
+    return struct.pack(">iqd", message.grantor, message.epoch, message.sent_at)
+
+
+def _encode_lease_revoke(message: LeaseRevoke) -> bytes:
+    return struct.pack(">iq", message.grantor, message.epoch)
+
+
+def _encode_read_fence(message: ReadFence) -> bytes:
+    return struct.pack(">qiq", message.nonce, message.origin, message.epoch)
+
+
 def encode_message(message: Any) -> bytes:
     """Serialise ``message`` to bytes (see module docstring)."""
     kind = type(message)
@@ -163,8 +182,9 @@ def _decode_write_ack(body: memoryview) -> WriteAck:
 
 
 def _decode_client_read(body: memoryview) -> ClientRead:
-    op, _ = _read_op(body, 0)
-    return ClientRead(op)
+    op, offset = _read_op(body, 0)
+    session, _ = _read_tag(body, offset)
+    return ClientRead(op, None if session == Tag.ZERO else session)
 
 
 def _decode_read_ack(body: memoryview) -> ReadAck:
@@ -221,6 +241,21 @@ def _decode_stale_epoch(body: memoryview) -> StaleEpochNotice:
 def _decode_heartbeat(body: memoryview) -> Heartbeat:
     (server_id,) = struct.unpack_from(">i", body, 0)
     return Heartbeat(server_id)
+
+
+def _decode_lease_grant(body: memoryview) -> LeaseGrant:
+    grantor, epoch, sent_at = struct.unpack_from(">iqd", body, 0)
+    return LeaseGrant(grantor, epoch, sent_at)
+
+
+def _decode_lease_revoke(body: memoryview) -> LeaseRevoke:
+    grantor, epoch = struct.unpack_from(">iq", body, 0)
+    return LeaseRevoke(grantor, epoch)
+
+
+def _decode_read_fence(body: memoryview) -> ReadFence:
+    nonce, origin, epoch = struct.unpack_from(">qiq", body, 0)
+    return ReadFence(nonce, origin, epoch)
 
 
 def decode_message(data: bytes) -> Any:
@@ -345,6 +380,9 @@ _ENCODERS = {
     RejoinRequest: _encode_rejoin_request,
     StaleEpochNotice: _encode_stale_epoch,
     Heartbeat: _encode_heartbeat,
+    LeaseGrant: _encode_lease_grant,
+    LeaseRevoke: _encode_lease_revoke,
+    ReadFence: _encode_read_fence,
 }
 
 _DECODERS = {
@@ -360,4 +398,7 @@ _DECODERS = {
     _TYPE_CODES[RejoinRequest]: _decode_rejoin_request,
     _TYPE_CODES[StaleEpochNotice]: _decode_stale_epoch,
     _TYPE_CODES[Heartbeat]: _decode_heartbeat,
+    _TYPE_CODES[LeaseGrant]: _decode_lease_grant,
+    _TYPE_CODES[LeaseRevoke]: _decode_lease_revoke,
+    _TYPE_CODES[ReadFence]: _decode_read_fence,
 }

@@ -46,7 +46,10 @@ def test_envelope_write_size_breaks_down_exactly():
         4 + BASE_WIRE_BYTES + OP_ID_WIRE_BYTES + len(value)
     )
     read_env = ShardEnvelope(0, ClientRead(OpId(9, 5)))
-    assert read_env.payload_bytes() == 4 + BASE_WIRE_BYTES + OP_ID_WIRE_BYTES
+    # Reads always carry a session-tag slot (Tag.ZERO when unset).
+    assert read_env.payload_bytes() == (
+        4 + BASE_WIRE_BYTES + OP_ID_WIRE_BYTES + TAG_WIRE_BYTES
+    )
     commits = (Tag(1, 0), Tag(2, 1), Tag(3, 2))
     pre = ShardEnvelope(1, PreWrite(Tag(4, 0), value, OpId(9, 6), commits))
     assert pre.payload_bytes() == (
