@@ -43,6 +43,9 @@ from repro.core.config import ProtocolConfig
 from repro.fd.heartbeat import HeartbeatConfig
 from repro.runtime.sim_net import SimCluster
 from repro.sim.counters import (
+    CODING_CACHE_READS,
+    CODING_FRAGMENT_STORES,
+    CODING_RECONSTRUCTIONS,
     LEASE_FALLBACKS,
     LEASE_LOCAL_READS,
     NET_UNICASTS,
@@ -52,6 +55,7 @@ from repro.sim.counters import (
     RELIABLE_RETRANSMITS,
     RING_MESSAGES,
     net_suffix,
+    scoped,
 )
 from repro.workload.generator import LoadDriver
 from repro.workload.scenarios import (
@@ -65,6 +69,34 @@ SCHEMA_VERSION = 1
 
 #: Default regression tolerance for --check-regression (fraction lost).
 REGRESSION_THRESHOLD = 0.20
+
+#: Value size of the coded-vs-replicated pair: large enough that the
+#: value dominates the frame (headers are noise at 64 KiB), so the ring
+#: bytes/op ratio between the two backends approaches the analytical
+#: (n-1)/(n*k) stripe bound.
+LARGE_VALUE_SIZE = 64 * 1024
+
+
+def large_write_scenario():
+    """64 KiB write-only workload for the coded-vs-replicated pair."""
+    return write_only_scenario(value_size=LARGE_VALUE_SIZE,
+                               writer_concurrency=8)
+
+
+def _calm_heartbeat(grant_leases: bool = True) -> HeartbeatConfig:
+    """A calmer beacon cadence than the chaos default: the bench cluster
+    is failure-free, so the detector only needs to renew leases, and n^2
+    beacon traffic would otherwise dominate the event count the
+    wall-clock numbers measure."""
+    return HeartbeatConfig(
+        period=0.05,
+        timeout=0.3,
+        check_interval=0.025,
+        propose_grace=0.08,
+        lease_duration=0.2,
+        clock_drift_bound=0.02,
+        grant_leases=grant_leases,
+    )
 
 
 @dataclass(frozen=True)
@@ -86,6 +118,29 @@ class Scenario:
     #: fallback around the ring — the measured circulating baseline the
     #: leased scenario's win is quoted against.
     grant_leases: bool = True
+    #: Value backend ("replicated" or "coded"); "coded" implies
+    #: view_quorum and sets coding_n to the ring size.
+    value_coding: str = "replicated"
+    #: Data fragments per stripe when ``value_coding == "coded"``.
+    coding_k: int = 2
+    #: Force quorum-installed views even without leases/coding — used so
+    #: a replicated comparison scenario differs from its coded twin in
+    #: the value backend only.
+    view_quorum: bool = False
+    #: Stretch warmup and window by this factor.  The 64 KiB pair needs
+    #: it: at quick windows a replicated write pipeline completes only
+    #: ~64 ops per window while holding 64 in flight, so ramp-up
+    #: boundary effects distort bytes/op by ~25%; a 3x window makes the
+    #: wire accounting steady-state.
+    window_scale: float = 1.0
+    #: Per-scenario batch-depth override (None = suite default).  The
+    #: 64 KiB pair pins it to 1: batching four value-bearing pre-writes
+    #: into a ~256 KiB frame adds store-and-forward latency at every
+    #: hop, which is a property of message-count batching at huge value
+    #: sizes, not of the value backend this pair measures.  Real stacks
+    #: cap batch *bytes*; until the transport does, large-value frames
+    #: travel alone.
+    batch_max_messages: Optional[int] = None
 
 
 #: The snapshot suite.  ``fig3b_write_4`` is the headline workload of
@@ -113,6 +168,23 @@ SCENARIOS = (
     Scenario(
         "read_circulating_16", read_only_scenario, servers=16, seed_offset=6,
         fd="heartbeat", read_leases=True, grant_leases=False,
+    ),
+    # The coded-value pair: identical 64 KiB write-only workload,
+    # detector and view machinery, differing only in the value backend.
+    # Replicated circulates the full value n hops (n * |v| ring bytes
+    # per write); coded scatters n-1 fragments of |v|/k and circulates
+    # an empty control pre-write (~(n-1)/k * |v|).  At k=2, n=4 the
+    # ring bytes/op ratio is ~0.38 — the headline number of the coded
+    # backend, gated by test_bench_snapshots.
+    Scenario(
+        "replicated_large_value", large_write_scenario, servers=4,
+        seed_offset=7, fd="heartbeat", view_quorum=True, window_scale=3.0,
+        batch_max_messages=1,
+    ),
+    Scenario(
+        "coded_large_value", large_write_scenario, servers=4,
+        seed_offset=8, fd="heartbeat", value_coding="coded", coding_k=2,
+        window_scale=3.0, batch_max_messages=1,
     ),
 )
 
@@ -148,27 +220,33 @@ def run_scenario(
     frames) covers exactly the window the throughput numbers do.
     """
     warmup, window = _windows(quick)
+    warmup *= scenario.window_scale
+    window *= scenario.window_scale
     spec = scenario.spec_factory()
     build_kwargs = {}
     if scenario.read_leases:
         protocol = replace(
             protocol or ProtocolConfig(), view_quorum=True, read_leases=True
         )
-        # A calmer beacon cadence than the chaos default: the bench
-        # cluster is failure-free, so the detector only needs to renew
-        # leases, and n^2 beacon traffic would otherwise dominate the
-        # event count the wall-clock numbers measure.
-        build_kwargs["heartbeat"] = HeartbeatConfig(
-            period=0.05,
-            timeout=0.3,
-            check_interval=0.025,
-            propose_grace=0.08,
-            lease_duration=0.2,
-            clock_drift_bound=0.02,
-            grant_leases=scenario.grant_leases,
+        build_kwargs["heartbeat"] = _calm_heartbeat(scenario.grant_leases)
+    if scenario.view_quorum:
+        protocol = replace(protocol or ProtocolConfig(), view_quorum=True)
+    if scenario.value_coding == "coded":
+        protocol = replace(
+            protocol or ProtocolConfig(),
+            view_quorum=True,
+            value_coding="coded",
+            coding_k=scenario.coding_k,
+            coding_n=scenario.servers,
+        )
+    if scenario.batch_max_messages is not None:
+        protocol = replace(
+            protocol or ProtocolConfig(),
+            batch_max_messages=scenario.batch_max_messages,
         )
     if scenario.fd != "perfect":
         build_kwargs["fd"] = scenario.fd
+        build_kwargs.setdefault("heartbeat", _calm_heartbeat())
     cluster = SimCluster.build(
         num_servers=scenario.servers,
         topology=scenario.topology,
@@ -195,6 +273,16 @@ def run_scenario(
     unicasts = sum(
         amount for name, amount in counters.items() if name.endswith(net_suffix(NET_UNICASTS))
     )
+    # Server-to-server traffic alone ("srv" is the dedicated ring net of
+    # the dual topology; on the shared net it cannot be separated).  This
+    # is where the coded backend's (n-1)/(n*k) stripe saving shows up —
+    # total bytes/op includes the client-side value transfer, which no
+    # coding scheme can shrink.
+    ring_wire_bytes = (
+        counters.get(scoped("srv", NET_WIRE_BYTES), 0)
+        if scenario.topology == "dual"
+        else None
+    )
     reads = driver.stats["read"]
     writes = driver.stats["write"]
     ops = reads.operations + writes.operations
@@ -211,6 +299,11 @@ def run_scenario(
         "wall_ops_per_s": round(ops / wall_seconds, 1) if wall_seconds > 0 else None,
         "wire": {
             "bytes_per_op": round(wire_bytes / ops, 1) if ops else None,
+            "ring_bytes_per_op": (
+                round(ring_wire_bytes / ops, 1)
+                if ops and ring_wire_bytes is not None
+                else None
+            ),
             "messages_per_op": round(unicasts / ops, 2) if ops else None,
             "ring_messages_per_op": (
                 round(counters.get(RING_MESSAGES, 0) / ops, 2) if ops else None
@@ -225,6 +318,15 @@ def run_scenario(
                 "fallbacks": counters.get(LEASE_FALLBACKS, 0),
             }
             if scenario.read_leases
+            else None
+        ),
+        "coding": (
+            {
+                "fragment_stores": counters.get(CODING_FRAGMENT_STORES, 0),
+                "cache_reads": counters.get(CODING_CACHE_READS, 0),
+                "reconstructions": counters.get(CODING_RECONSTRUCTIONS, 0),
+            }
+            if scenario.value_coding == "coded"
             else None
         ),
     }
@@ -269,13 +371,17 @@ def check_regression(
 
     Only scenarios present in both snapshots are compared, and only op
     kinds the baseline actually measured (ops > 0).  Wall-clock numbers
-    are never gated — they move with the host machine.
+    are never gated — they move with the host machine.  A scenario the
+    baseline does not know is announced (``skipped: ...``), never
+    silently ignored: an unannounced skip is how a renamed scenario
+    slips past the gate ungated.
     """
     failures: list[str] = []
     baseline_by_name = {s["name"]: s for s in baseline.get("scenarios", ())}
     for scenario in current.get("scenarios", ()):
         base = baseline_by_name.get(scenario["name"])
         if base is None:
+            print(f"skipped: {scenario['name']} (not in baseline)")
             continue
         for kind in ("read", "write"):
             base_rate = base[kind]["sim_ops_per_s"]
@@ -317,6 +423,11 @@ def _summarise(snapshot: dict) -> str:
                 f"ring/op {s['wire']['ring_messages_per_op']}  "
                 f"lease {s['leases']['local_reads']}lo/"
                 f"{s['leases']['fallbacks']}fb"
+            )
+        if s.get("coding"):
+            parts.append(
+                f"ring B/op {s['wire']['ring_bytes_per_op']}  "
+                f"frags {s['coding']['fragment_stores']}"
             )
         lines.append("  ".join(parts))
     return "\n".join(lines)

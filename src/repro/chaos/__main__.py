@@ -98,9 +98,12 @@ def main(argv: list[str] | None = None) -> int:
                              "detector with epoch-guarded views; 'lease' "
                              "adds epoch-scoped read leases and clock-skew "
                              "faults on top of the partition envelope; "
-                             "'scale' runs the sharded block store at "
-                             "benchmark scale, gated per block by the "
-                             "tagged checker")
+                             "'coded' runs the erasure-coded value backend "
+                             "(k-of-n striping) under the partition "
+                             "envelope and requires in-trace fragment "
+                             "repairs; 'scale' runs the sharded block "
+                             "store at benchmark scale, gated per block by "
+                             "the tagged checker")
     parser.add_argument("--smoke", action="store_true",
                         help="fixed quick pass over the whole zoo (CI)")
     parser.add_argument("--no-batch", action="store_true",
@@ -156,6 +159,9 @@ def main(argv: list[str] | None = None) -> int:
     lease_local_reads = 0
     lease_fallbacks = 0
     lease_waitouts = 0
+    coding_fragment_stores = 0
+    coding_reconstructions = 0
+    coding_repairs = 0
     sharded_blocks = 0
     sharded_min_coverage = None
     exercised: set[str] = set()
@@ -185,6 +191,9 @@ def main(argv: list[str] | None = None) -> int:
             lease_local_reads += result.lease_local_reads
             lease_fallbacks += result.lease_fallbacks
             lease_waitouts += result.lease_waitouts
+            coding_fragment_stores += result.coding_fragment_stores
+            coding_reconstructions += result.coding_reconstructions
+            coding_repairs += result.coding_repairs
             if protocol in ("core", "sharded"):
                 gated_exercised |= result.exercised
             if result.tag_coverage is not None:
@@ -226,6 +235,10 @@ def main(argv: list[str] | None = None) -> int:
         print(f"read leases: {lease_local_reads} read(s) served locally, "
               f"{lease_fallbacks} fence fallback(s), "
               f"{lease_waitouts} old-epoch wait-out(s)")
+    if gate_profile.value_coding == "coded":
+        print(f"coded backend: {coding_fragment_stores} fragment(s) "
+              f"scattered, {coding_reconstructions} reconstruction(s), "
+              f"{coding_repairs} fragment repair(s)")
 
     code = 0
     if failures:
@@ -248,6 +261,12 @@ def main(argv: list[str] | None = None) -> int:
     if gate_profile.read_leases and gated_runs >= 10 and not lease_local_reads:
         print("FAIL: no read was served locally under a lease — the batch "
               "fenced everything and never exercised the leased path")
+        code = 1
+    if (gate_profile.value_coding == "coded" and gated_runs >= 10
+            and not coding_repairs):
+        print("FAIL: no fragment was ever repaired from peers — the batch "
+              "never exercised coded durability (merge union / RADON "
+              "repair), only coded steady state")
         code = 1
     if code == 0:
         print("chaos: all gates green")

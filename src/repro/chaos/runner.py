@@ -41,6 +41,9 @@ from repro.chaos.schedule import (
     ChaosSchedule,
 )
 from repro.sim.counters import (
+    CODING_FRAGMENT_STORES,
+    CODING_RECONSTRUCTIONS,
+    CODING_REPAIRS,
     EPOCH_STALE_DROPPED,
     FD_WRONG_SUSPICIONS,
     LEASE_FALLBACKS,
@@ -159,6 +162,15 @@ class ChaosResult:
     lease_local_reads: int = 0
     lease_fallbacks: int = 0
     lease_waitouts: int = 0
+    #: Coded-backend activity (``value_coding="coded"`` profiles):
+    #: fragments scattered by writes, full-value reconstructions served
+    #: to readers, and fragment *repairs* — shares re-derived from k
+    #: peers by a reconfiguration merge or a read that found its local
+    #: share stale.  Nonzero repairs are the in-trace proof that a run
+    #: exercised coded durability, not just coded steady state.
+    coding_fragment_stores: int = 0
+    coding_reconstructions: int = 0
+    coding_repairs: int = 0
     #: Sharded runs: how many per-block histories passed the tagged
     #: gate, and the fraction of completed operations carrying a
     #: protocol tag (the gate demands 1.0 — an untagged op would make
@@ -206,6 +218,12 @@ class ChaosResult:
             if self.lease_local_reads or self.lease_fallbacks
             else ""
         )
+        coded = (
+            f"coded={self.coding_fragment_stores}fs/"
+            f"{self.coding_reconstructions}rc/{self.coding_repairs}rp "
+            if self.coding_fragment_stores or self.coding_repairs
+            else ""
+        )
         sharded = (
             f"blocks={self.blocks_checked} "
             f"tagcov={self.tag_coverage:.3f} "
@@ -222,7 +240,7 @@ class ChaosResult:
             f"done={self.ops_completed} open={self.ops_open} "
             f"failed={self.ops_failed} hit={kinds} "
             f"rtx={self.retransmits} dup={self.dups_suppressed} {batching}"
-            f"{imperfect}{leases}{sharded}"
+            f"{imperfect}{leases}{coded}{sharded}"
             f"-> {verdict} ({self.wall_seconds:.2f}s)"
         )
 
@@ -324,6 +342,9 @@ def run_schedule(schedule: ChaosSchedule, protocol: str = "core") -> ChaosResult
         lease_local_reads=counters.get(LEASE_LOCAL_READS, 0),
         lease_fallbacks=counters.get(LEASE_FALLBACKS, 0),
         lease_waitouts=counters.get(LEASE_WAITOUTS, 0),
+        coding_fragment_stores=counters.get(CODING_FRAGMENT_STORES, 0),
+        coding_reconstructions=counters.get(CODING_RECONSTRUCTIONS, 0),
+        coding_repairs=counters.get(CODING_REPAIRS, 0),
         blocks_checked=blocks_checked,
         tag_coverage=tag_coverage,
         wall_seconds=time.perf_counter() - started,  # staticheck: allow(determinism.wall-clock) -- wall_seconds is diagnostic reporting only; nothing simulated reads it

@@ -100,6 +100,11 @@ class ChaosProfile:
     #: otherwise.  Implies quorum-installed views; only meaningful with
     #: ``fd="heartbeat"``.
     read_leases: bool = False
+    #: Value backend ("replicated" or "coded").  "coded" stripes every
+    #: value k-of-n across the ring (``ProtocolConfig.value_coding``);
+    #: implies quorum-installed views and sets ``coding_n`` to the
+    #: cluster size at generation time.
+    value_coding: str = "replicated"
     #: Fault kinds the batch gate requires to have demonstrably fired
     #: (empty means the harness-wide default applies).
     required_kinds: tuple[str, ...] = ()
@@ -205,6 +210,34 @@ LEASE_PROFILE = ChaosProfile(
     ),
 )
 
+#: The erasure-coded value backend under the partition envelope.  Same
+#: guaranteed partition windows, imperfect-detector churn, crashes and
+#: restarts as ``partition`` — every one of which now moves *fragments*:
+#: a reconfiguration merge must union surviving fragment shares, a
+#: rejoiner must re-derive its share from k peers (the RADON-style
+#: repair), and a read landing on a server without the full value must
+#: reconstruct it from k live fragment holders mid-fault.  The batch
+#: gate additionally demands in-trace fragment repairs: a batch whose
+#: merges never repaired a share would pass the checker without ever
+#: exercising the path that makes coded durability work.
+CODED_PROFILE = ChaosProfile(
+    name="coded",
+    fd="heartbeat",
+    partition_heavy=True,
+    value_coding="coded",
+    crash_weights=(0, 1, 1, 2),
+    p_restart=1.0,
+    p_partition=1.0,
+    p_ring_loss=0.45,
+    p_client_loss=0.5,
+    p_duplicate=0.5,
+    p_delay=0.6,
+    p_throttle=0.4,
+    p_pause=0.4,
+    retries=True,
+    required_kinds=("crash", "restart", "partition", "drop", "delay", "duplicate"),
+)
+
 #: Chaos at benchmark scale: the sharded ``BlockStore`` under the core
 #: fault envelope — crashes with restarts, partitions, link loss, delay,
 #: duplication, throttles and pauses — with a multi-thousand-operation
@@ -242,6 +275,7 @@ PROFILES: dict[str, ChaosProfile] = {
         GENTLE_PROFILE,
         PARTITION_PROFILE,
         LEASE_PROFILE,
+        CODED_PROFILE,
         SCALE_PROFILE,
     )
 }
@@ -499,6 +533,18 @@ def generate_schedule(
         # view_quorum is set here (rather than trusting the builder's
         # fd-driven default) because read_leases validates against it.
         config = replace(config, view_quorum=True, read_leases=True)
+    if profile.value_coding == "coded":
+        # k=2 stripes, n = the cluster size: with quorum-installed views
+        # every active view keeps n-f >= k fragment holders, so reads
+        # stay reconstructable through any schedule the quorum
+        # discipline itself survives (the config validates the bound).
+        config = replace(
+            config,
+            view_quorum=True,
+            value_coding="coded",
+            coding_k=2,
+            coding_n=num_servers,
+        )
 
     last_crash = max((crash.time for crash in plan.crashes), default=0.0)
     span = max(horizon, last_crash) + 0.3

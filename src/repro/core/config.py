@@ -91,6 +91,22 @@ class ProtocolConfig:
         epoch-guarded installs and their wait-out); runtimes reject the
         flag under the perfect detector, where reads already serve
         locally whenever no write is pending.
+    value_coding:
+        ``"replicated"`` (the paper's full-replication ring: every
+        server stores and forwards whole values) or ``"coded"`` (the
+        CASGC-style backend: values stripe into ``coding_k``-of-
+        ``coding_n`` GF(256) fragments, each server durably stores only
+        its own ~``1/k``-size fragment, and reads reconstruct from any
+        ``k`` fragments — see docs/coding.md).  Tags stay replicated in
+        both modes; only value bytes are coded.
+    coding_k:
+        Data fragments per value under ``value_coding="coded"``: any
+        ``coding_k`` of the ``coding_n`` fragments reconstruct the value.
+        Higher ``k`` cuts per-server bytes (~``n/k`` total instead of
+        ``n``) but tolerates fewer missing fragments.
+    coding_n:
+        Total fragments per value — must equal the ring size (one
+        fragment per member, indexed by ring position).
     """
 
     piggyback_commits: bool = True
@@ -101,6 +117,9 @@ class ProtocolConfig:
     client_max_retries: int = 16
     view_quorum: bool = False
     read_leases: bool = False
+    value_coding: str = "replicated"
+    coding_k: int = 2
+    coding_n: int = 4
 
     def validate(self) -> "ProtocolConfig":
         """Raise :class:`ConfigurationError` on nonsensical settings."""
@@ -117,4 +136,32 @@ class ProtocolConfig:
                 "read_leases requires view_quorum: lease safety rests on "
                 "epoch-guarded installs and the old-epoch wait-out"
             )
+        if self.value_coding not in ("replicated", "coded"):
+            raise ConfigurationError(
+                f"value_coding must be 'replicated' or 'coded', "
+                f"got {self.value_coding!r}"
+            )
+        if self.value_coding == "coded":
+            if not self.view_quorum:
+                raise ConfigurationError(
+                    "value_coding='coded' requires view_quorum: with only "
+                    "a fragment per server, quorum-installed views are what "
+                    "keeps >= k fragment holders in every installed ring"
+                )
+            if not 1 <= self.coding_k <= self.coding_n:
+                raise ConfigurationError(
+                    f"need 1 <= coding_k <= coding_n, got "
+                    f"k={self.coding_k}, n={self.coding_n}"
+                )
+            # Liveness bound: a quorum-installed view keeps a majority
+            # of the full ring alive, so n - f >= k must hold for
+            # f = n - (n // 2 + 1) crashed members — otherwise a legal
+            # view could retain fewer than k fragment holders.
+            if self.coding_k > self.coding_n // 2 + 1:
+                raise ConfigurationError(
+                    f"coding_k={self.coding_k} exceeds the view-quorum "
+                    f"liveness bound n - f = {self.coding_n // 2 + 1} for "
+                    f"n={self.coding_n}: a majority view could hold fewer "
+                    "than k fragments"
+                )
         return self

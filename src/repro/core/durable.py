@@ -48,8 +48,15 @@ from repro.errors import ProtocolError
 #: from an incompatible build fails loudly instead of corrupting state.
 #: v2 added ``completed_tags`` (the commit tag behind each client's
 #: completed-op watermark, so a restarted server's dedup acks stay
-#: tag-covered).
-SNAPSHOT_VERSION = 2
+#: tag-covered).  v3 added ``frag_tag`` for the coded value backend (the
+#: tag the persisted fragment belongs to, which can lag ``tag`` after a
+#: merge installed a tag whose fragment the server never held); v2
+#: documents still load — their ``value`` is a whole replicated value,
+#: so ``frag_tag`` defaults to ``tag``.
+SNAPSHOT_VERSION = 3
+
+#: Oldest snapshot version ``from_json`` still accepts.
+_OLDEST_READABLE_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -75,6 +82,13 @@ class ServerSnapshot:
     #: lets a restarted server ack a deduplicated retry with the real
     #: committed tag instead of an untagged (coverage-breaking) ack.
     completed_tags: tuple[tuple[int, Tag], ...] = ()
+    #: Coded backend (v3): the tag the persisted ``value`` fragment
+    #: belongs to.  ``None`` means "``value`` matches ``tag``" — true
+    #: for every replicated snapshot and for coded servers whose
+    #: fragment is current.  A coded merge can advance ``tag`` past the
+    #: fragment the server holds; persisting the lag keeps a restarted
+    #: server from serving a stale fragment as if it were current.
+    frag_tag: Optional[Tag] = None
 
     def to_json(self) -> str:
         """Serialise to a JSON document (the file backend's format)."""
@@ -103,6 +117,11 @@ class ServerSnapshot:
                     [client, tag.ts, tag.server_id]
                     for client, tag in self.completed_tags
                 ],
+                "frag_tag": (
+                    [self.frag_tag.ts, self.frag_tag.server_id]
+                    if self.frag_tag is not None
+                    else None
+                ),
             }
         )
 
@@ -111,10 +130,12 @@ class ServerSnapshot:
         """Inverse of :meth:`to_json`; raises on malformed documents."""
         try:
             data = json.loads(document)
-            if data["version"] != SNAPSHOT_VERSION:
+            if not _OLDEST_READABLE_VERSION <= data["version"] <= SNAPSHOT_VERSION:
                 raise ProtocolError(
-                    f"snapshot version {data['version']} != {SNAPSHOT_VERSION}"
+                    f"snapshot version {data['version']} unsupported "
+                    f"(readable: {_OLDEST_READABLE_VERSION}..{SNAPSHOT_VERSION})"
                 )
+            frag_tag = data.get("frag_tag")
             return ServerSnapshot(
                 server_id=data["server_id"],
                 members=tuple(data["members"]),
@@ -138,6 +159,7 @@ class ServerSnapshot:
                     (client, Tag(ts, sid))
                     for client, ts, sid in data.get("completed_tags", [])
                 ),
+                frag_tag=Tag(*frag_tag) if frag_tag is not None else None,
             )
         except ProtocolError:
             raise
@@ -199,6 +221,10 @@ class FileSnapshotStore(SnapshotStore):
         self.saves = 0
 
     def save(self, snapshot: ServerSnapshot) -> None:
+        # An orphaned .tmp from a crash mid-save is overwritten here
+        # (open "w" truncates) and replaced or re-orphaned atomically —
+        # it can never be *loaded*, only waste a directory entry, which
+        # load() also reclaims.
         tmp_path = self.path + ".tmp"
         with open(tmp_path, "w", encoding="ascii") as handle:
             handle.write(snapshot.to_json())
@@ -206,11 +232,34 @@ class FileSnapshotStore(SnapshotStore):
                 handle.flush()
                 os.fsync(handle.fileno())
         os.replace(tmp_path, self.path)
+        if self.fsync:
+            # The rename itself lives in the directory entry: without a
+            # directory fsync, power loss after save() returns can roll
+            # the file back to the *previous* snapshot — exactly the
+            # forgotten-acknowledgement the write-ahead contract forbids.
+            self._fsync_directory()
         self.saves += 1
 
     def load(self) -> Optional[ServerSnapshot]:
+        self._discard_orphan_tmp()
         try:
             with open(self.path, "r", encoding="ascii") as handle:
                 return ServerSnapshot.from_json(handle.read())
         except FileNotFoundError:
             return None
+
+    def _fsync_directory(self) -> None:
+        directory = os.path.dirname(os.path.abspath(self.path))
+        dir_fd = os.open(directory, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+
+    def _discard_orphan_tmp(self) -> None:
+        """Remove a ``.tmp`` left behind by a crash between the write
+        and the rename; the real snapshot (if any) is untouched."""
+        try:
+            os.remove(self.path + ".tmp")
+        except FileNotFoundError:
+            pass

@@ -265,6 +265,63 @@ class ReadFence:
 
 
 @dataclass(frozen=True)
+class FragmentStore:
+    """Directed delivery of one server's value fragment (coded backend).
+
+    Under ``value_coding="coded"`` the initiating server stripes the
+    value with :mod:`repro.core.coding` and sends each ring member the
+    single fragment that member will store, while the ring circulates a
+    *value-less* :class:`PreWrite` as the ordering/commit circle.  A
+    receiver holds the pre-write until its fragment arrives (and only
+    then forwards it), so a completed circle keeps its original meaning:
+    every alive server durably stores its share of the value.  ``index``
+    is the receiver's fragment index — its position in the (immutable)
+    member tuple.  ``epoch`` stamps the sender's installed view exactly
+    like all ring data traffic.
+    """
+
+    tag: Tag
+    op: OpId
+    index: int
+    fragment: bytes
+    epoch: int = 0
+
+
+@dataclass(frozen=True)
+class FragmentFetch:
+    """Request for a peer's fragment of the value committed at ``tag``.
+
+    A coded read that cannot be served from the reconstruction cache
+    pulls ``k - 1`` peer fragments (its own fragment is the k-th),
+    decodes, and replies with the whole value.  ``nonce`` matches the
+    replies to the requesting read batch.
+    """
+
+    nonce: int
+    tag: Tag
+    requester: int
+    epoch: int = 0
+
+
+@dataclass(frozen=True)
+class FragmentReply:
+    """A peer's answer to :class:`FragmentFetch`.
+
+    ``index`` is the replier's fragment index, or ``-1`` when the peer
+    holds no fragment for the requested tag (``fragment`` is then
+    empty); the requester keeps waiting for other peers.  Fragments are
+    content-addressed by ``(tag, index)`` — a reply can be stale in
+    epoch but never wrong in bytes.
+    """
+
+    nonce: int
+    tag: Tag
+    index: int
+    fragment: bytes
+    epoch: int = 0
+
+
+@dataclass(frozen=True)
 class StaleEpochNotice:
     """Tells a stale sender that the ring has moved on without it.
 
@@ -343,6 +400,9 @@ RingMessage = Union[
     RejoinRequest,
     StaleEpochNotice,
     ReadFence,
+    FragmentStore,
+    FragmentFetch,
+    FragmentReply,
 ]
 ClientMessage = Union[ClientWrite, ClientRead]
 ServerReply = Union[WriteAck, ReadAck]
@@ -415,6 +475,26 @@ def payload_size(message: Message) -> int:
         return BASE_WIRE_BYTES + 8 + 4  # epoch + sender id
     if isinstance(message, ReadFence):
         return BASE_WIRE_BYTES + 8 + 4 + 8  # nonce + origin + epoch
+    if isinstance(message, FragmentStore):
+        return (
+            BASE_WIRE_BYTES
+            + TAG_WIRE_BYTES
+            + OP_ID_WIRE_BYTES
+            + 4  # fragment index
+            + 8  # epoch stamp
+            + len(message.fragment)
+        )
+    if isinstance(message, FragmentFetch):
+        return BASE_WIRE_BYTES + 8 + TAG_WIRE_BYTES + 4 + 8  # nonce+tag+requester+epoch
+    if isinstance(message, FragmentReply):
+        return (
+            BASE_WIRE_BYTES
+            + 8  # nonce
+            + TAG_WIRE_BYTES
+            + 4  # fragment index (-1: miss)
+            + 8  # epoch stamp
+            + len(message.fragment)
+        )
     if isinstance(message, Heartbeat):
         return BASE_WIRE_BYTES + 4  # server id
     if isinstance(message, LeaseGrant):

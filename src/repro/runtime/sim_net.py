@@ -59,6 +59,11 @@ from repro.runtime.interface import (
     SetTimer,
 )
 from repro.sim.counters import (
+    CODING_CACHE_READS,
+    CODING_FRAGMENT_STORES,
+    CODING_PENDING_DROPPED,
+    CODING_RECONSTRUCTIONS,
+    CODING_REPAIRS,
     EPOCH_CONFIRMS,
     EPOCH_QUORUM_STALLS,
     EPOCH_REJECTED_RECONFIGS,
@@ -1444,6 +1449,18 @@ class SimCluster:
             self._mirror_stat(host, "stats_lease_local_reads", LEASE_LOCAL_READS)
             self._mirror_stat(host, "stats_lease_fallbacks", LEASE_FALLBACKS)
             self._mirror_stat(host, "stats_lease_waitouts", LEASE_WAITOUTS)
+        if self.config.protocol.value_coding == "coded":
+            self._mirror_stat(
+                host, "stats_coding_fragment_stores", CODING_FRAGMENT_STORES
+            )
+            self._mirror_stat(host, "stats_coding_cache_reads", CODING_CACHE_READS)
+            self._mirror_stat(
+                host, "stats_coding_reconstructions", CODING_RECONSTRUCTIONS
+            )
+            self._mirror_stat(host, "stats_coding_repairs", CODING_REPAIRS)
+            self._mirror_stat(
+                host, "stats_coding_pending_dropped", CODING_PENDING_DROPPED
+            )
         for proto in host.all_protos():
             if proto.reconcile_due:
                 proto.reconcile_due = False

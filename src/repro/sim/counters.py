@@ -69,6 +69,13 @@ LEASE_LOCAL_READS = "lease.local_reads"
 LEASE_FALLBACKS = "lease.fallbacks"
 LEASE_WAITOUTS = "lease.waitouts"
 
+# -- erasure-coded value backend (runtime/sim_net.py stat mirrors) -----
+CODING_FRAGMENT_STORES = "coding.fragment_stores"
+CODING_CACHE_READS = "coding.cache_reads"
+CODING_RECONSTRUCTIONS = "coding.reconstructions"
+CODING_REPAIRS = "coding.repairs"
+CODING_PENDING_DROPPED = "coding.pending_dropped"
+
 # -- ring traffic (runtime/sim_net.py) ---------------------------------
 #: Ring-layer messages transmitted (PreWrite/Commit/fence/reconfig).
 #: The bench runner divides by completed ops to record the ring
@@ -119,6 +126,11 @@ REGISTERED_COUNTERS = frozenset(
         LEASE_LOCAL_READS,
         LEASE_FALLBACKS,
         LEASE_WAITOUTS,
+        CODING_FRAGMENT_STORES,
+        CODING_CACHE_READS,
+        CODING_RECONSTRUCTIONS,
+        CODING_REPAIRS,
+        CODING_PENDING_DROPPED,
         RING_MESSAGES,
     }
 )

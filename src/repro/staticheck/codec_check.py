@@ -122,6 +122,23 @@ def check(project: Project) -> list[Violation]:
         )
         return out
 
+    # -- fragment messages must ride the ring --------------------------
+    # The coded backend's Fragment* messages travel server-to-server and
+    # are epoch-fenced; one that is not in the RingMessage union escapes
+    # the epoch-stamp, payload_size and dispatch checks below *and* the
+    # server's on_ring_message dispatch — a silent hole, not an error.
+    for name, node in classes.items():
+        if name.startswith("Fragment") and name not in ring_members:
+            out.append(
+                Violation(
+                    _MESSAGES, node.lineno, node.col_offset,
+                    "codec.fragment-union",
+                    f"fragment message {name} is not in the RingMessage "
+                    "union; it would bypass the epoch guard and the codec "
+                    "coverage checks",
+                )
+            )
+
     # -- epoch stamps on ring messages ---------------------------------
     for name in ring_members:
         node = classes.get(name)

@@ -18,6 +18,9 @@ from repro.core.messages import (
     ClientRead,
     ClientWrite,
     Commit,
+    FragmentFetch,
+    FragmentReply,
+    FragmentStore,
     Heartbeat,
     LeaseGrant,
     LeaseRevoke,
@@ -52,6 +55,9 @@ _TYPE_CODES = {
     LeaseGrant: 13,
     LeaseRevoke: 14,
     ReadFence: 15,
+    FragmentStore: 16,
+    FragmentFetch: 17,
+    FragmentReply: 18,
 }
 #: Tag encoded as 8-byte ts + 4-byte server id (signed: Tag.ZERO is -1).
 _TAG = struct.Struct(">qi")
@@ -160,6 +166,32 @@ def _encode_read_fence(message: ReadFence) -> bytes:
     return struct.pack(">qiq", message.nonce, message.origin, message.epoch)
 
 
+def _encode_fragment_store(message: FragmentStore) -> bytes:
+    return (
+        _tag_bytes(message.tag)
+        + _op_bytes(message.op)
+        + struct.pack(">iq", message.index, message.epoch)
+        + message.fragment
+    )
+
+
+def _encode_fragment_fetch(message: FragmentFetch) -> bytes:
+    return (
+        struct.pack(">q", message.nonce)
+        + _tag_bytes(message.tag)
+        + struct.pack(">iq", message.requester, message.epoch)
+    )
+
+
+def _encode_fragment_reply(message: FragmentReply) -> bytes:
+    return (
+        struct.pack(">q", message.nonce)
+        + _tag_bytes(message.tag)
+        + struct.pack(">iq", message.index, message.epoch)
+        + message.fragment
+    )
+
+
 def encode_message(message: Any) -> bytes:
     """Serialise ``message`` to bytes (see module docstring)."""
     kind = type(message)
@@ -258,8 +290,36 @@ def _decode_read_fence(body: memoryview) -> ReadFence:
     return ReadFence(nonce, origin, epoch)
 
 
+def _decode_fragment_store(body: memoryview) -> FragmentStore:
+    tag, offset = _read_tag(body, 0)
+    op, offset = _read_op(body, offset)
+    index, epoch = struct.unpack_from(">iq", body, offset)
+    return FragmentStore(tag, op, index, bytes(body[offset + 12 :]), epoch)
+
+
+def _decode_fragment_fetch(body: memoryview) -> FragmentFetch:
+    (nonce,) = struct.unpack_from(">q", body, 0)
+    tag, offset = _read_tag(body, 8)
+    requester, epoch = struct.unpack_from(">iq", body, offset)
+    return FragmentFetch(nonce, tag, requester, epoch)
+
+
+def _decode_fragment_reply(body: memoryview) -> FragmentReply:
+    (nonce,) = struct.unpack_from(">q", body, 0)
+    tag, offset = _read_tag(body, 8)
+    index, epoch = struct.unpack_from(">iq", body, offset)
+    return FragmentReply(nonce, tag, index, bytes(body[offset + 12 :]), epoch)
+
+
 def decode_message(data: bytes) -> Any:
-    """Inverse of :func:`encode_message`."""
+    """Inverse of :func:`encode_message`.
+
+    Any body shorter than its fixed fields or declared length-prefixed
+    fields raises ``ProtocolError("truncated frame")`` — a decoder never
+    yields silently short bytes (the pre-hardening failure mode: a
+    truncated reconfiguration token decoded into short values that
+    round-tripped as plausible state).
+    """
     if len(data) < 8:
         raise ProtocolError(f"message too short: {len(data)} bytes")
     code, body_len = struct.unpack_from(">B3xI", data, 0)
@@ -269,7 +329,11 @@ def decode_message(data: bytes) -> Any:
     body = memoryview(data)[8:]
     if len(body) != body_len:
         raise ProtocolError(f"length mismatch: header {body_len}, body {len(body)}")
-    return decoder(body)
+    try:
+        return decoder(body)
+    except struct.error as exc:
+        # A fixed-width field ran past the end of the body.
+        raise ProtocolError("truncated frame") from exc
 
 
 def _encode_reconfig(message: ReconfigToken | ReconfigCommit) -> bytes:
@@ -307,6 +371,19 @@ def _encode_reconfig(message: ReconfigToken | ReconfigCommit) -> bytes:
 _ReconfigT = TypeVar("_ReconfigT", ReconfigToken, ReconfigCommit)
 
 
+def _read_sized(body: memoryview, offset: int, length: int) -> tuple[bytes, int]:
+    """Slice ``length`` declared bytes, refusing to run past the body.
+
+    ``bytes(body[offset : offset + length])`` silently yields *short*
+    bytes when the buffer ends early — the truncation bug this helper
+    exists to close: every length-prefixed field must either be fully
+    present or fail the frame.
+    """
+    if offset + length > len(body):
+        raise ProtocolError("truncated frame")
+    return bytes(body[offset : offset + length]), offset + length
+
+
 def _decode_reconfig(cls: Callable[..., _ReconfigT], body: memoryview) -> _ReconfigT:
     nonce, epoch, coordinator, dead_count = struct.unpack_from(">qqiI", body, 0)
     offset = struct.calcsize(">qqiI")
@@ -325,8 +402,7 @@ def _decode_reconfig(cls: Callable[..., _ReconfigT], body: memoryview) -> _Recon
     tag, offset = _read_tag(body, offset)
     (value_len,) = struct.unpack_from(">I", body, offset)
     offset += 4
-    value = bytes(body[offset : offset + value_len])
-    offset += value_len
+    value, offset = _read_sized(body, offset, value_len)
     (pending_count,) = struct.unpack_from(">I", body, offset)
     offset += 4
     pending = []
@@ -335,8 +411,7 @@ def _decode_reconfig(cls: Callable[..., _ReconfigT], body: memoryview) -> _Recon
         op, offset = _read_op(body, offset)
         (entry_len,) = struct.unpack_from(">I", body, offset)
         offset += 4
-        entry_value = bytes(body[offset : offset + entry_len])
-        offset += entry_len
+        entry_value, offset = _read_sized(body, offset, entry_len)
         pending.append(PendingEntry(entry_tag, entry_value, op))
     (completed_count,) = struct.unpack_from(">I", body, offset)
     offset += 4
@@ -383,6 +458,9 @@ _ENCODERS = {
     LeaseGrant: _encode_lease_grant,
     LeaseRevoke: _encode_lease_revoke,
     ReadFence: _encode_read_fence,
+    FragmentStore: _encode_fragment_store,
+    FragmentFetch: _encode_fragment_fetch,
+    FragmentReply: _encode_fragment_reply,
 }
 
 _DECODERS = {
@@ -401,4 +479,7 @@ _DECODERS = {
     _TYPE_CODES[LeaseGrant]: _decode_lease_grant,
     _TYPE_CODES[LeaseRevoke]: _decode_lease_revoke,
     _TYPE_CODES[ReadFence]: _decode_read_fence,
+    _TYPE_CODES[FragmentStore]: _decode_fragment_store,
+    _TYPE_CODES[FragmentFetch]: _decode_fragment_fetch,
+    _TYPE_CODES[FragmentReply]: _decode_fragment_reply,
 }

@@ -82,6 +82,16 @@ def test_check_regression_flags_only_real_drops():
     assert check_regression(renamed, baseline) == []
 
 
+def test_check_regression_announces_skipped_scenarios(capsys):
+    """A scenario the baseline does not know must be *announced*, not
+    silently ignored — an unannounced skip is how a renamed scenario
+    slips past the gate ungated."""
+    renamed = _snapshot(700.0)
+    renamed["scenarios"][0]["name"] = "other"
+    assert check_regression(renamed, _snapshot(1000.0)) == []
+    assert "skipped: other (not in baseline)" in capsys.readouterr().out
+
+
 def test_cli_writes_snapshot_and_gates(tmp_path, monkeypatch):
     monkeypatch.setattr(runner, "SCENARIOS", (TINY,))
     assert runner.main(["--tag", "a", "--out", str(tmp_path)]) == 0

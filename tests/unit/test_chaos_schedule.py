@@ -9,6 +9,7 @@ readers, so the client-partition branch is always reachable and the
 
 from repro.chaos.schedule import (
     AGGRESSIVE_CLIENT_TIMEOUT,
+    CODED_PROFILE,
     CORE_PROFILE,
     GENTLE_PROFILE,
     generate_schedule,
@@ -59,6 +60,22 @@ def test_core_profile_uses_the_aggressive_timeout():
         assert schedule.config.client_timeout == AGGRESSIVE_CLIENT_TIMEOUT
         assert schedule.config.client_max_retries > 0
         assert schedule.deadline > schedule.workload_span
+
+
+def test_coded_profile_configures_striping_within_liveness_bound():
+    """The coded profile must turn on the coded backend with epoch-
+    guarded views and keep k within the liveness bound (a quorum-
+    installed view always retains at least k fragment holders)."""
+    for index in range(20):
+        schedule = generate_schedule(
+            seed=3, index=index, num_servers=4, profile=CODED_PROFILE
+        )
+        config = schedule.config
+        assert config.value_coding == "coded"
+        assert config.view_quorum
+        assert config.coding_n == schedule.num_servers
+        assert 1 < config.coding_k <= config.coding_n // 2 + 1
+        assert schedule.plan.partitions, "coded profile guarantees partitions"
 
 
 def test_gentle_profile_still_disables_retries():

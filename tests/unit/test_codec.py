@@ -1,18 +1,28 @@
 """Unit tests for the binary codec and stream framing."""
 
+import struct
+
 import pytest
 
 from repro.core.messages import (
     ClientRead,
     ClientWrite,
     Commit,
+    FragmentFetch,
+    FragmentReply,
+    FragmentStore,
+    Heartbeat,
+    LeaseGrant,
+    LeaseRevoke,
     OpId,
     PendingEntry,
     PreWrite,
     ReadAck,
+    ReadFence,
     ReconfigCommit,
     ReconfigToken,
     RejoinRequest,
+    StaleEpochNotice,
     StateSync,
     WriteAck,
 )
@@ -50,6 +60,11 @@ OP = OpId(11, 5)
                        completed_tags=((11, Tag(9, 0)),)),
         RejoinRequest(2),
         RejoinRequest(3, generation=7),
+        FragmentStore(Tag(5, 1), OP, 2, b"\x01\x02frag", epoch=3),
+        FragmentStore(Tag(5, 1), OP, 0, b"", epoch=0),
+        FragmentFetch(17, Tag(5, 1), 3, epoch=2),
+        FragmentReply(17, Tag(5, 1), 1, b"peer-frag", epoch=2),
+        FragmentReply(18, Tag(5, 1), -1, b"", epoch=2),
     ],
     ids=lambda m: type(m).__name__,
 )
@@ -97,3 +112,82 @@ def test_frame_decoder_rejects_absurd_length():
     decoder = FrameDecoder()
     with pytest.raises(ProtocolError):
         decoder.feed(b"\xff\xff\xff\xff")
+
+
+# ----------------------------------------------------------------------
+# Truncation hardening: no decoder may yield silently-short fields.
+# ----------------------------------------------------------------------
+
+#: One instance of every encodable message type, with every optional
+#: section populated so truncation sweeps cross every field boundary.
+TRUNCATION_SAMPLES = [
+    ClientWrite(OP, b"payload-bytes"),
+    WriteAck(OP, Tag(3, 1)),
+    ClientRead(OP, session=Tag(2, 2)),
+    ReadAck(OP, b"read-value", Tag(9, 0)),
+    PreWrite(Tag(4, 2), b"value", OP, (Tag(1, 0), Tag(2, 3)), epoch=5),
+    Commit((Tag(1, 1), Tag(2, 2)), epoch=4),
+    StateSync(Tag(7, 0), b"state", (Tag(6, 1),), epoch=2),
+    ReconfigToken(5, 2, 1, (0, 3), Tag(8, 1), b"merged-value",
+                  (PendingEntry(Tag(9, 2), b"pending-value", OP),),
+                  ((11, 5), (12, 0)), revived=(2,),
+                  completed_tags=((11, Tag(9, 0)),)),
+    ReconfigCommit(6, 3, 0, (1,), Tag(9, 0), b"cv",
+                   (PendingEntry(Tag(10, 1), b"pv", OP),), ((11, 5),),
+                   completed_tags=((11, Tag(9, 0)),)),
+    RejoinRequest(3, generation=7, epoch=2),
+    StaleEpochNotice(4, 1),
+    ReadFence(31, 2, epoch=4),
+    Heartbeat(3),
+    LeaseGrant(1, epoch=2, sent_at=0.125),
+    LeaseRevoke(1, epoch=2),
+    FragmentStore(Tag(5, 1), OP, 2, b"fragment-bytes", epoch=3),
+    FragmentFetch(17, Tag(5, 1), 3, epoch=2),
+    FragmentReply(17, Tag(5, 1), 1, b"peer-fragment", epoch=2),
+]
+
+
+def _truncated_frame(encoded: bytes, cut: int) -> bytes:
+    """The first ``cut`` body bytes under a consistent (rewritten) header,
+    so the failure exercised is a decoder over-read, not the outer
+    header/body length mismatch."""
+    body = encoded[8:cut + 8]
+    return struct.pack(">B3xI", encoded[0], len(body)) + body
+
+
+@pytest.mark.parametrize("message", TRUNCATION_SAMPLES,
+                         ids=lambda m: type(m).__name__)
+def test_truncated_encodings_never_yield_short_fields(message):
+    """Every truncation of every message type either raises
+    ``ProtocolError`` or decodes to a *genuinely* shorter valid message
+    (a trailing free-length value field — re-encoding must reproduce the
+    truncated frame exactly).  Pre-hardening, truncated reconfiguration
+    bodies decoded into silently-short values instead."""
+    encoded = encode_message(message)
+    body_len = len(encoded) - 8
+    for cut in range(body_len):
+        frame = _truncated_frame(encoded, cut)
+        try:
+            decoded = decode_message(frame)
+        except ProtocolError:
+            continue
+        assert type(decoded) is type(message)
+        assert encode_message(decoded) == frame, (
+            f"{type(message).__name__} truncated to {cut}/{body_len} body "
+            f"bytes decoded to a lossy {decoded!r}"
+        )
+
+
+@pytest.mark.parametrize(
+    "message",
+    [m for m in TRUNCATION_SAMPLES
+     if isinstance(m, (ReconfigToken, ReconfigCommit, FragmentFetch))],
+    ids=lambda m: type(m).__name__,
+)
+def test_fully_length_prefixed_types_reject_every_truncation(message):
+    """Types without a trailing free-length field (every byte is covered
+    by a count or length prefix) must reject *all* truncations."""
+    encoded = encode_message(message)
+    for cut in range(len(encoded) - 8):
+        with pytest.raises(ProtocolError):
+            decode_message(_truncated_frame(encoded, cut))

@@ -1,0 +1,130 @@
+"""GF(256) erasure-coding round trips: the MDS property, exhaustively.
+
+The coded value backend rests on two facts proven here for every
+geometry the repo ships: *any* k of the n fragments reconstruct the
+value byte-identically, and k-1 fragments never suffice.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core.coding import (
+    CodingError,
+    coding_matrix,
+    decode,
+    encode,
+    gf_inv,
+    gf_mul,
+    pack_fragments,
+    stripe_size,
+    unpack_fragments,
+)
+
+GEOMETRIES = [(1, 1), (1, 3), (2, 3), (2, 4), (3, 4), (3, 6), (4, 7)]
+
+
+def test_gf_field_axioms_on_samples():
+    rng = random.Random(7)
+    for _ in range(200):
+        a, b, c = rng.randrange(256), rng.randrange(256), rng.randrange(256)
+        assert gf_mul(a, b) == gf_mul(b, a)
+        assert gf_mul(a, gf_mul(b, c)) == gf_mul(gf_mul(a, b), c)
+        assert gf_mul(a, b ^ c) == gf_mul(a, b) ^ gf_mul(a, c)
+        if a:
+            assert gf_mul(a, gf_inv(a)) == 1
+
+
+@pytest.mark.parametrize("k,n", GEOMETRIES)
+def test_any_k_of_n_fragments_reconstruct(k, n):
+    rng = random.Random(1000 * k + n)
+    for size in (0, 1, k, 17, 4096):
+        value = rng.randbytes(size)
+        fragments = encode(value, k, n)
+        assert len(fragments) == n
+        assert len({len(f) for f in fragments}) == 1
+        assert len(fragments[0]) == stripe_size(size, k)
+        for combo in itertools.combinations(range(n), k):
+            subset = {index: fragments[index] for index in combo}
+            assert decode(subset, k, n) == value, (size, combo)
+
+
+@pytest.mark.parametrize("k,n", [(2, 3), (2, 4), (3, 4), (3, 6)])
+def test_k_minus_one_fragments_do_not_suffice(k, n):
+    value = random.Random(42).randbytes(257)
+    fragments = encode(value, k, n)
+    for combo in itertools.combinations(range(n), k - 1):
+        with pytest.raises(CodingError):
+            decode({index: fragments[index] for index in combo}, k, n)
+
+
+def test_data_fragments_are_verbatim_stripes():
+    # Systematic code: holding all k data fragments means decoding is
+    # concatenation — the fragments literally are the striped payload.
+    value = bytes(range(10)) * 5
+    k, n = 3, 5
+    fragments = encode(value, k, n)
+    raw = b"".join(fragments[:k])
+    assert value in raw
+
+
+def test_single_parity_is_xor():
+    # k = n-1 takes the fast path; the parity fragment must equal the
+    # XOR of the data fragments (what the generic matrix row encodes).
+    value = b"the quick brown fox" * 11
+    fragments = encode(value, 3, 4)
+    xor = bytes(
+        a ^ b ^ c for a, b, c in zip(fragments[0], fragments[1], fragments[2])
+    )
+    assert fragments[3] == xor
+
+
+def test_matrix_is_systematic_and_mds():
+    for k, n in GEOMETRIES:
+        matrix = coding_matrix(k, n)
+        assert len(matrix) == n and all(len(row) == k for row in matrix)
+        for i in range(k):
+            assert matrix[i] == tuple(1 if j == i else 0 for j in range(k))
+
+
+def test_decode_rejects_malformed_sets():
+    fragments = encode(b"payload", 2, 4)
+    with pytest.raises(CodingError):
+        decode({0: fragments[0]}, 2, 4)
+    with pytest.raises(CodingError):
+        decode({0: fragments[0], 9: fragments[1]}, 2, 4)
+    with pytest.raises(CodingError):
+        decode({0: fragments[0], 1: fragments[1][:-1]}, 2, 4)
+
+
+def test_decode_rejects_corrupt_length_prefix():
+    fragments = encode(b"", 2, 4)
+    # Flip the length prefix (lives in fragment 0 of the systematic code)
+    # to something absurd; decode must refuse rather than over-read.
+    corrupt = b"\xff\xff\xff\xff" + fragments[0][4:]
+    with pytest.raises(CodingError):
+        decode({0: corrupt, 1: fragments[1]}, 2, 4)
+
+
+def test_geometry_validation():
+    with pytest.raises(CodingError):
+        coding_matrix(0, 4)
+    with pytest.raises(CodingError):
+        coding_matrix(5, 4)
+    with pytest.raises(CodingError):
+        coding_matrix(2, 300)
+
+
+def test_fragment_blob_round_trip():
+    fragments = {0: b"", 2: b"\x00\xff", 7: b"abcdef"}
+    assert unpack_fragments(pack_fragments(fragments)) == fragments
+    assert pack_fragments({}) == b""
+    assert unpack_fragments(b"") == {}
+
+
+def test_fragment_blob_rejects_truncation():
+    blob = pack_fragments({1: b"fragment-bytes"})
+    for cut in range(1, len(blob)):
+        with pytest.raises(CodingError):
+            unpack_fragments(blob[:cut])

@@ -44,3 +44,29 @@ def test_workload_spec_validation():
         WorkloadSpec(reader_concurrency=0).validate()
     with pytest.raises(ConfigurationError):
         WorkloadSpec(value_size=4).validate()
+
+
+def test_value_coding_validation():
+    ProtocolConfig(
+        value_coding="coded", coding_k=2, coding_n=4, view_quorum=True
+    ).validate()
+    with pytest.raises(ConfigurationError, match="value_coding"):
+        ProtocolConfig(value_coding="striped").validate()
+    # Coded mode leans on quorum-installed views for its >= k liveness.
+    with pytest.raises(ConfigurationError, match="view_quorum"):
+        ProtocolConfig(value_coding="coded", coding_k=2, coding_n=4).validate()
+    with pytest.raises(ConfigurationError, match="coding_k"):
+        ProtocolConfig(
+            value_coding="coded", coding_k=0, coding_n=4, view_quorum=True
+        ).validate()
+    with pytest.raises(ConfigurationError, match="coding_k"):
+        ProtocolConfig(
+            value_coding="coded", coding_k=5, coding_n=4, view_quorum=True
+        ).validate()
+    # n - f >= k liveness bound: k=3 of n=4 breaks with one crash.
+    with pytest.raises(ConfigurationError, match="liveness"):
+        ProtocolConfig(
+            value_coding="coded", coding_k=4, coding_n=5, view_quorum=True
+        ).validate()
+    # Replicated mode ignores the coding knobs entirely.
+    ProtocolConfig(value_coding="replicated", coding_k=99, coding_n=1).validate()

@@ -45,6 +45,30 @@ def test_json_round_trip_is_identity():
     assert ServerSnapshot.from_json(snapshot.to_json()) == snapshot
 
 
+def test_json_round_trip_preserves_frag_tag():
+    snapshot = ServerSnapshot(
+        server_id=2, members=(0, 1, 2, 3), dead=(), tag=Tag(9, 1),
+        value=b"\x01fragment", ts_seen=9, watermark=(), completed_ops=(),
+        pending=(), frag_tag=Tag(6, 0),
+    )
+    restored = ServerSnapshot.from_json(snapshot.to_json())
+    assert restored == snapshot
+    assert restored.frag_tag == Tag(6, 0)
+
+
+def test_v2_document_loads_with_frag_tag_none():
+    """A pre-coding (v2) snapshot still loads; its value is a whole
+    replicated value, so ``frag_tag`` defaults to ``None``."""
+    import json
+
+    data = json.loads(sample_snapshot().to_json())
+    data["version"] = 2
+    del data["frag_tag"]
+    restored = ServerSnapshot.from_json(json.dumps(data))
+    assert restored == sample_snapshot()
+    assert restored.frag_tag is None
+
+
 def test_from_json_rejects_garbage_and_wrong_version():
     with pytest.raises(ProtocolError):
         ServerSnapshot.from_json("{}")
@@ -85,6 +109,51 @@ def test_file_store_round_trip_and_atomic_overwrite(tmp_path):
     assert not (tmp_path / "s1.snapshot.tmp").exists()
     # A fresh store handle over the same path sees the persisted state.
     assert FileSnapshotStore(path).load() == newer
+
+
+def test_file_store_fsync_also_syncs_directory(tmp_path, monkeypatch):
+    """With ``fsync=True`` the rename must be made durable too: the
+    directory containing the snapshot gets its own fsync, or power loss
+    after ``save`` returns could roll back to the previous snapshot."""
+    import os
+    import stat
+
+    synced = []
+    real_fsync = os.fsync
+
+    def recording_fsync(fd):
+        synced.append(stat.S_ISDIR(os.fstat(fd).st_mode))
+        real_fsync(fd)
+
+    monkeypatch.setattr(os, "fsync", recording_fsync)
+    store = FileSnapshotStore(str(tmp_path / "s1.snapshot"), fsync=True)
+    store.save(sample_snapshot())
+    assert True in synced, "parent directory was never fsynced"
+    assert False in synced, "snapshot file itself was never fsynced"
+
+    # Without fsync=True neither sync happens (rename atomicity only).
+    synced.clear()
+    FileSnapshotStore(str(tmp_path / "s2.snapshot")).save(sample_snapshot())
+    assert synced == []
+
+
+def test_file_store_load_discards_orphaned_tmp(tmp_path):
+    """A ``.tmp`` left by a crash between write and rename is removed on
+    the next load and never shadows or corrupts the real snapshot."""
+    path = tmp_path / "s1.snapshot"
+    store = FileSnapshotStore(str(path))
+    store.save(sample_snapshot())
+    orphan = tmp_path / "s1.snapshot.tmp"
+    orphan.write_text("torn{{{garbage")
+    assert store.load() == sample_snapshot()
+    assert not orphan.exists()
+
+    # An orphan with no real snapshot behind it: load reports "nothing
+    # saved" and reclaims the directory entry.
+    lone = FileSnapshotStore(str(tmp_path / "fresh.snapshot"))
+    (tmp_path / "fresh.snapshot.tmp").write_text("torn")
+    assert lone.load() is None
+    assert not (tmp_path / "fresh.snapshot.tmp").exists()
 
 
 # ----------------------------------------------------------------------

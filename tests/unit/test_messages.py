@@ -6,6 +6,9 @@ from repro.core.messages import (
     ClientRead,
     ClientWrite,
     Commit,
+    FragmentFetch,
+    FragmentReply,
+    FragmentStore,
     OpId,
     PendingEntry,
     PreWrite,
@@ -43,6 +46,10 @@ def _all_messages():
         ReconfigCommit(2, 1, 0, (2,), TAG, b"", (), (), revived=(1, 3)),
         RejoinRequest(3),
         RejoinRequest(3, generation=4),
+        FragmentStore(TAG, OP, 1, b"f" * 64, epoch=2),
+        FragmentFetch(9, TAG, 2, epoch=2),
+        FragmentReply(9, TAG, 3, b"f" * 64, epoch=2),
+        FragmentReply(9, TAG, -1, b"", epoch=2),
     ]
 
 

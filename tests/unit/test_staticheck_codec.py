@@ -77,6 +77,22 @@ def test_ring_message_without_epoch_flagged(tmp_path):
     assert "Commit" in violations[0].message
 
 
+def test_fragment_class_outside_ring_union_flagged(tmp_path):
+    # A Fragment* message not in the RingMessage union would silently
+    # bypass the epoch guard and every codec coverage check.
+    messages = _MESSAGES_OK.replace(
+        "RingMessage = Union[PreWrite, Commit]\n",
+        "@dataclass(frozen=True)\n"
+        "class FragmentStore:\n"
+        "    epoch: int\n"
+        "\n"
+        "RingMessage = Union[PreWrite, Commit]\n",
+    )
+    violations = run_tree(tmp_path, _tree(messages=messages))
+    assert "codec.fragment-union" in rules_of(violations)
+    assert any("FragmentStore" in v.message for v in violations)
+
+
 def test_missing_payload_size_arm_flagged(tmp_path):
     messages = _MESSAGES_OK.replace("(PreWrite, Commit)", "(PreWrite,)")
     violations = run_tree(tmp_path, _tree(messages=messages))
