@@ -40,6 +40,7 @@ from typing import Callable, Optional
 
 from repro.analysis.stats import LatencyStats, mbit_per_s
 from repro.core.config import ProtocolConfig
+from repro.core.sharded import build_elastic_cluster
 from repro.fd.heartbeat import HeartbeatConfig
 from repro.runtime.sim_net import SimCluster
 from repro.sim.counters import (
@@ -54,6 +55,7 @@ from repro.sim.counters import (
     RELIABLE_BATCHED_MESSAGES,
     RELIABLE_RETRANSMITS,
     RING_MESSAGES,
+    SHARD_REDIRECTS,
     net_suffix,
     scoped,
 )
@@ -61,6 +63,7 @@ from repro.workload.generator import LoadDriver
 from repro.workload.scenarios import (
     contention_scenario,
     read_only_scenario,
+    skewed_block_scenario,
     write_only_scenario,
 )
 
@@ -141,6 +144,18 @@ class Scenario:
     #: cap batch *bytes*; until the transport does, large-value frames
     #: travel alone.
     batch_max_messages: Optional[int] = None
+    #: >0 runs the sharded block store over an explicit placement: the
+    #: cluster is built by ``build_elastic_cluster`` and the workload
+    #: spec must be a block-mode spec (``spec.num_blocks`` matching).
+    num_blocks: int = 0
+    #: Disjoint per-ring member tuples of the placement (block mode only).
+    rings: tuple = ()
+    #: Start every block packed on ring 0 ("capacity added, nothing
+    #: moved yet") instead of spread contiguously.
+    pack: bool = False
+    #: Attach the rebalancer (live migration).  The static twin keeps
+    #: the same placement table but never moves a block.
+    elastic: bool = False
 
 
 #: The snapshot suite.  ``fig3b_write_4`` is the headline workload of
@@ -185,6 +200,24 @@ SCENARIOS = (
         "coded_large_value", large_write_scenario, servers=4,
         seed_offset=8, fd="heartbeat", value_coding="coded", coding_k=2,
         window_scale=3.0, batch_max_messages=1,
+    ),
+    # The elastic-placement pair: identical Zipf(1.1) hot/cold workload
+    # over 8 blocks, all packed on ring 0 of an 8-server / 4-ring
+    # cluster ("capacity added, nothing moved yet").  The static twin
+    # leaves them there — two servers serve ~everything while six idle;
+    # the elastic twin attaches the rebalancer, which migrates and
+    # splits the hot blocks across the idle rings during warmup.  The
+    # simulated ops/s multiple between the two is the headline number
+    # of elastic sharding (ROADMAP item 3), pinned by
+    # test_bench_snapshots.
+    Scenario(
+        "skewed_static", skewed_block_scenario, servers=8, seed_offset=9,
+        num_blocks=8, rings=((0, 1), (2, 3), (4, 5), (6, 7)), pack=True,
+    ),
+    Scenario(
+        "skewed_elastic", skewed_block_scenario, servers=8, seed_offset=10,
+        num_blocks=8, rings=((0, 1), (2, 3), (4, 5), (6, 7)), pack=True,
+        elastic=True,
     ),
 )
 
@@ -247,15 +280,33 @@ def run_scenario(
     if scenario.fd != "perfect":
         build_kwargs["fd"] = scenario.fd
         build_kwargs.setdefault("heartbeat", _calm_heartbeat())
-    cluster = SimCluster.build(
-        num_servers=scenario.servers,
-        topology=scenario.topology,
-        seed=seed + scenario.seed_offset,
-        protocol=protocol,
-        initial_value=b"\xa5" * spec.value_size,
-        **build_kwargs,
-    )
-    driver = LoadDriver(cluster, spec)
+    if scenario.num_blocks:
+        # Rebalance on a tight cadence so the elastic twin converges
+        # within the warmup and the measured window sees the *settled*
+        # spread placement, not the transient.
+        cluster = build_elastic_cluster(
+            scenario.servers,
+            scenario.num_blocks,
+            list(scenario.rings),
+            seed=seed + scenario.seed_offset,
+            pack=scenario.pack,
+            rebalance=scenario.elastic,
+            rebalance_interval=0.02,
+            topology=scenario.topology,
+            protocol=protocol,
+            initial_value=b"\xa5" * spec.value_size,
+            **build_kwargs,
+        )
+    else:
+        cluster = SimCluster.build(
+            num_servers=scenario.servers,
+            topology=scenario.topology,
+            seed=seed + scenario.seed_offset,
+            protocol=protocol,
+            initial_value=b"\xa5" * spec.value_size,
+            **build_kwargs,
+        )
+    driver = LoadDriver(cluster, spec, seed=seed + scenario.seed_offset)
     wall_start = time.perf_counter()
     driver.start()
     cluster.run(until=cluster.now + warmup)
@@ -327,6 +378,29 @@ def run_scenario(
                 "reconstructions": counters.get(CODING_RECONSTRUCTIONS, 0),
             }
             if scenario.value_coding == "coded"
+            else None
+        ),
+        "sharding": (
+            {
+                "num_blocks": scenario.num_blocks,
+                "rings": len(scenario.rings),
+                "elastic": scenario.elastic,
+                # Cumulative over the whole run (rebalancer tallies and
+                # the table version survive the counter reset), so they
+                # capture the warmup migrations the window benefits from.
+                "placement_version": cluster.placement.version,
+                "migrations_completed": (
+                    cluster.rebalancer.completed if cluster.rebalancer else 0
+                ),
+                "migrations_aborted": (
+                    cluster.rebalancer.aborted if cluster.rebalancer else 0
+                ),
+                "splits": (
+                    cluster.rebalancer.splits if cluster.rebalancer else 0
+                ),
+                "redirects": counters.get(SHARD_REDIRECTS, 0),
+            }
+            if scenario.num_blocks
             else None
         ),
     }
@@ -428,6 +502,13 @@ def _summarise(snapshot: dict) -> str:
             parts.append(
                 f"ring B/op {s['wire']['ring_bytes_per_op']}  "
                 f"frags {s['coding']['fragment_stores']}"
+            )
+        if s.get("sharding"):
+            sh = s["sharding"]
+            parts.append(
+                f"mig {sh['migrations_completed']}c/"
+                f"{sh['migrations_aborted']}a/{sh['splits']}s "
+                f"pv{sh['placement_version']}"
             )
         lines.append("  ".join(parts))
     return "\n".join(lines)

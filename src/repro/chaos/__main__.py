@@ -22,6 +22,13 @@ Examples::
         O(n log n) tagged checker at 100% tag coverage — the value-based
         search would be hopeless on histories this size.
 
+    python -m repro.chaos --profile skew --runs 25 --seed 0
+        Elastic sharding under a skewed (hot/cold) workload: blocks live
+        on per-ring placements and the rebalancer migrates and splits
+        hot blocks *mid-run* while servers of the hot destination ring
+        crash and recover.  Every run must complete at least one
+        migration; the batch must also exercise the abort path.
+
     python -m repro.chaos --runs 5 --seed 3 --protocols core,abd,tob
         Smaller batch against several protocols (baselines get the
         gentle, loss-free profile they are expected to survive).
@@ -103,7 +110,10 @@ def main(argv: list[str] | None = None) -> int:
                              "envelope and requires in-trace fragment "
                              "repairs; 'scale' runs the sharded block "
                              "store at benchmark scale, gated per block by "
-                             "the tagged checker")
+                             "the tagged checker; 'skew' runs the elastic "
+                             "block store under a hot/cold workload with "
+                             "live block migration, requiring every run to "
+                             "complete at least one migration")
     parser.add_argument("--smoke", action="store_true",
                         help="fixed quick pass over the whole zoo (CI)")
     parser.add_argument("--no-batch", action="store_true",
@@ -127,8 +137,9 @@ def main(argv: list[str] | None = None) -> int:
             parser.error("--smoke runs fixed profiles; drop --profile")
         if args.protocols not in ("core", "sharded"):
             parser.error("--profile only applies to the core or sharded protocol")
-        if args.protocols == "sharded" and profile.name != "scale":
-            parser.error("the sharded protocol only runs 'scale' schedules")
+        if args.protocols == "sharded" and profile.name not in ("scale", "skew"):
+            parser.error("the sharded protocol only runs 'scale' or 'skew' "
+                         "schedules")
     if args.smoke:
         batches = [("core", 12), ("abd", 2), ("chain", 2), ("tob", 2), ("naive", 2)]
     else:
@@ -144,9 +155,11 @@ def main(argv: list[str] | None = None) -> int:
             if name not in TARGETS:
                 parser.error(f"unknown protocol {name!r}; choices: {','.join(TARGETS)}")
         batches = [(name, args.runs) for name in names]
-    if profile is not None and profile.name == "scale":
-        # The scale profile *is* the sharded block store: `--profile
-        # scale` retargets the batch at the multi-register cluster.
+    if profile is not None and profile.name in ("scale", "skew"):
+        # The scale and skew profiles *are* the sharded block store:
+        # `--profile scale|skew` retargets the batch at the
+        # multi-register cluster (skew additionally runs it elastic, with
+        # the rebalancer live-migrating blocks mid-run).
         batches = [("sharded", args.runs)]
 
     failures = 0
@@ -164,6 +177,10 @@ def main(argv: list[str] | None = None) -> int:
     coding_repairs = 0
     sharded_blocks = 0
     sharded_min_coverage = None
+    migrations_completed = 0
+    migrations_aborted = 0
+    migration_splits = 0
+    shard_redirects = 0
     exercised: set[str] = set()
     #: Coverage accumulated over the profile-gated batches (the core
     #: ring protocol and its sharded block-store variant) — the
@@ -194,6 +211,10 @@ def main(argv: list[str] | None = None) -> int:
             coding_fragment_stores += result.coding_fragment_stores
             coding_reconstructions += result.coding_reconstructions
             coding_repairs += result.coding_repairs
+            migrations_completed += result.migrations_completed
+            migrations_aborted += result.migrations_aborted
+            migration_splits += result.migration_splits
+            shard_redirects += result.shard_redirects
             if protocol in ("core", "sharded"):
                 gated_exercised |= result.exercised
             if result.tag_coverage is not None:
@@ -239,6 +260,11 @@ def main(argv: list[str] | None = None) -> int:
         print(f"coded backend: {coding_fragment_stores} fragment(s) "
               f"scattered, {coding_reconstructions} reconstruction(s), "
               f"{coding_repairs} fragment repair(s)")
+    if gate_profile.elastic:
+        print(f"elastic placement: {migrations_completed} migration(s) "
+              f"completed, {migrations_aborted} aborted, "
+              f"{migration_splits} hot-block split(s), "
+              f"{shard_redirects} client redirect(s)")
 
     code = 0
     if failures:
@@ -267,6 +293,14 @@ def main(argv: list[str] | None = None) -> int:
         print("FAIL: no fragment was ever repaired from peers — the batch "
               "never exercised coded durability (merge union / RADON "
               "repair), only coded steady state")
+        code = 1
+    # Aborts need a crash to land inside a migration's short drain/transfer
+    # window — rarer than the per-run fault kinds, so this gate needs a
+    # bigger batch before "never fired" is evidence of a dead code path.
+    if gate_profile.elastic and gated_runs >= 20 and not migrations_aborted:
+        print("FAIL: no migration was ever aborted — the batch never "
+              "exercised the crash-mid-migration abort path (staged state "
+              "discarded, parked requests replayed)")
         code = 1
     if code == 0:
         print("chaos: all gates green")

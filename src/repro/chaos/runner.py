@@ -36,6 +36,7 @@ from repro.chaos.schedule import (
     LEASE_PROFILE,
     PARTITION_PROFILE,
     SCALE_PROFILE,
+    SKEW_PROFILE,
     PROFILES,
     ChaosProfile,
     ChaosSchedule,
@@ -49,6 +50,9 @@ from repro.sim.counters import (
     LEASE_FALLBACKS,
     LEASE_LOCAL_READS,
     LEASE_WAITOUTS,
+    MIGRATION_ABORTED,
+    MIGRATION_COMPLETED,
+    MIGRATION_SPLITS,
     NEMESIS_CLOCK_SKEWS,
     NEMESIS_CUT_DROPS,
     NEMESIS_DELAYED,
@@ -63,8 +67,13 @@ from repro.sim.counters import (
     RELIABLE_BATCHED_MESSAGES,
     RELIABLE_DUPS_SUPPRESSED,
     RELIABLE_RETRANSMITS,
+    SHARD_REDIRECTS,
 )
-from repro.core.sharded import ShardedServerHost, add_shard_client
+from repro.core.sharded import (
+    ShardedServerHost,
+    add_shard_client,
+    build_elastic_cluster,
+)
 from repro.errors import ConfigurationError
 from repro.runtime.sim_net import SimCluster
 from repro.sim.rng import derive_seed
@@ -177,6 +186,15 @@ class ChaosResult:
     #: the tagged check vacuous, not green).
     blocks_checked: int = 0
     tag_coverage: Optional[float] = None
+    #: Elastic runs: live-migration activity.  ``migration_required``
+    #: makes completed migrations part of the per-run gate — a skew run
+    #: whose rebalancer never moved a block would pass the checker
+    #: while exercising none of the machinery under test.
+    migration_required: bool = False
+    migrations_completed: int = 0
+    migrations_aborted: int = 0
+    migration_splits: int = 0
+    shard_redirects: int = 0
     wall_seconds: float = 0.0
 
     @property
@@ -184,10 +202,16 @@ class ChaosResult:
         return self.ops_completed >= self.ops_required
 
     @property
+    def migrated(self) -> bool:
+        return not self.migration_required or self.migrations_completed >= 1
+
+    @property
     def ok(self) -> bool:
         """Whether the run passes its gate (naive may violate safety,
         but even naive must make progress)."""
         if not self.progressed:
+            return False
+        if not self.migrated:
             return False
         if TARGETS[self.protocol].atomic:
             return self.linearizable
@@ -200,6 +224,8 @@ class ChaosResult:
     def describe(self) -> str:
         if not self.progressed:
             verdict = f"STALLED: {self.ops_completed}/{self.ops_required} required ops"
+        elif not self.migrated:
+            verdict = "NO MIGRATION: rebalancer never completed a move"
         elif self.linearizable:
             verdict = "OK"
         elif self.anomaly:
@@ -230,6 +256,12 @@ class ChaosResult:
             if self.tag_coverage is not None
             else ""
         )
+        elastic = (
+            f"mig={self.migrations_completed}c/{self.migrations_aborted}a/"
+            f"{self.migration_splits}s redir={self.shard_redirects} "
+            if self.migration_required
+            else ""
+        )
         batching = (
             f"batched={self.batched_frames}f/{self.batched_messages}m "
             if self.batched_frames
@@ -240,7 +272,7 @@ class ChaosResult:
             f"done={self.ops_completed} open={self.ops_open} "
             f"failed={self.ops_failed} hit={kinds} "
             f"rtx={self.retransmits} dup={self.dups_suppressed} {batching}"
-            f"{imperfect}{leases}{coded}{sharded}"
+            f"{imperfect}{leases}{coded}{sharded}{elastic}"
             f"-> {verdict} ({self.wall_seconds:.2f}s)"
         )
 
@@ -252,9 +284,14 @@ def run_schedule(schedule: ChaosSchedule, protocol: str = "core") -> ChaosResult
         raise ConfigurationError(
             f"unknown protocol {protocol!r}; choose from {sorted(TARGETS)}"
         )
-    if protocol != "core" and schedule.profile != target.profile.name:
+    allowed_profiles = {target.profile.name}
+    if protocol == "sharded":
+        # The sharded block store runs both the uniform benchmark-scale
+        # profile and the elastic skewed one.
+        allowed_profiles.add(SKEW_PROFILE.name)
+    if protocol != "core" and schedule.profile not in allowed_profiles:
         raise ConfigurationError(
-            f"protocol {protocol!r} only survives {target.profile.name!r} "
+            f"protocol {protocol!r} only survives {sorted(allowed_profiles)} "
             f"schedules, got a {schedule.profile!r} one (crashes and message "
             "loss are outside the failure-free baselines' model)"
         )
@@ -272,12 +309,38 @@ def run_schedule(schedule: ChaosSchedule, protocol: str = "core") -> ChaosResult
     if protocol == "sharded":
         builder_kwargs["num_blocks"] = schedule.num_blocks
     started = time.perf_counter()  # staticheck: allow(determinism.wall-clock) -- wall_seconds is diagnostic reporting only; nothing simulated reads it
-    cluster = target.builder(
-        schedule.num_servers,
-        seed=schedule.cluster_seed,
-        protocol=schedule.config,
-        **builder_kwargs,
-    )
+    if profile.elastic:
+        # Elastic skew run: explicit placement over the profile's rings
+        # with the rebalancer live.  Its cadence is drawn per schedule so
+        # the first tick (and therefore the migration window) sweeps
+        # across the crash window over a batch — some runs migrate
+        # cleanly before the crash, others get caught mid-transfer and
+        # must abort and retry.
+        pacing_rng = random.Random(
+            derive_seed(
+                schedule.seed, f"chaos.rebalance.{schedule.profile}.{schedule.index}"
+            )
+        )
+        cluster = build_elastic_cluster(
+            schedule.num_servers,
+            schedule.num_blocks,
+            list(profile.rings),
+            seed=schedule.cluster_seed,
+            protocol=schedule.config,
+            rebalance_interval=round(pacing_rng.uniform(0.03, 0.08), 4),
+            rebalance_first_delay=round(pacing_rng.uniform(0.05, 0.6), 4),
+            horizon=schedule.deadline,
+            imbalance=1.3,
+            split_fraction=0.4,
+            min_load=5.0,
+        )
+    else:
+        cluster = target.builder(
+            schedule.num_servers,
+            seed=schedule.cluster_seed,
+            protocol=schedule.config,
+            **builder_kwargs,
+        )
     cluster.history = History()
 
     progress = {"left": schedule.num_clients, "failed": 0}
@@ -347,6 +410,11 @@ def run_schedule(schedule: ChaosSchedule, protocol: str = "core") -> ChaosResult
         coding_repairs=counters.get(CODING_REPAIRS, 0),
         blocks_checked=blocks_checked,
         tag_coverage=tag_coverage,
+        migration_required=profile.elastic,
+        migrations_completed=counters.get(MIGRATION_COMPLETED, 0),
+        migrations_aborted=counters.get(MIGRATION_ABORTED, 0),
+        migration_splits=counters.get(MIGRATION_SPLITS, 0),
+        shard_redirects=counters.get(SHARD_REDIRECTS, 0),
         wall_seconds=time.perf_counter() - started,  # staticheck: allow(determinism.wall-clock) -- wall_seconds is diagnostic reporting only; nothing simulated reads it
     )
 
@@ -402,11 +470,29 @@ def _spawn_sharded_workload(schedule, cluster, progress, pacing) -> None:
     rng = random.Random(
         derive_seed(schedule.seed, f"chaos.workload.{schedule.profile}.{schedule.index}")
     )
+    chaos_profile = PROFILES.get(schedule.profile)
+    elastic = chaos_profile is not None and chaos_profile.elastic
+    hop_p = 0.1 if elastic else 0.2
     machines = [
         add_shard_client(cluster, home_server=i % schedule.num_servers)
         for i in range(max(1, schedule.client_machines))
     ]
     roles = ["write"] * schedule.writers + ["read"] * schedule.readers
+
+    def elastic_home(pos: int) -> int:
+        # Skewed homes are the whole point of the skew profile: the first
+        # num_blocks clients of each role class cover every block (so the
+        # per-block tagged gate always has traffic to check), and every
+        # extra client piles onto block 0 (and a little onto block 1) so
+        # the rebalancer's imbalance threshold is guaranteed to trip.
+        if pos < schedule.num_blocks:
+            return pos
+        roll = rng.random()
+        if roll < 0.8:
+            return 0
+        if roll < 0.95:
+            return 1 % schedule.num_blocks
+        return rng.randrange(schedule.num_blocks)
 
     def spawn(host, vid: int, kind: str, home: int, stagger: float) -> None:
         state = {"seq": 0}
@@ -421,7 +507,7 @@ def _spawn_sharded_workload(schedule, cluster, progress, pacing) -> None:
             cluster.env.scheduler.schedule(pacing, issue)
 
         def issue() -> None:
-            if rng.random() < 0.2:
+            if rng.random() < hop_p:
                 reg = rng.randrange(schedule.num_blocks)
             else:
                 reg = home
@@ -439,7 +525,12 @@ def _spawn_sharded_workload(schedule, cluster, progress, pacing) -> None:
     for index, kind in enumerate(roles):
         host = machines[index % len(machines)]
         vid = host.add_virtual_client()
-        spawn(host, vid, kind, home=index % schedule.num_blocks,
+        if elastic:
+            pos = index if kind == "write" else index - schedule.writers
+            home = elastic_home(pos)
+        else:
+            home = index % schedule.num_blocks
+        spawn(host, vid, kind, home=home,
               stagger=pacing * index / max(1, len(roles)))
 
 

@@ -118,6 +118,14 @@ class ChaosProfile:
     #: multi-thousand-op histories.
     blocks: tuple[int, int] = (0, 0)
     min_total_ops: int = 0
+    #: Elastic sharded generation: the cluster runs explicit placement
+    #: over ``rings`` (disjoint server-id tuples) with the rebalancer
+    #: live-migrating blocks mid-run.  Crash victims are drawn from the
+    #: *destination* ring — the migration target — so schedules attack
+    #: the transfer/cutover window, and the batch gate requires in-trace
+    #: completed migrations (plus aborts, across a large batch).
+    elastic: bool = False
+    rings: tuple[tuple[int, ...], ...] = ()
 
 
 CORE_PROFILE = ChaosProfile(
@@ -266,6 +274,39 @@ SCALE_PROFILE = ChaosProfile(
     required_kinds=("crash", "restart", "partition", "drop", "delay", "duplicate"),
 )
 
+#: Elastic sharding under a deliberately skewed workload: two rings of
+#: two servers, eight blocks, and a client population concentrated on
+#: blocks 0 and 1 (plus a round-robin tail so every block still gets a
+#: writer and a reader — no block's history is checked vacuously).  The
+#: rebalancer must migrate and split hot blocks off ring 0 *mid-run*,
+#: while every crash in the schedule lands on a ring-1 (destination)
+#: member inside the migration window with a guaranteed restart: the
+#: abort path — staged state discarded, parked requests replayed, the
+#: placement table untouched — is the thing under attack, and
+#: duplication attacks the transfer nonce.  Partitions are left to the
+#: other profiles: a cut between rings only stalls whole blocks without
+#: touching the migration machinery.  The batch gate demands in-trace
+#: completed migrations on every run (and aborts across the batch);
+#: per-block tagged checking stays at 100% coverage.
+SKEW_PROFILE = ChaosProfile(
+    name="skew",
+    elastic=True,
+    rings=((0, 1), (2, 3)),
+    crash_weights=(1, 1, 2),
+    p_restart=1.0,
+    p_partition=0.0,
+    p_ring_loss=0.4,
+    p_client_loss=0.4,
+    p_duplicate=0.6,
+    p_delay=0.6,
+    p_throttle=0.3,
+    p_pause=0.3,
+    retries=True,
+    blocks=(8, 8),
+    min_total_ops=2500,
+    required_kinds=("crash", "restart"),
+)
+
 #: Generation profiles by name (the runner maps a schedule's profile
 #: string back to its definition, e.g. to pick the failure detector).
 PROFILES: dict[str, ChaosProfile] = {
@@ -277,6 +318,7 @@ PROFILES: dict[str, ChaosProfile] = {
         LEASE_PROFILE,
         CODED_PROFILE,
         SCALE_PROFILE,
+        SKEW_PROFILE,
     )
 }
 
@@ -344,6 +386,11 @@ def generate_schedule(
 ) -> ChaosSchedule:
     """Draw one randomized schedule, deterministic in all arguments."""
     rng = random.Random(derive_seed(seed, f"chaos.{profile.name}.{index}"))
+    if profile.elastic:
+        # The ring layout fixes the cluster size: placement rings are
+        # literal server ids, so a different num_servers would either
+        # leave servers outside every ring or point rings at nothing.
+        num_servers = max(sid for ring in profile.rings for sid in ring) + 1
     servers = [f"s{i}" for i in range(num_servers)]
     num_blocks = 1
     client_machines = 0
@@ -356,8 +403,16 @@ def generate_schedule(
         # block's history is checked vacuously.
         num_blocks = rng.randint(*profile.blocks)
         client_machines = rng.randint(3, 4)
-        writers = rng.randint(num_blocks, num_blocks + 8)
-        readers = rng.randint(num_blocks + 4, num_blocks + 16)
+        if profile.elastic:
+            # Guaranteed extra clients beyond the per-block coverage
+            # tail: the runner piles them onto blocks 0 and 1, and it is
+            # that concentration (not the tail) that clears the
+            # rebalancer's imbalance threshold on every draw.
+            writers = rng.randint(num_blocks + 2, num_blocks + 6)
+            readers = rng.randint(num_blocks + 6, num_blocks + 14)
+        else:
+            writers = rng.randint(num_blocks, num_blocks + 8)
+            readers = rng.randint(num_blocks + 4, num_blocks + 16)
         total_clients = writers + readers
         ops_per_client = -(-profile.min_total_ops // total_clients) + rng.randint(0, 8)
         clients = [f"c{i}" for i in range(client_machines)]
@@ -369,7 +424,20 @@ def generate_schedule(
 
     plan = FaultPlan()
     num_crashes = min(rng.choice(profile.crash_weights), num_servers - 1)
-    if profile.partition_heavy:
+    if profile.elastic:
+        # Crash only destination-ring members, inside the window where
+        # migrations run: the hot blocks start on ring 0, so transfers
+        # target the last ring, and killing a member there mid-transfer
+        # is what forces the abort path.  Every crash restarts — the
+        # rebalancer refuses to start a migration toward a dead member,
+        # so a permanent destination crash would make the required
+        # migration gate unreachable by construction, not by bug.
+        pool = [f"s{sid}" for sid in profile.rings[-1]]
+        for victim in rng.sample(pool, min(num_crashes, len(pool))):
+            at = round(rng.uniform(0.2, 0.9), 4)
+            plan.crash(victim, at=at)
+            plan.restart(victim, at=round(at + rng.uniform(0.5, 1.1), 4))
+    elif profile.partition_heavy:
         # The heartbeat detector takes timeout + grace + a merge round
         # to install an exclusion, so recovery leaves a wider gap; and
         # only the first crash may be permanent under the quorum

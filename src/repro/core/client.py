@@ -78,6 +78,11 @@ class ClientProtocol:
         return self._outstanding is not None
 
     @property
+    def outstanding(self) -> Optional[OpId]:
+        """The in-flight op id, if any (runtimes match replies against it)."""
+        return self._outstanding
+
+    @property
     def current_server(self) -> int:
         return self.servers[self._server_index % len(self.servers)]
 
@@ -144,6 +149,36 @@ class ClientProtocol:
         self.stats_retries += 1
         self._server_index += 1
         return self._issue()
+
+    def reissue(self) -> list[Effect]:
+        """Re-send the outstanding operation immediately.
+
+        Used by the sharded runtime when a :class:`PlacementRedirect`
+        arrives: the operation is fine, only its destination was stale,
+        so it goes straight back out (the host maps the send onto the
+        block's refreshed placement) without burning a retry or waiting
+        for the timeout.  The re-armed timer replaces the old one.
+        """
+        if self._outstanding is None:
+            return []  # redirect raced the completion; nothing to resend
+        return self._issue()
+
+    def fail_current(self, reason: str) -> list[Effect]:
+        """Fail the outstanding operation without waiting for timeouts.
+
+        For runtime-detected dead ends (e.g. a placement-redirect budget
+        exhausted): further retries would only chase the same stale
+        state.  Resets the full op state exactly as retry exhaustion
+        does, so the handle is immediately reusable.
+        """
+        if self._outstanding is None:
+            return []
+        op = self._outstanding
+        self._outstanding = None
+        self._kind = None
+        self._message = None
+        self._retries = 0
+        return [CancelTimer(op.seq), Fail(op, reason=reason)]
 
     def abandon(self) -> Optional[OpId]:
         """Forget the in-flight operation without completing it.

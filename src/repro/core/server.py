@@ -516,6 +516,94 @@ class ServerProtocol:
         proto._maybe_persist()
         return proto
 
+    @classmethod
+    def from_transfer(
+        cls,
+        server_id: int,
+        members,
+        snapshot: Optional[ServerSnapshot],
+        config: Optional[ProtocolConfig] = None,
+        durable: Optional[SnapshotStore] = None,
+        *,
+        initial_value: bytes = b"",
+        generation: int = 0,
+    ) -> "ServerProtocol":
+        """Adopt a migrated block's state on a *new* ring (live migration).
+
+        The third install mode, distinct from :meth:`restore`'s two: the
+        rebalancer drained the source ring before snapshotting, so the
+        snapshot carries no pending writes, and every member of the
+        destination ring installs the *same* state over the same
+        fully-alive view — there is nothing to merge and nobody to
+        rejoin (``restore(alone=False)`` would leave all destination
+        members paused waiting to sponsor each other).  The server starts
+        serving the moment the placement cutover routes traffic to it.
+
+        The view epoch continues from the snapshot's: a frame from the
+        source ring's superseded incarnation that survives in the fabric
+        can never outrank the destination's installed epoch.
+        """
+        members = tuple(members)
+        epoch = snapshot.epoch if snapshot is not None else 0
+        proto = cls(
+            server_id,
+            RingView(members, frozenset(), epoch),
+            config,
+            initial_value=initial_value,
+            durable=durable,
+        )
+        proto.installed_epoch = epoch
+        proto.installed_view = proto.ring
+        if snapshot is not None:
+            proto.value = snapshot.value
+            proto.tag = snapshot.tag
+            proto.frag_tag = snapshot.frag_tag
+            if proto._coded and snapshot.tag != Tag.ZERO:
+                proto._cache_tag, proto._cache_value = None, None
+            proto.ts_seen = snapshot.ts_seen
+            proto.watermark = dict(snapshot.watermark)
+            proto.completed_ops = dict(snapshot.completed_ops)
+            proto.completed_tags = dict(snapshot.completed_tags)
+            proto._reconfig_counter = snapshot.reconfig_counter
+            # pending is deliberately *not* installed: the drain predicate
+            # (:meth:`quiescent` on every alive source member) guarantees
+            # the snapshot was taken with an empty pending set, and a
+            # non-empty one here would mean the handoff raced the drain.
+            if snapshot.pending:
+                raise ProtocolError(
+                    f"block transfer snapshot for server {server_id} carries "
+                    f"{len(snapshot.pending)} pending write(s); the source "
+                    "ring was not drained"
+                )
+        proto.restart_generation = generation
+        proto._dirty = True
+        proto._maybe_persist()
+        return proto
+
+    def quiescent(self) -> bool:
+        """No client-visible work in flight on this block.
+
+        The migration drain predicate: a snapshot taken while every
+        alive member of the source ring reports quiescent carries no
+        pending writes, no queued client work and no circulating ring
+        traffic originated here — so the destination ring can adopt it
+        with :meth:`from_transfer` without a merge.  A rejoining or
+        paused member is *not* quiescent: its state may trail the ring.
+        """
+        return not (
+            self.pending
+            or self.write_queue
+            or self.commit_queue
+            or self.queued_tags
+            or self.fence_queue
+            or self.ack_waiters
+            or self.read_waiters
+            or self.deferred_reads
+            or self.rejoining
+            or self.paused
+            or self.has_ring_work
+        )
+
     def queue_rejoin_announce(self, sponsor: int) -> None:
         """Target the next rejoin announcement at ``sponsor``.
 

@@ -29,5 +29,15 @@ class StorageUnavailableError(ReproError):
     """A client exhausted its retries without completing an operation."""
 
 
+class PlacementStaleError(StorageUnavailableError):
+    """A client chased placement redirects past its budget.
+
+    Raised by the sharded :class:`~repro.core.sharded.BlockStore` when an
+    operation keeps landing on servers that no longer host its block —
+    the placement table moved faster than the client could follow.  A
+    subclass of :class:`StorageUnavailableError` so existing callers that
+    treat unavailability generically keep working."""
+
+
 class HistoryError(ReproError):
     """An operation history is malformed (e.g. response without invocation)."""

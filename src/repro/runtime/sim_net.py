@@ -540,7 +540,10 @@ class ClientHost(_HostBase):
         for effect in effects:
             if isinstance(effect, SendTo):
                 self.out_queue.append(
-                    (f"s{effect.server}", self._wrap_request(effect.message))
+                    (
+                        self._request_destination(effect.server, effect.message),
+                        self._wrap_request(effect.message),
+                    )
                 )
             elif isinstance(effect, SetTimer):
                 self._cancel_timer(client_id, effect.timer_id)
@@ -569,6 +572,13 @@ class ClientHost(_HostBase):
     def _wrap_request(self, message: ClientMessage) -> ClientMessage:
         """Hook for subclasses that envelope requests (sharded store)."""
         return message
+
+    def _request_destination(self, server: int, message: ClientMessage) -> str:
+        """Hook: process name a request is sent to.  The protocol picks
+        ``server`` from its full server list; the sharded client host
+        overrides this to map the pick onto the target block's current
+        placement (retries walk that ring, not the whole cluster)."""
+        return f"s{server}"
 
     def _cancel_timer(self, client_id: int, timer_id: int) -> None:
         handle = self._timers.pop((client_id, timer_id), None)
@@ -1062,6 +1072,19 @@ class SimCluster:
         self.durable_stores: dict[int, MemorySnapshotStore] = {}
         #: Optional history recorder (see repro.analysis.history).
         self.history = None
+        #: Elastic sharding control plane (set by the sharded builders in
+        #: :mod:`repro.core.sharded`): the versioned block placement
+        #: table and the rebalancer driving live block migration.  None
+        #: on every non-elastic cluster — hosts and clients treat that
+        #: as "one ring owns everything", today's behaviour.
+        self.placement = None
+        self.rebalancer = None
+        #: Per-server crash order (server_id -> monotone stamp).  Stamped
+        #: by :meth:`note_crash`; elastic crash recovery compares stamps
+        #: to decide whether a restarting ring member holds the freshest
+        #: copy of its blocks (the last member to crash does).
+        self.crash_stamps: dict[int, int] = {}
+        self._crash_seq = 0
         if host_factory is None:
             host_factory = self._default_host_factory
         self.servers: dict[int, _HostBase] = {}
@@ -1315,6 +1338,11 @@ class SimCluster:
             if server_id != crashed_id and host.alive:
                 host.notify_crash(crashed_id)
 
+    def note_crash(self, server_id: int) -> None:
+        """Record crash order (called by server hosts as they go down)."""
+        self._crash_seq += 1
+        self.crash_stamps[server_id] = self._crash_seq
+
     def crash_server(self, server_id: int) -> None:
         """Crash a server now (tests and fault plans)."""
         self.servers[server_id].crash()
@@ -1407,6 +1435,34 @@ class SimCluster:
             sponsors = [
                 sid for sid in sorted(self.servers) if sid != host.server_id
             ]
+            sponsor = sponsors[attempt % len(sponsors)]
+            for proto in pending:
+                proto.queue_rejoin_announce(sponsor)
+        elif self.placement is not None:
+            # Per-block rings: a block's rejoin can only be sponsored by
+            # a member of *its* ring — an announcement to any other
+            # server dies as stale-placement traffic.  Prefer a member
+            # that is actually serving; if every peer of a ring is down
+            # or itself rejoining, keep the block pending and retry (the
+            # crash-order rule in ShardedServerHost._resume_alone
+            # already decided who may serve without a sponsor).
+            block_of = {id(proto): reg for reg, proto in host.protos.items()}
+            for proto in pending:
+                reg = block_of[id(proto)]
+                candidates = [
+                    sid
+                    for sid in proto.ring.members
+                    if sid != host.server_id and self.servers[sid].alive
+                ]
+                serving = [
+                    sid
+                    for sid in candidates
+                    if (peer := self.servers[sid].protos.get(reg)) is not None
+                    and not peer.rejoining
+                ]
+                pool = serving or candidates
+                if pool:
+                    proto.queue_rejoin_announce(pool[attempt % len(pool)])
         else:
             sponsors = [
                 sid
@@ -1421,9 +1477,9 @@ class SimCluster:
                     host._post(proto.drain_replies())
                 host._rejoin_pump_gen = None
                 return
-        sponsor = sponsors[attempt % len(sponsors)]
-        for proto in pending:
-            proto.queue_rejoin_announce(sponsor)
+            sponsor = sponsors[attempt % len(sponsors)]
+            for proto in pending:
+                proto.queue_rejoin_announce(sponsor)
         host.kick()
         delay = min(REJOIN_RETRY_INITIAL * (2 ** attempt), REJOIN_RETRY_MAX)
         self.env.scheduler.schedule(delay, self._pump_rejoin, host, generation, attempt + 1)

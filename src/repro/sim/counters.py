@@ -82,6 +82,34 @@ CODING_PENDING_DROPPED = "coding.pending_dropped"
 #: messages/op collapse the leased read path buys.
 RING_MESSAGES = "ring.messages"
 
+# -- elastic sharding: per-block load accounting (core/sharded.py) -----
+#: Client operations dispatched into block protocols (all blocks).
+SHARD_BLOCK_OPS = "shard.block_ops"
+#: Client payload bytes dispatched into block protocols.
+SHARD_BLOCK_BYTES = "shard.block_bytes"
+#: Integrated queue depth: sum over rebalancer samples of the pending +
+#: write-queue entries across all blocks (a gauge surfaced as a counter
+#: so traces and snapshots keep a single additive format).
+SHARD_QUEUE_DEPTH = "shard.queue_depth"
+#: PlacementRedirect replies sent to clients holding stale bindings.
+SHARD_REDIRECTS = "shard.redirects"
+#: Client envelopes parked at a source host while its block was frozen
+#: for migration (replayed at cutover or abort).
+SHARD_PARKED = "shard.parked"
+#: Frames dropped for blocks not hosted here: ring traffic from a
+#: superseded placement, or block transfers failing the nonce check.
+SHARD_STALE_DROPPED = "shard.stale_dropped"
+
+# -- elastic sharding: live block migration (core/sharded.py) ----------
+MIGRATION_STARTED = "migration.started"
+MIGRATION_COMPLETED = "migration.completed"
+MIGRATION_ABORTED = "migration.aborted"
+#: Migrations decided by the split policy (evicting a hot block's
+#: co-residents toward a dedicated placement).
+MIGRATION_SPLITS = "migration.splits"
+#: Snapshot bytes shipped by block transfers (wire-charged).
+MIGRATION_BYTES = "migration.bytes"
+
 #: Every fixed-name counter above.  The staticheck ``counters`` rule
 #: treats any of these values appearing as a literal outside this
 #: module as a violation.
@@ -132,6 +160,17 @@ REGISTERED_COUNTERS = frozenset(
         CODING_REPAIRS,
         CODING_PENDING_DROPPED,
         RING_MESSAGES,
+        SHARD_BLOCK_OPS,
+        SHARD_BLOCK_BYTES,
+        SHARD_QUEUE_DEPTH,
+        SHARD_REDIRECTS,
+        SHARD_PARKED,
+        SHARD_STALE_DROPPED,
+        MIGRATION_STARTED,
+        MIGRATION_COMPLETED,
+        MIGRATION_ABORTED,
+        MIGRATION_SPLITS,
+        MIGRATION_BYTES,
     }
 )
 

@@ -35,8 +35,17 @@ from repro.staticheck.base import (
 
 _REGISTRY = "repro/sim/counters.py"
 
-#: Modules that legitimately *emit* counters (call trace.count).
-_EMITTER_SCOPES = ("repro/sim/", "repro/runtime/", "repro/fd/", "repro/transport/")
+#: Modules that legitimately *emit* counters (call trace.count).  The
+#: sharded host module is the one core/ member: the elastic rebalancer
+#: lives with the block hosts it samples, and its shard.*/migration.*
+#: counters are emitted there.
+_EMITTER_SCOPES = (
+    "repro/sim/",
+    "repro/runtime/",
+    "repro/fd/",
+    "repro/transport/",
+    "repro/core/sharded.py",
+)
 #: Modules that *consume* counters (gates, accounting, reports).
 _CONSUMER_SCOPES = ("repro/chaos/", "repro/bench/", "repro/analysis/")
 

@@ -54,3 +54,42 @@ def test_large_value_pair_differs_only_in_backend(filename):
     assert replicated["window_s"] == coded["window_s"]
     assert replicated["coding"] is None
     assert coded["coding"] is not None
+
+
+@pytest.mark.parametrize("filename", SNAPSHOTS)
+def test_elastic_beats_static_by_two_x_on_the_skewed_pair(filename):
+    """ROADMAP item 3's acceptance number: under the Zipf(1.1) hot-block
+    workload, elastic placement (live migration + splits) must deliver at
+    least 2x the combined throughput of the static packed twin — and the
+    gain must come from migrations actually happening, not a lucky run."""
+    snapshot = json.loads((REPO_ROOT / filename).read_text())
+    static = _scenario(snapshot, "skewed_static")
+    elastic = _scenario(snapshot, "skewed_elastic")
+    static_ops = static["read"]["sim_ops_per_s"] + static["write"]["sim_ops_per_s"]
+    elastic_ops = elastic["read"]["sim_ops_per_s"] + elastic["write"]["sim_ops_per_s"]
+    assert static_ops > 0
+    assert elastic_ops >= 2.0 * static_ops, (
+        f"{filename}: elastic {elastic_ops:.0f} sim ops/s is under 2x the "
+        f"static pair's {static_ops:.0f}"
+    )
+    assert elastic["sharding"]["migrations_completed"] >= 1
+    assert elastic["sharding"]["placement_version"] >= 1
+    # The static twin must be genuinely static — no rebalancer at all.
+    assert static["sharding"]["migrations_completed"] == 0
+    assert static["sharding"]["placement_version"] == 0
+
+
+@pytest.mark.parametrize("filename", SNAPSHOTS)
+def test_skewed_pair_differs_only_in_elasticity(filename):
+    """Same twinning rule as the coded pair: the 2x quote only means
+    something if the scenarios match in everything but the rebalancer."""
+    snapshot = json.loads((REPO_ROOT / filename).read_text())
+    static = _scenario(snapshot, "skewed_static")
+    elastic = _scenario(snapshot, "skewed_elastic")
+    assert static["servers"] == elastic["servers"]
+    assert static["topology"] == elastic["topology"]
+    assert static["window_s"] == elastic["window_s"]
+    assert static["sharding"]["num_blocks"] == elastic["sharding"]["num_blocks"]
+    assert static["sharding"]["rings"] == elastic["sharding"]["rings"]
+    assert static["sharding"]["elastic"] is False
+    assert elastic["sharding"]["elastic"] is True

@@ -12,6 +12,7 @@ from repro.chaos.schedule import (
     CODED_PROFILE,
     CORE_PROFILE,
     GENTLE_PROFILE,
+    SKEW_PROFILE,
     generate_schedule,
 )
 
@@ -76,6 +77,49 @@ def test_coded_profile_configures_striping_within_liveness_bound():
         assert config.coding_n == schedule.num_servers
         assert 1 < config.coding_k <= config.coding_n // 2 + 1
         assert schedule.plan.partitions, "coded profile guarantees partitions"
+
+
+def test_skew_profile_pins_cluster_size_to_its_rings():
+    """Placement rings are literal server ids, so the generator must
+    override whatever num_servers the caller passes."""
+    for requested in (4, 6, 9):
+        schedule = generate_schedule(
+            seed=11, index=0, num_servers=requested, profile=SKEW_PROFILE
+        )
+        assert schedule.num_servers == 4
+        assert schedule.num_blocks == 8
+
+
+def test_skew_crashes_target_the_destination_ring_and_always_restart():
+    """Every crash lands on a ring-1 member inside the migration window
+    and is paired with a restart — the abort path is under attack, but a
+    permanent destination crash would make the migration gate
+    unreachable by construction."""
+    destination = {f"s{sid}" for sid in SKEW_PROFILE.rings[-1]}
+    saw_crash = False
+    for index in range(60):
+        schedule = generate_schedule(seed=11, index=index, profile=SKEW_PROFILE)
+        crashes = {
+            fault.process_name: fault.time for fault in schedule.plan.crashes
+        }
+        restarts = {fault.process_name for fault in schedule.plan.restarts}
+        for victim, at in crashes.items():
+            saw_crash = True
+            assert victim in destination, (
+                f"crash on {victim} outside the destination ring"
+            )
+            assert 0.2 <= at <= 0.9
+        assert set(crashes) <= restarts, "every skew crash must restart"
+    assert saw_crash
+
+
+def test_skew_profile_never_partitions():
+    """A cut between rings only stalls whole blocks without touching the
+    migration machinery, so the profile leaves partitions to the others."""
+    for index in range(60):
+        schedule = generate_schedule(seed=11, index=index, profile=SKEW_PROFILE)
+        assert not schedule.plan.partitions
+        assert schedule.writers >= 2 and schedule.readers >= 2
 
 
 def test_gentle_profile_still_disables_retries():

@@ -26,7 +26,7 @@ def test_registered_counters_cover_every_fixed_constant():
 
 
 def test_registered_names_are_dotted_and_unique():
-    assert len(REGISTERED_COUNTERS) == 45
+    assert len(REGISTERED_COUNTERS) == 56
     for name in REGISTERED_COUNTERS:
         family, _, leaf = name.partition(".")
         assert family and leaf, name

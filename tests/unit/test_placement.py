@@ -1,0 +1,134 @@
+"""Unit tests for the versioned placement table and rebalance policy."""
+
+import pytest
+
+from repro.core.placement import (
+    MigrationPlan,
+    PlacementTable,
+    plan_rebalance,
+)
+from repro.errors import ConfigurationError
+
+
+def _table(num_blocks=4, rings=((0, 1), (2, 3)), pack=False):
+    return PlacementTable.initial(num_blocks, list(rings), pack=pack)
+
+
+# ----------------------------------------------------------------------
+# PlacementTable
+# ----------------------------------------------------------------------
+
+
+def test_initial_spreads_blocks_contiguously():
+    table = _table(num_blocks=4)
+    assert table.blocks_on(0) == (0, 1)
+    assert table.blocks_on(1) == (2, 3)
+    assert table.servers_of(0) == (0, 1)
+    assert table.servers_of(3) == (2, 3)
+
+
+def test_initial_pack_places_everything_on_ring_zero():
+    table = _table(num_blocks=4, pack=True)
+    assert table.blocks_on(0) == (0, 1, 2, 3)
+    assert table.blocks_on(1) == ()
+
+
+def test_blocks_of_server_follows_its_ring():
+    table = _table(num_blocks=6, rings=((0, 1), (2, 3), (4, 5)))
+    assert table.blocks_of(0) == (0, 1)
+    assert table.blocks_of(3) == (2, 3)
+    assert table.blocks_of(5) == (4, 5)
+    assert table.blocks_of(9) == ()
+
+
+def test_move_bumps_block_and_global_versions():
+    table = _table(num_blocks=2)
+    assert table.entry(0) == (0, (0, 1))
+    table.move(0, 1)
+    assert table.ring_of(0) == 1
+    assert table.entry(0) == (1, (2, 3))
+    assert table.version == 1
+    # The untouched block's version is unchanged.
+    assert table.entry(1)[0] == 0
+
+
+def test_move_rejects_noop_and_unknown_ring():
+    table = _table(num_blocks=2)
+    with pytest.raises(ConfigurationError):
+        table.move(0, 0)  # already there
+    with pytest.raises(ConfigurationError):
+        table.move(0, 7)
+
+
+def test_rings_must_be_disjoint():
+    with pytest.raises(ConfigurationError):
+        PlacementTable(rings={0: (0, 1), 1: (1, 2)}, blocks={0: 0})
+    with pytest.raises(ConfigurationError):
+        PlacementTable(rings={0: ()}, blocks={})
+    with pytest.raises(ConfigurationError):
+        PlacementTable(rings={0: (0,)}, blocks={0: 3})
+
+
+# ----------------------------------------------------------------------
+# plan_rebalance
+# ----------------------------------------------------------------------
+
+
+def test_balanced_load_plans_nothing():
+    table = _table(num_blocks=4)
+    loads = {0: 10.0, 1: 10.0, 2: 10.0, 3: 10.0}
+    assert plan_rebalance(loads, table) is None
+
+
+def test_tiny_load_plans_nothing():
+    """The min_load floor: noise on a near-idle cluster must not churn."""
+    table = _table(num_blocks=4, pack=True)
+    assert plan_rebalance({0: 0.4, 1: 0.1}, table, min_load=1.0) is None
+
+
+def test_imbalance_moves_a_block_to_the_cold_ring():
+    table = _table(num_blocks=4, pack=True)
+    plan = plan_rebalance({0: 5.0, 1: 4.0, 2: 3.0, 3: 2.0}, table)
+    assert plan is not None
+    assert plan.source == 0 and plan.dest == 1
+    # No block dominates (hottest is 5/14 < 0.5), so this is a plain
+    # move of the hottest block — its relocation strictly improves the
+    # pair (max(0+5, 14-5) = 9 < 14).
+    assert not plan.split
+    assert plan.block == 0
+
+
+def test_dominant_block_triggers_split_evicting_co_resident():
+    table = _table(num_blocks=4, pack=True)
+    plan = plan_rebalance({0: 50.0, 1: 3.0, 2: 2.0, 3: 1.0}, table)
+    assert plan is not None and plan.split
+    # The dominant block itself stays put; its hottest co-resident is
+    # evicted so block 0 converges toward a dedicated ring.
+    assert plan.block == 1
+    assert plan.source == 0 and plan.dest == 1
+
+
+def test_lone_block_ring_cannot_shed():
+    """A ring already reduced to one block has nothing to move — even if
+    it is the hottest ring on the table."""
+    table = _table(num_blocks=2)
+    assert table.blocks_on(0) == (0,)
+    assert plan_rebalance({0: 100.0, 1: 1.0}, table) is None
+
+
+def test_single_ring_table_never_plans():
+    table = PlacementTable.initial(4, [(0, 1, 2)])
+    assert plan_rebalance({0: 100.0, 1: 0.0}, table) is None
+
+
+def test_policy_is_deterministic_under_ties():
+    table = _table(num_blocks=4, pack=True)
+    loads = {0: 50.0, 1: 2.0, 2: 2.0, 3: 2.0}
+    plans = {plan_rebalance(dict(loads), table).block for _ in range(5)}
+    assert plans == {1}, "ties must break toward the lowest block id"
+
+
+def test_plan_is_a_frozen_value():
+    plan = MigrationPlan(block=1, source=0, dest=1, split=True)
+    with pytest.raises(AttributeError):
+        plan.block = 2
